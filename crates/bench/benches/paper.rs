@@ -1,0 +1,148 @@
+//! Criterion wrappers over the paper's measurement kernels.
+//!
+//! Kept intentionally small (10 samples, 1s measurement) so that
+//! `cargo bench --workspace` finishes in minutes; the table/figure binaries
+//! are the full-fidelity harnesses.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use plaway_bench::*;
+use plaway_core::CompileOptions;
+use plaway_engine::EngineConfig;
+
+fn bench_walk_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("walk_500_steps");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+
+    let mut b = setup_walk(EngineConfig::postgres_like());
+    let args = walk_args(500);
+    group.bench_function("interpreter", |bench| {
+        bench.iter(|| {
+            b.session.set_seed(1);
+            b.run_interp(&args).unwrap()
+        })
+    });
+    let rec = b.compile(CompileOptions::default()).unwrap();
+    let plan = rec.prepare(&mut b.session).unwrap();
+    group.bench_function("with_recursive", |bench| {
+        bench.iter(|| {
+            b.session.set_seed(1);
+            b.session.execute_prepared(&plan, args.to_vec()).unwrap()
+        })
+    });
+    let iter = b.compile(CompileOptions::iterate()).unwrap();
+    let plan_it = iter.prepare(&mut b.session).unwrap();
+    group.bench_function("with_iterate", |bench| {
+        bench.iter(|| {
+            b.session.set_seed(1);
+            b.session.execute_prepared(&plan_it, args.to_vec()).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_parse_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parse_1000_chars");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+
+    let mut b = setup_parse(EngineConfig::postgres_like());
+    let args = parse_args(1_000);
+    group.bench_function("interpreter", |bench| {
+        bench.iter(|| b.run_interp(&args).unwrap())
+    });
+    let rec = b.compile(CompileOptions::default()).unwrap();
+    let plan = rec.prepare(&mut b.session).unwrap();
+    group.bench_function("with_recursive", |bench| {
+        bench.iter(|| b.session.execute_prepared(&plan, args.to_vec()).unwrap())
+    });
+    let iter = b.compile(CompileOptions::iterate()).unwrap();
+    let plan_it = iter.prepare(&mut b.session).unwrap();
+    group.bench_function("with_iterate", |bench| {
+        bench.iter(|| b.session.execute_prepared(&plan_it, args.to_vec()).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_fib(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fibonacci_10000");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+
+    let mut b = setup_fib(EngineConfig::postgres_like());
+    let args = fib_args(10_000);
+    group.bench_function("interpreter_fast_path", |bench| {
+        bench.iter(|| b.run_interp(&args).unwrap())
+    });
+    let rec = b.compile(CompileOptions::default()).unwrap();
+    let plan = rec.prepare(&mut b.session).unwrap();
+    group.bench_function("with_recursive", |bench| {
+        bench.iter(|| b.session.execute_prepared(&plan, args.to_vec()).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_compile_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile_pipeline");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+
+    let b = setup_walk(EngineConfig::postgres_like());
+    group.bench_function("walk_to_with_recursive", |bench| {
+        bench.iter(|| b.compile(CompileOptions::default()).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_engine_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+
+    let mut s = plaway_engine::Session::new(EngineConfig::raw());
+    s.run("CREATE TABLE t (k int, v int)").unwrap();
+    for chunk in 0..10 {
+        let rows: Vec<String> = (0..100)
+            .map(|i| format!("({}, {})", chunk * 100 + i, i * 7))
+            .collect();
+        s.run(&format!("INSERT INTO t VALUES {}", rows.join(", ")))
+            .unwrap();
+    }
+    s.run("CREATE INDEX t_k ON t (k)").unwrap();
+
+    let ps = plaway_engine::ParamScope::new(vec!["needle".into()]);
+    let point = s.prepare("SELECT v FROM t WHERE k = needle", &ps).unwrap();
+    group.bench_function("point_lookup_lifecycle", |bench| {
+        bench.iter(|| {
+            s.execute_prepared(&point, vec![plaway_common::Value::Int(531)])
+                .unwrap()
+        })
+    });
+
+    let ps = plaway_engine::ParamScope::default();
+    let agg = s
+        .prepare("SELECT k % 10, sum(v) FROM t GROUP BY k % 10", &ps)
+        .unwrap();
+    group.bench_function("grouped_aggregate_1000_rows", |bench| {
+        bench.iter(|| s.execute_prepared(&agg, vec![]).unwrap())
+    });
+
+    let cte = s
+        .prepare(
+            "WITH RECURSIVE c(x) AS (SELECT 1 UNION ALL SELECT x + 1 FROM c WHERE x < 1000) \
+             SELECT count(*) FROM c",
+            &ps,
+        )
+        .unwrap();
+    group.bench_function("recursive_cte_1000_iters", |bench| {
+        bench.iter(|| s.execute_prepared(&cte, vec![]).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_walk_modes,
+    bench_parse_modes,
+    bench_fib,
+    bench_compile_pipeline,
+    bench_engine_primitives
+);
+criterion_main!(benches);

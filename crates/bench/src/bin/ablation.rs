@@ -1,0 +1,135 @@
+//! Ablations over the design choices DESIGN.md calls out:
+//!
+//! 1. execution mode: interpreter vs recursive SQL UDF (Figure 7, §2's
+//!    "disappointing performance characteristics") vs WITH RECURSIVE vs
+//!    WITH ITERATE,
+//! 2. argument layout: flattened columns vs packed ROW (Figure 8),
+//! 3. SSA optimization passes on/off.
+//!
+//! Usage: `cargo run --release -p plaway-bench --bin ablation [-- udf]`
+
+use std::time::Instant;
+
+use plaway_bench::*;
+use plaway_core::{ArgsLayout, CompileOptions, CteMode};
+use plaway_engine::EngineConfig;
+
+fn time_ms(f: impl FnMut() -> ()) -> f64 {
+    let mut f = f;
+    let t0 = Instant::now();
+    f();
+    t0.elapsed().as_secs_f64() * 1e3
+}
+
+fn main() {
+    let only_udf = std::env::args().any(|a| a == "udf");
+    let steps = 2_000i64;
+    let runs = 3;
+
+    // ---- mode ablation on walk -----------------------------------------
+    let mut b = setup_walk(EngineConfig::postgres_like());
+    let args = walk_args(steps);
+    let rec = b.compile(CompileOptions::default()).unwrap();
+    let iter = b.compile(CompileOptions::iterate()).unwrap();
+    let packed = b.compile(CompileOptions::packed()).unwrap();
+    let raw = b
+        .compile(CompileOptions {
+            optimize: false,
+            ..Default::default()
+        })
+        .unwrap();
+
+    println!("ablation: walk(), {steps} steps, avg of {runs} runs (postgres profile)\n");
+    let baseline;
+    let report = |name: &str, ms: f64, baseline: f64| {
+        if baseline > 0.0 {
+            println!("{name:<34} {ms:>9.1} ms   ({:>4.0}% of interpreter)", ms / baseline * 100.0);
+        } else {
+            println!("{name:<34} {ms:>9.1} ms   (baseline)");
+        }
+    };
+
+    b.session.set_seed(1);
+    b.run_interp(&args).unwrap();
+    b.session.set_seed(1);
+    let interp_ms = {
+        let samples = b.time_interp(&args, runs).unwrap();
+        stats_ms(&samples).0
+    };
+    baseline = interp_ms;
+    report("PL/pgSQL interpreter", interp_ms, 0.0);
+    let _ = &baseline;
+
+    // Recursive SQL UDF (Figure 7): pays Start/End per recursive call and
+    // runs against the engine's call-depth limit, so measure fewer steps
+    // and scale. The paper: "the direct evaluation of these UDFs has
+    // disappointing performance characteristics".
+    let udf_steps = 300i64;
+    b.session.config.max_udf_depth = 2_000;
+    rec.install_udfs(&mut b.session).unwrap();
+    let call = format!(
+        "SELECT walk(ROW(2, 2), 1000000, -1000000, {udf_steps})"
+    );
+    b.session.set_seed(1);
+    b.session.run(&call).unwrap();
+    b.session.set_seed(1);
+    let udf_ms = time_ms(|| {
+        for _ in 0..runs {
+            b.session.run(&call).unwrap();
+        }
+    }) / runs as f64;
+    let udf_scaled = udf_ms * (steps as f64 / udf_steps as f64);
+    report(
+        &format!("recursive SQL UDF (scaled from {udf_steps})"),
+        udf_scaled,
+        baseline,
+    );
+
+    for (name, compiled) in [
+        ("WITH RECURSIVE (flattened args)", &rec),
+        ("WITH ITERATE (flattened args)", &iter),
+        ("WITH RECURSIVE (packed ROW args)", &packed),
+        ("WITH RECURSIVE (unoptimized SSA)", &raw),
+    ] {
+        b.session.set_seed(1);
+        let samples = b.time_compiled(compiled, &args, runs).unwrap();
+        report(name, stats_ms(&samples).0, baseline);
+    }
+
+    if only_udf {
+        return;
+    }
+
+    // ---- stack depth limit (the §2 claim) -------------------------------
+    println!("\nrecursive SQL UDF vs the engine's stack depth limit:");
+    b.session.config.max_udf_depth = 256; // back to the default
+    let deep_call = "SELECT walk(ROW(2, 2), 1000000, -1000000, 5000)";
+    match b.session.run(deep_call) {
+        Err(e) => println!("  5000 steps via UDF: {e}"),
+        Ok(_) => println!("  5000 steps via UDF: unexpectedly succeeded"),
+    }
+    b.session.set_seed(1);
+    let v = rec.run(&mut b.session, &walk_args(5_000)).unwrap();
+    println!("  5000 steps via WITH RECURSIVE: ok (result {v})");
+
+    // ---- layout ablation on parse ---------------------------------------
+    println!("\nablation: parse(), argument layouts (2000-char input):");
+    let mut b = setup_parse(EngineConfig::postgres_like());
+    let args = parse_args(2_000);
+    for (name, options) in [
+        ("flattened columns", CompileOptions::default()),
+        ("packed ROW column", CompileOptions::packed()),
+        (
+            "packed + ITERATE",
+            CompileOptions {
+                layout: ArgsLayout::Packed,
+                mode: CteMode::Iterate,
+                ..Default::default()
+            },
+        ),
+    ] {
+        let compiled = b.compile(options).unwrap();
+        let samples = b.time_compiled(&compiled, &args, runs).unwrap();
+        println!("  {name:<28} {:>9.1} ms", stats_ms(&samples).0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Figures 11a/b: heat maps of relative run time (%) — recursive SQL vs
+//! iterative PL/SQL — across #invocations × #iterations.
+//!
+//! Usage:
+//!   cargo run --release -p plaway-bench --bin figure11              # both, quick grid
+//!   cargo run --release -p plaway-bench --bin figure11 -- walk       # 11a only
+//!   cargo run --release -p plaway-bench --bin figure11 -- parse-oracle
+//!   cargo run --release -p plaway-bench --bin figure11 -- walk full  # the paper's full grid
+
+use std::time::{Duration, Instant};
+
+use plaway_bench::*;
+use plaway_core::CompileOptions;
+use plaway_engine::EngineConfig;
+
+const ITER_COLS: &[i64] = &[2, 4, 8, 16, 32, 64, 256, 1024];
+const INVOCATION_ROWS: &[i64] = &[2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
+
+fn heat_map(
+    name: &str,
+    mut setup: BenchSetup,
+    args_of: impl Fn(i64) -> Vec<plaway_common::Value>,
+    full: bool,
+) {
+    let timer_ms = setup.session.config.timer_resolution_ms;
+    let compiled = setup.compile(CompileOptions::default()).unwrap();
+    let plan = compiled.prepare(&mut setup.session).unwrap();
+
+    let rows: Vec<i64> = if full {
+        INVOCATION_ROWS.to_vec()
+    } else {
+        INVOCATION_ROWS.iter().copied().filter(|&r| r <= 256).collect()
+    };
+    let cols: Vec<i64> = if full {
+        ITER_COLS.to_vec()
+    } else {
+        ITER_COLS.iter().copied().filter(|&c| c <= 256).collect()
+    };
+
+    println!(
+        "\nFigure 11 ({name}): relative run time (%) of recursive SQL vs iterative PL/SQL"
+    );
+    println!("(rows: #invocations Q->f; columns: #iterations f->Qi; <100 = SQL wins)\n");
+    print!("{:>12} |", "inv \\ iter");
+    for c in &cols {
+        print!("{c:>6}");
+    }
+    println!();
+    print!("{:->12}-+", "");
+    for _ in &cols {
+        print!("{:->6}", "");
+    }
+    println!();
+
+    for &inv in &rows {
+        print!("{inv:>12} |", );
+        for &it in &cols {
+            let args = args_of(it);
+            // Warm both plans.
+            setup.session.set_seed(9);
+            setup.run_interp(&args).unwrap();
+            setup
+                .session
+                .execute_prepared(&plan, args.to_vec())
+                .unwrap();
+
+            // The embracing query Q invokes f once per row: `inv` rows.
+            setup.session.set_seed(9);
+            let t0 = Instant::now();
+            for _ in 0..inv {
+                setup.run_interp(&args).unwrap();
+            }
+            let interp: Duration = t0.elapsed();
+
+            setup.session.set_seed(9);
+            let t0 = Instant::now();
+            for _ in 0..inv {
+                setup
+                    .session
+                    .execute_prepared(&plan, args.to_vec())
+                    .unwrap();
+            }
+            let sql = t0.elapsed();
+
+            match (
+                with_timer_resolution(sql, timer_ms),
+                with_timer_resolution(interp, timer_ms),
+            ) {
+                (Some(s), Some(i)) => {
+                    print!("{:>6.0}", s.as_secs_f64() / i.as_secs_f64() * 100.0)
+                }
+                // Below the engine's timer resolution: the paper leaves
+                // these cells blank on Oracle.
+                _ => print!("{:>6}", "."),
+            }
+        }
+        println!();
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "full");
+    let which = args.first().map(String::as_str).unwrap_or("both");
+
+    if which == "walk" || which == "both" {
+        heat_map(
+            "a: walk on postgres profile",
+            setup_walk(EngineConfig::postgres_like()),
+            walk_args,
+            full,
+        );
+        println!("\npaper 11a: stable ~55-60% beyond 32 invocations/iterations;");
+        println!("           >100% only in the lower-left corner (2-8 x 2-8).");
+    }
+    if which == "parse-oracle" || which == "both" {
+        heat_map(
+            "b: parse on oracle profile",
+            setup_parse(EngineConfig::oracle_like()),
+            |n| parse_args(n as usize),
+            full,
+        );
+        println!("\npaper 11b: ~44-50% at high iteration counts; lower-left cells");
+        println!("           omitted due to the DBMS's coarse timer resolution.");
+    }
+}

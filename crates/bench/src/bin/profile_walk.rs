@@ -1,0 +1,64 @@
+//! Figure 3 (right edge): per-embedded-query profile of `walk()` with the
+//! black `walk→Qi` context-switch share of each bar.
+//!
+//! Usage: `cargo run --release -p plaway-bench --bin profile_walk`
+
+use plaway_bench::*;
+use plaway_engine::EngineConfig;
+
+fn main() {
+    let mut b = setup_walk(EngineConfig::postgres_like());
+    let args = walk_args(1_000);
+    b.session.set_seed(1);
+    b.run_interp(&args).unwrap(); // warm the plan cache
+    b.session.track_queries = true;
+    b.session.reset_instrumentation();
+    b.session.set_seed(1);
+    b.run_interp(&args).unwrap();
+
+    let total: u128 = b.session.profiler.total_ns();
+    println!("Figure 3: profile of one walk() invocation (1000 steps)");
+    println!("bars: share of total run time; # = f->Qi switch share of the bar\n");
+
+    // Order queries as they appear in the function body: Q1 policy lookup,
+    // Q2 straying move, Q3 reward lookup.
+    let mut entries: Vec<(String, plaway_engine::session::QueryPhaseStats)> = b
+        .session
+        .query_stats
+        .iter()
+        .map(|(sql, st)| (sql.clone(), *st))
+        .collect();
+    entries.sort_by_key(|(sql, _)| {
+        if sql.contains("policy") {
+            0
+        } else if sql.contains("actions") {
+            1
+        } else if sql.contains("cells") {
+            2
+        } else {
+            3
+        }
+    });
+    for (sql, st) in entries {
+        let label = if sql.contains("policy") {
+            "Q1 (policy lookup)  "
+        } else if sql.contains("actions") {
+            "Q2 (straying move)  "
+        } else if sql.contains("cells") {
+            "Q3 (reward lookup)  "
+        } else {
+            "other               "
+        };
+        let share = st.total_ns() as f64 / total as f64 * 100.0;
+        let switch = st.switch_pct();
+        let width = (share / 2.0).round() as usize;
+        let dark = (width as f64 * switch / 100.0).round() as usize;
+        let bar: String = "#".repeat(dark) + &"=".repeat(width.saturating_sub(dark));
+        println!("{label} {share:>6.2}%  |{bar:<50}| ({switch:>4.1}% switch overhead)");
+    }
+    let (s, r, e, i) = b.session.profiler.percentages();
+    println!("\ntotals: Exec.Start {s:.2}% | Exec.Run {r:.2}% | Exec.End {e:.2}% | Interp {i:.2}%");
+    println!(
+        "paper:  Q1 28.40% | Q2 54.02% | Q3 12.44%; walk->Qi overhead >35% of total"
+    );
+}

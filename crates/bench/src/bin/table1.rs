@@ -1,0 +1,85 @@
+//! Table 1: run time spent (in %) during PL/SQL evaluation.
+//!
+//! Columns: Exec·Start | Exec·Run | Exec·End | Interp. Bold (here: bracketed)
+//! entries are the `f→Qi` context-switch overhead the paper calls out.
+//!
+//! Usage: `cargo run --release -p plaway-bench --bin table1`
+
+use plaway_bench::*;
+use plaway_engine::EngineConfig;
+
+fn main() {
+    println!("Table 1: Run time spent (in %) during PL/SQL evaluation.");
+    println!("[bracketed] = f->Qi context-switch overhead (ExecutorStart/End)\n");
+    println!(
+        "{:<12} {:>12} {:>10} {:>12} {:>8} | {:>9}",
+        "function", "Exec.Start", "Exec.Run", "Exec.End", "Interp", "overhead"
+    );
+    println!("{:-<12} {:->12} {:->10} {:->12} {:->8}-+-{:->9}", "", "", "", "", "", "");
+
+    let rows: Vec<(&str, Box<dyn FnOnce() -> plaway_engine::Profiler>)> = vec![
+        (
+            "walk",
+            Box::new(|| {
+                let mut b = setup_walk(EngineConfig::postgres_like());
+                let args = walk_args(1_000);
+                b.session.set_seed(1);
+                b.run_interp(&args).unwrap(); // warm plans
+                b.session.reset_instrumentation();
+                b.session.set_seed(1);
+                b.run_interp(&args).unwrap();
+                b.session.profiler
+            }),
+        ),
+        (
+            "parse",
+            Box::new(|| {
+                let mut b = setup_parse(EngineConfig::postgres_like());
+                let args = parse_args(5_000);
+                b.run_interp(&args).unwrap();
+                b.session.reset_instrumentation();
+                b.run_interp(&args).unwrap();
+                b.session.profiler
+            }),
+        ),
+        (
+            "traverse",
+            Box::new(|| {
+                let mut b = setup_traverse(EngineConfig::postgres_like());
+                let args = traverse_args(2_000);
+                b.run_interp(&args).unwrap();
+                b.session.reset_instrumentation();
+                b.run_interp(&args).unwrap();
+                b.session.profiler
+            }),
+        ),
+        (
+            "fibonacci",
+            Box::new(|| {
+                let mut b = setup_fib(EngineConfig::postgres_like());
+                let args = fib_args(100_000);
+                b.run_interp(&args).unwrap();
+                b.session.reset_instrumentation();
+                b.run_interp(&args).unwrap();
+                b.session.profiler
+            }),
+        ),
+    ];
+
+    for (name, run) in rows {
+        let prof = run();
+        let (s, r, e, i) = prof.percentages();
+        println!(
+            "{name:<12} {:>11} {r:>10.2} {:>11} {i:>8.2} | {:>8.1}%",
+            format!("[{s:.2}]"),
+            format!("[{e:.2}]"),
+            prof.switch_overhead_pct()
+        );
+    }
+
+    println!("\npaper (PostgreSQL 11.3):");
+    println!("  walk      [30.89]    55.13  [4.36]   9.63  | 35.3%");
+    println!("  parse     [13.84]    68.52  [2.20]  15.62  | 16.0%");
+    println!("  traverse  [31.80]    35.82  [6.03]  26.35  | 37.8%");
+    println!("  fibonacci [0]        90.45  [0]      9.55  |  0.0%");
+}

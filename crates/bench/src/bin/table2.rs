@@ -1,0 +1,54 @@
+//! Table 2: eliminating buffering effort via WITH ITERATE.
+//!
+//! Buffer page writes while `parse()` consumes inputs of growing length:
+//! `WITH RECURSIVE` accumulates every residual string (quadratic bytes),
+//! `WITH ITERATE` keeps only the final iteration (zero).
+//!
+//! Usage: `cargo run --release -p plaway-bench --bin table2 [--full]`
+//! (--full runs the paper's 10k..50k lengths; default stops at 30k to be
+//! kind to memory — the trace is held in RAM here, on disk in PostgreSQL)
+
+use plaway_bench::*;
+use plaway_core::CompileOptions;
+use plaway_engine::EngineConfig;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let lengths: &[usize] = if full {
+        &[10_000, 20_000, 30_000, 40_000, 50_000]
+    } else {
+        &[10_000, 20_000, 30_000]
+    };
+    // Paper's measured page-write counts for comparison.
+    let paper = [6_132u64, 24_471, 55_016, 97_769, 152_729];
+
+    let mut b = setup_parse(EngineConfig::postgres_like());
+    let recursive = b.compile(CompileOptions::default()).unwrap();
+    let iterate = b.compile(CompileOptions::iterate()).unwrap();
+
+    println!("Table 2: buffer page writes (8 KiB pages, work_mem = 4MB)\n");
+    println!(
+        "{:>12} | {:>12} | {:>14} | {:>14}",
+        "#iterations", "WITH ITERATE", "WITH RECURSIVE", "paper RECURSIVE"
+    );
+    println!("{:->12}-+-{:->12}-+-{:->14}-+-{:->14}", "", "", "", "");
+
+    for (i, &n) in lengths.iter().enumerate() {
+        let args = parse_args(n);
+
+        b.session.reset_instrumentation();
+        iterate.run(&mut b.session, &args).unwrap();
+        let iter_pages = b.session.buffers.page_writes;
+
+        b.session.reset_instrumentation();
+        recursive.run(&mut b.session, &args).unwrap();
+        let rec_pages = b.session.buffers.page_writes;
+
+        println!(
+            "{n:>12} | {iter_pages:>12} | {rec_pages:>14} | {:>14}",
+            paper[i]
+        );
+    }
+    println!("\npaper: ITERATE writes 0 pages at every length; RECURSIVE grows");
+    println!("quadratically (bytes ~ n^2/2 of residual strings + 24B tuple headers).");
+}

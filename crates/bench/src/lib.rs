@@ -1,0 +1,241 @@
+//! `plaway-bench` — shared harness for regenerating every table and figure
+//! of the paper.
+//!
+//! Binaries (each prints a paper-style artifact, see DESIGN.md §3):
+//!
+//! | binary | artifact |
+//! |---|---|
+//! | `profile_walk` | Figure 3 profile bars (per-`Qi` breakdown) |
+//! | `table1` | Table 1 — % time in ExecStart/Run/End/Interp |
+//! | `figure10` | Figure 10 — wall clock vs iterations, walk |
+//! | `figure11` | Figures 11a/b — invocation × iteration heat maps |
+//! | `table2` | Table 2 — buffer page writes, ITERATE vs RECURSIVE |
+//! | `ablation` | execution-mode & design-choice ablations |
+//!
+//! `cargo bench` runs the criterion wrappers over the same kernels.
+
+use std::time::{Duration, Instant};
+
+use plaway_common::{Result, Value};
+use plaway_core::{compile_sql, CompileOptions, Compiled};
+use plaway_engine::{EngineConfig, Session};
+use plaway_interp::Interpreter;
+use plaway_workloads::{fib, fsa, graph, grid};
+
+/// A workload instance ready for measurement.
+pub struct BenchSetup {
+    pub session: Session,
+    pub interp: Interpreter,
+    pub fn_name: &'static str,
+    pub source: String,
+}
+
+impl BenchSetup {
+    /// Compile the workload's function with the given options.
+    pub fn compile(&self, options: CompileOptions) -> Result<Compiled> {
+        compile_sql(&self.session.catalog, &self.source, options)
+    }
+
+    /// One interpreted invocation.
+    pub fn run_interp(&mut self, args: &[Value]) -> Result<Value> {
+        self.interp.call(&mut self.session, self.fn_name, args)
+    }
+
+    /// Time `runs` interpreted invocations (returns per-run durations).
+    pub fn time_interp(&mut self, args: &[Value], runs: usize) -> Result<Vec<Duration>> {
+        let mut out = Vec::with_capacity(runs);
+        for _ in 0..runs {
+            let t0 = Instant::now();
+            self.interp.call(&mut self.session, self.fn_name, args)?;
+            out.push(t0.elapsed());
+        }
+        Ok(out)
+    }
+
+    /// Time `runs` compiled invocations (plan prepared once, like a cached
+    /// inlined query).
+    pub fn time_compiled(
+        &mut self,
+        compiled: &Compiled,
+        args: &[Value],
+        runs: usize,
+    ) -> Result<Vec<Duration>> {
+        let plan = compiled.prepare(&mut self.session)?;
+        let mut out = Vec::with_capacity(runs);
+        for _ in 0..runs {
+            let t0 = Instant::now();
+            self.session.execute_prepared(&plan, args.to_vec())?;
+            out.push(t0.elapsed());
+        }
+        Ok(out)
+    }
+}
+
+/// The robot world of Figures 1–3 (5×5 grid, seed 42 — the defaults every
+/// artifact uses).
+pub fn setup_walk(config: EngineConfig) -> BenchSetup {
+    let mut session = Session::new(config);
+    grid::GridWorld::generate(5, 5, 42)
+        .install(&mut session)
+        .expect("grid install");
+    let w = grid::walk_workload();
+    w.install(&mut session).expect("walk install");
+    BenchSetup {
+        session,
+        interp: Interpreter::new(),
+        fn_name: "walk",
+        source: w.source,
+    }
+}
+
+/// `walk` arguments with unreachable win/loose bounds: exactly `steps`
+/// iterations.
+pub fn walk_args(steps: i64) -> Vec<Value> {
+    vec![
+        Value::coord(2, 2),
+        Value::Int(1_000_000),
+        Value::Int(-1_000_000),
+        Value::Int(steps),
+    ]
+}
+
+/// The FSA `parse` workload.
+pub fn setup_parse(config: EngineConfig) -> BenchSetup {
+    let mut session = Session::new(config);
+    fsa::install_fsa(&mut session).expect("fsa install");
+    let w = fsa::parse_workload();
+    w.install(&mut session).expect("parse install");
+    BenchSetup {
+        session,
+        interp: Interpreter::new(),
+        fn_name: "parse",
+        source: w.source,
+    }
+}
+
+/// `parse` argument: an accepted input of exactly `len` characters.
+pub fn parse_args(len: usize) -> Vec<Value> {
+    vec![Value::text(fsa::generate_input(len, 99))]
+}
+
+/// The digraph `traverse` workload (5000 nodes).
+pub fn setup_traverse(config: EngineConfig) -> BenchSetup {
+    let mut session = Session::new(config);
+    graph::Digraph::generate(5_000, 11)
+        .install(&mut session)
+        .expect("graph install");
+    let w = graph::traverse_workload();
+    w.install(&mut session).expect("traverse install");
+    BenchSetup {
+        session,
+        interp: Interpreter::new(),
+        fn_name: "traverse",
+        source: w.source,
+    }
+}
+
+pub fn traverse_args(hops: i64) -> Vec<Value> {
+    vec![Value::Int(1), Value::Int(hops)]
+}
+
+/// The query-less `fibonacci` workload.
+pub fn setup_fib(config: EngineConfig) -> BenchSetup {
+    let mut session = Session::new(config);
+    let w = fib::fib_workload();
+    w.install(&mut session).expect("fib install");
+    BenchSetup {
+        session,
+        interp: Interpreter::new(),
+        fn_name: "fibonacci",
+        source: w.source,
+    }
+}
+
+pub fn fib_args(n: i64) -> Vec<Value> {
+    vec![Value::Int(n)]
+}
+
+/// Mean / min / max of a duration sample, in milliseconds.
+pub fn stats_ms(samples: &[Duration]) -> (f64, f64, f64) {
+    let ms: Vec<f64> = samples.iter().map(|d| d.as_secs_f64() * 1e3).collect();
+    let mean = ms.iter().sum::<f64>() / ms.len() as f64;
+    let min = ms.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = ms.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    (mean, min, max)
+}
+
+/// Round a duration up to the configured timer resolution (Figure 11b's
+/// "coarse timer"); returns `None` when the measurement is below the timer's
+/// resolution — the paper omits those cells.
+pub fn with_timer_resolution(d: Duration, resolution_ms: u64) -> Option<Duration> {
+    if resolution_ms == 0 {
+        return Some(d);
+    }
+    let res = Duration::from_millis(resolution_ms);
+    if d < res {
+        None
+    } else {
+        let ticks = d.as_nanos().div_ceil(res.as_nanos());
+        Some(Duration::from_nanos((ticks * res.as_nanos()) as u64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn setups_produce_working_workloads() {
+        let mut b = setup_walk(EngineConfig::raw());
+        b.session.set_seed(3);
+        let v = b.run_interp(&walk_args(50)).unwrap();
+        assert!(v.as_int().is_ok());
+
+        let mut b = setup_parse(EngineConfig::raw());
+        let v = b.run_interp(&parse_args(100)).unwrap();
+        assert_eq!(v, Value::Int(100));
+
+        let mut b = setup_traverse(EngineConfig::raw());
+        let v = b.run_interp(&traverse_args(20)).unwrap();
+        assert!(v.as_int().is_ok());
+
+        let mut b = setup_fib(EngineConfig::raw());
+        let v = b.run_interp(&fib_args(30)).unwrap();
+        assert_eq!(v, Value::Int(fib::fib_reference(30)));
+    }
+
+    #[test]
+    fn compiled_and_interp_agree_in_harness() {
+        let mut b = setup_parse(EngineConfig::raw());
+        let compiled = b.compile(CompileOptions::default()).unwrap();
+        let args = parse_args(300);
+        let i = b.run_interp(&args).unwrap();
+        let c = compiled.run(&mut b.session, &args).unwrap();
+        assert_eq!(i, c);
+    }
+
+    #[test]
+    fn timer_resolution_rounds_up_or_hides() {
+        assert_eq!(
+            with_timer_resolution(Duration::from_millis(14), 10),
+            Some(Duration::from_millis(20))
+        );
+        assert_eq!(with_timer_resolution(Duration::from_millis(4), 10), None);
+        assert_eq!(
+            with_timer_resolution(Duration::from_millis(4), 0),
+            Some(Duration::from_millis(4))
+        );
+    }
+
+    #[test]
+    fn stats_compute_envelope() {
+        let (mean, min, max) = stats_ms(&[
+            Duration::from_millis(10),
+            Duration::from_millis(20),
+            Duration::from_millis(30),
+        ]);
+        assert!((mean - 20.0).abs() < 1e-9);
+        assert!((min - 10.0).abs() < 1e-9);
+        assert!((max - 30.0).abs() < 1e-9);
+    }
+}

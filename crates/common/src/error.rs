@@ -1,0 +1,133 @@
+//! Unified error hierarchy for the whole workspace.
+//!
+//! Every layer (lexer, parser, planner, executor, PL/SQL interpreter and the
+//! compiler) reports through this one [`Error`] type so that errors compose
+//! across crate boundaries without conversion boilerplate.
+
+use std::fmt;
+
+/// Workspace-wide result alias.
+pub type Result<T, E = Error> = std::result::Result<T, E>;
+
+/// Source position (1-based line / column) attached to front-end errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pos {
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Pos {
+    pub const fn new(line: u32, col: u32) -> Self {
+        Pos { line, col }
+    }
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// All the ways the system can fail, tagged by pipeline stage.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// Tokenizer rejected the input (bad character, unterminated string, ...).
+    Lex { msg: String, pos: Pos },
+    /// Grammar violation while parsing SQL or PL/pgSQL.
+    Parse { msg: String, pos: Pos },
+    /// Semantic analysis / name resolution / planning failure.
+    Plan(String),
+    /// Runtime failure during query or function evaluation.
+    Exec(String),
+    /// Failure inside the PL/SQL-to-SQL compiler.
+    Compile(String),
+    /// A construct the reproduction deliberately does not support.
+    Unsupported(String),
+}
+
+impl Error {
+    pub fn lex(msg: impl Into<String>, line: u32, col: u32) -> Self {
+        Error::Lex {
+            msg: msg.into(),
+            pos: Pos::new(line, col),
+        }
+    }
+
+    pub fn parse(msg: impl Into<String>, line: u32, col: u32) -> Self {
+        Error::Parse {
+            msg: msg.into(),
+            pos: Pos::new(line, col),
+        }
+    }
+
+    pub fn plan(msg: impl Into<String>) -> Self {
+        Error::Plan(msg.into())
+    }
+
+    pub fn exec(msg: impl Into<String>) -> Self {
+        Error::Exec(msg.into())
+    }
+
+    pub fn compile(msg: impl Into<String>) -> Self {
+        Error::Compile(msg.into())
+    }
+
+    pub fn unsupported(msg: impl Into<String>) -> Self {
+        Error::Unsupported(msg.into())
+    }
+
+    /// Human-readable stage tag, useful in test assertions.
+    pub fn stage(&self) -> &'static str {
+        match self {
+            Error::Lex { .. } => "lex",
+            Error::Parse { .. } => "parse",
+            Error::Plan(_) => "plan",
+            Error::Exec(_) => "exec",
+            Error::Compile(_) => "compile",
+            Error::Unsupported(_) => "unsupported",
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Lex { msg, pos } => write!(f, "lex error at {pos}: {msg}"),
+            Error::Parse { msg, pos } => write!(f, "parse error at {pos}: {msg}"),
+            Error::Plan(msg) => write!(f, "planning error: {msg}"),
+            Error::Exec(msg) => write!(f, "execution error: {msg}"),
+            Error::Compile(msg) => write!(f, "compile error: {msg}"),
+            Error::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = Error::parse("expected SELECT", 3, 14);
+        assert_eq!(e.to_string(), "parse error at 3:14: expected SELECT");
+        assert_eq!(e.stage(), "parse");
+    }
+
+    #[test]
+    fn stage_tags_are_distinct() {
+        let all = [
+            Error::lex("x", 1, 1),
+            Error::parse("x", 1, 1),
+            Error::plan("x"),
+            Error::exec("x"),
+            Error::compile("x"),
+            Error::unsupported("x"),
+        ];
+        let mut tags: Vec<_> = all.iter().map(|e| e.stage()).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        assert_eq!(tags.len(), 6);
+    }
+}

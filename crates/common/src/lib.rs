@@ -1,0 +1,23 @@
+//! Shared foundation for the `plsql-away` workspace.
+//!
+//! This crate holds everything the SQL front end, the query engine, the
+//! PL/pgSQL interpreter and the compiler agree on:
+//!
+//! * [`Value`] — the dynamically typed runtime value model (SQL scalars plus
+//!   `ROW(...)` records, with three-valued logic),
+//! * [`Type`] — the static type mirror used in signatures and casts,
+//! * [`Error`] — the unified error hierarchy (lex/parse/plan/exec/compile),
+//! * [`SessionRng`] — a deterministic per-session random number generator so
+//!   `random()` is reproducible in tests and benchmarks.
+//!
+//! Nothing in here depends on the rest of the workspace.
+
+pub mod error;
+pub mod rng;
+pub mod types;
+pub mod value;
+
+pub use error::{Error, Result};
+pub use rng::SessionRng;
+pub use types::Type;
+pub use value::Value;

@@ -1,0 +1,117 @@
+//! Deterministic session RNG backing SQL's `random()`.
+//!
+//! PostgreSQL's `random()` draws from process-global state; replaying a paper
+//! experiment therefore never produces the same robot walk twice. For a
+//! reproduction we want the opposite: a per-session generator with an explicit
+//! seed, so the interpreter and the compiled `WITH RECURSIVE` variant of a
+//! function can be compared run-for-run. We use the xorshift64* generator —
+//! tiny, fast, and plenty good for workload generation.
+
+/// A seeded xorshift64* pseudo random number generator.
+#[derive(Debug, Clone)]
+pub struct SessionRng {
+    state: u64,
+}
+
+impl SessionRng {
+    /// Create a generator from a seed. A zero seed is remapped (xorshift
+    /// state must be non-zero).
+    pub fn new(seed: u64) -> Self {
+        SessionRng {
+            state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed },
+        }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform float in `[0, 1)` — the contract of SQL `random()`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 top bits → uniform double in [0,1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[lo, hi]` (inclusive). Panics if `lo > hi`.
+    pub fn next_range(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        let span = (hi - lo) as u64 + 1;
+        lo + (self.next_u64() % span) as i64
+    }
+
+    /// Bernoulli draw with probability `p`.
+    pub fn next_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+}
+
+impl Default for SessionRng {
+    fn default() -> Self {
+        SessionRng::new(0x5EED_5EED_5EED_5EED)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = SessionRng::new(42);
+        let mut b = SessionRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SessionRng::new(1);
+        let mut b = SessionRng::new(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn f64_stays_in_unit_interval() {
+        let mut r = SessionRng::new(7);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x), "{x} out of [0,1)");
+        }
+    }
+
+    #[test]
+    fn f64_is_roughly_uniform() {
+        let mut r = SessionRng::new(11);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} too far from 0.5");
+    }
+
+    #[test]
+    fn range_is_inclusive_and_bounded() {
+        let mut r = SessionRng::new(3);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..10_000 {
+            let v = r.next_range(-2, 2);
+            assert!((-2..=2).contains(&v));
+            seen_lo |= v == -2;
+            seen_hi |= v == 2;
+        }
+        assert!(seen_lo && seen_hi, "bounds never drawn");
+    }
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        let mut r = SessionRng::new(0);
+        assert_ne!(r.next_u64(), 0);
+    }
+}

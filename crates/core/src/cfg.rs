@@ -1,0 +1,810 @@
+//! Lowering PL/pgSQL to a control-flow graph over a goto kernel.
+//!
+//! First step of the paper's pipeline (§2 SSA): "the zoo of PL/SQL control
+//! flow constructs — LOOP, EXIT (to label), CONTINUE (at label), FOR,
+//! WHILE — are now exclusively expressed in terms of goto and jump labels".
+//! Blocks hold simple assignments; terminators are `Jump`, conditional
+//! `Branch`, and `Return`.
+
+use std::collections::HashMap;
+
+use plaway_common::{Error, Result, Type};
+use plaway_plsql::ast::{PlFunction, PlStmt, RaiseLevel};
+use plaway_sql::ast::{BinOp, Expr};
+
+pub type BlockId = usize;
+
+/// Block terminator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Term {
+    Jump(BlockId),
+    Branch {
+        cond: Expr,
+        then_: BlockId,
+        else_: BlockId,
+    },
+    Return(Expr),
+    /// Only present transiently during construction.
+    Unfinished,
+}
+
+/// A basic block: straight-line assignments plus one terminator.
+#[derive(Debug, Clone, Default)]
+pub struct Block {
+    /// `(variable, value)` assignments, in order.
+    pub stmts: Vec<(String, Expr)>,
+    pub term: Term,
+}
+
+impl Default for Term {
+    fn default() -> Self {
+        Term::Unfinished
+    }
+}
+
+/// The CFG of one function.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    pub name: String,
+    /// Original parameters (uniquified names).
+    pub params: Vec<(String, Type)>,
+    pub returns: Type,
+    /// Every variable (params, declarations, loop variables, temps) with its
+    /// type, keyed by the uniquified name used in block statements.
+    pub var_types: HashMap<String, Type>,
+    pub blocks: Vec<Block>,
+    pub entry: BlockId,
+}
+
+impl Cfg {
+    pub fn predecessors(&self) -> Vec<Vec<BlockId>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for (b, block) in self.blocks.iter().enumerate() {
+            for s in block.term.successors() {
+                preds[s].push(b);
+            }
+        }
+        preds
+    }
+
+    /// Goto-form pretty printer (the Figure 5 "before SSA" shape).
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let params: Vec<&str> = self.params.iter().map(|(n, _)| n.as_str()).collect();
+        let _ = writeln!(out, "function {}({}) {{", self.name, params.join(", "));
+        for (i, b) in self.blocks.iter().enumerate() {
+            let _ = writeln!(out, "L{i}:");
+            for (var, e) in &b.stmts {
+                let _ = writeln!(out, "    {var} <- {e};");
+            }
+            match &b.term {
+                Term::Jump(t) => {
+                    let _ = writeln!(out, "    goto L{t};");
+                }
+                Term::Branch {
+                    cond,
+                    then_,
+                    else_,
+                } => {
+                    let _ = writeln!(out, "    if {cond} then goto L{then_} else goto L{else_};");
+                }
+                Term::Return(e) => {
+                    let _ = writeln!(out, "    return {e};");
+                }
+                Term::Unfinished => {
+                    let _ = writeln!(out, "    <unfinished>;");
+                }
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+impl Term {
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Term::Jump(t) => vec![*t],
+            Term::Branch { then_, else_, .. } => vec![*then_, *else_],
+            Term::Return(_) | Term::Unfinished => vec![],
+        }
+    }
+
+    /// Rewrite successor ids.
+    pub fn map_targets(&mut self, f: impl Fn(BlockId) -> BlockId) {
+        match self {
+            Term::Jump(t) => *t = f(*t),
+            Term::Branch { then_, else_, .. } => {
+                *then_ = f(*then_);
+                *else_ = f(*else_);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Loop context for EXIT/CONTINUE resolution.
+struct LoopCtx {
+    label: Option<String>,
+    continue_target: BlockId,
+    exit_target: BlockId,
+}
+
+struct Lowering<'f> {
+    catalog: &'f plaway_engine::Catalog,
+    blocks: Vec<Block>,
+    var_types: HashMap<String, Type>,
+    /// Scope stack: source name -> uniquified name.
+    scopes: Vec<HashMap<String, String>>,
+    loops: Vec<LoopCtx>,
+    temp_counter: usize,
+}
+
+/// Lower a parsed function to its CFG. The catalog makes variable renaming
+/// capture-aware inside embedded queries.
+pub fn lower(f: &PlFunction, catalog: &plaway_engine::Catalog) -> Result<Cfg> {
+    let mut lw = Lowering {
+        catalog,
+        blocks: Vec::new(),
+        var_types: HashMap::new(),
+        scopes: vec![HashMap::new()],
+        loops: Vec::new(),
+        temp_counter: 0,
+    };
+
+    let entry = lw.new_block();
+    let mut params = Vec::with_capacity(f.params.len());
+    for (name, ty) in &f.params {
+        let unique = lw.declare(name, ty.clone())?;
+        params.push((unique, ty.clone()));
+    }
+    let cur = entry;
+    for d in &f.decls {
+        // Initializer sees previously declared variables only.
+        let init = match &d.init {
+            Some(e) => lw.rename_expr(e.clone()),
+            None => Expr::null(),
+        };
+        let unique = lw.declare(&d.name, d.ty.clone())?;
+        lw.blocks[cur].stmts.push((unique, init));
+    }
+    let after = lw.lower_stmts(&f.body, cur)?;
+    if let Some(open) = after {
+        // Control can fall off the end. PostgreSQL raises a runtime error
+        // here; a compiled query has no way to raise, so we return NULL and
+        // document the divergence (DESIGN.md). Functions produced by the
+        // workloads always end in RETURN.
+        lw.blocks[open].term = Term::Return(Expr::null());
+    }
+    Ok(Cfg {
+        name: f.name.clone(),
+        params,
+        returns: f.returns.clone(),
+        var_types: lw.var_types,
+        blocks: lw.blocks,
+        entry,
+    })
+}
+
+impl<'f> Lowering<'f> {
+    fn new_block(&mut self) -> BlockId {
+        self.blocks.push(Block::default());
+        self.blocks.len() - 1
+    }
+
+    /// Declare a variable in the current scope; returns the uniquified name.
+    fn declare(&mut self, name: &str, ty: Type) -> Result<String> {
+        let scope = self.scopes.last_mut().expect("scope stack never empty");
+        if scope.contains_key(name) {
+            return Err(Error::compile(format!(
+                "variable {name:?} declared twice in the same scope"
+            )));
+        }
+        let unique = if self.var_types.contains_key(name) {
+            // Shadowing: uniquify.
+            let mut i = 2;
+            loop {
+                let candidate = format!("{name}_{i}");
+                if !self.var_types.contains_key(&candidate) {
+                    break candidate;
+                }
+                i += 1;
+            }
+        } else {
+            name.to_string()
+        };
+        scope.insert(name.to_string(), unique.clone());
+        self.var_types.insert(unique.clone(), ty);
+        Ok(unique)
+    }
+
+    fn fresh_temp(&mut self, hint: &str, ty: Type) -> String {
+        loop {
+            self.temp_counter += 1;
+            let name = format!("{hint}_t{}", self.temp_counter);
+            if !self.var_types.contains_key(&name) {
+                self.var_types.insert(name.clone(), ty);
+                return name;
+            }
+        }
+    }
+
+    fn resolve(&self, name: &str) -> Option<&str> {
+        self.scopes
+            .iter()
+            .rev()
+            .find_map(|s| s.get(name).map(String::as_str))
+    }
+
+    /// Rewrite variable references in an expression to their uniquified
+    /// names (capture-aware; uses an empty catalog because at this stage we
+    /// only rename, and renaming maps source names to fresh names that
+    /// cannot collide with columns the original expression resolved).
+    fn rename_expr(&self, e: Expr) -> Expr {
+        let mut map = crate::subst::Subst::new();
+        for scope in &self.scopes {
+            for (src, unique) in scope {
+                if src != unique {
+                    map.insert(src.clone(), Expr::col(unique.clone()));
+                }
+            }
+        }
+        if map.is_empty() {
+            return e;
+        }
+        // Renaming must respect column capture exactly like later passes.
+        crate::subst::subst_expr(e, &map, self.catalog, &[])
+    }
+
+    /// Lower statements starting in `cur`; returns the open block control
+    /// flows out of (None if all paths terminated).
+    fn lower_stmts(&mut self, stmts: &[PlStmt], mut cur: BlockId) -> Result<Option<BlockId>> {
+        for s in stmts {
+            match self.lower_stmt(s, cur)? {
+                Some(next) => cur = next,
+                None => {
+                    // Remaining statements are unreachable; PostgreSQL
+                    // accepts them silently, so do we (they are dropped).
+                    return Ok(None);
+                }
+            }
+        }
+        Ok(Some(cur))
+    }
+
+    fn lower_stmt(&mut self, s: &PlStmt, cur: BlockId) -> Result<Option<BlockId>> {
+        match s {
+            PlStmt::Assign { var, expr } => {
+                let unique = self
+                    .resolve(var)
+                    .ok_or_else(|| {
+                        Error::compile(format!("assignment to undeclared variable {var:?}"))
+                    })?
+                    .to_string();
+                let e = self.rename_expr(expr.clone());
+                self.blocks[cur].stmts.push((unique, e));
+                Ok(Some(cur))
+            }
+            PlStmt::If { branches, else_ } => self.lower_if(branches, else_, cur),
+            PlStmt::CaseStmt {
+                operand,
+                branches,
+                else_,
+            } => {
+                // Desugar to IF. The operand is bound to a temp so its side
+                // effects (embedded queries!) run exactly once.
+                let operand_ref = match operand {
+                    Some(e) => {
+                        let renamed = self.rename_expr(e.clone());
+                        let ty = infer_type(&renamed, &self.var_types);
+                        let tmp = self.fresh_temp("case_op", ty);
+                        self.blocks[cur].stmts.push((tmp.clone(), renamed));
+                        Some(Expr::col(tmp))
+                    }
+                    None => None,
+                };
+                let if_branches: Vec<(Expr, Vec<PlStmt>)> = branches
+                    .iter()
+                    .map(|(vals, body)| {
+                        let cond = vals
+                            .iter()
+                            .map(|v| match &operand_ref {
+                                Some(op) => {
+                                    Expr::binary(BinOp::Eq, op.clone(), v.clone())
+                                }
+                                None => v.clone(),
+                            })
+                            .reduce(|a, b| Expr::binary(BinOp::Or, a, b))
+                            .expect("CASE branch with no values");
+                        (cond, body.clone())
+                    })
+                    .collect();
+                // A CASE statement without ELSE errors at runtime in
+                // PostgreSQL; the compiled form returns NULL instead
+                // (documented divergence, same spirit as missing RETURN).
+                let else_body = else_.clone().unwrap_or_default();
+                self.lower_if(&if_branches, &else_body, cur)
+            }
+            PlStmt::Loop { label, body } => {
+                let head = self.new_block();
+                let exit = self.new_block();
+                self.blocks[cur].term = Term::Jump(head);
+                self.loops.push(LoopCtx {
+                    label: label.clone(),
+                    continue_target: head,
+                    exit_target: exit,
+                });
+                self.scopes.push(HashMap::new());
+                let body_end = self.lower_stmts(body, head)?;
+                self.scopes.pop();
+                self.loops.pop();
+                if let Some(open) = body_end {
+                    self.blocks[open].term = Term::Jump(head);
+                }
+                Ok(Some(exit))
+            }
+            PlStmt::While { label, cond, body } => {
+                let head = self.new_block();
+                let body_start = self.new_block();
+                let exit = self.new_block();
+                self.blocks[cur].term = Term::Jump(head);
+                let c = self.rename_expr(cond.clone());
+                self.blocks[head].term = Term::Branch {
+                    cond: c,
+                    then_: body_start,
+                    else_: exit,
+                };
+                self.loops.push(LoopCtx {
+                    label: label.clone(),
+                    continue_target: head,
+                    exit_target: exit,
+                });
+                self.scopes.push(HashMap::new());
+                let body_end = self.lower_stmts(body, body_start)?;
+                self.scopes.pop();
+                self.loops.pop();
+                if let Some(open) = body_end {
+                    self.blocks[open].term = Term::Jump(head);
+                }
+                Ok(Some(exit))
+            }
+            PlStmt::ForRange {
+                label,
+                var,
+                from,
+                to,
+                by,
+                reverse,
+                body,
+            } => {
+                // Bounds and step are evaluated once, before the loop.
+                let from_e = self.rename_expr(from.clone());
+                let to_e = self.rename_expr(to.clone());
+                let by_e = by.as_ref().map(|e| self.rename_expr(e.clone()));
+
+                self.scopes.push(HashMap::new());
+                let v = self.declare(var, Type::Int)?;
+                // PostgreSQL semantics: assignments to the loop variable do
+                // not influence loop control. Iterate over a hidden counter
+                // and copy it into the user variable at each entry.
+                let iter_tmp = self.fresh_temp(&format!("{v}_iter"), Type::Int);
+                let to_tmp = self.fresh_temp(&format!("{v}_to"), Type::Int);
+                let by_tmp = by_e.as_ref().map(|_| self.fresh_temp(&format!("{v}_by"), Type::Int));
+
+                self.blocks[cur].stmts.push((iter_tmp.clone(), from_e));
+                self.blocks[cur].stmts.push((to_tmp.clone(), to_e));
+                if let (Some(t), Some(e)) = (&by_tmp, by_e) {
+                    self.blocks[cur].stmts.push((t.clone(), e));
+                }
+
+                let head = self.new_block();
+                let body_start = self.new_block();
+                let incr = self.new_block();
+                let exit = self.new_block();
+                self.blocks[cur].term = Term::Jump(head);
+                let cmp = if *reverse { BinOp::GtEq } else { BinOp::LtEq };
+                self.blocks[head].term = Term::Branch {
+                    cond: Expr::binary(
+                        cmp,
+                        Expr::col(iter_tmp.clone()),
+                        Expr::col(to_tmp.clone()),
+                    ),
+                    then_: body_start,
+                    else_: exit,
+                };
+                self.blocks[body_start]
+                    .stmts
+                    .push((v.clone(), Expr::col(iter_tmp.clone())));
+                let step: Expr = match &by_tmp {
+                    Some(t) => Expr::col(t.clone()),
+                    None => Expr::int(1),
+                };
+                let op = if *reverse { BinOp::Sub } else { BinOp::Add };
+                self.blocks[incr].stmts.push((
+                    iter_tmp.clone(),
+                    Expr::binary(op, Expr::col(iter_tmp.clone()), step),
+                ));
+                self.blocks[incr].term = Term::Jump(head);
+
+                self.loops.push(LoopCtx {
+                    label: label.clone(),
+                    continue_target: incr,
+                    exit_target: exit,
+                });
+                let body_end = self.lower_stmts(body, body_start)?;
+                self.loops.pop();
+                self.scopes.pop();
+                if let Some(open) = body_end {
+                    self.blocks[open].term = Term::Jump(incr);
+                }
+                Ok(Some(exit))
+            }
+            PlStmt::Exit { label, when } => {
+                self.lower_exit_continue(label.as_deref(), when, cur, true)
+            }
+            PlStmt::Continue { label, when } => {
+                self.lower_exit_continue(label.as_deref(), when, cur, false)
+            }
+            PlStmt::Return { expr } => {
+                let e = match expr {
+                    Some(e) => self.rename_expr(e.clone()),
+                    None => Expr::null(),
+                };
+                self.blocks[cur].term = Term::Return(e);
+                Ok(None)
+            }
+            PlStmt::Null => Ok(Some(cur)),
+            PlStmt::Raise { level, .. } => {
+                if *level == RaiseLevel::Exception {
+                    return Err(Error::unsupported(
+                        "RAISE EXCEPTION cannot be compiled to SQL (queries cannot abort \
+                         with a custom error); keep such functions interpreted",
+                    ));
+                }
+                // Notices have no SQL equivalent; Froid drops them too.
+                Ok(Some(cur))
+            }
+            PlStmt::Perform { expr } => {
+                // Evaluate for effect: bind to a throwaway temp. DCE keeps
+                // it if (and only if) the expression is impure.
+                let e = self.rename_expr(expr.clone());
+                let tmp = self.fresh_temp("perform", Type::Unknown);
+                self.blocks[cur].stmts.push((tmp, e));
+                Ok(Some(cur))
+            }
+        }
+    }
+
+    fn lower_if(
+        &mut self,
+        branches: &[(Expr, Vec<PlStmt>)],
+        else_: &[PlStmt],
+        cur: BlockId,
+    ) -> Result<Option<BlockId>> {
+        let join = self.new_block();
+        let mut any_reaches_join = false;
+        let mut cond_block = cur;
+        for (i, (cond, body)) in branches.iter().enumerate() {
+            let then_block = self.new_block();
+            let next_cond = if i + 1 < branches.len() || !else_.is_empty() {
+                self.new_block()
+            } else {
+                join
+            };
+            if next_cond == join {
+                any_reaches_join = true;
+            }
+            let c = self.rename_expr(cond.clone());
+            self.blocks[cond_block].term = Term::Branch {
+                cond: c,
+                then_: then_block,
+                else_: next_cond,
+            };
+            self.scopes.push(HashMap::new());
+            let end = self.lower_stmts(body, then_block)?;
+            self.scopes.pop();
+            if let Some(open) = end {
+                self.blocks[open].term = Term::Jump(join);
+                any_reaches_join = true;
+            }
+            cond_block = next_cond;
+        }
+        if !else_.is_empty() {
+            self.scopes.push(HashMap::new());
+            let end = self.lower_stmts(else_, cond_block)?;
+            self.scopes.pop();
+            if let Some(open) = end {
+                self.blocks[open].term = Term::Jump(join);
+                any_reaches_join = true;
+            }
+        }
+        Ok(any_reaches_join.then_some(join))
+    }
+
+    fn lower_exit_continue(
+        &mut self,
+        label: Option<&str>,
+        when: &Option<Expr>,
+        cur: BlockId,
+        is_exit: bool,
+    ) -> Result<Option<BlockId>> {
+        let ctx = match label {
+            None => self.loops.last(),
+            Some(l) => self
+                .loops
+                .iter()
+                .rev()
+                .find(|c| c.label.as_deref() == Some(l)),
+        }
+        .ok_or_else(|| {
+            Error::compile(format!(
+                "{} outside of {} loop",
+                if is_exit { "EXIT" } else { "CONTINUE" },
+                label.map(|l| format!("loop {l:?}")).unwrap_or_else(|| "any".into())
+            ))
+        })?;
+        let target = if is_exit {
+            ctx.exit_target
+        } else {
+            ctx.continue_target
+        };
+        match when {
+            None => {
+                self.blocks[cur].term = Term::Jump(target);
+                Ok(None)
+            }
+            Some(cond) => {
+                let fall = self.new_block();
+                let c = self.rename_expr(cond.clone());
+                self.blocks[cur].term = Term::Branch {
+                    cond: c,
+                    then_: target,
+                    else_: fall,
+                };
+                Ok(Some(fall))
+            }
+        }
+    }
+}
+
+/// Best-effort static type inference, used for temp variables and UDF
+/// parameter declarations. Falls back to [`Type::Unknown`].
+pub fn infer_type(e: &Expr, vars: &HashMap<String, Type>) -> Type {
+    match e {
+        Expr::Literal(v) => v.type_of(),
+        Expr::Column {
+            qualifier: None,
+            name,
+        } => vars.get(name).cloned().unwrap_or(Type::Unknown),
+        Expr::Cast { ty, .. } => Type::from_sql_name(ty).unwrap_or(Type::Unknown),
+        Expr::Unary { op, expr } => match op {
+            plaway_sql::ast::UnOp::Not => Type::Bool,
+            plaway_sql::ast::UnOp::Neg => infer_type(expr, vars),
+        },
+        Expr::Binary { op, left, right } => match op {
+            BinOp::And | BinOp::Or => Type::Bool,
+            op if op.is_comparison() => Type::Bool,
+            BinOp::Concat => Type::Text,
+            _ => {
+                let l = infer_type(left, vars);
+                let r = infer_type(right, vars);
+                match (l, r) {
+                    (Type::Float, _) | (_, Type::Float) => Type::Float,
+                    (Type::Int, Type::Int) => Type::Int,
+                    _ => Type::Unknown,
+                }
+            }
+        },
+        Expr::IsNull { .. }
+        | Expr::Between { .. }
+        | Expr::InList { .. }
+        | Expr::InSubquery { .. }
+        | Expr::Like { .. }
+        | Expr::Exists(_) => Type::Bool,
+        Expr::Case {
+            branches, else_, ..
+        } => {
+            for (_, t) in branches {
+                let ty = infer_type(t, vars);
+                if ty != Type::Unknown {
+                    return ty;
+                }
+            }
+            else_
+                .as_deref()
+                .map(|e| infer_type(e, vars))
+                .unwrap_or(Type::Unknown)
+        }
+        Expr::Func { name, args } => match name.as_str() {
+            "length" | "strpos" | "ascii" | "mod" => Type::Int,
+            "abs" | "sign" | "round" | "trunc" => {
+                args.first().map(|a| infer_type(a, vars)).unwrap_or(Type::Unknown)
+            }
+            "floor" | "ceil" | "ceiling" | "sqrt" | "power" | "pow" | "exp" | "ln"
+            | "random" => Type::Float,
+            "lower" | "upper" | "substr" | "substring" | "concat" | "replace" | "trim"
+            | "ltrim" | "rtrim" | "left" | "right" | "repeat" | "reverse" | "chr" => Type::Text,
+            "coalesce" | "greatest" | "least" | "nullif" => args
+                .iter()
+                .map(|a| infer_type(a, vars))
+                .find(|t| *t != Type::Unknown)
+                .unwrap_or(Type::Unknown),
+            _ => Type::Unknown,
+        },
+        Expr::Row(items) => Type::Record(std::sync::Arc::new(
+            items.iter().map(|i| infer_type(i, vars)).collect(),
+        )),
+        _ => Type::Unknown,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plaway_plsql::parse_create_function;
+
+    fn lower_src(body: &str) -> Cfg {
+        let sql = format!(
+            "CREATE FUNCTION f(n int) RETURNS int AS $$ {body} $$ LANGUAGE plpgsql"
+        );
+        lower(
+            &parse_create_function(&sql).unwrap(),
+            &plaway_engine::Catalog::new(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn straight_line_lowers_to_one_block() {
+        let cfg = lower_src("DECLARE a int := 1; BEGIN a := a + n; RETURN a; END");
+        assert_eq!(cfg.blocks.len(), 1);
+        assert_eq!(cfg.blocks[0].stmts.len(), 2);
+        assert!(matches!(cfg.blocks[0].term, Term::Return(_)));
+    }
+
+    #[test]
+    fn if_produces_diamond() {
+        let cfg = lower_src(
+            "BEGIN IF n > 0 THEN RETURN 1; ELSE RETURN -1; END IF; END",
+        );
+        // entry(branch), then, else, join (unreachable), possibly trailing.
+        let entry = &cfg.blocks[cfg.entry];
+        assert!(matches!(entry.term, Term::Branch { .. }));
+        let Term::Branch { then_, else_, .. } = entry.term else {
+            unreachable!()
+        };
+        assert!(matches!(cfg.blocks[then_].term, Term::Return(_)));
+        assert!(matches!(cfg.blocks[else_].term, Term::Return(_)));
+    }
+
+    #[test]
+    fn while_forms_a_cycle() {
+        let cfg = lower_src(
+            "DECLARE i int := 0; BEGIN WHILE i < n LOOP i := i + 1; END LOOP; RETURN i; END",
+        );
+        let preds = cfg.predecessors();
+        // Some block (the loop head) must have two predecessors.
+        assert!(
+            preds.iter().any(|p| p.len() >= 2),
+            "expected a loop join, got preds {preds:?}"
+        );
+    }
+
+    #[test]
+    fn for_loop_evaluates_bounds_once_and_increments() {
+        let cfg = lower_src(
+            "DECLARE s int := 0; BEGIN FOR i IN 1..n LOOP s := s + i; END LOOP; RETURN s; END",
+        );
+        let text = cfg.to_text();
+        // Bound captured into a temp, increment present, comparison on temp.
+        assert!(text.contains("i_to_t"), "{text}");
+        assert!(text.contains("i_iter_t"), "{text}");
+        assert!(matches!(
+            cfg.var_types.get("i"),
+            Some(Type::Int)
+        ));
+    }
+
+    #[test]
+    fn reverse_for_decrements_with_gte() {
+        let cfg = lower_src(
+            "DECLARE s int := 0; \
+             BEGIN FOR i IN REVERSE 10..1 LOOP s := s + i; END LOOP; RETURN s; END",
+        );
+        let text = cfg.to_text();
+        assert!(text.contains(" - 1"), "{text}");
+        assert!(text.contains(">="), "{text}");
+    }
+
+    #[test]
+    fn exit_with_when_branches() {
+        let cfg = lower_src(
+            "BEGIN LOOP EXIT WHEN n > 3; END LOOP; RETURN 0; END",
+        );
+        let text = cfg.to_text();
+        assert!(text.contains("if n > 3"), "{text}");
+    }
+
+    #[test]
+    fn labeled_exit_targets_outer_loop() {
+        let cfg = lower_src(
+            "DECLARE s int := 0; BEGIN \
+             <<outer>> WHILE true LOOP \
+               WHILE true LOOP EXIT outer; END LOOP; \
+             END LOOP; RETURN s; END",
+        );
+        // The inner EXIT jumps straight to the outer exit; ensure some block
+        // jumps outside both loop bodies (structural smoke test: lowering
+        // succeeded and produced a return path).
+        assert!(cfg.to_text().contains("return s"));
+    }
+
+    #[test]
+    fn exit_outside_loop_is_an_error() {
+        let sql = "CREATE FUNCTION f(n int) RETURNS int AS $$ BEGIN EXIT; RETURN 1; END $$ LANGUAGE plpgsql";
+        let f = parse_create_function(sql).unwrap();
+        assert!(lower(&f, &plaway_engine::Catalog::new()).is_err());
+    }
+
+    #[test]
+    fn loop_variable_shadows_declared() {
+        let cfg = lower_src(
+            "DECLARE i int := 100; s int := 0; \
+             BEGIN FOR i IN 1..3 LOOP s := s + i; END LOOP; RETURN s + i; END",
+        );
+        let text = cfg.to_text();
+        // The loop variable is uniquified; the final return uses the outer i.
+        assert!(text.contains("i_2"), "{text}");
+        assert!(text.contains("return s + i;"), "{text}");
+    }
+
+    #[test]
+    fn case_statement_desugars_with_single_operand_eval() {
+        let cfg = lower_src(
+            "BEGIN CASE n % 2 WHEN 0 THEN RETURN 0; WHEN 1 THEN RETURN 1; END CASE; END",
+        );
+        let text = cfg.to_text();
+        // Operand evaluated once into a temp.
+        assert!(text.contains("case_op_t"), "{text}");
+        assert!(text.contains("case_op_t1 = 0") || text.contains("= 0"), "{text}");
+    }
+
+    #[test]
+    fn raise_exception_rejected_notice_dropped() {
+        let sql = "CREATE FUNCTION f(n int) RETURNS int AS $$ BEGIN RAISE EXCEPTION 'x'; RETURN 1; END $$ LANGUAGE plpgsql";
+        assert!(lower(
+            &parse_create_function(sql).unwrap(),
+            &plaway_engine::Catalog::new()
+        )
+        .is_err());
+        let cfg = lower_src("BEGIN RAISE NOTICE 'hello'; RETURN 1; END");
+        assert_eq!(cfg.blocks[0].stmts.len(), 0, "notice compiles to nothing");
+    }
+
+    #[test]
+    fn fall_off_end_returns_null() {
+        let cfg = lower_src("BEGIN NULL; END");
+        assert!(matches!(
+            &cfg.blocks[cfg.entry].term,
+            Term::Return(e) if *e == Expr::null()
+        ));
+    }
+
+    #[test]
+    fn infer_types_basics() {
+        let mut vars = HashMap::new();
+        vars.insert("x".to_string(), Type::Int);
+        vars.insert("f".to_string(), Type::Float);
+        let e = plaway_sql::parse_expr("x + 1").unwrap();
+        assert_eq!(infer_type(&e, &vars), Type::Int);
+        let e = plaway_sql::parse_expr("x + f").unwrap();
+        assert_eq!(infer_type(&e, &vars), Type::Float);
+        let e = plaway_sql::parse_expr("x > 1 AND true").unwrap();
+        assert_eq!(infer_type(&e, &vars), Type::Bool);
+        let e = plaway_sql::parse_expr("x || 'a'").unwrap();
+        assert_eq!(infer_type(&e, &vars), Type::Text);
+        let e = plaway_sql::parse_expr("substr('ab', x)").unwrap();
+        assert_eq!(infer_type(&e, &vars), Type::Text);
+    }
+}

@@ -1,0 +1,27 @@
+//! `plaway-core` — the PL/SQL-to-SQL compiler (the paper's contribution).
+//!
+//! Pipeline (Figure 4):
+//!
+//! ```text
+//! PL/SQL --SSA--> goto form --ANF--> tail recursion --UDF--> one SQL UDF
+//!        --SQL--> WITH RECURSIVE (or WITH ITERATE) query
+//! ```
+//!
+//! Every stage is exposed: [`cfg`] (goto lowering), [`ssa`] (+ [`opt`]
+//! simplifications), [`anf`], [`udf`] (defunctionalized recursive SQL UDF),
+//! [`cte`] (the Figure 8 template) and [`inline`] (splicing the compiled
+//! query into call sites). The [`pipeline::compile`] driver runs them all
+//! and keeps each intermediate form for inspection.
+
+pub mod anf;
+pub mod cfg;
+pub mod cte;
+pub mod inline;
+pub mod opt;
+pub mod pipeline;
+pub mod ssa;
+pub mod subst;
+pub mod udf;
+
+pub use cte::{ArgsLayout, CteMode};
+pub use pipeline::{compile, compile_sql, CompileOptions, Compiled};

@@ -1,0 +1,274 @@
+//! The compilation driver: PL/pgSQL in, pure SQL out, every intermediate
+//! form retained (Figure 4's SSA → ANF → UDF → SQL chain).
+
+use std::sync::Arc;
+
+use plaway_common::{Result, Value};
+use plaway_engine::{Catalog, ParamScope, PreparedPlan, Session};
+use plaway_plsql::ast::PlFunction;
+use plaway_sql::ast::Query;
+
+use crate::anf::AnfProgram;
+use crate::cte::{build_query, ArgsLayout, CteMode};
+use crate::opt::OptStats;
+use crate::ssa::SsaProgram;
+use crate::udf::UdfProgram;
+
+/// Compiler switches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompileOptions {
+    /// Run the SSA simplification passes (§2's "code simplifications").
+    pub optimize: bool,
+    /// How the CTE carries arguments.
+    pub layout: ArgsLayout,
+    /// `WITH RECURSIVE` vs `WITH ITERATE`.
+    pub mode: CteMode,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            optimize: true,
+            layout: ArgsLayout::Flattened,
+            mode: CteMode::Recursive,
+        }
+    }
+}
+
+impl CompileOptions {
+    pub fn iterate() -> Self {
+        CompileOptions {
+            mode: CteMode::Iterate,
+            ..Default::default()
+        }
+    }
+
+    pub fn packed() -> Self {
+        CompileOptions {
+            layout: ArgsLayout::Packed,
+            ..Default::default()
+        }
+    }
+}
+
+/// The result of compiling one function: the final query plus every
+/// intermediate form for inspection (the paper shows each one).
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    pub options: CompileOptions,
+    pub source: PlFunction,
+    /// Goto form (pre-SSA), Figure 5's flavor.
+    pub goto_text: String,
+    pub ssa: SsaProgram,
+    pub ssa_text: String,
+    pub anf: AnfProgram,
+    pub anf_text: String,
+    pub udf: UdfProgram,
+    /// The two CREATE FUNCTION statements of Figure 7.
+    pub udf_sql: String,
+    /// The pure-SQL query (Figure 8/9). Function parameters appear as free
+    /// identifiers bound via [`ParamScope`].
+    pub query: Query,
+    pub sql: String,
+    pub param_names: Vec<String>,
+    pub opt_stats: OptStats,
+}
+
+/// Compile a parsed PL/pgSQL function against a catalog.
+pub fn compile(
+    catalog: &Catalog,
+    function: &PlFunction,
+    options: CompileOptions,
+) -> Result<Compiled> {
+    let cfg = crate::cfg::lower(function, catalog)?;
+    let goto_text = cfg.to_text();
+    let mut ssa = crate::ssa::build(&cfg, catalog)?;
+    let opt_stats = if options.optimize {
+        crate::opt::optimize(&mut ssa, catalog)
+    } else {
+        OptStats::default()
+    };
+    ssa.validate()?;
+    let ssa_text = ssa.to_text();
+    let mut anf = crate::anf::from_ssa(&ssa)?;
+    if options.optimize {
+        // Inline trivial block functions (loop tests, bare returns): one
+        // CTE iteration per source-loop iteration instead of two.
+        crate::anf::inline_trivial(&mut anf, catalog);
+        anf.validate()?;
+    }
+    let anf_text = anf.to_text();
+    let udf = crate::udf::from_anf(&anf)?;
+    let udf_sql = udf.to_sql();
+    let query = build_query(&anf, &udf, catalog, options.layout, options.mode)?;
+    let sql = query.to_string();
+    let param_names: Vec<String> = function.params.iter().map(|(n, _)| n.clone()).collect();
+    Ok(Compiled {
+        options,
+        source: function.clone(),
+        goto_text,
+        ssa,
+        ssa_text,
+        anf,
+        anf_text,
+        udf,
+        udf_sql,
+        query,
+        sql,
+        param_names,
+    opt_stats,
+    })
+}
+
+/// Compile straight from `CREATE FUNCTION ... LANGUAGE plpgsql` source text.
+pub fn compile_sql(
+    catalog: &Catalog,
+    create_function_sql: &str,
+    options: CompileOptions,
+) -> Result<Compiled> {
+    let f = plaway_plsql::parse_create_function(create_function_sql)?;
+    compile(catalog, &f, options)
+}
+
+impl Compiled {
+    /// Prepare the compiled query in a session (plan once, run many).
+    pub fn prepare(&self, session: &mut Session) -> Result<Arc<PreparedPlan>> {
+        let scope = ParamScope::new(self.param_names.clone());
+        session.prepare(&self.sql, &scope)
+    }
+
+    /// One-shot execution with the given arguments.
+    pub fn run(&self, session: &mut Session, args: &[Value]) -> Result<Value> {
+        let plan = self.prepare(session)?;
+        session.execute_prepared(&plan, args.to_vec())?.scalar()
+    }
+
+    /// Register the Figure 7 artifacts (worker + wrapper UDF) in a session —
+    /// the "recursive SQL UDF" execution mode of the ablation benchmarks.
+    pub fn install_udfs(&self, session: &mut Session) -> Result<()> {
+        let worker = self.udf.create_worker().to_string();
+        let wrapper = self.udf.create_wrapper().to_string();
+        session.run(&worker)?;
+        session.run(&wrapper)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plaway_engine::Session;
+
+    const FIB_SRC: &str = "CREATE FUNCTION fib(n int) RETURNS int AS $$ \
+        DECLARE a int := 0; b int := 1; t int; \
+        BEGIN \
+          FOR i IN 1..n LOOP t := a + b; a := b; b := t; END LOOP; \
+          RETURN a; \
+        END $$ LANGUAGE plpgsql";
+
+    #[test]
+    fn full_pipeline_produces_all_forms() {
+        let s = Session::default();
+        let c = compile_sql(&s.catalog, FIB_SRC, CompileOptions::default()).unwrap();
+        assert!(c.goto_text.contains("goto"));
+        assert!(c.ssa_text.contains("phi("));
+        assert!(c.anf_text.contains("letrec"));
+        assert!(c.udf_sql.contains("\"fib*\""));
+        assert!(c.sql.starts_with("WITH RECURSIVE"));
+        assert_eq!(c.param_names, vec!["n"]);
+    }
+
+    #[test]
+    fn compiled_fib_equals_reference() {
+        let mut s = Session::default();
+        let c = compile_sql(&s.catalog, FIB_SRC, CompileOptions::default()).unwrap();
+        let expect = [0i64, 1, 1, 2, 3, 5, 8, 13, 21, 34, 55];
+        for (n, &f) in expect.iter().enumerate() {
+            assert_eq!(
+                c.run(&mut s, &[Value::Int(n as i64)]).unwrap(),
+                Value::Int(f),
+                "fib({n})"
+            );
+        }
+    }
+
+    #[test]
+    fn all_option_combinations_agree() {
+        let mut s = Session::default();
+        for options in [
+            CompileOptions::default(),
+            CompileOptions::iterate(),
+            CompileOptions::packed(),
+            CompileOptions {
+                optimize: false,
+                ..Default::default()
+            },
+            CompileOptions {
+                optimize: false,
+                layout: ArgsLayout::Packed,
+                mode: CteMode::Iterate,
+            },
+        ] {
+            let c = compile_sql(&s.catalog, FIB_SRC, options).unwrap();
+            assert_eq!(
+                c.run(&mut s, &[Value::Int(20)]).unwrap(),
+                Value::Int(6765),
+                "options {options:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn recursive_udf_mode_runs_too() {
+        let mut s = Session::default();
+        let c = compile_sql(&s.catalog, FIB_SRC, CompileOptions::default()).unwrap();
+        c.install_udfs(&mut s).unwrap();
+        assert_eq!(
+            s.query_scalar("SELECT fib(15)").unwrap(),
+            Value::Int(610),
+            "the Figure 7 UDF evaluates directly"
+        );
+    }
+
+    #[test]
+    fn inlining_into_an_embracing_query() {
+        let mut s = Session::default();
+        s.run("CREATE TABLE nums (n int)").unwrap();
+        s.run("INSERT INTO nums VALUES (5), (7), (9)").unwrap();
+        let c = compile_sql(&s.catalog, FIB_SRC, CompileOptions::default()).unwrap();
+        let q = plaway_sql::parse_query("SELECT fib(nums.n) FROM nums ORDER BY nums.n").unwrap();
+        let inlined = crate::inline::inline_into_query(q, &c, &s.catalog).unwrap();
+        let text = inlined.to_string();
+        assert!(!text.contains("fib("), "call must be gone: {text}");
+        let result = s.run(&text).unwrap();
+        assert_eq!(
+            result.rows,
+            vec![
+                vec![Value::Int(5)],
+                vec![Value::Int(13)],
+                vec![Value::Int(34)],
+            ]
+        );
+    }
+
+    #[test]
+    fn optimization_shrinks_the_output() {
+        let s = Session::default();
+        let optimized = compile_sql(&s.catalog, FIB_SRC, CompileOptions::default()).unwrap();
+        let raw = compile_sql(
+            &s.catalog,
+            FIB_SRC,
+            CompileOptions {
+                optimize: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            optimized.sql.len() < raw.sql.len(),
+            "optimized {} vs raw {}",
+            optimized.sql.len(),
+            raw.sql.len()
+        );
+    }
+}

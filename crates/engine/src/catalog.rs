@@ -1,0 +1,367 @@
+//! Catalog: tables, rows, hash indexes and the function registry.
+//!
+//! Storage is deliberately simple — heap tables as `Vec<Row>` — because the
+//! paper's claims are about *executor lifecycle* costs, not storage. Hash
+//! indexes give the planner point-lookup plans for the paper's embedded
+//! queries (`WHERE location = p.loc` style), which keeps large workloads
+//! honest: the interpreted and compiled variants use the same access paths.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use plaway_common::{Error, Result, Type, Value};
+use plaway_sql::ast::Language;
+
+/// A table row.
+pub type Row = Vec<Value>;
+
+/// A column of a table schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Column {
+    pub name: String,
+    pub ty: Type,
+}
+
+/// A single-column hash index (equality lookups only).
+#[derive(Debug, Clone, Default)]
+pub struct HashIndex {
+    pub name: String,
+    /// Indexed column position.
+    pub column: usize,
+    /// Key value -> row positions.
+    map: HashMap<Value, Vec<usize>>,
+}
+
+impl HashIndex {
+    fn build(name: String, column: usize, rows: &[Row]) -> Self {
+        let mut map: HashMap<Value, Vec<usize>> = HashMap::with_capacity(rows.len());
+        for (i, row) in rows.iter().enumerate() {
+            map.entry(row[column].clone()).or_default().push(i);
+        }
+        HashIndex { name, column, map }
+    }
+
+    pub fn lookup(&self, key: &Value) -> &[usize] {
+        self.map.get(key).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+}
+
+/// A heap table with schema, rows and optional hash indexes.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    pub name: String,
+    pub columns: Vec<Column>,
+    pub rows: Vec<Row>,
+    pub indexes: Vec<HashIndex>,
+}
+
+impl Table {
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Find a hash index on the given column, if any.
+    pub fn index_on(&self, column: usize) -> Option<&HashIndex> {
+        self.indexes.iter().find(|i| i.column == column)
+    }
+
+    fn check_row(&self, row: &Row) -> Result<()> {
+        if row.len() != self.columns.len() {
+            return Err(Error::exec(format!(
+                "table {}: row has {} values, expected {}",
+                self.name,
+                row.len(),
+                self.columns.len()
+            )));
+        }
+        for (v, c) in row.iter().zip(&self.columns) {
+            if !c.ty.admits(v) {
+                return Err(Error::exec(format!(
+                    "table {}: value {v} does not fit column {} of type {}",
+                    self.name, c.name, c.ty
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Append rows, maintaining indexes.
+    pub fn insert(&mut self, rows: Vec<Row>) -> Result<usize> {
+        let base = self.rows.len();
+        for row in &rows {
+            self.check_row(row)?;
+        }
+        for (off, row) in rows.into_iter().enumerate() {
+            for idx in &mut self.indexes {
+                idx.map
+                    .entry(row[idx.column].clone())
+                    .or_default()
+                    .push(base + off);
+            }
+            self.rows.push(row);
+        }
+        Ok(self.rows.len() - base)
+    }
+
+    /// Rebuild all indexes (after UPDATE / DELETE).
+    fn reindex(&mut self) {
+        for idx in &mut self.indexes {
+            *idx = HashIndex::build(idx.name.clone(), idx.column, &self.rows);
+        }
+    }
+}
+
+/// A registered function: SQL-language bodies are compiled lazily by the
+/// session; PL/pgSQL bodies are consumed by the interpreter / compiler.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionDef {
+    pub name: String,
+    pub params: Vec<(String, Type)>,
+    pub returns: Type,
+    pub language: Language,
+    /// Raw body text, exactly as written between the dollar quotes.
+    pub body: String,
+}
+
+/// The schema: tables + functions. Owned by a [`crate::Session`].
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: HashMap<String, Table>,
+    functions: HashMap<String, Arc<FunctionDef>>,
+    /// Bumped on every DDL / DML that can invalidate cached plans.
+    pub version: u64,
+}
+
+impl Catalog {
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    pub fn table(&self, name: &str) -> Result<&Table> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| Error::plan(format!("relation {name:?} does not exist")))
+    }
+
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
+        self.version += 1;
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| Error::plan(format!("relation {name:?} does not exist")))
+    }
+
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.contains_key(name)
+    }
+
+    pub fn create_table(&mut self, name: &str, columns: Vec<Column>) -> Result<()> {
+        if self.tables.contains_key(name) {
+            return Err(Error::plan(format!("relation {name:?} already exists")));
+        }
+        self.version += 1;
+        self.tables.insert(
+            name.to_string(),
+            Table {
+                name: name.to_string(),
+                columns,
+                rows: Vec::new(),
+                indexes: Vec::new(),
+            },
+        );
+        Ok(())
+    }
+
+    pub fn drop_table(&mut self, name: &str, if_exists: bool) -> Result<()> {
+        self.version += 1;
+        if self.tables.remove(name).is_none() && !if_exists {
+            return Err(Error::plan(format!("relation {name:?} does not exist")));
+        }
+        Ok(())
+    }
+
+    pub fn create_index(&mut self, index_name: &str, table: &str, column: &str) -> Result<()> {
+        self.version += 1;
+        let t = self
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| Error::plan(format!("relation {table:?} does not exist")))?;
+        let col = t
+            .column_index(column)
+            .ok_or_else(|| Error::plan(format!("column {column:?} of {table:?} does not exist")))?;
+        if t.indexes.iter().any(|i| i.name == index_name) {
+            return Err(Error::plan(format!("index {index_name:?} already exists")));
+        }
+        let idx = HashIndex::build(index_name.to_string(), col, &t.rows);
+        t.indexes.push(idx);
+        Ok(())
+    }
+
+    /// Bulk insert used by workload generators (skips SQL parsing).
+    pub fn bulk_insert(&mut self, table: &str, rows: Vec<Row>) -> Result<usize> {
+        self.version += 1;
+        let t = self
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| Error::plan(format!("relation {table:?} does not exist")))?;
+        t.insert(rows)
+    }
+
+    /// Replace rows wholesale (UPDATE/DELETE execution path).
+    pub fn replace_rows(&mut self, table: &str, rows: Vec<Row>) -> Result<()> {
+        self.version += 1;
+        let t = self
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| Error::plan(format!("relation {table:?} does not exist")))?;
+        t.rows = rows;
+        t.reindex();
+        Ok(())
+    }
+
+    pub fn function(&self, name: &str) -> Option<&Arc<FunctionDef>> {
+        self.functions.get(name)
+    }
+
+    pub fn create_function(&mut self, def: FunctionDef, or_replace: bool) -> Result<()> {
+        if !or_replace && self.functions.contains_key(&def.name) {
+            return Err(Error::plan(format!(
+                "function {:?} already exists",
+                def.name
+            )));
+        }
+        self.version += 1;
+        self.functions.insert(def.name.clone(), Arc::new(def));
+        Ok(())
+    }
+
+    pub fn drop_function(&mut self, name: &str, if_exists: bool) -> Result<()> {
+        self.version += 1;
+        if self.functions.remove(name).is_none() && !if_exists {
+            return Err(Error::plan(format!("function {name:?} does not exist")));
+        }
+        Ok(())
+    }
+
+    pub fn table_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.tables.keys().map(|s| s.as_str()).collect();
+        names.sort_unstable();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cols(spec: &[(&str, Type)]) -> Vec<Column> {
+        spec.iter()
+            .map(|(n, t)| Column {
+                name: n.to_string(),
+                ty: t.clone(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn create_insert_lookup() {
+        let mut cat = Catalog::new();
+        cat.create_table("t", cols(&[("a", Type::Int), ("b", Type::Text)]))
+            .unwrap();
+        cat.bulk_insert(
+            "t",
+            vec![
+                vec![Value::Int(1), Value::text("x")],
+                vec![Value::Int(2), Value::text("y")],
+            ],
+        )
+        .unwrap();
+        assert_eq!(cat.table("t").unwrap().rows.len(), 2);
+        assert!(cat.table("missing").is_err());
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut cat = Catalog::new();
+        cat.create_table("t", cols(&[("a", Type::Int)])).unwrap();
+        assert!(cat.create_table("t", cols(&[("a", Type::Int)])).is_err());
+    }
+
+    #[test]
+    fn type_checking_on_insert() {
+        let mut cat = Catalog::new();
+        cat.create_table("t", cols(&[("a", Type::Int)])).unwrap();
+        assert!(cat.bulk_insert("t", vec![vec![Value::text("no")]]).is_err());
+        // NULL always fits.
+        assert!(cat.bulk_insert("t", vec![vec![Value::Null]]).is_ok());
+        // Arity mismatch.
+        assert!(cat
+            .bulk_insert("t", vec![vec![Value::Int(1), Value::Int(2)]])
+            .is_err());
+    }
+
+    #[test]
+    fn hash_index_lookup_and_maintenance() {
+        let mut cat = Catalog::new();
+        cat.create_table("t", cols(&[("k", Type::Int), ("v", Type::Text)]))
+            .unwrap();
+        cat.bulk_insert(
+            "t",
+            vec![
+                vec![Value::Int(1), Value::text("a")],
+                vec![Value::Int(2), Value::text("b")],
+            ],
+        )
+        .unwrap();
+        cat.create_index("t_k", "t", "k").unwrap();
+        // Insert after index creation must be visible through the index.
+        cat.bulk_insert("t", vec![vec![Value::Int(2), Value::text("c")]])
+            .unwrap();
+        let t = cat.table("t").unwrap();
+        let idx = t.index_on(0).unwrap();
+        assert_eq!(idx.lookup(&Value::Int(2)), &[1, 2]);
+        assert_eq!(idx.lookup(&Value::Int(9)), &[] as &[usize]);
+    }
+
+    #[test]
+    fn reindex_after_replace() {
+        let mut cat = Catalog::new();
+        cat.create_table("t", cols(&[("k", Type::Int)])).unwrap();
+        cat.bulk_insert("t", vec![vec![Value::Int(1)], vec![Value::Int(2)]])
+            .unwrap();
+        cat.create_index("t_k", "t", "k").unwrap();
+        cat.replace_rows("t", vec![vec![Value::Int(7)]]).unwrap();
+        let t = cat.table("t").unwrap();
+        assert_eq!(t.index_on(0).unwrap().lookup(&Value::Int(7)), &[0]);
+        assert!(t.index_on(0).unwrap().lookup(&Value::Int(1)).is_empty());
+    }
+
+    #[test]
+    fn functions_register_and_replace() {
+        let mut cat = Catalog::new();
+        let def = FunctionDef {
+            name: "f".into(),
+            params: vec![("a".into(), Type::Int)],
+            returns: Type::Int,
+            language: Language::Sql,
+            body: "SELECT a".into(),
+        };
+        cat.create_function(def.clone(), false).unwrap();
+        assert!(cat.create_function(def.clone(), false).is_err());
+        cat.create_function(def.clone(), true).unwrap();
+        assert_eq!(cat.function("f").unwrap().body, "SELECT a");
+        cat.drop_function("f", false).unwrap();
+        assert!(cat.drop_function("f", false).is_err());
+        assert!(cat.drop_function("f", true).is_ok());
+    }
+
+    #[test]
+    fn version_bumps_on_ddl() {
+        let mut cat = Catalog::new();
+        let v0 = cat.version;
+        cat.create_table("t", cols(&[("a", Type::Int)])).unwrap();
+        assert!(cat.version > v0);
+        let v1 = cat.version;
+        cat.bulk_insert("t", vec![vec![Value::Int(1)]]).unwrap();
+        assert!(cat.version > v1);
+    }
+}

@@ -1,0 +1,116 @@
+//! Engine configuration and the DBMS cost profiles used by Figure 11b.
+
+/// Tunables of the engine. Defaults mirror PostgreSQL where a counterpart
+/// exists (`work_mem`, stack depth limits).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Profile name (shows up in benchmark output).
+    pub name: &'static str,
+    /// Spill threshold for tuplestores (PostgreSQL `work_mem`, default 4MB).
+    pub work_mem_bytes: usize,
+    /// Maximum nesting depth for SQL UDF calls — the analogue of
+    /// PostgreSQL's `max_stack_depth` (default 2MB), which §2 of the paper
+    /// notes is "quickly hit" when evaluating recursive UDFs directly.
+    /// The default of 128 keeps nested native executor frames comfortably
+    /// within a 2MB stack (PostgreSQL's `max_stack_depth` default) even in
+    /// debug builds; raise it (and the thread stack) to push the experiment.
+    pub max_udf_depth: usize,
+    /// Safety valve against runaway recursive CTEs.
+    pub max_recursive_iterations: u64,
+    /// Artificial extra cost per ExecutorStart, in nanoseconds. Zero for the
+    /// PostgreSQL-like profile (its instantiation cost is the real plan-tree
+    /// copy); positive values caricature engines with heavier context-switch
+    /// machinery (used by the `oracle_like` profile for Figure 11b).
+    pub start_penalty_ns: u64,
+    /// Same, per ExecutorEnd.
+    pub end_penalty_ns: u64,
+    /// Timer resolution in milliseconds for *reporting* (the paper notes
+    /// Oracle's coarse timer made its lower-left heat-map cells unusable).
+    /// Zero = full resolution. Only harnesses round; the engine never does.
+    pub timer_resolution_ms: u64,
+}
+
+impl EngineConfig {
+    /// PostgreSQL 11.3-like: 4MB work_mem, and ExecutorStart/End costs
+    /// calibrated to PostgreSQL's measured per-evaluation overhead.
+    ///
+    /// Calibration: the paper's Figure 10 shows ≈38µs per `walk` iteration
+    /// (3 embedded queries) on PostgreSQL 11.3, of which Table 1 attributes
+    /// 30.9% to ExecutorStart and 4.4% to ExecutorEnd — ≈3.9µs Start and
+    /// ≈0.55µs End per query evaluation. Our engine's plan instantiation is
+    /// a plain struct clone (PostgreSQL's rebuilds PlanState trees, inits
+    /// expression state and memory contexts), so the difference is injected
+    /// as a fixed busy-wait. This is the DESIGN.md §1 substitution for the
+    /// one PostgreSQL mechanism we cannot replicate at full fidelity; we
+    /// deliberately calibrate slightly below the derived values because our
+    /// ExecutorRun is also leaner than PostgreSQL's.
+    pub fn postgres_like() -> Self {
+        EngineConfig {
+            name: "postgres",
+            work_mem_bytes: 4 * 1024 * 1024,
+            max_udf_depth: 128,
+            max_recursive_iterations: 50_000_000,
+            start_penalty_ns: 2_500,
+            end_penalty_ns: 350,
+            timer_resolution_ms: 0,
+        }
+    }
+
+    /// The raw engine without any cost injection (used by unit tests and
+    /// micro-benchmarks of the engine itself).
+    pub fn raw() -> Self {
+        EngineConfig {
+            name: "raw",
+            start_penalty_ns: 0,
+            end_penalty_ns: 0,
+            ..Self::postgres_like()
+        }
+    }
+
+    /// Oracle-like caricature for Figure 11b: heavier per-switch entry/exit
+    /// cost and a coarse timer. See DESIGN.md §1 for what this does and does
+    /// not model.
+    pub fn oracle_like() -> Self {
+        EngineConfig {
+            name: "oracle",
+            start_penalty_ns: 4_000,
+            end_penalty_ns: 800,
+            timer_resolution_ms: 10,
+            ..Self::postgres_like()
+        }
+    }
+
+    /// SQLite-like: in-process, cheap switches but slower row-at-a-time
+    /// machinery; mostly used to show the compiler output also runs on an
+    /// engine without any PL/SQL support.
+    pub fn sqlite_like() -> Self {
+        EngineConfig {
+            name: "sqlite",
+            start_penalty_ns: 200,
+            end_penalty_ns: 100,
+            ..Self::postgres_like()
+        }
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig::postgres_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ_where_it_matters() {
+        let pg = EngineConfig::postgres_like();
+        let ora = EngineConfig::oracle_like();
+        assert_eq!(EngineConfig::raw().start_penalty_ns, 0);
+        assert!(pg.start_penalty_ns > 0, "calibrated ExecutorStart cost");
+        assert!(ora.start_penalty_ns > pg.start_penalty_ns);
+        assert!(ora.timer_resolution_ms > pg.timer_resolution_ms);
+        assert_eq!(pg.work_mem_bytes, 4 * 1024 * 1024);
+    }
+}

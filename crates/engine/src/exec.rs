@@ -1,0 +1,1153 @@
+//! Plan execution and expression evaluation.
+//!
+//! The executor is a materializing tree walker: each node returns its full
+//! row set. The runtime scope stack ([`Scopes`]) carries outer rows into
+//! correlated subqueries and `LATERAL` join arms, mirroring how the planner
+//! assigned `(depth, index)` slots.
+//!
+//! Recursive CTEs are evaluated with PostgreSQL's working-table algorithm;
+//! the accumulated union goes through the accounting [`Tuplestore`] so that
+//! Table 2's buffer page writes fall out of ordinary execution.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use plaway_common::{Error, Result, SessionRng, Value};
+use plaway_sql::ast::{BinOp, JoinKind, Language, SetOp};
+
+use crate::catalog::{Catalog, Row};
+use crate::config::EngineConfig;
+use crate::functions::{eval_scalar, like_match};
+use crate::ir::{AggFn, AggSpec, CtePlan, ExprIr, PlanNode, RecursionMode, SortKey};
+use crate::planner::{plan_udf_body, PreparedPlan};
+use crate::tuplestore::{BufferStats, Tuplestore};
+use crate::window::exec_window;
+
+/// Linked list of outer rows; `depth` 0 is the innermost row.
+#[derive(Clone, Copy)]
+pub struct Scopes<'a> {
+    pub row: &'a [Value],
+    pub parent: Option<&'a Scopes<'a>>,
+}
+
+impl<'a> Scopes<'a> {
+    fn at_depth(&self, depth: usize) -> Result<&'a [Value]> {
+        let mut cur = self;
+        for _ in 0..depth {
+            cur = cur
+                .parent
+                .ok_or_else(|| Error::exec("scope stack underflow (planner bug)"))?;
+        }
+        Ok(cur.row)
+    }
+}
+
+/// Expression evaluation environment: scope stack + statement parameters.
+#[derive(Clone, Copy)]
+pub struct EvalEnv<'a> {
+    pub scopes: Option<&'a Scopes<'a>>,
+    pub params: &'a [Value],
+}
+
+impl<'a> EvalEnv<'a> {
+    pub const EMPTY: EvalEnv<'static> = EvalEnv {
+        scopes: None,
+        params: &[],
+    };
+
+    /// Environment with `row` pushed as the innermost scope.
+    fn with_row(&self, scopes: &'a Scopes<'a>) -> EvalEnv<'a> {
+        EvalEnv {
+            scopes: Some(scopes),
+            params: self.params,
+        }
+    }
+}
+
+/// Execution counters (beyond buffer accounting).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RuntimeStats {
+    pub recursive_iterations: u64,
+    pub subplan_evals: u64,
+    pub udf_calls: u64,
+    pub rows_scanned: u64,
+    pub max_udf_depth: usize,
+}
+
+impl RuntimeStats {
+    pub fn reset(&mut self) {
+        *self = RuntimeStats::default();
+    }
+}
+
+/// Cache of lazily planned SQL UDF bodies (name -> prepared body plan).
+#[derive(Default)]
+pub struct FnPlanCache {
+    plans: HashMap<String, Arc<PreparedPlan>>,
+    catalog_version: u64,
+}
+
+impl FnPlanCache {
+    pub fn invalidate(&mut self) {
+        self.plans.clear();
+    }
+}
+
+/// Everything execution needs, split-borrowed from the session.
+pub struct Runtime<'s> {
+    pub catalog: &'s Catalog,
+    pub rng: &'s mut SessionRng,
+    pub buffers: &'s mut BufferStats,
+    pub stats: &'s mut RuntimeStats,
+    pub fn_plans: &'s mut FnPlanCache,
+    pub config: &'s EngineConfig,
+    /// Materialized CTE results, keyed by plan-local CTE index (With nodes
+    /// save/restore entries, so recursion through UDFs is safe).
+    pub ctes: HashMap<usize, Arc<Vec<Row>>>,
+    /// Recursive working tables.
+    pub working: HashMap<usize, Arc<Vec<Row>>>,
+    pub udf_depth: usize,
+}
+
+impl<'s> Runtime<'s> {
+    fn fn_plan(&mut self, name: &str) -> Result<Arc<PreparedPlan>> {
+        if self.fn_plans.catalog_version != self.catalog.version {
+            self.fn_plans.invalidate();
+            self.fn_plans.catalog_version = self.catalog.version;
+        }
+        if let Some(p) = self.fn_plans.plans.get(name) {
+            return Ok(Arc::clone(p));
+        }
+        let def = self
+            .catalog
+            .function(name)
+            .ok_or_else(|| Error::plan(format!("function {name:?} does not exist")))?
+            .clone();
+        if def.language != Language::Sql {
+            return Err(Error::unsupported(format!(
+                "function {name:?} is PL/pgSQL; evaluate it with the interpreter or compile it \
+                 away (the engine executes SQL-language functions only)"
+            )));
+        }
+        let plan = Arc::new(plan_udf_body(self.catalog, &def)?);
+        self.fn_plans.plans.insert(name.to_string(), Arc::clone(&plan));
+        Ok(plan)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Expression evaluation
+
+pub fn eval(ir: &ExprIr, env: &EvalEnv<'_>, rt: &mut Runtime<'_>) -> Result<Value> {
+    match ir {
+        ExprIr::Const(v) => Ok(v.clone()),
+        ExprIr::Slot { depth, index } => {
+            let scopes = env
+                .scopes
+                .ok_or_else(|| Error::exec("no row context for column reference"))?;
+            let row = scopes.at_depth(*depth)?;
+            row.get(*index)
+                .cloned()
+                .ok_or_else(|| Error::exec("column slot out of range (planner bug)"))
+        }
+        ExprIr::Param(i) => env
+            .params
+            .get(*i)
+            .cloned()
+            .ok_or_else(|| Error::exec(format!("parameter ${i} not bound"))),
+        ExprIr::Neg(e) => eval(e, env, rt)?.neg(),
+        ExprIr::Not(e) => Ok(match eval(e, env, rt)?.as_bool()? {
+            Some(b) => Value::Bool(!b),
+            None => Value::Null,
+        }),
+        ExprIr::Binary { op, left, right } => eval_binary(*op, left, right, env, rt),
+        ExprIr::IsNull { expr, negated } => {
+            let v = eval(expr, env, rt)?;
+            Ok(Value::Bool(v.is_null() != *negated))
+        }
+        ExprIr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
+            let v = eval(expr, env, rt)?;
+            let lo = eval(low, env, rt)?;
+            let hi = eval(high, env, rt)?;
+            let ge = v.sql_cmp(&lo)?.map(|o| o != std::cmp::Ordering::Less);
+            let le = v.sql_cmp(&hi)?.map(|o| o != std::cmp::Ordering::Greater);
+            let both = and3(ge, le);
+            Ok(match both {
+                Some(b) => Value::Bool(b != *negated),
+                None => Value::Null,
+            })
+        }
+        ExprIr::Case {
+            operand,
+            branches,
+            else_,
+        } => {
+            let op_val = match operand {
+                Some(o) => Some(eval(o, env, rt)?),
+                None => None,
+            };
+            for (when, then) in branches {
+                let fire = match &op_val {
+                    Some(v) => {
+                        let w = eval(when, env, rt)?;
+                        v.sql_eq(&w)? == Some(true)
+                    }
+                    None => eval(when, env, rt)?.is_true(),
+                };
+                if fire {
+                    return eval(then, env, rt);
+                }
+            }
+            match else_ {
+                Some(e) => eval(e, env, rt),
+                None => Ok(Value::Null),
+            }
+        }
+        ExprIr::Coalesce(args) => {
+            for a in args {
+                let v = eval(a, env, rt)?;
+                if !v.is_null() {
+                    return Ok(v);
+                }
+            }
+            Ok(Value::Null)
+        }
+        ExprIr::Scalar { func, args } => match args.as_slice() {
+            // Stack-allocate the common arities (row_field, substr, ...):
+            // scalar calls run once per CTE iteration, heap traffic counts.
+            [] => eval_scalar(*func, &[], rt.rng),
+            [a] => {
+                let va = eval(a, env, rt)?;
+                eval_scalar(*func, std::slice::from_ref(&va), rt.rng)
+            }
+            [a, b] => {
+                let va = eval(a, env, rt)?;
+                let vb = eval(b, env, rt)?;
+                eval_scalar(*func, &[va, vb], rt.rng)
+            }
+            [a, b, c] => {
+                let va = eval(a, env, rt)?;
+                let vb = eval(b, env, rt)?;
+                let vc = eval(c, env, rt)?;
+                eval_scalar(*func, &[va, vb, vc], rt.rng)
+            }
+            _ => {
+                let mut argv = Vec::with_capacity(args.len());
+                for a in args {
+                    argv.push(eval(a, env, rt)?);
+                }
+                eval_scalar(*func, &argv, rt.rng)
+            }
+        },
+        ExprIr::UdfCall { name, args } => {
+            let mut argv = Vec::with_capacity(args.len());
+            for a in args {
+                argv.push(eval(a, env, rt)?);
+            }
+            call_sql_udf(name, argv, rt)
+        }
+        ExprIr::Subplan(plan) => {
+            rt.stats.subplan_evals += 1;
+            let rows = exec(plan, env, rt)?;
+            scalar_from_rows(rows)
+        }
+        ExprIr::Exists { plan } => {
+            let rows = exec(plan, env, rt)?;
+            Ok(Value::Bool(!rows.is_empty()))
+        }
+        ExprIr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let v = eval(expr, env, rt)?;
+            let mut any_null = false;
+            for item in list {
+                let w = eval(item, env, rt)?;
+                match v.sql_eq(&w)? {
+                    Some(true) => return Ok(Value::Bool(!*negated)),
+                    Some(false) => {}
+                    None => any_null = true,
+                }
+            }
+            Ok(if any_null {
+                Value::Null
+            } else {
+                Value::Bool(*negated)
+            })
+        }
+        ExprIr::InPlan {
+            expr,
+            plan,
+            negated,
+        } => {
+            let v = eval(expr, env, rt)?;
+            let rows = exec(plan, env, rt)?;
+            let mut any_null = false;
+            for row in &rows {
+                match v.sql_eq(&row[0])? {
+                    Some(true) => return Ok(Value::Bool(!*negated)),
+                    Some(false) => {}
+                    None => any_null = true,
+                }
+            }
+            Ok(if any_null {
+                Value::Null
+            } else {
+                Value::Bool(*negated)
+            })
+        }
+        ExprIr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
+            let v = eval(expr, env, rt)?;
+            let p = eval(pattern, env, rt)?;
+            if v.is_null() || p.is_null() {
+                return Ok(Value::Null);
+            }
+            let m = like_match(v.as_text()?, p.as_text()?);
+            Ok(Value::Bool(m != *negated))
+        }
+        ExprIr::Row(items) => {
+            let mut vals = Vec::with_capacity(items.len());
+            for i in items {
+                vals.push(eval(i, env, rt)?);
+            }
+            Ok(Value::record(vals))
+        }
+        ExprIr::Cast { expr, ty } => eval(expr, env, rt)?.cast(ty),
+    }
+}
+
+/// Three-valued AND over already-evaluated operands.
+fn and3(a: Option<bool>, b: Option<bool>) -> Option<bool> {
+    match (a, b) {
+        (Some(false), _) | (_, Some(false)) => Some(false),
+        (Some(true), Some(true)) => Some(true),
+        _ => None,
+    }
+}
+
+fn eval_binary(
+    op: BinOp,
+    left: &ExprIr,
+    right: &ExprIr,
+    env: &EvalEnv<'_>,
+    rt: &mut Runtime<'_>,
+) -> Result<Value> {
+    // AND/OR short-circuit under three-valued logic.
+    match op {
+        BinOp::And => {
+            let l = eval(left, env, rt)?.as_bool()?;
+            if l == Some(false) {
+                return Ok(Value::Bool(false));
+            }
+            let r = eval(right, env, rt)?.as_bool()?;
+            return Ok(match and3(l, r) {
+                Some(b) => Value::Bool(b),
+                None => Value::Null,
+            });
+        }
+        BinOp::Or => {
+            let l = eval(left, env, rt)?.as_bool()?;
+            if l == Some(true) {
+                return Ok(Value::Bool(true));
+            }
+            let r = eval(right, env, rt)?.as_bool()?;
+            return Ok(match (l, r) {
+                (_, Some(true)) => Value::Bool(true),
+                (Some(false), Some(false)) => Value::Bool(false),
+                _ => Value::Null,
+            });
+        }
+        _ => {}
+    }
+    let l = eval(left, env, rt)?;
+    let r = eval(right, env, rt)?;
+    match op {
+        BinOp::Add => l.add(&r),
+        BinOp::Sub => l.sub(&r),
+        BinOp::Mul => l.mul(&r),
+        BinOp::Div => l.div(&r),
+        BinOp::Mod => l.rem(&r),
+        BinOp::Concat => l.concat(&r),
+        BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq => {
+            let cmp = l.sql_cmp(&r)?;
+            Ok(match cmp {
+                None => Value::Null,
+                Some(ord) => {
+                    use std::cmp::Ordering::*;
+                    let b = match op {
+                        BinOp::Eq => ord == Equal,
+                        BinOp::NotEq => ord != Equal,
+                        BinOp::Lt => ord == Less,
+                        BinOp::LtEq => ord != Greater,
+                        BinOp::Gt => ord == Greater,
+                        BinOp::GtEq => ord != Less,
+                        _ => unreachable!(),
+                    };
+                    Value::Bool(b)
+                }
+            })
+        }
+        BinOp::And | BinOp::Or => unreachable!("handled above"),
+    }
+}
+
+fn scalar_from_rows(rows: Vec<Row>) -> Result<Value> {
+    match rows.len() {
+        0 => Ok(Value::Null),
+        1 => {
+            let row = rows.into_iter().next().unwrap();
+            if row.len() != 1 {
+                return Err(Error::exec(format!(
+                    "subquery must return one column, returned {}",
+                    row.len()
+                )));
+            }
+            Ok(row.into_iter().next().unwrap())
+        }
+        n => Err(Error::exec(format!(
+            "more than one row ({n}) returned by a subquery used as an expression"
+        ))),
+    }
+}
+
+fn call_sql_udf(name: &str, args: Vec<Value>, rt: &mut Runtime<'_>) -> Result<Value> {
+    rt.stats.udf_calls += 1;
+    rt.udf_depth += 1;
+    rt.stats.max_udf_depth = rt.stats.max_udf_depth.max(rt.udf_depth);
+    if rt.udf_depth > rt.config.max_udf_depth {
+        rt.udf_depth -= 1;
+        return Err(Error::exec(format!(
+            "stack depth limit exceeded ({} nested function calls); \
+             recursive SQL UDFs are bounded — compile to WITH RECURSIVE instead",
+            rt.config.max_udf_depth
+        )));
+    }
+    let plan = match rt.fn_plan(name) {
+        Ok(p) => p,
+        Err(e) => {
+            rt.udf_depth -= 1;
+            return Err(e);
+        }
+    };
+    // Every UDF invocation instantiates executor state for the body plan —
+    // PostgreSQL prepares and tears down the cached plan per call, which is
+    // exactly why §2 finds direct recursive UDF evaluation disappointing.
+    // (Boxed: the instantiated state must not grow the native stack, which
+    // recursion through deep UDF chains would otherwise exhaust.)
+    let state = Box::new(plan.plan.clone());
+    spin_ns(rt.config.start_penalty_ns);
+    let env = EvalEnv {
+        scopes: None,
+        params: &args,
+    };
+    let result = exec(&state, &env, rt).and_then(scalar_from_rows);
+    drop(state);
+    spin_ns(rt.config.end_penalty_ns);
+    rt.udf_depth -= 1;
+    result
+}
+
+/// Busy-wait for approximately `ns` nanoseconds (profile cost injection).
+fn spin_ns(ns: u64) {
+    if ns == 0 {
+        return;
+    }
+    let t0 = std::time::Instant::now();
+    while (t0.elapsed().as_nanos() as u64) < ns {
+        std::hint::spin_loop();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Plan execution
+
+pub fn exec(plan: &PlanNode, env: &EvalEnv<'_>, rt: &mut Runtime<'_>) -> Result<Vec<Row>> {
+    match plan {
+        PlanNode::SeqScan { table } => {
+            let t = rt.catalog.table(table)?;
+            rt.stats.rows_scanned += t.rows.len() as u64;
+            Ok(t.rows.clone())
+        }
+        PlanNode::IndexLookup { table, column, key } => {
+            let k = eval(key, env, rt)?;
+            if k.is_null() {
+                return Ok(Vec::new()); // NULL = x is never true
+            }
+            let t = rt.catalog.table(table)?;
+            let idx = t.index_on(*column).ok_or_else(|| {
+                Error::exec(format!("index on {table}.{column} vanished (plan is stale)"))
+            })?;
+            let positions = idx.lookup(&k);
+            rt.stats.rows_scanned += positions.len() as u64;
+            Ok(positions.iter().map(|&i| t.rows[i].clone()).collect())
+        }
+        PlanNode::Values { rows } => {
+            let mut out = Vec::with_capacity(rows.len());
+            for row in rows {
+                let mut vals = Vec::with_capacity(row.len());
+                for e in row {
+                    vals.push(eval(e, env, rt)?);
+                }
+                out.push(vals);
+            }
+            Ok(out)
+        }
+        PlanNode::Result { exprs } => {
+            let mut row = Vec::with_capacity(exprs.len());
+            for e in exprs {
+                row.push(eval(e, env, rt)?);
+            }
+            Ok(vec![row])
+        }
+        PlanNode::Filter { input, pred } => {
+            let rows = exec(input, env, rt)?;
+            let mut out = Vec::with_capacity(rows.len());
+            for row in rows {
+                let scopes = Scopes {
+                    row: &row,
+                    parent: env.scopes,
+                };
+                if eval(pred, &env.with_row(&scopes), rt)?.is_true() {
+                    out.push(row);
+                }
+            }
+            Ok(out)
+        }
+        PlanNode::Extend { input, exprs } => {
+            let rows = exec(input, env, rt)?;
+            let mut out = Vec::with_capacity(rows.len());
+            for mut row in rows {
+                row.reserve(exprs.len());
+                for e in exprs {
+                    let scopes = Scopes {
+                        row: &row,
+                        parent: env.scopes,
+                    };
+                    let v = eval(e, &env.with_row(&scopes), rt)?;
+                    row.push(v);
+                }
+                out.push(row);
+            }
+            Ok(out)
+        }
+        PlanNode::Project { input, exprs } => {
+            let rows = exec(input, env, rt)?;
+            let mut out = Vec::with_capacity(rows.len());
+            for row in rows {
+                let scopes = Scopes {
+                    row: &row,
+                    parent: env.scopes,
+                };
+                let inner = env.with_row(&scopes);
+                let mut proj = Vec::with_capacity(exprs.len());
+                for e in exprs {
+                    proj.push(eval(e, &inner, rt)?);
+                }
+                out.push(proj);
+            }
+            Ok(out)
+        }
+        PlanNode::NestLoop {
+            left,
+            right,
+            kind,
+            lateral,
+            on,
+            right_width,
+        } => exec_nestloop(left, right, *kind, *lateral, on.as_ref(), *right_width, env, rt),
+        PlanNode::Agg {
+            input,
+            keys,
+            aggs,
+            scalar,
+        } => exec_agg(input, keys, aggs, *scalar, env, rt),
+        PlanNode::WindowAgg { input, windows } => {
+            let rows = exec(input, env, rt)?;
+            exec_window(rows, windows, env, rt)
+        }
+        PlanNode::Sort { input, keys } => {
+            let rows = exec(input, env, rt)?;
+            sort_rows(rows, keys, env, rt)
+        }
+        PlanNode::Distinct { input } => {
+            let rows = exec(input, env, rt)?;
+            let mut seen = std::collections::HashSet::with_capacity(rows.len());
+            Ok(rows.into_iter().filter(|r| seen.insert(r.clone())).collect())
+        }
+        PlanNode::Limit {
+            input,
+            limit,
+            offset,
+        } => {
+            let rows = exec(input, env, rt)?;
+            let off = eval_opt_count(offset.as_ref(), env, rt)?.unwrap_or(0);
+            let lim = eval_opt_count(limit.as_ref(), env, rt)?;
+            let it = rows.into_iter().skip(off);
+            Ok(match lim {
+                Some(n) => it.take(n).collect(),
+                None => it.collect(),
+            })
+        }
+        PlanNode::Append { inputs } => {
+            let mut out = Vec::new();
+            for i in inputs {
+                out.extend(exec(i, env, rt)?);
+            }
+            Ok(out)
+        }
+        PlanNode::SetOpNode {
+            op,
+            all,
+            left,
+            right,
+        } => {
+            let l = exec(left, env, rt)?;
+            let r = exec(right, env, rt)?;
+            Ok(exec_setop(*op, *all, l, r))
+        }
+        PlanNode::With { ctes, body } => exec_with(ctes, body, env, rt),
+        PlanNode::CteScan { index } => {
+            let rows = rt.ctes.get(index).ok_or_else(|| {
+                Error::exec(format!("CTE #{index} not materialized (planner bug)"))
+            })?;
+            Ok(rows.as_ref().clone())
+        }
+        PlanNode::WorkingScan { index } => {
+            let rows = rt.working.get(index).ok_or_else(|| {
+                Error::exec(format!(
+                    "recursive reference #{index} outside recursion (planner bug)"
+                ))
+            })?;
+            Ok(rows.as_ref().clone())
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn exec_nestloop(
+    left: &PlanNode,
+    right: &PlanNode,
+    kind: JoinKind,
+    lateral: bool,
+    on: Option<&ExprIr>,
+    right_width: usize,
+    env: &EvalEnv<'_>,
+    rt: &mut Runtime<'_>,
+) -> Result<Vec<Row>> {
+    let left_rows = exec(left, env, rt)?;
+    let mut out = Vec::with_capacity(left_rows.len());
+
+    // Non-lateral right side is evaluated exactly once and borrowed per
+    // left row (no wholesale clones).
+    let fixed_right = if lateral {
+        None
+    } else {
+        Some(exec(right, env, rt)?)
+    };
+
+    let mut lateral_rows: Vec<Row>;
+    for lrow in left_rows {
+        let right_rows: &[Row] = match &fixed_right {
+            Some(r) => r.as_slice(),
+            None => {
+                let scopes = Scopes {
+                    row: &lrow,
+                    parent: env.scopes,
+                };
+                lateral_rows = exec(right, &env.with_row(&scopes), rt)?;
+                lateral_rows.as_slice()
+            }
+        };
+        let mut matched = false;
+        for rrow in right_rows {
+            let mut combined = Vec::with_capacity(lrow.len() + rrow.len());
+            combined.extend_from_slice(&lrow);
+            combined.extend_from_slice(rrow);
+            let keep = match on {
+                None => true,
+                Some(pred) => {
+                    let scopes = Scopes {
+                        row: &combined,
+                        parent: env.scopes,
+                    };
+                    eval(pred, &env.with_row(&scopes), rt)?.is_true()
+                }
+            };
+            if keep {
+                matched = true;
+                out.push(combined);
+            }
+        }
+        if !matched && kind == JoinKind::Left {
+            let mut combined = lrow;
+            combined.extend(std::iter::repeat_with(|| Value::Null).take(right_width));
+            out.push(combined);
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation
+
+/// One accumulator instance.
+#[derive(Debug, Clone)]
+struct AggAcc {
+    func: AggFn,
+    distinct: bool,
+    seen: std::collections::HashSet<Value>,
+    count: i64,
+    sum: Option<Value>,
+    extreme: Option<Value>,
+    bool_acc: Option<bool>,
+}
+
+impl AggAcc {
+    fn new(spec: &AggSpec) -> Self {
+        AggAcc {
+            func: spec.func,
+            distinct: spec.distinct,
+            seen: std::collections::HashSet::new(),
+            count: 0,
+            sum: None,
+            extreme: None,
+            bool_acc: None,
+        }
+    }
+
+    fn update(&mut self, v: Option<Value>) -> Result<()> {
+        // COUNT(*) counts rows regardless of values.
+        if self.func == AggFn::CountStar {
+            self.count += 1;
+            return Ok(());
+        }
+        let Some(v) = v else {
+            return Err(Error::exec("aggregate missing its argument (planner bug)"));
+        };
+        if v.is_null() {
+            return Ok(()); // all remaining aggregates ignore NULL
+        }
+        if self.distinct && !self.seen.insert(v.clone()) {
+            return Ok(());
+        }
+        match self.func {
+            AggFn::Count => self.count += 1,
+            AggFn::Sum | AggFn::Avg => {
+                self.count += 1;
+                self.sum = Some(match self.sum.take() {
+                    None => v,
+                    Some(acc) => acc.add(&v)?,
+                });
+            }
+            AggFn::Min => {
+                self.extreme = Some(match self.extreme.take() {
+                    None => v,
+                    Some(cur) => match v.sql_cmp(&cur)? {
+                        Some(std::cmp::Ordering::Less) => v,
+                        _ => cur,
+                    },
+                });
+            }
+            AggFn::Max => {
+                self.extreme = Some(match self.extreme.take() {
+                    None => v,
+                    Some(cur) => match v.sql_cmp(&cur)? {
+                        Some(std::cmp::Ordering::Greater) => v,
+                        _ => cur,
+                    },
+                });
+            }
+            AggFn::BoolAnd => {
+                let b = v.as_bool()?.unwrap_or(false);
+                self.bool_acc = Some(self.bool_acc.map_or(b, |acc| acc && b));
+            }
+            AggFn::BoolOr => {
+                let b = v.as_bool()?.unwrap_or(false);
+                self.bool_acc = Some(self.bool_acc.map_or(b, |acc| acc || b));
+            }
+            AggFn::CountStar => unreachable!(),
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Value {
+        match self.func {
+            AggFn::Count | AggFn::CountStar => Value::Int(self.count),
+            AggFn::Sum => self.sum.unwrap_or(Value::Null),
+            AggFn::Avg => match self.sum {
+                None => Value::Null,
+                Some(s) => {
+                    let total = s.as_float().unwrap_or(0.0);
+                    Value::Float(total / self.count as f64)
+                }
+            },
+            AggFn::Min | AggFn::Max => self.extreme.unwrap_or(Value::Null),
+            AggFn::BoolAnd | AggFn::BoolOr => {
+                self.bool_acc.map(Value::Bool).unwrap_or(Value::Null)
+            }
+        }
+    }
+}
+
+fn exec_agg(
+    input: &PlanNode,
+    keys: &[ExprIr],
+    aggs: &[AggSpec],
+    scalar: bool,
+    env: &EvalEnv<'_>,
+    rt: &mut Runtime<'_>,
+) -> Result<Vec<Row>> {
+    let rows = exec(input, env, rt)?;
+    if scalar {
+        let mut accs: Vec<AggAcc> = aggs.iter().map(AggAcc::new).collect();
+        for row in &rows {
+            let scopes = Scopes {
+                row,
+                parent: env.scopes,
+            };
+            let inner = env.with_row(&scopes);
+            for (acc, spec) in accs.iter_mut().zip(aggs) {
+                let v = match &spec.arg {
+                    Some(e) => Some(eval(e, &inner, rt)?),
+                    None => None,
+                };
+                acc.update(v)?;
+            }
+        }
+        return Ok(vec![accs.into_iter().map(AggAcc::finish).collect()]);
+    }
+
+    // Grouped: preserve first-seen group order for deterministic output.
+    let mut group_of: HashMap<Vec<Value>, usize> = HashMap::new();
+    let mut groups: Vec<(Vec<Value>, Vec<AggAcc>)> = Vec::new();
+    for row in &rows {
+        let scopes = Scopes {
+            row,
+            parent: env.scopes,
+        };
+        let inner = env.with_row(&scopes);
+        let mut key = Vec::with_capacity(keys.len());
+        for k in keys {
+            key.push(eval(k, &inner, rt)?);
+        }
+        let gi = match group_of.get(&key) {
+            Some(&gi) => gi,
+            None => {
+                let gi = groups.len();
+                group_of.insert(key.clone(), gi);
+                groups.push((key, aggs.iter().map(AggAcc::new).collect()));
+                gi
+            }
+        };
+        for (acc, spec) in groups[gi].1.iter_mut().zip(aggs) {
+            let v = match &spec.arg {
+                Some(e) => Some(eval(e, &inner, rt)?),
+                None => None,
+            };
+            acc.update(v)?;
+        }
+    }
+    Ok(groups
+        .into_iter()
+        .map(|(mut key, accs)| {
+            key.extend(accs.into_iter().map(AggAcc::finish));
+            key
+        })
+        .collect())
+}
+
+// ---------------------------------------------------------------------------
+// Sorting
+
+/// Compare two rows under the given keys (keys pre-evaluated per row).
+pub fn cmp_key_vectors(a: &[Value], b: &[Value], keys: &[SortKey]) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    for (i, k) in keys.iter().enumerate() {
+        let (x, y) = (&a[i], &b[i]);
+        let ord = match (x.is_null(), y.is_null()) {
+            (true, true) => Ordering::Equal,
+            (true, false) => {
+                if k.nulls_first {
+                    Ordering::Less
+                } else {
+                    Ordering::Greater
+                }
+            }
+            (false, true) => {
+                if k.nulls_first {
+                    Ordering::Greater
+                } else {
+                    Ordering::Less
+                }
+            }
+            (false, false) => {
+                let o = x.total_cmp(y);
+                if k.desc {
+                    o.reverse()
+                } else {
+                    o
+                }
+            }
+        };
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
+fn sort_rows(
+    rows: Vec<Row>,
+    keys: &[SortKey],
+    env: &EvalEnv<'_>,
+    rt: &mut Runtime<'_>,
+) -> Result<Vec<Row>> {
+    // Evaluate all sort keys first (they may contain subqueries, random()...).
+    let mut keyed: Vec<(Vec<Value>, Row)> = Vec::with_capacity(rows.len());
+    for row in rows {
+        let scopes = Scopes {
+            row: &row,
+            parent: env.scopes,
+        };
+        let inner = env.with_row(&scopes);
+        let mut kv = Vec::with_capacity(keys.len());
+        for k in keys {
+            kv.push(eval(&k.expr, &inner, rt)?);
+        }
+        keyed.push((kv, row));
+    }
+    keyed.sort_by(|(ka, _), (kb, _)| cmp_key_vectors(ka, kb, keys));
+    Ok(keyed.into_iter().map(|(_, r)| r).collect())
+}
+
+fn eval_opt_count(
+    e: Option<&ExprIr>,
+    env: &EvalEnv<'_>,
+    rt: &mut Runtime<'_>,
+) -> Result<Option<usize>> {
+    match e {
+        None => Ok(None),
+        Some(e) => {
+            let v = eval(e, env, rt)?;
+            if v.is_null() {
+                return Ok(None);
+            }
+            let n = v.as_int()?;
+            if n < 0 {
+                return Err(Error::exec("LIMIT/OFFSET must not be negative"));
+            }
+            Ok(Some(n as usize))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Set operations
+
+fn exec_setop(op: SetOp, all: bool, left: Vec<Row>, right: Vec<Row>) -> Vec<Row> {
+    use std::collections::hash_map::Entry;
+    match op {
+        SetOp::Union => {
+            let mut out = left;
+            out.extend(right);
+            if all {
+                out
+            } else {
+                let mut seen = std::collections::HashSet::with_capacity(out.len());
+                out.into_iter().filter(|r| seen.insert(r.clone())).collect()
+            }
+        }
+        SetOp::Intersect => {
+            let mut counts: HashMap<Row, usize> = HashMap::new();
+            for r in right {
+                *counts.entry(r).or_insert(0) += 1;
+            }
+            let mut out = Vec::new();
+            let mut emitted: std::collections::HashSet<Row> = std::collections::HashSet::new();
+            for r in left {
+                match counts.entry(r.clone()) {
+                    Entry::Occupied(mut e) if *e.get() > 0 => {
+                        if all {
+                            *e.get_mut() -= 1;
+                            out.push(r);
+                        } else if emitted.insert(r.clone()) {
+                            out.push(r);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            out
+        }
+        SetOp::Except => {
+            let mut counts: HashMap<Row, usize> = HashMap::new();
+            for r in &right {
+                *counts.entry(r.clone()).or_insert(0) += 1;
+            }
+            let mut out = Vec::new();
+            let mut emitted: std::collections::HashSet<Row> = std::collections::HashSet::new();
+            for r in left {
+                let blocked = match counts.get_mut(&r) {
+                    Some(c) if *c > 0 => {
+                        if all {
+                            *c -= 1;
+                            true
+                        } else {
+                            true
+                        }
+                    }
+                    _ => false,
+                };
+                if !blocked {
+                    if all {
+                        out.push(r);
+                    } else if emitted.insert(r.clone()) {
+                        out.push(r);
+                    }
+                }
+            }
+            out
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CTEs (incl. the paper's WITH RECURSIVE / WITH ITERATE machinery)
+
+fn exec_with(
+    ctes: &[CtePlan],
+    body: &PlanNode,
+    env: &EvalEnv<'_>,
+    rt: &mut Runtime<'_>,
+) -> Result<Vec<Row>> {
+    // Save shadowed entries so recursive re-entry (e.g. through a UDF that
+    // runs the same prepared plan) is safe.
+    let mut saved: Vec<(usize, Option<Arc<Vec<Row>>>, Option<Arc<Vec<Row>>>)> = Vec::new();
+    let result = (|| -> Result<Vec<Row>> {
+        for cte in ctes {
+            let index = cte.index();
+            saved.push((
+                index,
+                rt.ctes.get(&index).cloned(),
+                rt.working.get(&index).cloned(),
+            ));
+            match cte {
+                CtePlan::Plain { plan, .. } => {
+                    let rows = exec(plan, env, rt)?;
+                    rt.ctes.insert(index, Arc::new(rows));
+                }
+                CtePlan::Recursive {
+                    base,
+                    recursive,
+                    mode,
+                    union_all,
+                    ..
+                } => {
+                    let rows = exec_recursive_cte(
+                        index, base, recursive, *mode, *union_all, env, rt,
+                    )?;
+                    rt.ctes.insert(index, Arc::new(rows));
+                }
+            }
+        }
+        exec(body, env, rt)
+    })();
+    // Restore shadowed entries (in reverse, though indexes are unique here).
+    for (index, cte_prev, work_prev) in saved.into_iter().rev() {
+        match cte_prev {
+            Some(v) => {
+                rt.ctes.insert(index, v);
+            }
+            None => {
+                rt.ctes.remove(&index);
+            }
+        }
+        match work_prev {
+            Some(v) => {
+                rt.working.insert(index, v);
+            }
+            None => {
+                rt.working.remove(&index);
+            }
+        }
+    }
+    result
+}
+
+fn exec_recursive_cte(
+    index: usize,
+    base: &PlanNode,
+    recursive: &PlanNode,
+    mode: RecursionMode,
+    union_all: bool,
+    env: &EvalEnv<'_>,
+    rt: &mut Runtime<'_>,
+) -> Result<Vec<Row>> {
+    let mut working = exec(base, env, rt)?;
+    let mut seen: std::collections::HashSet<Row> = std::collections::HashSet::new();
+    if !union_all {
+        working.retain(|r| seen.insert(r.clone()));
+    }
+
+    match mode {
+        RecursionMode::Accumulate => {
+            // PostgreSQL: every iteration appends to the result tuplestore.
+            let mut store = Tuplestore::new(rt.config.work_mem_bytes);
+            store.extend(working.iter().cloned());
+            let mut iters: u64 = 0;
+            while !working.is_empty() {
+                iters += 1;
+                if iters > rt.config.max_recursive_iterations {
+                    return Err(Error::exec(format!(
+                        "recursive CTE exceeded {} iterations (possible infinite recursion)",
+                        rt.config.max_recursive_iterations
+                    )));
+                }
+                rt.working.insert(index, Arc::new(std::mem::take(&mut working)));
+                let mut next = exec(recursive, env, rt)?;
+                if !union_all {
+                    next.retain(|r| seen.insert(r.clone()));
+                }
+                store.extend(next.iter().cloned());
+                working = next;
+            }
+            rt.stats.recursive_iterations += iters;
+            Ok(store.finish(rt.buffers))
+        }
+        RecursionMode::IterateOnly => {
+            // WITH ITERATE (Passing et al.): keep only the rows of the final
+            // iteration — tail recursion needs no trace, so nothing is
+            // accumulated and nothing can spill.
+            let mut last = working.clone();
+            let mut iters: u64 = 0;
+            while !working.is_empty() {
+                iters += 1;
+                if iters > rt.config.max_recursive_iterations {
+                    return Err(Error::exec(format!(
+                        "iterative CTE exceeded {} iterations (possible infinite recursion)",
+                        rt.config.max_recursive_iterations
+                    )));
+                }
+                last = working.clone();
+                rt.working.insert(index, Arc::new(std::mem::take(&mut working)));
+                let mut next = exec(recursive, env, rt)?;
+                if !union_all {
+                    next.retain(|r| seen.insert(r.clone()));
+                }
+                working = next;
+            }
+            rt.stats.recursive_iterations += iters;
+            Ok(last)
+        }
+    }
+}

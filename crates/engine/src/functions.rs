@@ -1,0 +1,497 @@
+//! Built-in scalar function evaluation.
+//!
+//! All functions follow PostgreSQL's NULL convention (strict: any NULL input
+//! yields NULL) except the ones documented otherwise (`concat`, `coalesce` —
+//! which is handled lazily in the evaluator — `greatest`/`least` skip NULLs).
+
+use plaway_common::{Error, Result, SessionRng, Type, Value};
+
+use crate::ir::ScalarFn;
+
+fn arity(name: &str, args: &[Value], expect: std::ops::RangeInclusive<usize>) -> Result<()> {
+    if expect.contains(&args.len()) {
+        Ok(())
+    } else {
+        Err(Error::exec(format!(
+            "{name}: expected {expect:?} arguments, got {}",
+            args.len()
+        )))
+    }
+}
+
+/// Do any of the arguments make a strict function return NULL?
+fn any_null(args: &[Value]) -> bool {
+    args.iter().any(Value::is_null)
+}
+
+/// Evaluate a built-in scalar function over already-evaluated arguments.
+pub fn eval_scalar(func: ScalarFn, args: &[Value], rng: &mut SessionRng) -> Result<Value> {
+    use ScalarFn::*;
+    // random() is the one zero-arg impure builtin; handle before the strict
+    // NULL check (it has no args anyway).
+    if func == Random {
+        arity("random", args, 0..=0)?;
+        return Ok(Value::Float(rng.next_f64()));
+    }
+    // Non-strict functions first.
+    match func {
+        Concat => {
+            // concat ignores NULL inputs entirely (PostgreSQL semantics).
+            let mut out = String::new();
+            for a in args {
+                if !a.is_null() {
+                    let txt = a.cast(&Type::Text)?;
+                    out.push_str(txt.as_text()?);
+                }
+            }
+            return Ok(Value::text(out));
+        }
+        Greatest | Least => {
+            let mut best: Option<Value> = None;
+            for a in args {
+                if a.is_null() {
+                    continue;
+                }
+                best = Some(match best {
+                    None => a.clone(),
+                    Some(b) => {
+                        let keep_a = match a.sql_cmp(&b)? {
+                            Some(ord) => {
+                                (func == Greatest && ord == std::cmp::Ordering::Greater)
+                                    || (func == Least && ord == std::cmp::Ordering::Less)
+                            }
+                            None => false,
+                        };
+                        if keep_a {
+                            a.clone()
+                        } else {
+                            b
+                        }
+                    }
+                });
+            }
+            return Ok(best.unwrap_or(Value::Null));
+        }
+        Nullif => {
+            arity("nullif", args, 2..=2)?;
+            if args[0].is_null() {
+                return Ok(Value::Null);
+            }
+            return Ok(match args[0].sql_eq(&args[1])? {
+                Some(true) => Value::Null,
+                _ => args[0].clone(),
+            });
+        }
+        _ => {}
+    }
+
+    if any_null(args) {
+        return Ok(Value::Null);
+    }
+
+    match func {
+        Abs => {
+            arity("abs", args, 1..=1)?;
+            match &args[0] {
+                Value::Int(i) => i
+                    .checked_abs()
+                    .map(Value::Int)
+                    .ok_or_else(|| Error::exec("integer overflow in abs")),
+                Value::Float(f) => Ok(Value::Float(f.abs())),
+                other => Err(Error::exec(format!("abs: bad argument {other}"))),
+            }
+        }
+        Sign => {
+            arity("sign", args, 1..=1)?;
+            match &args[0] {
+                Value::Int(i) => Ok(Value::Int(i.signum())),
+                Value::Float(f) => Ok(Value::Float(if *f > 0.0 {
+                    1.0
+                } else if *f < 0.0 {
+                    -1.0
+                } else {
+                    0.0
+                })),
+                other => Err(Error::exec(format!("sign: bad argument {other}"))),
+            }
+        }
+        Floor => {
+            arity("floor", args, 1..=1)?;
+            Ok(Value::Float(args[0].as_float()?.floor()))
+        }
+        Ceil => {
+            arity("ceil", args, 1..=1)?;
+            Ok(Value::Float(args[0].as_float()?.ceil()))
+        }
+        Round => {
+            arity("round", args, 1..=2)?;
+            let x = args[0].as_float()?;
+            if args.len() == 2 {
+                let digits = args[1].as_int()?;
+                let mul = 10f64.powi(digits as i32);
+                Ok(Value::Float((x * mul).round() / mul))
+            } else {
+                Ok(Value::Float(x.round()))
+            }
+        }
+        Trunc => {
+            arity("trunc", args, 1..=1)?;
+            Ok(Value::Float(args[0].as_float()?.trunc()))
+        }
+        Sqrt => {
+            arity("sqrt", args, 1..=1)?;
+            let x = args[0].as_float()?;
+            if x < 0.0 {
+                return Err(Error::exec("cannot take square root of a negative number"));
+            }
+            Ok(Value::Float(x.sqrt()))
+        }
+        Power => {
+            arity("power", args, 2..=2)?;
+            Ok(Value::Float(args[0].as_float()?.powf(args[1].as_float()?)))
+        }
+        Exp => {
+            arity("exp", args, 1..=1)?;
+            Ok(Value::Float(args[0].as_float()?.exp()))
+        }
+        Ln => {
+            arity("ln", args, 1..=1)?;
+            let x = args[0].as_float()?;
+            if x <= 0.0 {
+                return Err(Error::exec("cannot take logarithm of a non-positive number"));
+            }
+            Ok(Value::Float(x.ln()))
+        }
+        Mod => {
+            arity("mod", args, 2..=2)?;
+            args[0].rem(&args[1])
+        }
+        Length => {
+            arity("length", args, 1..=1)?;
+            Ok(Value::Int(args[0].as_text()?.chars().count() as i64))
+        }
+        Lower => {
+            arity("lower", args, 1..=1)?;
+            Ok(Value::text(args[0].as_text()?.to_lowercase()))
+        }
+        Upper => {
+            arity("upper", args, 1..=1)?;
+            Ok(Value::text(args[0].as_text()?.to_uppercase()))
+        }
+        Substr => {
+            arity("substr", args, 2..=3)?;
+            let s: Vec<char> = args[0].as_text()?.chars().collect();
+            let start = args[1].as_int()?; // 1-based, may be <= 0 like PG
+            let len = if args.len() == 3 {
+                let l = args[2].as_int()?;
+                if l < 0 {
+                    return Err(Error::exec("negative substring length not allowed"));
+                }
+                Some(l)
+            } else {
+                None
+            };
+            // PostgreSQL semantics: the substring is the intersection of
+            // [start, start+len) with [1, n].
+            let from = start.max(1);
+            let to = match len {
+                Some(l) => start.saturating_add(l), // exclusive
+                None => s.len() as i64 + 1,
+            };
+            let from_idx = (from - 1).clamp(0, s.len() as i64) as usize;
+            let to_idx = (to - 1).clamp(0, s.len() as i64) as usize;
+            Ok(Value::text(
+                s[from_idx..to_idx.max(from_idx)].iter().collect::<String>(),
+            ))
+        }
+        Replace => {
+            arity("replace", args, 3..=3)?;
+            Ok(Value::text(args[0]
+                .as_text()?
+                .replace(args[1].as_text()?, args[2].as_text()?)))
+        }
+        Trim => {
+            arity("trim", args, 1..=1)?;
+            Ok(Value::text(args[0].as_text()?.trim()))
+        }
+        Ltrim => {
+            arity("ltrim", args, 1..=1)?;
+            Ok(Value::text(args[0].as_text()?.trim_start()))
+        }
+        Rtrim => {
+            arity("rtrim", args, 1..=1)?;
+            Ok(Value::text(args[0].as_text()?.trim_end()))
+        }
+        Strpos => {
+            arity("strpos", args, 2..=2)?;
+            let hay = args[0].as_text()?;
+            let needle = args[1].as_text()?;
+            Ok(Value::Int(match hay.find(needle) {
+                Some(byte_pos) => hay[..byte_pos].chars().count() as i64 + 1,
+                None => 0,
+            }))
+        }
+        LeftStr => {
+            arity("left", args, 2..=2)?;
+            let s: Vec<char> = args[0].as_text()?.chars().collect();
+            let n = args[1].as_int()?;
+            let keep = if n >= 0 {
+                (n as usize).min(s.len())
+            } else {
+                s.len().saturating_sub((-n) as usize)
+            };
+            Ok(Value::text(s[..keep].iter().collect::<String>()))
+        }
+        RightStr => {
+            arity("right", args, 2..=2)?;
+            let s: Vec<char> = args[0].as_text()?.chars().collect();
+            let n = args[1].as_int()?;
+            let skip = if n >= 0 {
+                s.len().saturating_sub(n as usize)
+            } else {
+                ((-n) as usize).min(s.len())
+            };
+            Ok(Value::text(s[skip..].iter().collect::<String>()))
+        }
+        Repeat => {
+            arity("repeat", args, 2..=2)?;
+            let n = args[1].as_int()?.max(0) as usize;
+            Ok(Value::text(args[0].as_text()?.repeat(n)))
+        }
+        Reverse => {
+            arity("reverse", args, 1..=1)?;
+            Ok(Value::text(args[0].as_text()?.chars().rev().collect::<String>()))
+        }
+        Chr => {
+            arity("chr", args, 1..=1)?;
+            let code = args[0].as_int()?;
+            let c = u32::try_from(code)
+                .ok()
+                .and_then(char::from_u32)
+                .ok_or_else(|| Error::exec(format!("chr: invalid code point {code}")))?;
+            Ok(Value::text(c.to_string()))
+        }
+        Ascii => {
+            arity("ascii", args, 1..=1)?;
+            let s = args[0].as_text()?;
+            Ok(match s.chars().next() {
+                Some(c) => Value::Int(c as i64),
+                None => Value::Int(0),
+            })
+        }
+        RowField => {
+            arity("row_field", args, 2..=2)?;
+            let rec = args[0].as_record()?;
+            let i = args[1].as_int()?;
+            if i < 1 || i as usize > rec.len() {
+                return Err(Error::exec(format!(
+                    "row_field: index {i} out of bounds for record of width {}",
+                    rec.len()
+                )));
+            }
+            Ok(rec[(i - 1) as usize].clone())
+        }
+        Random | Concat | Nullif | Greatest | Least => unreachable!("handled above"),
+    }
+}
+
+/// SQL `LIKE` pattern matching (`%` any run, `_` single char).
+pub fn like_match(text: &str, pattern: &str) -> bool {
+    let t: Vec<char> = text.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    // Iterative two-pointer with backtracking on the last `%`.
+    let (mut ti, mut pi) = (0usize, 0usize);
+    let mut star: Option<(usize, usize)> = None;
+    while ti < t.len() {
+        if pi < p.len() && (p[pi] == '_' || p[pi] == t[ti]) {
+            ti += 1;
+            pi += 1;
+        } else if pi < p.len() && p[pi] == '%' {
+            star = Some((pi, ti));
+            pi += 1;
+        } else if let Some((sp, st)) = star {
+            pi = sp + 1;
+            ti = st + 1;
+            star = Some((sp, st + 1));
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '%' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SessionRng {
+        SessionRng::new(1)
+    }
+
+    fn call(f: ScalarFn, args: &[Value]) -> Value {
+        eval_scalar(f, args, &mut rng()).unwrap()
+    }
+
+    #[test]
+    fn strict_null_propagation() {
+        assert!(call(ScalarFn::Abs, &[Value::Null]).is_null());
+        assert!(call(ScalarFn::Substr, &[Value::text("ab"), Value::Null]).is_null());
+    }
+
+    #[test]
+    fn sign_matches_paper_usage() {
+        // walk() returns `step * sign(reward)`.
+        assert_eq!(call(ScalarFn::Sign, &[Value::Int(-7)]), Value::Int(-1));
+        assert_eq!(call(ScalarFn::Sign, &[Value::Int(0)]), Value::Int(0));
+        assert_eq!(call(ScalarFn::Sign, &[Value::Int(3)]), Value::Int(1));
+        assert_eq!(
+            call(ScalarFn::Sign, &[Value::Float(-0.5)]),
+            Value::Float(-1.0)
+        );
+    }
+
+    #[test]
+    fn substr_pg_semantics() {
+        let s = Value::text("hello");
+        assert_eq!(
+            call(ScalarFn::Substr, &[s.clone(), Value::Int(2)]),
+            Value::text("ello")
+        );
+        assert_eq!(
+            call(ScalarFn::Substr, &[s.clone(), Value::Int(2), Value::Int(2)]),
+            Value::text("el")
+        );
+        // Start before the string: PG keeps the overlap.
+        assert_eq!(
+            call(ScalarFn::Substr, &[s.clone(), Value::Int(-1), Value::Int(4)]),
+            Value::text("he")
+        );
+        // Past the end.
+        assert_eq!(
+            call(ScalarFn::Substr, &[s, Value::Int(10)]),
+            Value::text("")
+        );
+    }
+
+    #[test]
+    fn concat_skips_nulls() {
+        assert_eq!(
+            call(
+                ScalarFn::Concat,
+                &[Value::text("a"), Value::Null, Value::Int(3)]
+            ),
+            Value::text("a3")
+        );
+    }
+
+    #[test]
+    fn greatest_least_skip_nulls() {
+        assert_eq!(
+            call(
+                ScalarFn::Greatest,
+                &[Value::Null, Value::Int(2), Value::Int(5)]
+            ),
+            Value::Int(5)
+        );
+        assert_eq!(
+            call(ScalarFn::Least, &[Value::Int(2), Value::Float(1.5)]),
+            Value::Float(1.5)
+        );
+        assert!(call(ScalarFn::Greatest, &[Value::Null]).is_null());
+    }
+
+    #[test]
+    fn nullif_basic() {
+        assert!(call(ScalarFn::Nullif, &[Value::Int(1), Value::Int(1)]).is_null());
+        assert_eq!(
+            call(ScalarFn::Nullif, &[Value::Int(1), Value::Int(2)]),
+            Value::Int(1)
+        );
+    }
+
+    #[test]
+    fn random_uses_session_rng_deterministically() {
+        let mut r1 = SessionRng::new(99);
+        let mut r2 = SessionRng::new(99);
+        let a = eval_scalar(ScalarFn::Random, &[], &mut r1).unwrap();
+        let b = eval_scalar(ScalarFn::Random, &[], &mut r2).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn row_field_is_one_based() {
+        let rec = Value::coord(3, 2);
+        assert_eq!(
+            call(ScalarFn::RowField, &[rec.clone(), Value::Int(1)]),
+            Value::Int(3)
+        );
+        assert_eq!(
+            call(ScalarFn::RowField, &[rec.clone(), Value::Int(2)]),
+            Value::Int(2)
+        );
+        assert!(eval_scalar(
+            ScalarFn::RowField,
+            &[rec, Value::Int(3)],
+            &mut rng()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn string_functions() {
+        assert_eq!(call(ScalarFn::Length, &[Value::text("héllo")]), Value::Int(5));
+        assert_eq!(
+            call(ScalarFn::Strpos, &[Value::text("hello"), Value::text("ll")]),
+            Value::Int(3)
+        );
+        assert_eq!(
+            call(ScalarFn::LeftStr, &[Value::text("hello"), Value::Int(2)]),
+            Value::text("he")
+        );
+        assert_eq!(
+            call(ScalarFn::RightStr, &[Value::text("hello"), Value::Int(-2)]),
+            Value::text("llo")
+        );
+        assert_eq!(
+            call(ScalarFn::Reverse, &[Value::text("abc")]),
+            Value::text("cba")
+        );
+        assert_eq!(
+            call(ScalarFn::Repeat, &[Value::text("ab"), Value::Int(3)]),
+            Value::text("ababab")
+        );
+    }
+
+    #[test]
+    fn math_edge_cases() {
+        assert!(eval_scalar(ScalarFn::Sqrt, &[Value::Int(-1)], &mut rng()).is_err());
+        assert!(eval_scalar(ScalarFn::Ln, &[Value::Int(0)], &mut rng()).is_err());
+        assert!(eval_scalar(ScalarFn::Abs, &[Value::Int(i64::MIN)], &mut rng()).is_err());
+        assert_eq!(
+            call(ScalarFn::Round, &[Value::Float(2.345), Value::Int(2)]),
+            Value::Float(2.35)
+        );
+        assert_eq!(
+            call(ScalarFn::Mod, &[Value::Int(7), Value::Int(3)]),
+            Value::Int(1)
+        );
+    }
+
+    #[test]
+    fn like_patterns() {
+        assert!(like_match("hello", "hello"));
+        assert!(like_match("hello", "h%"));
+        assert!(like_match("hello", "%llo"));
+        assert!(like_match("hello", "h_llo"));
+        assert!(like_match("hello", "%"));
+        assert!(!like_match("hello", "h_"));
+        assert!(!like_match("hello", "x%"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("", "_"));
+        assert!(like_match("a%b", "a%b")); // literal text still matches itself
+        assert!(like_match("axxxb", "a%b"));
+    }
+}

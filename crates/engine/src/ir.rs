@@ -1,0 +1,616 @@
+//! Compiled expression IR and physical plan nodes.
+//!
+//! The planner translates the SQL AST into these types once per prepared
+//! statement; execution then never touches names again. Column references
+//! become [`ExprIr::Slot`] — `(depth, index)` into the runtime scope stack,
+//! where depth 0 is the row of the node evaluating the expression and outer
+//! depths are pushed by LATERAL joins and correlated subqueries. This mirrors
+//! PostgreSQL's Var nodes with `varlevelsup`.
+
+use std::sync::Arc;
+
+use plaway_common::{Type, Value};
+use plaway_sql::ast::{BinOp, JoinKind, SetOp};
+
+/// Compiled scalar expression.
+#[derive(Debug, Clone)]
+pub enum ExprIr {
+    Const(Value),
+    /// Scope-stack reference: `depth` levels up, column `index`.
+    Slot { depth: usize, index: usize },
+    /// Prepared-statement parameter (PL/pgSQL variable or UDF argument).
+    Param(usize),
+    Neg(Box<ExprIr>),
+    Not(Box<ExprIr>),
+    Binary {
+        op: BinOp,
+        left: Box<ExprIr>,
+        right: Box<ExprIr>,
+    },
+    IsNull {
+        expr: Box<ExprIr>,
+        negated: bool,
+    },
+    Between {
+        expr: Box<ExprIr>,
+        low: Box<ExprIr>,
+        high: Box<ExprIr>,
+        negated: bool,
+    },
+    Case {
+        operand: Option<Box<ExprIr>>,
+        branches: Vec<(ExprIr, ExprIr)>,
+        else_: Option<Box<ExprIr>>,
+    },
+    /// Lazily evaluated COALESCE (first non-NULL argument).
+    Coalesce(Vec<ExprIr>),
+    /// Built-in scalar function (fixed at plan time).
+    Scalar {
+        func: ScalarFn,
+        args: Vec<ExprIr>,
+    },
+    /// SQL-language UDF call, resolved to its body plan at runtime through
+    /// the session's function-plan cache (this indirection is what permits
+    /// recursive UDFs).
+    UdfCall {
+        name: String,
+        args: Vec<ExprIr>,
+    },
+    /// Scalar subquery: must yield at most one row, one column.
+    Subplan(Arc<PlanNode>),
+    Exists {
+        plan: Arc<PlanNode>,
+    },
+    InList {
+        expr: Box<ExprIr>,
+        list: Vec<ExprIr>,
+        negated: bool,
+    },
+    InPlan {
+        expr: Box<ExprIr>,
+        plan: Arc<PlanNode>,
+        negated: bool,
+    },
+    Like {
+        expr: Box<ExprIr>,
+        pattern: Box<ExprIr>,
+        negated: bool,
+    },
+    Row(Vec<ExprIr>),
+    Cast {
+        expr: Box<ExprIr>,
+        ty: Type,
+    },
+}
+
+impl ExprIr {
+    pub fn slot(index: usize) -> ExprIr {
+        ExprIr::Slot { depth: 0, index }
+    }
+
+    /// Is this expression free of subplans, UDF calls and `random()`?
+    /// Such expressions are safe to evaluate on the PL/pgSQL fast path and
+    /// safe for the dead-code eliminator to discard.
+    pub fn is_pure_scalar(&self) -> bool {
+        match self {
+            ExprIr::Const(_) | ExprIr::Slot { .. } | ExprIr::Param(_) => true,
+            ExprIr::Neg(e) | ExprIr::Not(e) => e.is_pure_scalar(),
+            ExprIr::Binary { left, right, .. } => {
+                left.is_pure_scalar() && right.is_pure_scalar()
+            }
+            ExprIr::IsNull { expr, .. } => expr.is_pure_scalar(),
+            ExprIr::Between {
+                expr, low, high, ..
+            } => expr.is_pure_scalar() && low.is_pure_scalar() && high.is_pure_scalar(),
+            ExprIr::Case {
+                operand,
+                branches,
+                else_,
+            } => {
+                operand.as_deref().is_none_or(ExprIr::is_pure_scalar)
+                    && branches
+                        .iter()
+                        .all(|(w, t)| w.is_pure_scalar() && t.is_pure_scalar())
+                    && else_.as_deref().is_none_or(ExprIr::is_pure_scalar)
+            }
+            ExprIr::Coalesce(args) => args.iter().all(ExprIr::is_pure_scalar),
+            ExprIr::Scalar { func, args } => {
+                *func != ScalarFn::Random && args.iter().all(ExprIr::is_pure_scalar)
+            }
+            ExprIr::UdfCall { .. }
+            | ExprIr::Subplan(_)
+            | ExprIr::Exists { .. }
+            | ExprIr::InPlan { .. } => false,
+            ExprIr::InList { expr, list, .. } => {
+                expr.is_pure_scalar() && list.iter().all(ExprIr::is_pure_scalar)
+            }
+            ExprIr::Like { expr, pattern, .. } => {
+                expr.is_pure_scalar() && pattern.is_pure_scalar()
+            }
+            ExprIr::Row(items) => items.iter().all(ExprIr::is_pure_scalar),
+            ExprIr::Cast { expr, .. } => expr.is_pure_scalar(),
+        }
+    }
+}
+
+/// Built-in scalar functions. Dispatch is a plain enum match — no dynamic
+/// lookup at evaluation time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalarFn {
+    Abs,
+    Sign,
+    Floor,
+    Ceil,
+    Round,
+    Trunc,
+    Sqrt,
+    Power,
+    Exp,
+    Ln,
+    Mod,
+    Random,
+    Length,
+    Lower,
+    Upper,
+    Substr,
+    Concat,
+    Replace,
+    Trim,
+    Ltrim,
+    Rtrim,
+    Strpos,
+    LeftStr,
+    RightStr,
+    Repeat,
+    Reverse,
+    Chr,
+    Ascii,
+    Nullif,
+    Greatest,
+    Least,
+    /// Engine extension: positional field access into a record value,
+    /// `row_field(rec, i)` (1-based) — used by the packed-arguments CTE
+    /// layout the paper's Figure 8 template implies.
+    RowField,
+}
+
+impl ScalarFn {
+    /// Resolve a function name; returns `None` for names that are not
+    /// built-ins (candidate UDF calls).
+    pub fn from_name(name: &str) -> Option<ScalarFn> {
+        Some(match name {
+            "abs" => ScalarFn::Abs,
+            "sign" => ScalarFn::Sign,
+            "floor" => ScalarFn::Floor,
+            "ceil" | "ceiling" => ScalarFn::Ceil,
+            "round" => ScalarFn::Round,
+            "trunc" => ScalarFn::Trunc,
+            "sqrt" => ScalarFn::Sqrt,
+            "power" | "pow" => ScalarFn::Power,
+            "exp" => ScalarFn::Exp,
+            "ln" => ScalarFn::Ln,
+            "mod" => ScalarFn::Mod,
+            "random" => ScalarFn::Random,
+            "length" | "char_length" => ScalarFn::Length,
+            "lower" => ScalarFn::Lower,
+            "upper" => ScalarFn::Upper,
+            "substr" | "substring" => ScalarFn::Substr,
+            "concat" => ScalarFn::Concat,
+            "replace" => ScalarFn::Replace,
+            "trim" | "btrim" => ScalarFn::Trim,
+            "ltrim" => ScalarFn::Ltrim,
+            "rtrim" => ScalarFn::Rtrim,
+            "strpos" | "position" => ScalarFn::Strpos,
+            "left" => ScalarFn::LeftStr,
+            "right" => ScalarFn::RightStr,
+            "repeat" => ScalarFn::Repeat,
+            "reverse" => ScalarFn::Reverse,
+            "chr" => ScalarFn::Chr,
+            "ascii" => ScalarFn::Ascii,
+            "nullif" => ScalarFn::Nullif,
+            "greatest" => ScalarFn::Greatest,
+            "least" => ScalarFn::Least,
+            "row_field" => ScalarFn::RowField,
+            _ => return None,
+        })
+    }
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFn {
+    Count,
+    CountStar,
+    Sum,
+    Avg,
+    Min,
+    Max,
+    BoolAnd,
+    BoolOr,
+}
+
+impl AggFn {
+    pub fn from_name(name: &str) -> Option<AggFn> {
+        Some(match name {
+            "count" => AggFn::Count,
+            "sum" => AggFn::Sum,
+            "avg" => AggFn::Avg,
+            "min" => AggFn::Min,
+            "max" => AggFn::Max,
+            "bool_and" | "every" => AggFn::BoolAnd,
+            "bool_or" => AggFn::BoolOr,
+            _ => return None,
+        })
+    }
+}
+
+/// Window functions: either an aggregate over a frame, or a rank-family
+/// function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WinFn {
+    Agg(AggFn),
+    RowNumber,
+    Rank,
+    DenseRank,
+    Lag,
+    Lead,
+    FirstValue,
+    LastValue,
+}
+
+impl WinFn {
+    pub fn from_name(name: &str) -> Option<WinFn> {
+        Some(match name {
+            "row_number" => WinFn::RowNumber,
+            "rank" => WinFn::Rank,
+            "dense_rank" => WinFn::DenseRank,
+            "lag" => WinFn::Lag,
+            "lead" => WinFn::Lead,
+            "first_value" => WinFn::FirstValue,
+            "last_value" => WinFn::LastValue,
+            other => WinFn::Agg(AggFn::from_name(other)?),
+        })
+    }
+}
+
+/// One aggregate in an [`PlanNode::Agg`] node.
+#[derive(Debug, Clone)]
+pub struct AggSpec {
+    pub func: AggFn,
+    /// `None` for `COUNT(*)`.
+    pub arg: Option<ExprIr>,
+    pub distinct: bool,
+}
+
+/// Sort key, already compiled.
+#[derive(Debug, Clone)]
+pub struct SortKey {
+    pub expr: ExprIr,
+    pub desc: bool,
+    /// Resolved (PostgreSQL default applied at plan time).
+    pub nulls_first: bool,
+}
+
+/// Compiled window frame.
+#[derive(Debug, Clone)]
+pub struct FrameIr {
+    pub units: plaway_sql::ast::FrameUnits,
+    pub start: plaway_sql::ast::FrameBound,
+    pub end: plaway_sql::ast::FrameBound,
+    pub exclude_current_row: bool,
+}
+
+/// One window expression computed by a [`PlanNode::WindowAgg`].
+#[derive(Debug, Clone)]
+pub struct WindowExprIr {
+    pub func: WinFn,
+    pub args: Vec<ExprIr>,
+    pub partition_by: Vec<ExprIr>,
+    pub order_by: Vec<SortKey>,
+    pub frame: Option<FrameIr>,
+}
+
+/// How a recursive CTE accumulates rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecursionMode {
+    /// `WITH RECURSIVE`: the union of all iterations survives (a trace of
+    /// the whole call history — the paper's §3 complaint).
+    Accumulate,
+    /// `WITH ITERATE` (Passing et al.): only the final iteration survives;
+    /// nothing accumulates, nothing spills.
+    IterateOnly,
+}
+
+/// A planned common table expression.
+#[derive(Debug, Clone)]
+pub enum CtePlan {
+    /// Materialized once before the body runs.
+    Plain { index: usize, plan: PlanNode },
+    /// Fixpoint evaluation: `base UNION [ALL] recursive`.
+    Recursive {
+        index: usize,
+        base: PlanNode,
+        recursive: PlanNode,
+        mode: RecursionMode,
+        /// `UNION ALL` (true) vs deduplicating `UNION` (false).
+        union_all: bool,
+    },
+}
+
+impl CtePlan {
+    pub fn index(&self) -> usize {
+        match self {
+            CtePlan::Plain { index, .. } | CtePlan::Recursive { index, .. } => *index,
+        }
+    }
+}
+
+/// Physical plan operators. Execution materializes each node's full output
+/// (rows are small; the paper's workloads iterate, they don't build big
+/// intermediate relations).
+#[derive(Debug, Clone)]
+pub enum PlanNode {
+    /// Full scan of a base table.
+    SeqScan { table: String },
+    /// Hash-index point lookup: rows of `table` where `column = key`.
+    IndexLookup {
+        table: String,
+        column: usize,
+        key: ExprIr,
+    },
+    /// Literal rows.
+    Values { rows: Vec<Vec<ExprIr>> },
+    /// Table-less one-row SELECT (`SELECT 1 + 2`).
+    Result { exprs: Vec<ExprIr> },
+    Filter {
+        input: Box<PlanNode>,
+        pred: ExprIr,
+    },
+    Project {
+        input: Box<PlanNode>,
+        exprs: Vec<ExprIr>,
+    },
+    /// Fused LATERAL let-chain: for each input row, evaluate `exprs` left to
+    /// right, each seeing the row extended so far (depth 0). Replaces the
+    /// `LEFT JOIN LATERAL (SELECT e) ...` chains the PL/SQL compiler emits,
+    /// avoiding per-level row rebuilding.
+    Extend {
+        input: Box<PlanNode>,
+        exprs: Vec<ExprIr>,
+    },
+    /// Nested-loop join. With `lateral`, the right side is re-executed per
+    /// left row with the left row pushed onto the scope stack.
+    NestLoop {
+        left: Box<PlanNode>,
+        right: Box<PlanNode>,
+        kind: JoinKind,
+        lateral: bool,
+        on: Option<ExprIr>,
+        /// Width of the right side, needed to pad NULLs for LEFT joins.
+        right_width: usize,
+    },
+    /// Grouped or scalar aggregation. Output: group keys then aggregates.
+    Agg {
+        input: Box<PlanNode>,
+        keys: Vec<ExprIr>,
+        aggs: Vec<AggSpec>,
+        /// No GROUP BY: always exactly one output row.
+        scalar: bool,
+    },
+    /// Appends one column per window expression to each input row.
+    WindowAgg {
+        input: Box<PlanNode>,
+        windows: Vec<WindowExprIr>,
+    },
+    Sort {
+        input: Box<PlanNode>,
+        keys: Vec<SortKey>,
+    },
+    Distinct { input: Box<PlanNode> },
+    Limit {
+        input: Box<PlanNode>,
+        limit: Option<ExprIr>,
+        offset: Option<ExprIr>,
+    },
+    /// UNION ALL of independently planned inputs.
+    Append { inputs: Vec<PlanNode> },
+    /// Deduplicating / bag set operations other than UNION ALL.
+    SetOpNode {
+        op: SetOp,
+        all: bool,
+        left: Box<PlanNode>,
+        right: Box<PlanNode>,
+    },
+    /// CTE scope: materialize/iterate each CTE, then run the body.
+    With {
+        ctes: Vec<CtePlan>,
+        body: Box<PlanNode>,
+    },
+    /// Scan of a materialized CTE result.
+    CteScan { index: usize },
+    /// Scan of the recursive working table (inside a recursive arm).
+    WorkingScan { index: usize },
+}
+
+impl PlanNode {
+    /// Count plan nodes — a proxy for "plan size" used in instrumentation
+    /// assertions and EXPLAIN-style output.
+    pub fn node_count(&self) -> usize {
+        let mut n = 1;
+        self.for_each_child(&mut |c| n += c.node_count());
+        n
+    }
+
+    fn for_each_child(&self, f: &mut impl FnMut(&PlanNode)) {
+        match self {
+            PlanNode::SeqScan { .. }
+            | PlanNode::IndexLookup { .. }
+            | PlanNode::Values { .. }
+            | PlanNode::Result { .. }
+            | PlanNode::CteScan { .. }
+            | PlanNode::WorkingScan { .. } => {}
+            PlanNode::Filter { input, .. }
+            | PlanNode::Project { input, .. }
+            | PlanNode::Extend { input, .. }
+            | PlanNode::Agg { input, .. }
+            | PlanNode::WindowAgg { input, .. }
+            | PlanNode::Sort { input, .. }
+            | PlanNode::Distinct { input }
+            | PlanNode::Limit { input, .. } => f(input),
+            PlanNode::NestLoop { left, right, .. } => {
+                f(left);
+                f(right);
+            }
+            PlanNode::Append { inputs } => {
+                for i in inputs {
+                    f(i);
+                }
+            }
+            PlanNode::SetOpNode { left, right, .. } => {
+                f(left);
+                f(right);
+            }
+            PlanNode::With { ctes, body } => {
+                for c in ctes {
+                    match c {
+                        CtePlan::Plain { plan, .. } => f(plan),
+                        CtePlan::Recursive {
+                            base, recursive, ..
+                        } => {
+                            f(base);
+                            f(recursive);
+                        }
+                    }
+                }
+                f(body);
+            }
+        }
+    }
+
+    /// One-line operator name for EXPLAIN output.
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            PlanNode::SeqScan { .. } => "SeqScan",
+            PlanNode::IndexLookup { .. } => "IndexLookup",
+            PlanNode::Values { .. } => "Values",
+            PlanNode::Result { .. } => "Result",
+            PlanNode::Filter { .. } => "Filter",
+            PlanNode::Project { .. } => "Project",
+            PlanNode::Extend { .. } => "Extend",
+            PlanNode::NestLoop { .. } => "NestLoop",
+            PlanNode::Agg { .. } => "Aggregate",
+            PlanNode::WindowAgg { .. } => "WindowAgg",
+            PlanNode::Sort { .. } => "Sort",
+            PlanNode::Distinct { .. } => "Distinct",
+            PlanNode::Limit { .. } => "Limit",
+            PlanNode::Append { .. } => "Append",
+            PlanNode::SetOpNode { .. } => "SetOp",
+            PlanNode::With { .. } => "With",
+            PlanNode::CteScan { .. } => "CteScan",
+            PlanNode::WorkingScan { .. } => "WorkingScan",
+        }
+    }
+
+    /// Indented EXPLAIN-style rendering.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.explain_into(&mut out, 0);
+        out
+    }
+
+    fn explain_into(&self, out: &mut String, depth: usize) {
+        use std::fmt::Write;
+        let pad = "  ".repeat(depth);
+        match self {
+            PlanNode::SeqScan { table } => {
+                let _ = writeln!(out, "{pad}SeqScan on {table}");
+            }
+            PlanNode::IndexLookup { table, column, .. } => {
+                let _ = writeln!(out, "{pad}IndexLookup on {table} (col #{column})");
+            }
+            PlanNode::NestLoop { kind, lateral, .. } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}NestLoop {:?}{}",
+                    kind,
+                    if *lateral { " LATERAL" } else { "" }
+                );
+            }
+            PlanNode::With { ctes, .. } => {
+                let kinds: Vec<&str> = ctes
+                    .iter()
+                    .map(|c| match c {
+                        CtePlan::Plain { .. } => "plain",
+                        CtePlan::Recursive {
+                            mode: RecursionMode::Accumulate,
+                            ..
+                        } => "recursive",
+                        CtePlan::Recursive {
+                            mode: RecursionMode::IterateOnly,
+                            ..
+                        } => "iterate",
+                    })
+                    .collect();
+                let _ = writeln!(out, "{pad}With [{}]", kinds.join(", "));
+            }
+            other => {
+                let _ = writeln!(out, "{pad}{}", other.op_name());
+            }
+        }
+        self.for_each_child(&mut |c| c.explain_into(out, depth + 1));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_fn_name_resolution() {
+        assert_eq!(ScalarFn::from_name("abs"), Some(ScalarFn::Abs));
+        assert_eq!(ScalarFn::from_name("ceiling"), Some(ScalarFn::Ceil));
+        assert_eq!(ScalarFn::from_name("no_such_fn"), None);
+    }
+
+    #[test]
+    fn win_fn_covers_aggregates() {
+        assert_eq!(WinFn::from_name("sum"), Some(WinFn::Agg(AggFn::Sum)));
+        assert_eq!(WinFn::from_name("row_number"), Some(WinFn::RowNumber));
+        assert_eq!(WinFn::from_name("nope"), None);
+    }
+
+    #[test]
+    fn purity_classification() {
+        let pure = ExprIr::Binary {
+            op: BinOp::Add,
+            left: Box::new(ExprIr::slot(0)),
+            right: Box::new(ExprIr::Const(Value::Int(1))),
+        };
+        assert!(pure.is_pure_scalar());
+        let random = ExprIr::Scalar {
+            func: ScalarFn::Random,
+            args: vec![],
+        };
+        assert!(!random.is_pure_scalar());
+        let udf = ExprIr::UdfCall {
+            name: "f".into(),
+            args: vec![],
+        };
+        assert!(!udf.is_pure_scalar());
+    }
+
+    #[test]
+    fn node_count_and_explain() {
+        let plan = PlanNode::Project {
+            input: Box::new(PlanNode::Filter {
+                input: Box::new(PlanNode::SeqScan { table: "t".into() }),
+                pred: ExprIr::Const(Value::Bool(true)),
+            }),
+            exprs: vec![ExprIr::slot(0)],
+        };
+        assert_eq!(plan.node_count(), 3);
+        let text = plan.explain();
+        assert!(text.contains("Project"));
+        assert!(text.contains("SeqScan on t"));
+    }
+}

@@ -1,0 +1,1692 @@
+//! AST → physical plan translation.
+//!
+//! The planner is rule-based (no cost model): scans become `SeqScan` or — when
+//! a hash index matches an equality conjunct — `IndexLookup`; joins become
+//! nested loops; `WITH RECURSIVE` / `WITH ITERATE` become fixpoint plans.
+//!
+//! Name resolution uses a *scope chain* (innermost scope last). Column
+//! references compile to `(depth, index)` slots; identifiers that resolve in
+//! no scope fall back to the statement's [`ParamScope`] — this implements
+//! PL/pgSQL variable substitution inside embedded queries, exactly the
+//! mechanism PostgreSQL uses for `Q1[location1]`-style parameterized plans.
+
+use std::sync::Arc;
+
+use plaway_common::{Error, Result, Type, Value};
+use plaway_sql::ast::{
+    self, Expr, JoinKind, OrderItem, Query, Select, SelectItem, SetExpr, SetOp, TableRef,
+    WindowRef, WindowSpec,
+};
+
+use crate::catalog::{Catalog, FunctionDef};
+use crate::ir::{
+    AggFn, AggSpec, CtePlan, ExprIr, FrameIr, PlanNode, RecursionMode, ScalarFn, SortKey,
+    WinFn, WindowExprIr,
+};
+
+/// Parameter scope: maps free identifiers to parameter indexes. Order is
+/// binding order — the session binds values positionally.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ParamScope {
+    pub names: Vec<String>,
+}
+
+impl ParamScope {
+    pub fn new(names: Vec<String>) -> Self {
+        ParamScope { names }
+    }
+
+    fn index_of(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+}
+
+/// A fully planned statement, cache-ready.
+#[derive(Debug, Clone)]
+pub struct PreparedPlan {
+    pub sql: String,
+    pub plan: PlanNode,
+    /// Output column names.
+    pub columns: Vec<String>,
+    pub param_names: Vec<String>,
+    /// Catalog version at plan time; mismatches invalidate the cache entry.
+    pub catalog_version: u64,
+    /// Number of CTE slots this plan allocates.
+    pub cte_count: usize,
+}
+
+/// One column visible in a scope.
+#[derive(Debug, Clone)]
+struct ColMeta {
+    qualifier: Option<String>,
+    name: String,
+}
+
+/// One level of the name-resolution chain: the columns of a row layout.
+#[derive(Debug, Clone, Default)]
+struct Scope {
+    cols: Vec<ColMeta>,
+}
+
+impl Scope {
+    fn from_names(qualifier: Option<&str>, names: &[String]) -> Scope {
+        Scope {
+            cols: names
+                .iter()
+                .map(|n| ColMeta {
+                    qualifier: qualifier.map(str::to_string),
+                    name: n.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    fn concat(mut self, other: Scope) -> Scope {
+        self.cols.extend(other.cols);
+        self
+    }
+
+    fn names(&self) -> Vec<String> {
+        self.cols.iter().map(|c| c.name.clone()).collect()
+    }
+
+    /// Find a column; errors on in-scope ambiguity.
+    fn find(&self, qualifier: Option<&str>, name: &str) -> Result<Option<usize>> {
+        let mut hit = None;
+        for (i, c) in self.cols.iter().enumerate() {
+            let q_match = match qualifier {
+                None => true,
+                Some(q) => c.qualifier.as_deref() == Some(q),
+            };
+            if q_match && c.name == name {
+                if hit.is_some() {
+                    return Err(Error::plan(format!(
+                        "column reference {:?} is ambiguous",
+                        match qualifier {
+                            Some(q) => format!("{q}.{name}"),
+                            None => name.to_string(),
+                        }
+                    )));
+                }
+                hit = Some(i);
+            }
+        }
+        Ok(hit)
+    }
+}
+
+/// Visible CTE binding during planning.
+#[derive(Debug, Clone)]
+struct CteBinding {
+    name: String,
+    index: usize,
+    cols: Vec<String>,
+    /// Inside the recursive arm the self-reference reads the working table.
+    working: bool,
+}
+
+pub struct Planner<'a> {
+    catalog: &'a Catalog,
+    params: Option<&'a ParamScope>,
+    ctes: Vec<CteBinding>,
+    next_cte_index: usize,
+}
+
+/// Plan a full query with an optional parameter scope.
+pub fn plan_query(
+    catalog: &Catalog,
+    query: &Query,
+    params: Option<&ParamScope>,
+) -> Result<PreparedPlan> {
+    let mut p = Planner {
+        catalog,
+        params,
+        ctes: Vec::new(),
+        next_cte_index: 0,
+    };
+    let mut chain = Vec::new();
+    let (plan, scope) = p.plan_query(query, &mut chain)?;
+    Ok(PreparedPlan {
+        sql: query.to_string(),
+        plan,
+        columns: scope.names(),
+        param_names: params.map(|ps| ps.names.clone()).unwrap_or_default(),
+        catalog_version: catalog.version,
+        cte_count: p.next_cte_index,
+    })
+}
+
+/// Plan a bare scalar expression (PL/pgSQL expression evaluation).
+pub fn plan_expr(
+    catalog: &Catalog,
+    expr: &Expr,
+    params: Option<&ParamScope>,
+) -> Result<ExprIr> {
+    let mut p = Planner {
+        catalog,
+        params,
+        ctes: Vec::new(),
+        next_cte_index: 0,
+    };
+    let chain: Vec<Scope> = Vec::new();
+    let cx = ExprCx {
+        chain: &chain,
+        replacements: &[],
+    };
+    p.compile_expr(expr, &cx)
+}
+
+/// Plan the body of a SQL-language UDF: a single query over the function's
+/// parameters, returning one column.
+pub fn plan_udf_body(catalog: &Catalog, def: &FunctionDef) -> Result<PreparedPlan> {
+    let query = plaway_sql::parse_query(&def.body).map_err(|e| {
+        Error::plan(format!("in body of function {:?}: {e}", def.name))
+    })?;
+    let ps = ParamScope::new(def.params.iter().map(|(n, _)| n.clone()).collect());
+    let plan = plan_query(catalog, &query, Some(&ps))?;
+    if plan.columns.len() != 1 {
+        return Err(Error::plan(format!(
+            "function {:?} body must return exactly one column, returns {}",
+            def.name,
+            plan.columns.len()
+        )));
+    }
+    Ok(plan)
+}
+
+/// Expression compilation context.
+struct ExprCx<'a> {
+    /// Scope chain, innermost LAST.
+    chain: &'a [Scope],
+    /// AST patterns already computed by a lower plan node (group keys,
+    /// aggregates, window expressions) -> slot in the current row.
+    replacements: &'a [(&'a Expr, usize)],
+}
+
+impl<'a> ExprCx<'a> {
+    fn bare(chain: &'a [Scope]) -> ExprCx<'a> {
+        ExprCx {
+            chain,
+            replacements: &[],
+        }
+    }
+}
+
+impl<'a> Planner<'a> {
+    // ------------------------------------------------------------ queries
+
+    fn plan_query(&mut self, q: &Query, chain: &mut Vec<Scope>) -> Result<(PlanNode, Scope)> {
+        let cte_mark = self.ctes.len();
+        let mut cte_plans: Vec<CtePlan> = Vec::new();
+        if let Some(with) = &q.with {
+            for cte in &with.ctes {
+                let fixpoint = with.recursive || with.iterate;
+                let plan = self.plan_cte(cte, fixpoint, with.iterate, chain)?;
+                cte_plans.push(plan);
+            }
+        }
+
+        let (mut plan, mut scope) = match &q.body {
+            SetExpr::Select(sel) => self.plan_select(sel, &q.order_by, chain)?,
+            other => {
+                let (mut plan, scope) = self.plan_set_expr(other, chain)?;
+                if !q.order_by.is_empty() {
+                    let keys = self.order_keys_on_output(&q.order_by, &scope, chain)?;
+                    plan = PlanNode::Sort {
+                        input: Box::new(plan),
+                        keys,
+                    };
+                }
+                (plan, scope)
+            }
+        };
+
+        if q.limit.is_some() || q.offset.is_some() {
+            let cx = ExprCx::bare(chain);
+            let limit = q
+                .limit
+                .as_ref()
+                .map(|e| self.compile_expr(e, &cx))
+                .transpose()?;
+            let offset = q
+                .offset
+                .as_ref()
+                .map(|e| self.compile_expr(e, &cx))
+                .transpose()?;
+            plan = PlanNode::Limit {
+                input: Box::new(plan),
+                limit,
+                offset,
+            };
+        }
+
+        if !cte_plans.is_empty() {
+            plan = PlanNode::With {
+                ctes: cte_plans,
+                body: Box::new(plan),
+            };
+        }
+        plan = fuse_lateral_chains(plan);
+        self.ctes.truncate(cte_mark);
+        // Strip qualifiers: a query's output is a fresh anonymous row shape.
+        scope = Scope::from_names(None, &scope.names());
+        Ok((plan, scope))
+    }
+
+    fn plan_cte(
+        &mut self,
+        cte: &ast::Cte,
+        fixpoint: bool,
+        iterate: bool,
+        chain: &mut Vec<Scope>,
+    ) -> Result<CtePlan> {
+        let index = self.next_cte_index;
+        self.next_cte_index += 1;
+
+        let self_ref = query_references(&cte.query, &cte.name);
+        if fixpoint && self_ref {
+            // Shape: base UNION [ALL] recursive.
+            let SetExpr::SetOp {
+                op: SetOp::Union,
+                all,
+                left,
+                right,
+            } = &cte.query.body
+            else {
+                return Err(Error::plan(format!(
+                    "recursive CTE {:?} must have the form <base> UNION [ALL] <recursive>",
+                    cte.name
+                )));
+            };
+            if set_expr_references(left, &cte.name) {
+                return Err(Error::plan(format!(
+                    "recursive reference to {:?} must not appear in the base term",
+                    cte.name
+                )));
+            }
+            if !cte.query.order_by.is_empty() || cte.query.limit.is_some() {
+                return Err(Error::plan(
+                    "ORDER BY / LIMIT are not supported directly in a recursive CTE body",
+                ));
+            }
+            let (base_plan, base_scope) = self.plan_set_expr(left, chain)?;
+            let cols = self.cte_columns(cte, &base_scope)?;
+            // Recursive arm sees the CTE as the working table.
+            self.ctes.push(CteBinding {
+                name: cte.name.clone(),
+                index,
+                cols: cols.clone(),
+                working: true,
+            });
+            let (rec_plan, rec_scope) = self.plan_set_expr(right, chain)?;
+            self.ctes.pop();
+            if rec_scope.cols.len() != cols.len() {
+                return Err(Error::plan(format!(
+                    "recursive arm of {:?} returns {} columns, base returns {}",
+                    cte.name,
+                    rec_scope.cols.len(),
+                    cols.len()
+                )));
+            }
+            self.ctes.push(CteBinding {
+                name: cte.name.clone(),
+                index,
+                cols,
+                working: false,
+            });
+            Ok(CtePlan::Recursive {
+                index,
+                base: base_plan,
+                recursive: rec_plan,
+                mode: if iterate {
+                    RecursionMode::IterateOnly
+                } else {
+                    RecursionMode::Accumulate
+                },
+                union_all: *all,
+            })
+        } else {
+            if self_ref {
+                return Err(Error::plan(format!(
+                    "CTE {:?} references itself; add RECURSIVE (or ITERATE)",
+                    cte.name
+                )));
+            }
+            let (plan, scope) = self.plan_query(&cte.query, chain)?;
+            let cols = self.cte_columns(cte, &scope)?;
+            self.ctes.push(CteBinding {
+                name: cte.name.clone(),
+                index,
+                cols,
+                working: false,
+            });
+            Ok(CtePlan::Plain { index, plan })
+        }
+    }
+
+    fn cte_columns(&self, cte: &ast::Cte, scope: &Scope) -> Result<Vec<String>> {
+        if cte.columns.is_empty() {
+            Ok(scope.names())
+        } else if cte.columns.len() == scope.cols.len() {
+            Ok(cte.columns.clone())
+        } else {
+            Err(Error::plan(format!(
+                "CTE {:?} declares {} columns but its query returns {}",
+                cte.name,
+                cte.columns.len(),
+                scope.cols.len()
+            )))
+        }
+    }
+
+    fn plan_set_expr(
+        &mut self,
+        body: &SetExpr,
+        chain: &mut Vec<Scope>,
+    ) -> Result<(PlanNode, Scope)> {
+        match body {
+            SetExpr::Select(sel) => self.plan_select(sel, &[], chain),
+            SetExpr::SetOp {
+                op,
+                all,
+                left,
+                right,
+            } => {
+                let (lp, ls) = self.plan_set_expr(left, chain)?;
+                let (rp, rs) = self.plan_set_expr(right, chain)?;
+                if ls.cols.len() != rs.cols.len() {
+                    return Err(Error::plan(format!(
+                        "set operation arms have different column counts ({} vs {})",
+                        ls.cols.len(),
+                        rs.cols.len()
+                    )));
+                }
+                let plan = if *op == SetOp::Union && *all {
+                    PlanNode::Append {
+                        inputs: vec![lp, rp],
+                    }
+                } else {
+                    PlanNode::SetOpNode {
+                        op: *op,
+                        all: *all,
+                        left: Box::new(lp),
+                        right: Box::new(rp),
+                    }
+                };
+                Ok((plan, ls))
+            }
+            SetExpr::Values(rows) => {
+                if rows.is_empty() {
+                    return Err(Error::plan("VALUES requires at least one row"));
+                }
+                let width = rows[0].len();
+                let cx = ExprCx::bare(chain);
+                let mut compiled = Vec::with_capacity(rows.len());
+                for row in rows {
+                    if row.len() != width {
+                        return Err(Error::plan("VALUES rows differ in width"));
+                    }
+                    let mut irs = Vec::with_capacity(width);
+                    for e in row {
+                        irs.push(self.compile_expr(e, &cx)?);
+                    }
+                    compiled.push(irs);
+                }
+                let names: Vec<String> =
+                    (1..=width).map(|i| format!("column{i}")).collect();
+                Ok((
+                    PlanNode::Values { rows: compiled },
+                    Scope::from_names(None, &names),
+                ))
+            }
+            SetExpr::Query(q) => self.plan_query(q, chain),
+        }
+    }
+
+    // ------------------------------------------------------------- select
+
+    fn plan_select(
+        &mut self,
+        sel: &Select,
+        order_by: &[OrderItem],
+        chain: &mut Vec<Scope>,
+    ) -> Result<(PlanNode, Scope)> {
+        // Fast path for table-less projections (`SELECT e1, e2`): a single
+        // Result node with expressions compiled against the outer chain —
+        // the shape every compiled `let` binding and CTE body takes, hot in
+        // recursive iteration.
+        if sel.from.is_empty()
+            && sel.where_.is_none()
+            && sel.group_by.is_empty()
+            && sel.having.is_none()
+            && !sel.distinct
+            && order_by.is_empty()
+            && sel.items.iter().all(|i| {
+                matches!(i, SelectItem::Expr { expr, .. }
+                    if !has_aggregate_or_window(expr))
+            })
+        {
+            let cx = ExprCx::bare(chain);
+            let mut exprs = Vec::with_capacity(sel.items.len());
+            let mut cols = Vec::with_capacity(sel.items.len());
+            for item in &sel.items {
+                let SelectItem::Expr { expr, alias } = item else {
+                    unreachable!()
+                };
+                exprs.push(self.compile_expr(expr, &cx)?);
+                cols.push(ColMeta {
+                    qualifier: None,
+                    name: alias.clone().unwrap_or_else(|| expr_output_name(expr)),
+                });
+            }
+            return Ok((PlanNode::Result { exprs }, Scope { cols }));
+        }
+
+        // 1. FROM
+        let (mut plan, from_scope) = self.plan_from(&sel.from, chain)?;
+
+        // 2. WHERE (with single-table index-lookup optimization)
+        if let Some(where_) = &sel.where_ {
+            plan = self.plan_where(plan, where_, &from_scope, chain)?;
+        }
+
+        // 3. Aggregation
+        let mut agg_calls: Vec<&Expr> = Vec::new();
+        for item in &sel.items {
+            if let SelectItem::Expr { expr, .. } = item {
+                collect_aggregates(expr, &mut agg_calls);
+            }
+        }
+        for oi in order_by {
+            collect_aggregates(&oi.expr, &mut agg_calls);
+        }
+        if let Some(h) = &sel.having {
+            collect_aggregates(h, &mut agg_calls);
+        }
+
+        let grouping = !sel.group_by.is_empty() || !agg_calls.is_empty();
+        // Patterns replaced by slots for post-aggregation expressions.
+        let mut replacements: Vec<(&Expr, usize)> = Vec::new();
+        let mut current_scope = from_scope.clone();
+
+        if grouping {
+            chain.push(from_scope.clone());
+            let cx = ExprCx::bare(chain);
+            let mut keys = Vec::with_capacity(sel.group_by.len());
+            for g in &sel.group_by {
+                keys.push(self.compile_expr(g, &cx)?);
+            }
+            let mut aggs = Vec::with_capacity(agg_calls.len());
+            for call in &agg_calls {
+                aggs.push(self.compile_aggregate(call, &cx)?);
+            }
+            chain.pop();
+
+            let scalar = sel.group_by.is_empty();
+            plan = PlanNode::Agg {
+                input: Box::new(plan),
+                keys,
+                aggs,
+                scalar,
+            };
+            // Post-agg row: group keys then aggregate results.
+            let mut cols = Vec::new();
+            for (i, g) in sel.group_by.iter().enumerate() {
+                replacements.push((g, i));
+                cols.push(ColMeta {
+                    qualifier: None,
+                    name: expr_output_name(g),
+                });
+            }
+            for (j, call) in agg_calls.iter().enumerate() {
+                replacements.push((call, sel.group_by.len() + j));
+                cols.push(ColMeta {
+                    qualifier: None,
+                    name: expr_output_name(call),
+                });
+            }
+            current_scope = Scope { cols };
+
+            if let Some(h) = &sel.having {
+                chain.push(current_scope.clone());
+                let cx = ExprCx {
+                    chain,
+                    replacements: &replacements,
+                };
+                let pred = self.compile_expr(h, &cx)?;
+                chain.pop();
+                plan = PlanNode::Filter {
+                    input: Box::new(plan),
+                    pred,
+                };
+            }
+        } else if let Some(h) = &sel.having {
+            return Err(Error::plan(format!(
+                "HAVING without aggregation is not supported: {h}"
+            )));
+        }
+
+        // 4. Window functions
+        let mut window_calls: Vec<&Expr> = Vec::new();
+        for item in &sel.items {
+            if let SelectItem::Expr { expr, .. } = item {
+                collect_windows(expr, &mut window_calls);
+            }
+        }
+        for oi in order_by {
+            collect_windows(&oi.expr, &mut window_calls);
+        }
+        if !window_calls.is_empty() {
+            let base_width = current_scope.cols.len();
+            chain.push(current_scope.clone());
+            let mut specs = Vec::with_capacity(window_calls.len());
+            for (k, call) in window_calls.iter().enumerate() {
+                let cx = ExprCx {
+                    chain,
+                    replacements: &replacements,
+                };
+                let spec = self.compile_window_call(call, &cx, sel)?;
+                specs.push(spec);
+                replacements.push((call, base_width + k));
+            }
+            chain.pop();
+            plan = PlanNode::WindowAgg {
+                input: Box::new(plan),
+                windows: specs,
+            };
+            let mut cols = current_scope.cols;
+            for call in &window_calls {
+                cols.push(ColMeta {
+                    qualifier: None,
+                    name: expr_output_name(call),
+                });
+            }
+            current_scope = Scope { cols };
+        }
+
+        // 5. Projection
+        chain.push(current_scope.clone());
+        let cx = ExprCx {
+            chain,
+            replacements: &replacements,
+        };
+        let mut proj_exprs: Vec<ExprIr> = Vec::new();
+        let mut out_cols: Vec<ColMeta> = Vec::new();
+        for item in &sel.items {
+            match item {
+                SelectItem::Wildcard => {
+                    // `*` in a grouped query is invalid unless everything is
+                    // grouped; let slot compilation catch misuse.
+                    for (i, c) in current_scope.cols.iter().enumerate() {
+                        proj_exprs.push(ExprIr::slot(i));
+                        out_cols.push(c.clone());
+                    }
+                }
+                SelectItem::QualifiedWildcard(q) => {
+                    let mut found = false;
+                    for (i, c) in current_scope.cols.iter().enumerate() {
+                        if c.qualifier.as_deref() == Some(q.as_str()) {
+                            proj_exprs.push(ExprIr::slot(i));
+                            out_cols.push(c.clone());
+                            found = true;
+                        }
+                    }
+                    if !found {
+                        return Err(Error::plan(format!(
+                            "there is no FROM item named {q:?}"
+                        )));
+                    }
+                }
+                SelectItem::Expr { expr, alias } => {
+                    proj_exprs.push(self.compile_expr(expr, &cx)?);
+                    out_cols.push(ColMeta {
+                        qualifier: None,
+                        name: alias.clone().unwrap_or_else(|| expr_output_name(expr)),
+                    });
+                }
+            }
+        }
+        let visible_width = proj_exprs.len();
+        let out_scope = Scope {
+            cols: out_cols.clone(),
+        };
+
+        // 6. ORDER BY: output names / ordinals, else hidden key columns.
+        let mut sort_keys: Vec<SortKey> = Vec::new();
+        let mut hidden = 0usize;
+        for oi in order_by {
+            let slot = match &oi.expr {
+                Expr::Literal(Value::Int(k)) => {
+                    let k = *k;
+                    if k < 1 || k as usize > visible_width {
+                        return Err(Error::plan(format!(
+                            "ORDER BY position {k} is not in the select list"
+                        )));
+                    }
+                    Some((k - 1) as usize)
+                }
+                Expr::Column {
+                    qualifier: None,
+                    name,
+                } => out_cols.iter().position(|c| &c.name == name),
+                _ => None,
+            };
+            let index = match slot {
+                Some(i) => i,
+                None => {
+                    // Hidden sort column computed alongside the projection.
+                    proj_exprs.push(self.compile_expr(&oi.expr, &cx)?);
+                    hidden += 1;
+                    visible_width + hidden - 1
+                }
+            };
+            sort_keys.push(SortKey {
+                expr: ExprIr::slot(index),
+                desc: oi.desc,
+                nulls_first: oi.nulls_first.unwrap_or(oi.desc),
+            });
+        }
+        chain.pop();
+
+        if sel.distinct && hidden > 0 {
+            return Err(Error::plan(
+                "for SELECT DISTINCT, ORDER BY expressions must appear in the select list",
+            ));
+        }
+
+        plan = PlanNode::Project {
+            input: Box::new(plan),
+            exprs: proj_exprs,
+        };
+        if !sort_keys.is_empty() {
+            plan = PlanNode::Sort {
+                input: Box::new(plan),
+                keys: sort_keys,
+            };
+        }
+        if hidden > 0 {
+            plan = PlanNode::Project {
+                input: Box::new(plan),
+                exprs: (0..visible_width).map(ExprIr::slot).collect(),
+            };
+        }
+        if sel.distinct {
+            plan = PlanNode::Distinct {
+                input: Box::new(plan),
+            };
+        }
+        Ok((plan, out_scope))
+    }
+
+    /// ORDER BY against an already-computed output scope (set operations).
+    fn order_keys_on_output(
+        &mut self,
+        order_by: &[OrderItem],
+        scope: &Scope,
+        _chain: &[Scope],
+    ) -> Result<Vec<SortKey>> {
+        let mut keys = Vec::with_capacity(order_by.len());
+        for oi in order_by {
+            let index = match &oi.expr {
+                Expr::Literal(Value::Int(k)) if *k >= 1 => (*k - 1) as usize,
+                Expr::Column {
+                    qualifier: None,
+                    name,
+                } => scope
+                    .cols
+                    .iter()
+                    .position(|c| &c.name == name)
+                    .ok_or_else(|| {
+                        Error::plan(format!("ORDER BY column {name:?} not in output"))
+                    })?,
+                other => {
+                    return Err(Error::plan(format!(
+                        "ORDER BY over a set operation must use output columns, got {other}"
+                    )))
+                }
+            };
+            if index >= scope.cols.len() {
+                return Err(Error::plan("ORDER BY position out of range"));
+            }
+            keys.push(SortKey {
+                expr: ExprIr::slot(index),
+                desc: oi.desc,
+                nulls_first: oi.nulls_first.unwrap_or(oi.desc),
+            });
+        }
+        Ok(keys)
+    }
+
+    // --------------------------------------------------------------- FROM
+
+    fn plan_from(
+        &mut self,
+        from: &[TableRef],
+        chain: &mut Vec<Scope>,
+    ) -> Result<(PlanNode, Scope)> {
+        if from.is_empty() {
+            // Table-less SELECT: one empty row.
+            return Ok((PlanNode::Result { exprs: vec![] }, Scope::default()));
+        }
+        let mut iter = from.iter();
+        let (mut plan, mut scope) = self.plan_table_ref(iter.next().unwrap(), chain)?;
+        for item in iter {
+            // Comma-list item; LATERAL derived tables see the accumulated
+            // columns of the items to their left.
+            let lateral = matches!(item, TableRef::Derived { lateral: true, .. });
+            let (rp, rs) = if lateral {
+                chain.push(scope.clone());
+                let r = self.plan_table_ref(item, chain);
+                chain.pop();
+                r?
+            } else {
+                self.plan_table_ref(item, chain)?
+            };
+            let right_width = rs.cols.len();
+            plan = PlanNode::NestLoop {
+                left: Box::new(plan),
+                right: Box::new(rp),
+                kind: JoinKind::Cross,
+                lateral,
+                on: None,
+                right_width,
+            };
+            scope = scope.concat(rs);
+        }
+        Ok((plan, scope))
+    }
+
+    fn plan_table_ref(
+        &mut self,
+        t: &TableRef,
+        chain: &mut Vec<Scope>,
+    ) -> Result<(PlanNode, Scope)> {
+        match t {
+            TableRef::Table { name, alias } => {
+                let qualifier = alias
+                    .as_ref()
+                    .map(|a| a.name.clone())
+                    .unwrap_or_else(|| name.clone());
+                // CTE bindings shadow base tables, innermost binding first.
+                if let Some(b) = self.ctes.iter().rev().find(|b| &b.name == name) {
+                    let plan = if b.working {
+                        PlanNode::WorkingScan { index: b.index }
+                    } else {
+                        PlanNode::CteScan { index: b.index }
+                    };
+                    let names = alias_column_names(alias.as_ref(), &b.cols)?;
+                    return Ok((plan, Scope::from_names(Some(&qualifier), &names)));
+                }
+                let table = self.catalog.table(name)?;
+                let cols: Vec<String> =
+                    table.columns.iter().map(|c| c.name.clone()).collect();
+                let names = alias_column_names(alias.as_ref(), &cols)?;
+                Ok((
+                    PlanNode::SeqScan {
+                        table: name.clone(),
+                    },
+                    Scope::from_names(Some(&qualifier), &names),
+                ))
+            }
+            TableRef::Derived {
+                lateral: _,
+                query,
+                alias,
+            } => {
+                // Caller pushed the left scope if this is LATERAL.
+                let (plan, scope) = self.plan_query(query, chain)?;
+                let names = alias_column_names(Some(alias), &scope.names())?;
+                Ok((plan, Scope::from_names(Some(&alias.name), &names)))
+            }
+            TableRef::Join {
+                left,
+                right,
+                kind,
+                lateral,
+                on,
+            } => {
+                let (lp, ls) = self.plan_table_ref(left, chain)?;
+                let (rp, rs) = if *lateral {
+                    chain.push(ls.clone());
+                    let r = self.plan_table_ref(right, chain);
+                    chain.pop();
+                    r?
+                } else {
+                    self.plan_table_ref(right, chain)?
+                };
+                let right_width = rs.cols.len();
+                let combined = ls.concat(rs);
+                let on_ir = match on {
+                    Some(e) => {
+                        chain.push(combined.clone());
+                        let cx = ExprCx::bare(chain);
+                        let ir = self.compile_expr(e, &cx);
+                        chain.pop();
+                        Some(ir?)
+                    }
+                    None => None,
+                };
+                Ok((
+                    PlanNode::NestLoop {
+                        left: Box::new(lp),
+                        right: Box::new(rp),
+                        kind: *kind,
+                        lateral: *lateral,
+                        on: on_ir,
+                        right_width,
+                    },
+                    combined,
+                ))
+            }
+        }
+    }
+
+    /// Plan WHERE, converting one equality conjunct into an index lookup when
+    /// the FROM is a single indexed base table (the shape of the paper's
+    /// embedded point queries).
+    fn plan_where(
+        &mut self,
+        plan: PlanNode,
+        where_: &Expr,
+        from_scope: &Scope,
+        chain: &mut Vec<Scope>,
+    ) -> Result<PlanNode> {
+        let mut conjuncts = Vec::new();
+        split_conjuncts(where_, &mut conjuncts);
+
+        let mut plan = plan;
+        let mut used: Option<usize> = None;
+        if let PlanNode::SeqScan { table } = &plan {
+            let table_name = table.clone();
+            if let Ok(t) = self.catalog.table(&table_name) {
+                'outer: for (ci, c) in conjuncts.iter().enumerate() {
+                    if let Expr::Binary {
+                        op: plaway_sql::ast::BinOp::Eq,
+                        left,
+                        right,
+                    } = c
+                    {
+                        for (col_side, other) in [(left, right), (right, left)] {
+                            let Expr::Column { qualifier, name } = col_side.as_ref() else {
+                                continue;
+                            };
+                            // Resolve against the scan's scope only.
+                            let Ok(Some(col)) =
+                                from_scope.find(qualifier.as_deref(), name)
+                            else {
+                                continue;
+                            };
+                            if t.index_on(col).is_none() {
+                                continue;
+                            }
+                            // The key must be computable without the scanned
+                            // row: compile against the *outer* chain only.
+                            let cx = ExprCx::bare(chain);
+                            if let Ok(key) = self.compile_expr(other, &cx) {
+                                plan = PlanNode::IndexLookup {
+                                    table: table_name,
+                                    column: col,
+                                    key,
+                                };
+                                used = Some(ci);
+                                break 'outer;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(ci) = used {
+            conjuncts.remove(ci);
+        }
+        if conjuncts.is_empty() {
+            return Ok(plan);
+        }
+        chain.push(from_scope.clone());
+        let cx = ExprCx::bare(chain);
+        let mut pred: Option<ExprIr> = None;
+        for c in conjuncts {
+            let ir = self.compile_expr(c, &cx)?;
+            pred = Some(match pred {
+                None => ir,
+                Some(p) => ExprIr::Binary {
+                    op: plaway_sql::ast::BinOp::And,
+                    left: Box::new(p),
+                    right: Box::new(ir),
+                },
+            });
+        }
+        chain.pop();
+        Ok(PlanNode::Filter {
+            input: Box::new(plan),
+            pred: pred.unwrap(),
+        })
+    }
+
+    // -------------------------------------------------------- expressions
+
+    fn compile_expr(&mut self, e: &Expr, cx: &ExprCx<'_>) -> Result<ExprIr> {
+        // Replacement patterns (group keys, aggregates, window results).
+        for (pattern, slot) in cx.replacements {
+            if *pattern == e {
+                return Ok(ExprIr::slot(*slot));
+            }
+        }
+        Ok(match e {
+            Expr::Literal(v) => ExprIr::Const(v.clone()),
+            Expr::Column { qualifier, name } => {
+                self.resolve_column(qualifier.as_deref(), name, cx)?
+            }
+            Expr::Param(name) => {
+                let ps = self.params.ok_or_else(|| {
+                    Error::plan(format!("no parameter scope for {name:?}"))
+                })?;
+                let i = ps.index_of(name).ok_or_else(|| {
+                    Error::plan(format!("unknown parameter {name:?}"))
+                })?;
+                ExprIr::Param(i)
+            }
+            Expr::Unary { op, expr } => {
+                let inner = Box::new(self.compile_expr(expr, cx)?);
+                match op {
+                    ast::UnOp::Neg => ExprIr::Neg(inner),
+                    ast::UnOp::Not => ExprIr::Not(inner),
+                }
+            }
+            Expr::Binary { op, left, right } => ExprIr::Binary {
+                op: *op,
+                left: Box::new(self.compile_expr(left, cx)?),
+                right: Box::new(self.compile_expr(right, cx)?),
+            },
+            Expr::IsNull { expr, negated } => ExprIr::IsNull {
+                expr: Box::new(self.compile_expr(expr, cx)?),
+                negated: *negated,
+            },
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => ExprIr::Between {
+                expr: Box::new(self.compile_expr(expr, cx)?),
+                low: Box::new(self.compile_expr(low, cx)?),
+                high: Box::new(self.compile_expr(high, cx)?),
+                negated: *negated,
+            },
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => ExprIr::InList {
+                expr: Box::new(self.compile_expr(expr, cx)?),
+                list: list
+                    .iter()
+                    .map(|i| self.compile_expr(i, cx))
+                    .collect::<Result<_>>()?,
+                negated: *negated,
+            },
+            Expr::InSubquery {
+                expr,
+                query,
+                negated,
+            } => {
+                let ir = self.compile_expr(expr, cx)?;
+                let plan = self.plan_subquery(query, cx)?;
+                ExprIr::InPlan {
+                    expr: Box::new(ir),
+                    plan: Arc::new(plan),
+                    negated: *negated,
+                }
+            }
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => ExprIr::Like {
+                expr: Box::new(self.compile_expr(expr, cx)?),
+                pattern: Box::new(self.compile_expr(pattern, cx)?),
+                negated: *negated,
+            },
+            Expr::Case {
+                operand,
+                branches,
+                else_,
+            } => ExprIr::Case {
+                operand: operand
+                    .as_ref()
+                    .map(|o| self.compile_expr(o, cx).map(Box::new))
+                    .transpose()?,
+                branches: branches
+                    .iter()
+                    .map(|(w, t)| {
+                        Ok((self.compile_expr(w, cx)?, self.compile_expr(t, cx)?))
+                    })
+                    .collect::<Result<_>>()?,
+                else_: else_
+                    .as_ref()
+                    .map(|e| self.compile_expr(e, cx).map(Box::new))
+                    .transpose()?,
+            },
+            Expr::Func { name, args } => {
+                let irs: Vec<ExprIr> = args
+                    .iter()
+                    .map(|a| self.compile_expr(a, cx))
+                    .collect::<Result<_>>()?;
+                if name == "coalesce" {
+                    ExprIr::Coalesce(irs)
+                } else if let Some(func) = ScalarFn::from_name(name) {
+                    ExprIr::Scalar { func, args: irs }
+                } else if AggFn::from_name(name).is_some() {
+                    return Err(Error::plan(format!(
+                        "aggregate function {name}() is not allowed here"
+                    )));
+                } else if self.catalog.function(name).is_some() {
+                    ExprIr::UdfCall {
+                        name: name.clone(),
+                        args: irs,
+                    }
+                } else {
+                    return Err(Error::plan(format!(
+                        "function {name}({}) does not exist",
+                        args.len()
+                    )));
+                }
+            }
+            Expr::CountStar => {
+                return Err(Error::plan("count(*) is not allowed here"));
+            }
+            Expr::WindowFunc { .. } => {
+                return Err(Error::plan(
+                    "window functions are only allowed in the select list and ORDER BY",
+                ));
+            }
+            Expr::Subquery(q) => ExprIr::Subplan(Arc::new(self.plan_subquery(q, cx)?)),
+            Expr::Exists(q) => ExprIr::Exists {
+                plan: Arc::new(self.plan_subquery(q, cx)?),
+            },
+            Expr::Row(items) => ExprIr::Row(
+                items
+                    .iter()
+                    .map(|i| self.compile_expr(i, cx))
+                    .collect::<Result<_>>()?,
+            ),
+            Expr::Cast { expr, ty } => ExprIr::Cast {
+                expr: Box::new(self.compile_expr(expr, cx)?),
+                ty: Type::from_sql_name(ty)?,
+            },
+        })
+    }
+
+    /// Plan a subquery appearing inside an expression: it sees the current
+    /// chain as outer scopes.
+    fn plan_subquery(&mut self, q: &Query, cx: &ExprCx<'_>) -> Result<PlanNode> {
+        let mut chain = cx.chain.to_vec();
+        let (plan, _) = self.plan_query(q, &mut chain)?;
+        Ok(plan)
+    }
+
+    fn resolve_column(
+        &mut self,
+        qualifier: Option<&str>,
+        name: &str,
+        cx: &ExprCx<'_>,
+    ) -> Result<ExprIr> {
+        // Innermost scope is last in the chain.
+        for (depth, scope) in cx.chain.iter().rev().enumerate() {
+            if let Some(index) = scope.find(qualifier, name)? {
+                return Ok(ExprIr::Slot { depth, index });
+            }
+        }
+        // Parameter fallback (PL/pgSQL variable substitution).
+        if qualifier.is_none() {
+            if let Some(ps) = self.params {
+                if let Some(i) = ps.index_of(name) {
+                    return Ok(ExprIr::Param(i));
+                }
+            }
+        }
+        Err(Error::plan(format!(
+            "column {:?} does not exist",
+            match qualifier {
+                Some(q) => format!("{q}.{name}"),
+                None => name.to_string(),
+            }
+        )))
+    }
+
+    fn compile_aggregate(&mut self, call: &Expr, cx: &ExprCx<'_>) -> Result<AggSpec> {
+        match call {
+            Expr::CountStar => Ok(AggSpec {
+                func: AggFn::CountStar,
+                arg: None,
+                distinct: false,
+            }),
+            Expr::Func { name, args } => {
+                let func = AggFn::from_name(name).ok_or_else(|| {
+                    Error::plan(format!("{name} is not an aggregate function"))
+                })?;
+                if args.len() != 1 {
+                    return Err(Error::plan(format!(
+                        "aggregate {name}() takes exactly one argument"
+                    )));
+                }
+                Ok(AggSpec {
+                    func,
+                    arg: Some(self.compile_expr(&args[0], cx)?),
+                    distinct: false,
+                })
+            }
+            other => Err(Error::plan(format!("not an aggregate: {other}"))),
+        }
+    }
+
+    fn compile_window_call(
+        &mut self,
+        call: &Expr,
+        cx: &ExprCx<'_>,
+        sel: &Select,
+    ) -> Result<WindowExprIr> {
+        let Expr::WindowFunc { name, args, window } = call else {
+            return Err(Error::plan(format!("not a window call: {call}")));
+        };
+        let mut func = WinFn::from_name(name)
+            .ok_or_else(|| Error::plan(format!("{name}() is not a window function")))?;
+        // `count(*) OVER ...` arrives as an argument-less count.
+        if func == WinFn::Agg(AggFn::Count) && args.is_empty() {
+            func = WinFn::Agg(AggFn::CountStar);
+        }
+        let spec = self.resolve_window_ref(window, sel)?;
+        let mut arg_irs = Vec::with_capacity(args.len());
+        for a in args {
+            arg_irs.push(self.compile_expr(a, cx)?);
+        }
+        let mut partition_by = Vec::with_capacity(spec.partition_by.len());
+        for e in &spec.partition_by {
+            partition_by.push(self.compile_expr(e, cx)?);
+        }
+        let mut order_by = Vec::with_capacity(spec.order_by.len());
+        for oi in &spec.order_by {
+            order_by.push(SortKey {
+                expr: self.compile_expr(&oi.expr, cx)?,
+                desc: oi.desc,
+                nulls_first: oi.nulls_first.unwrap_or(oi.desc),
+            });
+        }
+        let frame = spec.frame.as_ref().map(|f| FrameIr {
+            units: f.units,
+            start: f.start.clone(),
+            end: f.end.clone(),
+            exclude_current_row: f.exclude_current_row,
+        });
+        Ok(WindowExprIr {
+            func,
+            args: arg_irs,
+            partition_by,
+            order_by,
+            frame,
+        })
+    }
+
+    /// Resolve a window reference, flattening named-window inheritance
+    /// (`lt AS (leq ROWS ...)` copies leq's partition/order).
+    fn resolve_window_ref(&self, wref: &WindowRef, sel: &Select) -> Result<WindowSpec> {
+        match wref {
+            WindowRef::Named(name) => {
+                let spec = sel
+                    .windows
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map(|(_, s)| s.clone())
+                    .ok_or_else(|| Error::plan(format!("window {name:?} does not exist")))?;
+                self.flatten_window_spec(spec, sel, 0)
+            }
+            WindowRef::Inline(spec) => self.flatten_window_spec(spec.clone(), sel, 0),
+        }
+    }
+
+    fn flatten_window_spec(
+        &self,
+        mut spec: WindowSpec,
+        sel: &Select,
+        depth: usize,
+    ) -> Result<WindowSpec> {
+        if depth > 16 {
+            return Err(Error::plan("window inheritance chain too deep (cycle?)"));
+        }
+        if let Some(base_name) = spec.base.take() {
+            let base = sel
+                .windows
+                .iter()
+                .find(|(n, _)| n == &base_name)
+                .map(|(_, s)| s.clone())
+                .ok_or_else(|| {
+                    Error::plan(format!("window {base_name:?} does not exist"))
+                })?;
+            let base = self.flatten_window_spec(base, sel, depth + 1)?;
+            if spec.partition_by.is_empty() {
+                spec.partition_by = base.partition_by;
+            }
+            if spec.order_by.is_empty() {
+                spec.order_by = base.order_by;
+            }
+            if spec.frame.is_none() {
+                spec.frame = base.frame;
+            }
+        }
+        Ok(spec)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AST analysis helpers
+
+fn alias_column_names(
+    alias: Option<&ast::TableAlias>,
+    natural: &[String],
+) -> Result<Vec<String>> {
+    match alias {
+        Some(a) if !a.columns.is_empty() => {
+            if a.columns.len() != natural.len() {
+                return Err(Error::plan(format!(
+                    "alias {:?} declares {} columns, relation has {}",
+                    a.name,
+                    a.columns.len(),
+                    natural.len()
+                )));
+            }
+            Ok(a.columns.clone())
+        }
+        _ => Ok(natural.to_vec()),
+    }
+}
+
+/// Fuse `x LEFT/CROSS JOIN LATERAL (single-expression Result) ON true`
+/// cascades into a single [`PlanNode::Extend`]: the compiled `let` chains of
+/// the PL/SQL compiler become one in-place row extension per iteration.
+fn fuse_lateral_chains(plan: PlanNode) -> PlanNode {
+    // Rewrite children first (bottom-up), then try to fuse this node.
+    let plan = map_children(plan, fuse_lateral_chains);
+    if let PlanNode::NestLoop {
+        left,
+        right,
+        kind,
+        lateral: true,
+        on,
+        right_width,
+    } = plan
+    {
+        let on_is_trivial = match &on {
+            None => true,
+            Some(ExprIr::Const(v)) => v.is_true(),
+            _ => false,
+        };
+        if on_is_trivial
+            && matches!(kind, JoinKind::Left | JoinKind::Cross | JoinKind::Inner)
+        {
+            if let PlanNode::Result { exprs } = *right {
+                // A Result always yields exactly one row, so LEFT/INNER/CROSS
+                // coincide and the join can only extend the row.
+                return match *left {
+                    PlanNode::Extend {
+                        input,
+                        exprs: mut chain,
+                    } => {
+                        chain.extend(exprs);
+                        PlanNode::Extend {
+                            input,
+                            exprs: chain,
+                        }
+                    }
+                    other => PlanNode::Extend {
+                        input: Box::new(other),
+                        exprs,
+                    },
+                };
+            }
+            // Not fusable: rebuild unchanged.
+            return PlanNode::NestLoop {
+                left,
+                right,
+                kind,
+                lateral: true,
+                on,
+                right_width,
+            };
+        }
+        return PlanNode::NestLoop {
+            left,
+            right,
+            kind,
+            lateral: true,
+            on,
+            right_width,
+        };
+    }
+    plan
+}
+
+/// Apply `f` to each direct child plan, rebuilding the node.
+fn map_children(plan: PlanNode, f: fn(PlanNode) -> PlanNode) -> PlanNode {
+    use crate::ir::CtePlan;
+    match plan {
+        PlanNode::Filter { input, pred } => PlanNode::Filter {
+            input: Box::new(f(*input)),
+            pred,
+        },
+        PlanNode::Project { input, exprs } => PlanNode::Project {
+            input: Box::new(f(*input)),
+            exprs,
+        },
+        PlanNode::Extend { input, exprs } => PlanNode::Extend {
+            input: Box::new(f(*input)),
+            exprs,
+        },
+        PlanNode::NestLoop {
+            left,
+            right,
+            kind,
+            lateral,
+            on,
+            right_width,
+        } => PlanNode::NestLoop {
+            left: Box::new(f(*left)),
+            right: Box::new(f(*right)),
+            kind,
+            lateral,
+            on,
+            right_width,
+        },
+        PlanNode::Agg {
+            input,
+            keys,
+            aggs,
+            scalar,
+        } => PlanNode::Agg {
+            input: Box::new(f(*input)),
+            keys,
+            aggs,
+            scalar,
+        },
+        PlanNode::WindowAgg { input, windows } => PlanNode::WindowAgg {
+            input: Box::new(f(*input)),
+            windows,
+        },
+        PlanNode::Sort { input, keys } => PlanNode::Sort {
+            input: Box::new(f(*input)),
+            keys,
+        },
+        PlanNode::Distinct { input } => PlanNode::Distinct {
+            input: Box::new(f(*input)),
+        },
+        PlanNode::Limit {
+            input,
+            limit,
+            offset,
+        } => PlanNode::Limit {
+            input: Box::new(f(*input)),
+            limit,
+            offset,
+        },
+        PlanNode::Append { inputs } => PlanNode::Append {
+            inputs: inputs.into_iter().map(f).collect(),
+        },
+        PlanNode::SetOpNode {
+            op,
+            all,
+            left,
+            right,
+        } => PlanNode::SetOpNode {
+            op,
+            all,
+            left: Box::new(f(*left)),
+            right: Box::new(f(*right)),
+        },
+        PlanNode::With { ctes, body } => PlanNode::With {
+            ctes: ctes
+                .into_iter()
+                .map(|c| match c {
+                    CtePlan::Plain { index, plan } => CtePlan::Plain {
+                        index,
+                        plan: f(plan),
+                    },
+                    CtePlan::Recursive {
+                        index,
+                        base,
+                        recursive,
+                        mode,
+                        union_all,
+                    } => CtePlan::Recursive {
+                        index,
+                        base: f(base),
+                        recursive: f(recursive),
+                        mode,
+                        union_all,
+                    },
+                })
+                .collect(),
+            body: Box::new(f(*body)),
+        },
+        leaf => leaf,
+    }
+}
+
+/// Quick check used by the table-less fast path.
+fn has_aggregate_or_window(e: &Expr) -> bool {
+    let mut aggs = Vec::new();
+    collect_aggregates(e, &mut aggs);
+    if !aggs.is_empty() {
+        return true;
+    }
+    let mut wins = Vec::new();
+    collect_windows(e, &mut wins);
+    !wins.is_empty()
+}
+
+fn split_conjuncts<'e>(e: &'e Expr, out: &mut Vec<&'e Expr>) {
+    match e {
+        Expr::Binary {
+            op: plaway_sql::ast::BinOp::And,
+            left,
+            right,
+        } => {
+            split_conjuncts(left, out);
+            split_conjuncts(right, out);
+        }
+        other => out.push(other),
+    }
+}
+
+/// Collect top-most aggregate calls (not descending into subqueries or into
+/// the arguments of other aggregates / window functions).
+fn collect_aggregates<'e>(e: &'e Expr, out: &mut Vec<&'e Expr>) {
+    match e {
+        Expr::CountStar => {
+            if !out.contains(&e) {
+                out.push(e);
+            }
+        }
+        Expr::Func { name, .. } if AggFn::from_name(name).is_some() => {
+            if !out.contains(&e) {
+                out.push(e);
+            }
+        }
+        Expr::WindowFunc { .. } | Expr::Subquery(_) | Expr::Exists(_) => {}
+        Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } | Expr::Cast { expr, .. } => {
+            collect_aggregates(expr, out)
+        }
+        Expr::Binary { left, right, .. } => {
+            collect_aggregates(left, out);
+            collect_aggregates(right, out);
+        }
+        Expr::Between {
+            expr, low, high, ..
+        } => {
+            collect_aggregates(expr, out);
+            collect_aggregates(low, out);
+            collect_aggregates(high, out);
+        }
+        Expr::InList { expr, list, .. } => {
+            collect_aggregates(expr, out);
+            for i in list {
+                collect_aggregates(i, out);
+            }
+        }
+        Expr::InSubquery { expr, .. } => collect_aggregates(expr, out),
+        Expr::Like { expr, pattern, .. } => {
+            collect_aggregates(expr, out);
+            collect_aggregates(pattern, out);
+        }
+        Expr::Case {
+            operand,
+            branches,
+            else_,
+        } => {
+            if let Some(o) = operand {
+                collect_aggregates(o, out);
+            }
+            for (w, t) in branches {
+                collect_aggregates(w, out);
+                collect_aggregates(t, out);
+            }
+            if let Some(e) = else_ {
+                collect_aggregates(e, out);
+            }
+        }
+        Expr::Func { args, .. } | Expr::Row(args) => {
+            for a in args {
+                collect_aggregates(a, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Collect window function calls (not descending into subqueries).
+fn collect_windows<'e>(e: &'e Expr, out: &mut Vec<&'e Expr>) {
+    match e {
+        Expr::WindowFunc { .. } => {
+            if !out.contains(&e) {
+                out.push(e);
+            }
+        }
+        Expr::Subquery(_) | Expr::Exists(_) => {}
+        Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } | Expr::Cast { expr, .. } => {
+            collect_windows(expr, out)
+        }
+        Expr::Binary { left, right, .. } => {
+            collect_windows(left, out);
+            collect_windows(right, out);
+        }
+        Expr::Between {
+            expr, low, high, ..
+        } => {
+            collect_windows(expr, out);
+            collect_windows(low, out);
+            collect_windows(high, out);
+        }
+        Expr::InList { expr, list, .. } => {
+            collect_windows(expr, out);
+            for i in list {
+                collect_windows(i, out);
+            }
+        }
+        Expr::InSubquery { expr, .. } => collect_windows(expr, out),
+        Expr::Like { expr, pattern, .. } => {
+            collect_windows(expr, out);
+            collect_windows(pattern, out);
+        }
+        Expr::Case {
+            operand,
+            branches,
+            else_,
+        } => {
+            if let Some(o) = operand {
+                collect_windows(o, out);
+            }
+            for (w, t) in branches {
+                collect_windows(w, out);
+                collect_windows(t, out);
+            }
+            if let Some(e) = else_ {
+                collect_windows(e, out);
+            }
+        }
+        Expr::Func { args, .. } | Expr::Row(args) => {
+            for a in args {
+                collect_windows(a, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn expr_output_name(e: &Expr) -> String {
+    match e {
+        Expr::Column { name, .. } => name.clone(),
+        Expr::Func { name, .. } => name.clone(),
+        Expr::WindowFunc { name, .. } => name.clone(),
+        Expr::CountStar => "count".into(),
+        Expr::Cast { expr, .. } => expr_output_name(expr),
+        Expr::Subquery(_) | Expr::Exists(_) => "subquery".into(),
+        Expr::Case { .. } => "case".into(),
+        Expr::Row(_) => "row".into(),
+        _ => "?column?".into(),
+    }
+}
+
+/// Does the query reference the given table/CTE name anywhere in a FROM?
+fn query_references(q: &Query, name: &str) -> bool {
+    set_expr_references(&q.body, name)
+        || q.with
+            .as_ref()
+            .is_some_and(|w| w.ctes.iter().any(|c| query_references(&c.query, name)))
+}
+
+fn set_expr_references(body: &SetExpr, name: &str) -> bool {
+    match body {
+        SetExpr::Select(sel) => {
+            sel.from.iter().any(|t| table_ref_references(t, name))
+                || sel.items.iter().any(|i| match i {
+                    SelectItem::Expr { expr, .. } => expr_references(expr, name),
+                    _ => false,
+                })
+                || sel.where_.as_ref().is_some_and(|e| expr_references(e, name))
+        }
+        SetExpr::SetOp { left, right, .. } => {
+            set_expr_references(left, name) || set_expr_references(right, name)
+        }
+        SetExpr::Values(rows) => rows
+            .iter()
+            .flatten()
+            .any(|e| expr_references(e, name)),
+        SetExpr::Query(q) => query_references(q, name),
+    }
+}
+
+fn table_ref_references(t: &TableRef, name: &str) -> bool {
+    match t {
+        TableRef::Table { name: n, .. } => n == name,
+        TableRef::Derived { query, .. } => query_references(query, name),
+        TableRef::Join { left, right, .. } => {
+            table_ref_references(left, name) || table_ref_references(right, name)
+        }
+    }
+}
+
+fn expr_references(e: &Expr, name: &str) -> bool {
+    let mut found = false;
+    e.walk(&mut |sub| match sub {
+        Expr::Subquery(q) | Expr::Exists(q) => {
+            if query_references(q, name) {
+                found = true;
+            }
+        }
+        Expr::InSubquery { query, .. } => {
+            if query_references(query, name) {
+                found = true;
+            }
+        }
+        _ => {}
+    });
+    found
+}

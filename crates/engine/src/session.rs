@@ -1,0 +1,1295 @@
+//! The session: plan cache, executor lifecycle, DDL/DML, statistics.
+//!
+//! This is where the paper's cost model lives. A prepared query is planned
+//! once and cached; every *evaluation* then pays
+//!
+//! 1. `ExecutorStart` — instantiate runtime state from the cached plan
+//!    (we deep-copy the plan tree, as PostgreSQL copies the cached plan and
+//!    builds per-node `PlanState`),
+//! 2. `ExecutorRun` — evaluate,
+//! 3. `ExecutorEnd` — tear the state down (drop).
+//!
+//! The PL/pgSQL interpreter drives these phases for every embedded query
+//! evaluation — that is the `f→Qi` context switch the paper measures.
+//! A compiled `WITH RECURSIVE` query pays them exactly once per invocation,
+//! iterating inside `ExecutorRun`.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use plaway_common::{Error, Result, SessionRng, Type, Value};
+use plaway_sql::ast::{InsertSource, Language, Stmt};
+
+use crate::catalog::{Catalog, Column, FunctionDef, Row};
+use crate::config::EngineConfig;
+use crate::exec::{eval, exec, EvalEnv, FnPlanCache, Runtime, RuntimeStats, Scopes};
+use crate::ir::ExprIr;
+use crate::planner::{plan_expr, plan_query, plan_udf_body, ParamScope, PreparedPlan};
+use crate::profile::{Phase, Profiler};
+use crate::tuplestore::BufferStats;
+
+/// Result of running a statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    pub columns: Vec<String>,
+    pub rows: Vec<Row>,
+}
+
+impl QueryResult {
+    pub fn empty() -> Self {
+        QueryResult {
+            columns: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Exactly one row, one column.
+    pub fn scalar(&self) -> Result<Value> {
+        if self.rows.len() == 1 && self.rows[0].len() == 1 {
+            Ok(self.rows[0][0].clone())
+        } else {
+            Err(Error::exec(format!(
+                "expected a single scalar, got {} row(s) of width {}",
+                self.rows.len(),
+                self.rows.first().map(Vec::len).unwrap_or(0)
+            )))
+        }
+    }
+
+    /// psql-style rendering for examples.
+    pub fn to_table_string(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        let cells: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(Value::to_string).collect())
+            .collect();
+        for row in &cells {
+            for (i, c) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(c.len());
+                }
+            }
+        }
+        let mut out = String::new();
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:^w$}", w = widths[i]))
+            .collect();
+        out.push_str(&format!(" {}\n", header.join(" | ")));
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(w + 2)).collect();
+        out.push_str(&format!("{}\n", sep.join("+")));
+        for row in &cells {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{c:<w$}", w = widths.get(i).copied().unwrap_or(0)))
+                .collect();
+            out.push_str(&format!(" {}\n", line.join(" | ")));
+        }
+        out.push_str(&format!("({} row{})\n", self.rows.len(), if self.rows.len() == 1 { "" } else { "s" }));
+        out
+    }
+}
+
+/// Instantiated executor state for one evaluation (the product of
+/// `ExecutorStart`, consumed by `ExecutorRun`/`ExecutorEnd`).
+pub struct ExecHandle {
+    /// Private deep copy of the cached plan (PostgreSQL: the plan copied out
+    /// of the plan cache into the executor's memory context).
+    state: crate::ir::PlanNode,
+    params: Vec<Value>,
+}
+
+/// Per-query phase totals (Figure 3's per-`Qi` profile bars).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueryPhaseStats {
+    pub start_ns: u128,
+    pub run_ns: u128,
+    pub end_ns: u128,
+    pub count: u64,
+}
+
+impl QueryPhaseStats {
+    pub fn total_ns(&self) -> u128 {
+        self.start_ns + self.run_ns + self.end_ns
+    }
+
+    /// The `f→Qi` context-switch share of this query's time.
+    pub fn switch_pct(&self) -> f64 {
+        let total = self.total_ns();
+        if total == 0 {
+            return 0.0;
+        }
+        (self.start_ns + self.end_ns) as f64 / total as f64 * 100.0
+    }
+}
+
+/// A database session: catalog + caches + instrumentation.
+pub struct Session {
+    pub catalog: Catalog,
+    pub config: EngineConfig,
+    pub rng: SessionRng,
+    pub profiler: Profiler,
+    pub buffers: BufferStats,
+    pub stats: RuntimeStats,
+    fn_plans: FnPlanCache,
+    plan_cache: HashMap<String, Arc<PreparedPlan>>,
+    /// Plan-cache statistics (hits vs misses).
+    pub plan_cache_hits: u64,
+    pub plan_cache_misses: u64,
+    /// When set, `execute_prepared` also attributes phase times per query
+    /// text (used by the Figure 3 profile harness).
+    pub track_queries: bool,
+    pub query_stats: HashMap<String, QueryPhaseStats>,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Session::new(EngineConfig::postgres_like())
+    }
+}
+
+impl Session {
+    pub fn new(config: EngineConfig) -> Self {
+        Session {
+            catalog: Catalog::new(),
+            config,
+            rng: SessionRng::default(),
+            profiler: Profiler::default(),
+            buffers: BufferStats::default(),
+            stats: RuntimeStats::default(),
+            fn_plans: FnPlanCache::default(),
+            plan_cache: HashMap::new(),
+            plan_cache_hits: 0,
+            plan_cache_misses: 0,
+            track_queries: false,
+            query_stats: HashMap::new(),
+        }
+    }
+
+    pub fn set_seed(&mut self, seed: u64) {
+        self.rng = SessionRng::new(seed);
+    }
+
+    pub fn reset_instrumentation(&mut self) {
+        self.profiler.reset();
+        self.buffers.reset();
+        self.stats.reset();
+        self.plan_cache_hits = 0;
+        self.plan_cache_misses = 0;
+        self.query_stats.clear();
+    }
+
+    // --------------------------------------------------------- statements
+
+    /// Parse and run one SQL statement.
+    pub fn run(&mut self, sql: &str) -> Result<QueryResult> {
+        let stmt = plaway_sql::parse_statement(sql)?;
+        self.run_stmt(&stmt, sql)
+    }
+
+    /// Run a `;`-separated script; returns the result of the last statement.
+    pub fn run_script(&mut self, sql: &str) -> Result<QueryResult> {
+        let stmts = plaway_sql::parse_statements(sql)?;
+        let mut last = QueryResult::empty();
+        for stmt in &stmts {
+            last = self.run_stmt(stmt, sql)?;
+        }
+        Ok(last)
+    }
+
+    /// Convenience: run a query and return its single scalar result.
+    pub fn query_scalar(&mut self, sql: &str) -> Result<Value> {
+        self.run(sql)?.scalar()
+    }
+
+    fn run_stmt(&mut self, stmt: &Stmt, sql: &str) -> Result<QueryResult> {
+        match stmt {
+            Stmt::Query(q) => {
+                let key = q.to_string();
+                let prepared = self.prepare_query_text(&key, q, &ParamScope::default())?;
+                self.execute_prepared(&prepared, Vec::new())
+            }
+            Stmt::CreateTable {
+                name,
+                columns,
+                if_not_exists,
+            } => {
+                if *if_not_exists && self.catalog.has_table(name) {
+                    return Ok(QueryResult::empty());
+                }
+                let cols = columns
+                    .iter()
+                    .map(|(n, t)| {
+                        Ok(Column {
+                            name: n.clone(),
+                            ty: Type::from_sql_name(t)?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                self.catalog.create_table(name, cols)?;
+                Ok(QueryResult::empty())
+            }
+            Stmt::CreateIndex {
+                name,
+                table,
+                column,
+            } => {
+                self.catalog.create_index(name, table, column)?;
+                Ok(QueryResult::empty())
+            }
+            Stmt::CreateFunction(cf) => {
+                let def = FunctionDef {
+                    name: cf.name.clone(),
+                    params: cf
+                        .params
+                        .iter()
+                        .map(|(n, t)| Ok((n.clone(), Type::from_sql_name(t)?)))
+                        .collect::<Result<Vec<_>>>()?,
+                    returns: Type::from_sql_name(&cf.returns)?,
+                    language: cf.language,
+                    body: cf.body.clone(),
+                };
+                if def.language == Language::Sql {
+                    // Validate eagerly; recursive bodies may legitimately
+                    // reference the function being created, so register a
+                    // provisional definition first.
+                    let existed = self.catalog.function(&def.name).cloned();
+                    self.catalog.create_function(def.clone(), true)?;
+                    if let Err(e) = plan_udf_body(&self.catalog, &def) {
+                        // Roll back on a body that does not plan.
+                        match existed {
+                            Some(old) => {
+                                self.catalog.create_function((*old).clone(), true)?
+                            }
+                            None => self.catalog.drop_function(&def.name, true)?,
+                        }
+                        return Err(e);
+                    }
+                    if !cf.or_replace && existed.is_some() {
+                        return Err(Error::plan(format!(
+                            "function {:?} already exists",
+                            def.name
+                        )));
+                    }
+                } else {
+                    self.catalog.create_function(def, cf.or_replace)?;
+                }
+                Ok(QueryResult::empty())
+            }
+            Stmt::Insert {
+                table,
+                columns,
+                source,
+            } => self.run_insert(table, columns, source),
+            Stmt::Update {
+                table,
+                sets,
+                where_,
+            } => self.run_update(table, sets, where_.as_ref()),
+            Stmt::Delete { table, where_ } => self.run_delete(table, where_.as_ref()),
+            Stmt::DropTable { name, if_exists } => {
+                self.catalog.drop_table(name, *if_exists)?;
+                Ok(QueryResult::empty())
+            }
+            Stmt::DropFunction { name, if_exists } => {
+                self.catalog.drop_function(name, *if_exists)?;
+                Ok(QueryResult::empty())
+            }
+        }
+        .map_err(|e| match e {
+            // Attach statement context to planning errors for usability.
+            Error::Plan(msg) if !msg.contains(" in statement ") => {
+                Error::Plan(format!("{msg} in statement {sql:?}"))
+            }
+            other => other,
+        })
+    }
+
+    fn run_insert(
+        &mut self,
+        table: &str,
+        columns: &[String],
+        source: &InsertSource,
+    ) -> Result<QueryResult> {
+        let query = match source {
+            InsertSource::Query(q) => (**q).clone(),
+            InsertSource::Values(rows) => plaway_sql::ast::Query {
+                with: None,
+                body: plaway_sql::ast::SetExpr::Values(rows.clone()),
+                order_by: vec![],
+                limit: None,
+                offset: None,
+            },
+        };
+        let prepared = plan_query(&self.catalog, &query, None)?;
+        let rows = {
+            let mut rt = self.runtime();
+            exec(&prepared.plan, &EvalEnv::EMPTY, &mut rt)?
+        };
+
+        let t = self.catalog.table(table)?;
+        let schema: Vec<(String, Type)> = t
+            .columns
+            .iter()
+            .map(|c| (c.name.clone(), c.ty.clone()))
+            .collect();
+        // Map provided columns to positions.
+        let positions: Vec<usize> = if columns.is_empty() {
+            (0..schema.len()).collect()
+        } else {
+            columns
+                .iter()
+                .map(|c| {
+                    schema
+                        .iter()
+                        .position(|(n, _)| n == c)
+                        .ok_or_else(|| Error::plan(format!("column {c:?} of {table:?} does not exist")))
+                })
+                .collect::<Result<Vec<_>>>()?
+        };
+        let mut shaped = Vec::with_capacity(rows.len());
+        for row in rows {
+            if row.len() != positions.len() {
+                return Err(Error::exec(format!(
+                    "INSERT has {} expressions but {} target columns",
+                    row.len(),
+                    positions.len()
+                )));
+            }
+            let mut full: Row = vec![Value::Null; schema.len()];
+            for (value, &pos) in row.into_iter().zip(&positions) {
+                let ty = &schema[pos].1;
+                full[pos] = if ty.admits(&value) {
+                    value
+                } else {
+                    value.cast(ty)?
+                };
+            }
+            shaped.push(full);
+        }
+        let n = self.catalog.bulk_insert(table, shaped)?;
+        Ok(QueryResult {
+            columns: vec!["inserted".into()],
+            rows: vec![vec![Value::Int(n as i64)]],
+        })
+    }
+
+    fn run_update(
+        &mut self,
+        table: &str,
+        sets: &[(String, plaway_sql::ast::Expr)],
+        where_: Option<&plaway_sql::ast::Expr>,
+    ) -> Result<QueryResult> {
+        // Compile SET expressions and the predicate against the table scope
+        // by planning a synthetic `SELECT <set-exprs>, <pred> FROM table`.
+        let t = self.catalog.table(table)?;
+        let set_positions: Vec<usize> = sets
+            .iter()
+            .map(|(c, _)| {
+                t.column_index(c)
+                    .ok_or_else(|| Error::plan(format!("column {c:?} of {table:?} does not exist")))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let types: Vec<Type> = t.columns.iter().map(|c| c.ty.clone()).collect();
+
+        let mut sel = plaway_sql::ast::Select {
+            items: sets
+                .iter()
+                .map(|(_, e)| plaway_sql::ast::SelectItem::Expr {
+                    expr: e.clone(),
+                    alias: None,
+                })
+                .collect(),
+            from: vec![plaway_sql::ast::TableRef::Table {
+                name: table.to_string(),
+                alias: None,
+            }],
+            ..Default::default()
+        };
+        if let Some(w) = where_ {
+            sel.items.push(plaway_sql::ast::SelectItem::Expr {
+                expr: w.clone(),
+                alias: None,
+            });
+        }
+        let query = plaway_sql::ast::Query::simple(sel);
+        let prepared = plan_query(&self.catalog, &query, None)?;
+        let computed = {
+            let mut rt = self.runtime();
+            exec(&prepared.plan, &EvalEnv::EMPTY, &mut rt)?
+        };
+
+        let old_rows = self.catalog.table(table)?.rows.clone();
+        let mut updated = 0usize;
+        let mut new_rows = Vec::with_capacity(old_rows.len());
+        for (mut row, mut vals) in old_rows.into_iter().zip(computed) {
+            let hit = match where_ {
+                None => true,
+                Some(_) => vals.pop().map(|v| v.is_true()).unwrap_or(false),
+            };
+            if hit {
+                updated += 1;
+                for (&pos, val) in set_positions.iter().zip(vals.drain(..)) {
+                    let ty = &types[pos];
+                    row[pos] = if ty.admits(&val) { val } else { val.cast(ty)? };
+                }
+            }
+            new_rows.push(row);
+        }
+        self.catalog.replace_rows(table, new_rows)?;
+        Ok(QueryResult {
+            columns: vec!["updated".into()],
+            rows: vec![vec![Value::Int(updated as i64)]],
+        })
+    }
+
+    fn run_delete(
+        &mut self,
+        table: &str,
+        where_: Option<&plaway_sql::ast::Expr>,
+    ) -> Result<QueryResult> {
+        let keep: Vec<bool> = match where_ {
+            None => vec![false; self.catalog.table(table)?.rows.len()],
+            Some(w) => {
+                let sel = plaway_sql::ast::Select {
+                    items: vec![plaway_sql::ast::SelectItem::Expr {
+                        expr: w.clone(),
+                        alias: None,
+                    }],
+                    from: vec![plaway_sql::ast::TableRef::Table {
+                        name: table.to_string(),
+                        alias: None,
+                    }],
+                    ..Default::default()
+                };
+                let query = plaway_sql::ast::Query::simple(sel);
+                let prepared = plan_query(&self.catalog, &query, None)?;
+                let rows = {
+                    let mut rt = self.runtime();
+                    exec(&prepared.plan, &EvalEnv::EMPTY, &mut rt)?
+                };
+                rows.into_iter().map(|r| !r[0].is_true()).collect()
+            }
+        };
+        let old_rows = self.catalog.table(table)?.rows.clone();
+        let total = old_rows.len();
+        let new_rows: Vec<Row> = old_rows
+            .into_iter()
+            .zip(&keep)
+            .filter_map(|(r, &k)| k.then_some(r))
+            .collect();
+        let deleted = total - new_rows.len();
+        self.catalog.replace_rows(table, new_rows)?;
+        Ok(QueryResult {
+            columns: vec!["deleted".into()],
+            rows: vec![vec![Value::Int(deleted as i64)]],
+        })
+    }
+
+    // ----------------------------------------------- prepared statements
+
+    /// Prepare (or fetch from cache) a query with a parameter scope.
+    /// This is the interpreter's entry point for embedded queries: the first
+    /// evaluation plans and caches; subsequent evaluations re-use the plan.
+    pub fn prepare(&mut self, sql: &str, params: &ParamScope) -> Result<Arc<PreparedPlan>> {
+        let key = cache_key(sql, params);
+        if let Some(p) = self.plan_cache.get(&key) {
+            if p.catalog_version == self.catalog.version {
+                self.plan_cache_hits += 1;
+                return Ok(Arc::clone(p));
+            }
+        }
+        self.plan_cache_misses += 1;
+        let query = plaway_sql::parse_query(sql)?;
+        let prepared = Arc::new(plan_query(&self.catalog, &query, Some(params))?);
+        self.plan_cache.insert(key, Arc::clone(&prepared));
+        Ok(prepared)
+    }
+
+    fn prepare_query_text(
+        &mut self,
+        key: &str,
+        query: &plaway_sql::ast::Query,
+        params: &ParamScope,
+    ) -> Result<Arc<PreparedPlan>> {
+        let key = cache_key(key, params);
+        if let Some(p) = self.plan_cache.get(&key) {
+            if p.catalog_version == self.catalog.version {
+                self.plan_cache_hits += 1;
+                return Ok(Arc::clone(p));
+            }
+        }
+        self.plan_cache_misses += 1;
+        let prepared = Arc::new(plan_query(&self.catalog, query, Some(params))?);
+        self.plan_cache.insert(key, Arc::clone(&prepared));
+        Ok(prepared)
+    }
+
+    /// Full instrumented lifecycle: Start → Run → End.
+    pub fn execute_prepared(
+        &mut self,
+        prepared: &Arc<PreparedPlan>,
+        params: Vec<Value>,
+    ) -> Result<QueryResult> {
+        if !self.track_queries {
+            let handle = self.executor_start(prepared, params);
+            let rows = self.executor_run(&handle);
+            self.executor_end(handle);
+            return Ok(QueryResult {
+                columns: prepared.columns.clone(),
+                rows: rows?,
+            });
+        }
+        // Tracked: attribute each phase to this query's text as well.
+        let before = self.profiler;
+        let handle = self.executor_start(prepared, params);
+        let rows = self.executor_run(&handle);
+        self.executor_end(handle);
+        let after = self.profiler;
+        let entry = self
+            .query_stats
+            .entry(prepared.sql.clone())
+            .or_default();
+        entry.start_ns += after.exec_start_ns - before.exec_start_ns;
+        entry.run_ns += after.exec_run_ns - before.exec_run_ns;
+        entry.end_ns += after.exec_end_ns - before.exec_end_ns;
+        entry.count += 1;
+        Ok(QueryResult {
+            columns: prepared.columns.clone(),
+            rows: rows?,
+        })
+    }
+
+    /// `ExecutorStart`: instantiate executor state from the cached plan.
+    /// The deep copy is the honest analogue of PostgreSQL copying the cached
+    /// plan tree and running `ExecInitNode` over it.
+    pub fn executor_start(
+        &mut self,
+        prepared: &Arc<PreparedPlan>,
+        params: Vec<Value>,
+    ) -> ExecHandle {
+        let t0 = Instant::now();
+        let state = prepared.plan.clone();
+        if self.config.start_penalty_ns > 0 {
+            spin_ns(self.config.start_penalty_ns);
+        }
+        self.profiler.add(Phase::ExecStart, t0.elapsed());
+        ExecHandle { state, params }
+    }
+
+    /// `ExecutorRun`: evaluate the instantiated plan.
+    pub fn executor_run(&mut self, handle: &ExecHandle) -> Result<Vec<Row>> {
+        let t0 = Instant::now();
+        let result = {
+            let mut rt = self.runtime();
+            let env = EvalEnv {
+                scopes: None,
+                params: &handle.params,
+            };
+            exec(&handle.state, &env, &mut rt)
+        };
+        self.profiler.add(Phase::ExecRun, t0.elapsed());
+        result
+    }
+
+    /// `ExecutorEnd`: tear down the executor state.
+    pub fn executor_end(&mut self, handle: ExecHandle) {
+        let t0 = Instant::now();
+        drop(handle);
+        if self.config.end_penalty_ns > 0 {
+            spin_ns(self.config.end_penalty_ns);
+        }
+        self.profiler.add(Phase::ExecEnd, t0.elapsed());
+    }
+
+    // ---------------------------------------------- expression fast path
+
+    /// Compile a bare scalar expression against a parameter scope (the
+    /// PL/pgSQL "simple expression" path).
+    pub fn compile_expr(
+        &mut self,
+        expr: &plaway_sql::ast::Expr,
+        params: &ParamScope,
+    ) -> Result<ExprIr> {
+        plan_expr(&self.catalog, expr, Some(params))
+    }
+
+    /// Evaluate a compiled expression with bound parameters. Timing is the
+    /// caller's business (the interpreter buckets this under Exec·Run, like
+    /// PostgreSQL's `exec_eval_simple_expr`).
+    pub fn eval_expr(&mut self, ir: &ExprIr, params: &[Value]) -> Result<Value> {
+        let mut rt = self.runtime();
+        let env = EvalEnv {
+            scopes: None,
+            params,
+        };
+        eval(ir, &env, &mut rt)
+    }
+
+    /// Evaluate a compiled expression with an additional row context (used
+    /// in tests and by EXPLAIN-style tooling).
+    pub fn eval_expr_with_row(
+        &mut self,
+        ir: &ExprIr,
+        row: &[Value],
+        params: &[Value],
+    ) -> Result<Value> {
+        let mut rt = self.runtime();
+        let scopes = Scopes { row, parent: None };
+        let env = EvalEnv {
+            scopes: Some(&scopes),
+            params,
+        };
+        eval(ir, &env, &mut rt)
+    }
+
+    fn runtime(&mut self) -> Runtime<'_> {
+        Runtime {
+            catalog: &self.catalog,
+            rng: &mut self.rng,
+            buffers: &mut self.buffers,
+            stats: &mut self.stats,
+            fn_plans: &mut self.fn_plans,
+            config: &self.config,
+            ctes: HashMap::new(),
+            working: HashMap::new(),
+            udf_depth: 0,
+        }
+    }
+}
+
+fn cache_key(sql: &str, params: &ParamScope) -> String {
+    if params.names.is_empty() {
+        sql.to_string()
+    } else {
+        format!("{sql}\u{1}{}", params.names.join("\u{1}"))
+    }
+}
+
+/// Busy-wait for approximately `ns` nanoseconds (cost injection for the
+/// non-PostgreSQL engine profiles; never used by `postgres_like`).
+fn spin_ns(ns: u64) {
+    let t0 = Instant::now();
+    while (t0.elapsed().as_nanos() as u64) < ns {
+        std::hint::spin_loop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn session() -> Session {
+        let mut s = Session::default();
+        s.run("CREATE TABLE t (a int, b text, c float8)").unwrap();
+        s.run("INSERT INTO t VALUES (1, 'one', 1.5), (2, 'two', 2.5), (3, 'three', 3.5)")
+            .unwrap();
+        s
+    }
+
+    #[test]
+    fn select_constant() {
+        let mut s = Session::default();
+        assert_eq!(s.query_scalar("SELECT 1 + 2 * 3").unwrap(), Value::Int(7));
+        assert_eq!(
+            s.query_scalar("SELECT 'a' || 'b' || 'c'").unwrap(),
+            Value::text("abc")
+        );
+    }
+
+    #[test]
+    fn select_where_order_limit() {
+        let mut s = session();
+        let r = s
+            .run("SELECT b FROM t WHERE a >= 2 ORDER BY a DESC LIMIT 1")
+            .unwrap();
+        assert_eq!(r.rows, vec![vec![Value::text("three")]]);
+    }
+
+    #[test]
+    fn qualified_and_aliased() {
+        let mut s = session();
+        let r = s
+            .run("SELECT x.a + 10 AS shifted FROM t AS x WHERE x.b = 'two'")
+            .unwrap();
+        assert_eq!(r.columns, vec!["shifted"]);
+        assert_eq!(r.rows, vec![vec![Value::Int(12)]]);
+    }
+
+    #[test]
+    fn cross_and_inner_join() {
+        let mut s = session();
+        s.run("CREATE TABLE u (a int, d text)").unwrap();
+        s.run("INSERT INTO u VALUES (2, 'x'), (3, 'y')").unwrap();
+        let r = s
+            .run("SELECT t.b, u.d FROM t JOIN u ON t.a = u.a ORDER BY t.a")
+            .unwrap();
+        assert_eq!(
+            r.rows,
+            vec![
+                vec![Value::text("two"), Value::text("x")],
+                vec![Value::text("three"), Value::text("y")],
+            ]
+        );
+        let cross = s.run("SELECT count(*) FROM t, u").unwrap();
+        assert_eq!(cross.rows[0][0], Value::Int(6));
+    }
+
+    #[test]
+    fn left_join_pads_nulls() {
+        let mut s = session();
+        s.run("CREATE TABLE u (a int, d text)").unwrap();
+        s.run("INSERT INTO u VALUES (1, 'x')").unwrap();
+        let r = s
+            .run("SELECT t.a, u.d FROM t LEFT JOIN u ON t.a = u.a ORDER BY t.a")
+            .unwrap();
+        assert_eq!(r.rows[0], vec![Value::Int(1), Value::text("x")]);
+        assert_eq!(r.rows[1], vec![Value::Int(2), Value::Null]);
+        assert_eq!(r.rows[2], vec![Value::Int(3), Value::Null]);
+    }
+
+    #[test]
+    fn lateral_sees_left_row() {
+        let mut s = session();
+        let r = s
+            .run(
+                "SELECT t.a, s.double FROM t, LATERAL (SELECT t.a * 2) AS s(double) \
+                 ORDER BY t.a",
+            )
+            .unwrap();
+        assert_eq!(r.rows[2], vec![Value::Int(3), Value::Int(6)]);
+    }
+
+    #[test]
+    fn left_join_lateral_chain_like_figure7() {
+        // The compiler's `let` chains produce exactly this shape.
+        let mut s = Session::default();
+        let r = s
+            .run(
+                "SELECT x, y, z FROM (SELECT 1) AS _0(x) \
+                 LEFT JOIN LATERAL (SELECT x + 1) AS _1(y) ON true \
+                 LEFT JOIN LATERAL (SELECT x + y) AS _2(z) ON true",
+            )
+            .unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Int(1), Value::Int(2), Value::Int(3)]]);
+    }
+
+    #[test]
+    fn scalar_subquery_correlated() {
+        let mut s = session();
+        s.run("CREATE TABLE u (a int, d int)").unwrap();
+        s.run("INSERT INTO u VALUES (1, 100), (2, 200)").unwrap();
+        let r = s
+            .run("SELECT t.a, (SELECT u.d FROM u WHERE u.a = t.a) FROM t ORDER BY t.a")
+            .unwrap();
+        assert_eq!(r.rows[0][1], Value::Int(100));
+        assert_eq!(r.rows[1][1], Value::Int(200));
+        assert_eq!(r.rows[2][1], Value::Null); // no match -> NULL
+    }
+
+    #[test]
+    fn subquery_multiple_rows_errors() {
+        let mut s = session();
+        let err = s.run("SELECT (SELECT a FROM t)").unwrap_err();
+        assert!(err.to_string().contains("more than one row"), "{err}");
+    }
+
+    #[test]
+    fn aggregates_scalar_and_grouped() {
+        let mut s = session();
+        let r = s
+            .run("SELECT count(*), sum(a), min(b), max(c), avg(a) FROM t")
+            .unwrap();
+        assert_eq!(
+            r.rows[0],
+            vec![
+                Value::Int(3),
+                Value::Int(6),
+                Value::text("one"),
+                Value::Float(3.5),
+                Value::Float(2.0),
+            ]
+        );
+        // Scalar aggregation over an empty input still yields one row.
+        let r = s.run("SELECT count(*), sum(a) FROM t WHERE a > 100").unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Int(0), Value::Null]]);
+
+        s.run("CREATE TABLE g (k int, v int)").unwrap();
+        s.run("INSERT INTO g VALUES (1, 10), (1, 20), (2, 30)").unwrap();
+        let r = s
+            .run("SELECT k, sum(v) FROM g GROUP BY k ORDER BY k")
+            .unwrap();
+        assert_eq!(
+            r.rows,
+            vec![
+                vec![Value::Int(1), Value::Int(30)],
+                vec![Value::Int(2), Value::Int(30)],
+            ]
+        );
+        let r = s
+            .run("SELECT k FROM g GROUP BY k HAVING count(*) > 1")
+            .unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Int(1)]]);
+    }
+
+    #[test]
+    fn group_by_expression_reuse() {
+        let mut s = session();
+        let r = s
+            .run("SELECT a % 2, count(*) FROM t GROUP BY a % 2 ORDER BY 1")
+            .unwrap();
+        assert_eq!(
+            r.rows,
+            vec![
+                vec![Value::Int(0), Value::Int(1)],
+                vec![Value::Int(1), Value::Int(2)],
+            ]
+        );
+    }
+
+    #[test]
+    fn ungrouped_column_is_an_error() {
+        let mut s = session();
+        let err = s.run("SELECT b, count(*) FROM t GROUP BY a").unwrap_err();
+        assert!(err.to_string().contains("does not exist"), "{err}");
+    }
+
+    #[test]
+    fn window_running_sum_with_exclusion() {
+        // The paper's Q2 shape: cumulative distribution via two windows.
+        let mut s = Session::default();
+        s.run("CREATE TABLE p (k text, prob float8)").unwrap();
+        s.run("INSERT INTO p VALUES ('a', 0.8), ('b', 0.1), ('c', 0.1)")
+            .unwrap();
+        let r = s
+            .run(
+                "SELECT k, COALESCE(SUM(prob) OVER lt, 0.0) AS lo, SUM(prob) OVER leq AS hi \
+                 FROM p \
+                 WINDOW leq AS (ORDER BY k), \
+                        lt AS (leq ROWS UNBOUNDED PRECEDING EXCLUDE CURRENT ROW) \
+                 ORDER BY k",
+            )
+            .unwrap();
+        let get = |i: usize, j: usize| r.rows[i][j].as_float().unwrap();
+        assert!((get(0, 1) - 0.0).abs() < 1e-9);
+        assert!((get(0, 2) - 0.8).abs() < 1e-9);
+        assert!((get(1, 1) - 0.8).abs() < 1e-9);
+        assert!((get(1, 2) - 0.9).abs() < 1e-9);
+        assert!((get(2, 1) - 0.9).abs() < 1e-9);
+        assert!((get(2, 2) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_rank_family_and_partitions() {
+        let mut s = Session::default();
+        s.run("CREATE TABLE w (p int, v int)").unwrap();
+        s.run("INSERT INTO w VALUES (1, 10), (1, 10), (1, 20), (2, 5)")
+            .unwrap();
+        let r = s
+            .run(
+                "SELECT p, v, row_number() OVER win, rank() OVER win, dense_rank() OVER win \
+                 FROM w WINDOW win AS (PARTITION BY p ORDER BY v) ORDER BY p, v",
+            )
+            .unwrap();
+        // partition 1: (10: rn1 rank1 dr1), (10: rn2 rank1 dr1), (20: rn3 rank3 dr2)
+        assert_eq!(r.rows[0][2..], [Value::Int(1), Value::Int(1), Value::Int(1)]);
+        assert_eq!(r.rows[1][2..], [Value::Int(2), Value::Int(1), Value::Int(1)]);
+        assert_eq!(r.rows[2][2..], [Value::Int(3), Value::Int(3), Value::Int(2)]);
+        assert_eq!(r.rows[3][2..], [Value::Int(1), Value::Int(1), Value::Int(1)]);
+    }
+
+    #[test]
+    fn range_frame_includes_peers() {
+        // Default RANGE frame: peers of the current row are in the frame.
+        let mut s = Session::default();
+        s.run("CREATE TABLE w (v int)").unwrap();
+        s.run("INSERT INTO w VALUES (1), (1), (2)").unwrap();
+        let r = s
+            .run("SELECT v, sum(v) OVER (ORDER BY v) FROM w ORDER BY v")
+            .unwrap();
+        // Rows with v=1 are peers: both see sum 2.
+        assert_eq!(r.rows[0][1], Value::Int(2));
+        assert_eq!(r.rows[1][1], Value::Int(2));
+        assert_eq!(r.rows[2][1], Value::Int(4));
+    }
+
+    #[test]
+    fn window_lag_lead_first_last() {
+        let mut s = Session::default();
+        s.run("CREATE TABLE w (v int)").unwrap();
+        s.run("INSERT INTO w VALUES (10), (20), (30)").unwrap();
+        let r = s
+            .run(
+                "SELECT v, lag(v) OVER win, lead(v) OVER win,                         first_value(v) OVER win, last_value(v) OVER full                  FROM w                  WINDOW win AS (ORDER BY v),                         full AS (ORDER BY v ROWS BETWEEN UNBOUNDED PRECEDING                                  AND UNBOUNDED FOLLOWING)                  ORDER BY v",
+            )
+            .unwrap();
+        assert_eq!(
+            r.rows[0],
+            vec![
+                Value::Int(10),
+                Value::Null,
+                Value::Int(20),
+                Value::Int(10),
+                Value::Int(30)
+            ]
+        );
+        assert_eq!(
+            r.rows[1],
+            vec![
+                Value::Int(20),
+                Value::Int(10),
+                Value::Int(30),
+                Value::Int(10),
+                Value::Int(30)
+            ]
+        );
+        assert_eq!(r.rows[2][2], Value::Null, "lead at the end is NULL");
+    }
+
+    #[test]
+    fn window_bounded_rows_frame() {
+        let mut s = Session::default();
+        s.run("CREATE TABLE w (v int)").unwrap();
+        s.run("INSERT INTO w VALUES (1), (2), (3), (4), (5)").unwrap();
+        let r = s
+            .run(
+                "SELECT v, sum(v) OVER (ORDER BY v ROWS BETWEEN 1 PRECEDING                  AND 1 FOLLOWING) FROM w ORDER BY v",
+            )
+            .unwrap();
+        let sums: Vec<i64> = r.rows.iter().map(|r| r[1].as_int().unwrap()).collect();
+        assert_eq!(sums, vec![3, 6, 9, 12, 9], "sliding 3-row sums");
+    }
+
+    #[test]
+    fn distinct_and_set_ops() {
+        let mut s = session();
+        let r = s.run("SELECT DISTINCT a % 2 FROM t ORDER BY 1").unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Int(0)], vec![Value::Int(1)]]);
+        let r = s
+            .run("SELECT 1 UNION SELECT 1 UNION SELECT 2 ORDER BY 1")
+            .unwrap();
+        assert_eq!(r.rows.len(), 2);
+        let r = s.run("SELECT 1 UNION ALL SELECT 1").unwrap();
+        assert_eq!(r.rows.len(), 2);
+        let r = s
+            .run("SELECT a FROM t EXCEPT SELECT 2 ORDER BY a")
+            .unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Int(1)], vec![Value::Int(3)]]);
+        let r = s.run("SELECT a FROM t INTERSECT SELECT 2").unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Int(2)]]);
+    }
+
+    #[test]
+    fn exists_and_in() {
+        let mut s = session();
+        assert_eq!(
+            s.query_scalar("SELECT EXISTS (SELECT 1 FROM t WHERE a = 2)")
+                .unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            s.query_scalar("SELECT 2 IN (SELECT a FROM t)").unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            s.query_scalar("SELECT 99 IN (SELECT a FROM t)").unwrap(),
+            Value::Bool(false)
+        );
+        // NULL semantics of NOT IN.
+        s.run("INSERT INTO t VALUES (NULL, 'n', 0.0)").unwrap();
+        assert_eq!(
+            s.query_scalar("SELECT 99 NOT IN (SELECT a FROM t)").unwrap(),
+            Value::Null
+        );
+    }
+
+    #[test]
+    fn recursive_cte_counts_to_five() {
+        let mut s = Session::default();
+        let r = s
+            .run(
+                "WITH RECURSIVE c(x) AS (SELECT 1 UNION ALL SELECT x + 1 FROM c WHERE x < 5) \
+                 SELECT sum(x) FROM c",
+            )
+            .unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(15));
+    }
+
+    #[test]
+    fn recursive_union_dedups() {
+        // UNION (not ALL) terminates cycles by deduplication.
+        let mut s = Session::default();
+        let r = s
+            .run(
+                "WITH RECURSIVE c(x) AS (SELECT 1 UNION SELECT (x % 3) + 1 FROM c) \
+                 SELECT count(*) FROM c",
+            )
+            .unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(3));
+    }
+
+    #[test]
+    fn with_iterate_keeps_only_final_rows() {
+        let mut s = Session::default();
+        let r = s
+            .run(
+                "WITH ITERATE c(x) AS (SELECT 1 UNION ALL SELECT x + 1 FROM c WHERE x < 5) \
+                 SELECT x FROM c",
+            )
+            .unwrap();
+        // Only the final working table (x = 5) survives.
+        assert_eq!(r.rows, vec![vec![Value::Int(5)]]);
+    }
+
+    #[test]
+    fn iterate_writes_no_buffer_pages_recursive_does() {
+        let mut s = Session::default();
+        s.config.work_mem_bytes = 1024; // force early spill
+        let sql_rec = "WITH RECURSIVE c(x, pad) AS (SELECT 1, repeat('x', 100) \
+                       UNION ALL SELECT x + 1, pad FROM c WHERE x < 200) \
+                       SELECT count(*) FROM c";
+        s.run(sql_rec).unwrap();
+        assert!(s.buffers.page_writes > 0, "RECURSIVE must spill");
+        let pages_rec = s.buffers.page_writes;
+        s.reset_instrumentation();
+        let sql_iter = sql_rec.replace("WITH RECURSIVE", "WITH ITERATE");
+        s.run(&sql_iter).unwrap();
+        assert_eq!(s.buffers.page_writes, 0, "ITERATE must not spill");
+        assert!(pages_rec > 0);
+    }
+
+    #[test]
+    fn plain_cte_materializes_once() {
+        let mut s = session();
+        let r = s
+            .run("WITH big (v) AS (SELECT a * 10 FROM t) SELECT sum(v) FROM big")
+            .unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(60));
+    }
+
+    #[test]
+    fn sql_udf_simple_and_nested() {
+        let mut s = session();
+        s.run("CREATE FUNCTION double(x int) RETURNS int AS $$ SELECT x * 2 $$ LANGUAGE SQL")
+            .unwrap();
+        assert_eq!(s.query_scalar("SELECT double(21)").unwrap(), Value::Int(42));
+        s.run("CREATE FUNCTION quad(x int) RETURNS int AS $$ SELECT double(double(x)) $$ LANGUAGE SQL")
+            .unwrap();
+        assert_eq!(s.query_scalar("SELECT quad(1)").unwrap(), Value::Int(4));
+        // UDFs work inside queries over tables.
+        let r = s.run("SELECT double(a) FROM t ORDER BY a").unwrap();
+        assert_eq!(r.rows[2][0], Value::Int(6));
+    }
+
+    #[test]
+    fn recursive_sql_udf_runs_and_hits_depth_limit() {
+        let mut s = Session::default();
+        s.run(
+            "CREATE FUNCTION fact(n int) RETURNS int AS $$ \
+             SELECT CASE WHEN n <= 1 THEN 1 ELSE n * fact(n - 1) END $$ LANGUAGE SQL",
+        )
+        .unwrap();
+        assert_eq!(s.query_scalar("SELECT fact(10)").unwrap(), Value::Int(3628800));
+        // The paper: "we quickly hit default stack depth limits".
+        s.config.max_udf_depth = 32;
+        let err = s.query_scalar("SELECT fact(100)").unwrap_err();
+        assert!(err.to_string().contains("stack depth"), "{err}");
+    }
+
+    #[test]
+    fn plpgsql_function_cannot_run_in_sql() {
+        let mut s = Session::default();
+        s.run(
+            "CREATE FUNCTION f(n int) RETURNS int AS $$ BEGIN RETURN n; END $$ LANGUAGE PLPGSQL",
+        )
+        .unwrap();
+        let err = s.query_scalar("SELECT f(1)").unwrap_err();
+        assert!(matches!(err, Error::Unsupported(_)), "{err}");
+    }
+
+    #[test]
+    fn plan_cache_hits_and_invalidation() {
+        let mut s = session();
+        let ps = ParamScope::default();
+        s.prepare("SELECT count(*) FROM t", &ps).unwrap();
+        assert_eq!(s.plan_cache_misses, 1);
+        s.prepare("SELECT count(*) FROM t", &ps).unwrap();
+        assert_eq!(s.plan_cache_hits, 1);
+        // DDL invalidates.
+        s.run("CREATE TABLE zz (x int)").unwrap();
+        s.prepare("SELECT count(*) FROM t", &ps).unwrap();
+        assert_eq!(s.plan_cache_misses, 2, "DDL must invalidate and re-plan");
+    }
+
+    #[test]
+    fn params_bind_plpgsql_style() {
+        let mut s = session();
+        let ps = ParamScope::new(vec!["needle".into()]);
+        // `needle` is not a column of t -> resolves as a parameter.
+        let plan = s.prepare("SELECT b FROM t WHERE a = needle", &ps).unwrap();
+        let r = s.execute_prepared(&plan, vec![Value::Int(2)]).unwrap();
+        assert_eq!(r.rows, vec![vec![Value::text("two")]]);
+        let r = s.execute_prepared(&plan, vec![Value::Int(3)]).unwrap();
+        assert_eq!(r.rows, vec![vec![Value::text("three")]]);
+    }
+
+    #[test]
+    fn columns_shadow_params() {
+        let mut s = session();
+        // `a` is a column of t; the parameter of the same name loses.
+        let ps = ParamScope::new(vec!["a".into()]);
+        let plan = s.prepare("SELECT count(*) FROM t WHERE a = 2", &ps).unwrap();
+        let r = s.execute_prepared(&plan, vec![Value::Int(999)]).unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(1));
+    }
+
+    #[test]
+    fn profiler_accumulates_lifecycle_phases() {
+        let mut s = session();
+        s.reset_instrumentation();
+        let ps = ParamScope::default();
+        let plan = s.prepare("SELECT count(*) FROM t", &ps).unwrap();
+        for _ in 0..10 {
+            s.execute_prepared(&plan, vec![]).unwrap();
+        }
+        assert_eq!(s.profiler.start_count, 10);
+        assert_eq!(s.profiler.end_count, 10);
+        assert!(s.profiler.exec_start_ns > 0);
+        assert!(s.profiler.exec_run_ns > 0);
+    }
+
+    #[test]
+    fn index_lookup_used_for_point_queries() {
+        let mut s = Session::default();
+        s.run("CREATE TABLE big (k int, v int)").unwrap();
+        let rows: Vec<Row> = (0..1000)
+            .map(|i| vec![Value::Int(i), Value::Int(i * i)])
+            .collect();
+        s.catalog.bulk_insert("big", rows).unwrap();
+        s.run("CREATE INDEX big_k ON big (k)").unwrap();
+        let ps = ParamScope::new(vec!["needle".into()]);
+        let plan = s.prepare("SELECT v FROM big WHERE k = needle", &ps).unwrap();
+        assert!(
+            plan.plan.explain().contains("IndexLookup"),
+            "expected index plan, got:\n{}",
+            plan.plan.explain()
+        );
+        s.stats.reset();
+        let r = s.execute_prepared(&plan, vec![Value::Int(31)]).unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Int(961)]]);
+        assert!(
+            s.stats.rows_scanned < 10,
+            "index lookup should not scan the table ({} rows scanned)",
+            s.stats.rows_scanned
+        );
+    }
+
+    #[test]
+    fn insert_with_column_list_and_select() {
+        let mut s = session();
+        s.run("CREATE TABLE copy (b text, a int)").unwrap();
+        s.run("INSERT INTO copy (a, b) SELECT a, b FROM t").unwrap();
+        let r = s.run("SELECT b, a FROM copy ORDER BY a").unwrap();
+        assert_eq!(r.rows[0], vec![Value::text("one"), Value::Int(1)]);
+        // Unlisted columns become NULL.
+        s.run("INSERT INTO copy (a) VALUES (9)").unwrap();
+        let r = s.run("SELECT b FROM copy WHERE a = 9").unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Null]]);
+    }
+
+    #[test]
+    fn update_and_delete() {
+        let mut s = session();
+        let r = s.run("UPDATE t SET a = a + 10 WHERE b = 'two'").unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(1));
+        assert_eq!(
+            s.query_scalar("SELECT a FROM t WHERE b = 'two'").unwrap(),
+            Value::Int(12)
+        );
+        let r = s.run("DELETE FROM t WHERE a > 10").unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(1));
+        assert_eq!(s.query_scalar("SELECT count(*) FROM t").unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn random_is_seeded_and_in_range() {
+        let mut a = Session::default();
+        let mut b = Session::default();
+        a.set_seed(7);
+        b.set_seed(7);
+        let va = a.query_scalar("SELECT random()").unwrap();
+        let vb = b.query_scalar("SELECT random()").unwrap();
+        assert_eq!(va, vb);
+        let f = va.as_float().unwrap();
+        assert!((0.0..1.0).contains(&f));
+    }
+
+    #[test]
+    fn values_and_rows() {
+        let mut s = Session::default();
+        let r = s.run("VALUES (1, 'a'), (2, 'b')").unwrap();
+        assert_eq!(r.columns, vec!["column1", "column2"]);
+        assert_eq!(r.rows.len(), 2);
+        let v = s.query_scalar("SELECT ROW(1, 'x', NULL)").unwrap();
+        assert_eq!(
+            v,
+            Value::record(vec![Value::Int(1), Value::text("x"), Value::Null])
+        );
+        assert_eq!(
+            s.query_scalar("SELECT row_field(ROW(7, 8), 2)").unwrap(),
+            Value::Int(8)
+        );
+    }
+
+    #[test]
+    fn order_by_hidden_column() {
+        let mut s = session();
+        // ORDER BY an expression not in the select list.
+        let r = s.run("SELECT b FROM t ORDER BY a * -1").unwrap();
+        assert_eq!(
+            r.rows,
+            vec![
+                vec![Value::text("three")],
+                vec![Value::text("two")],
+                vec![Value::text("one")],
+            ]
+        );
+        // Hidden columns must not leak into the output.
+        assert_eq!(r.columns, vec!["b"]);
+        assert_eq!(r.rows[0].len(), 1);
+    }
+
+    #[test]
+    fn nulls_ordering_defaults() {
+        let mut s = Session::default();
+        s.run("CREATE TABLE n (v int)").unwrap();
+        s.run("INSERT INTO n VALUES (2), (NULL), (1)").unwrap();
+        let r = s.run("SELECT v FROM n ORDER BY v").unwrap();
+        assert_eq!(r.rows[2][0], Value::Null, "NULLS LAST for ASC");
+        let r = s.run("SELECT v FROM n ORDER BY v DESC").unwrap();
+        assert_eq!(r.rows[0][0], Value::Null, "NULLS FIRST for DESC");
+        let r = s.run("SELECT v FROM n ORDER BY v NULLS FIRST").unwrap();
+        assert_eq!(r.rows[0][0], Value::Null);
+    }
+
+    #[test]
+    fn table_string_rendering() {
+        let mut s = session();
+        let r = s.run("SELECT a, b FROM t WHERE a = 1").unwrap();
+        let text = r.to_table_string();
+        assert!(text.contains('a') && text.contains("one"), "{text}");
+        assert!(text.contains("(1 row)"), "{text}");
+    }
+
+    #[test]
+    fn error_mentions_statement() {
+        let mut s = Session::default();
+        let err = s.run("SELECT nope FROM nowhere").unwrap_err();
+        assert!(err.to_string().contains("nowhere"), "{err}");
+    }
+}

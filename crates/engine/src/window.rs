@@ -1,0 +1,436 @@
+//! Window function evaluation.
+//!
+//! The paper's `walk()` builds a cumulative probability distribution with
+//! two windows over the `actions` table:
+//!
+//! ```sql
+//! WINDOW leq AS (ORDER BY a.there),                                   -- RANGE UP/CURRENT (peers!)
+//!        lt  AS (leq ROWS UNBOUNDED PRECEDING EXCLUDE CURRENT ROW)
+//! ```
+//!
+//! so we implement `ROWS` frames with all bounds, `RANGE` frames with
+//! UNBOUNDED / CURRENT ROW bounds (peer-group semantics), and the
+//! `EXCLUDE CURRENT ROW` exclusion, plus the rank family and lag/lead.
+
+use plaway_common::{Error, Result, Value};
+use plaway_sql::ast::{FrameBound, FrameUnits};
+
+use crate::catalog::Row;
+use crate::exec::{cmp_key_vectors, eval, EvalEnv, Runtime, Scopes};
+use crate::ir::{AggFn, FrameIr, SortKey, WinFn, WindowExprIr};
+
+/// Evaluate all window expressions; returns the input rows with one extra
+/// column appended per window expression (in input order).
+pub fn exec_window(
+    rows: Vec<Row>,
+    windows: &[WindowExprIr],
+    env: &EvalEnv<'_>,
+    rt: &mut Runtime<'_>,
+) -> Result<Vec<Row>> {
+    let n = rows.len();
+    let mut extra: Vec<Vec<Value>> = vec![Vec::with_capacity(windows.len()); n];
+    for w in windows {
+        let col = eval_one_window(&rows, w, env, rt)?;
+        for (i, v) in col.into_iter().enumerate() {
+            extra[i].push(v);
+        }
+    }
+    Ok(rows
+        .into_iter()
+        .zip(extra)
+        .map(|(mut row, mut ex)| {
+            row.append(&mut ex);
+            row
+        })
+        .collect())
+}
+
+fn eval_one_window(
+    rows: &[Row],
+    w: &WindowExprIr,
+    env: &EvalEnv<'_>,
+    rt: &mut Runtime<'_>,
+) -> Result<Vec<Value>> {
+    let n = rows.len();
+
+    // Evaluate partition keys, order keys and arguments once per row.
+    let mut part_keys: Vec<Vec<Value>> = Vec::with_capacity(n);
+    let mut order_keys: Vec<Vec<Value>> = Vec::with_capacity(n);
+    let mut args: Vec<Vec<Value>> = Vec::with_capacity(n);
+    for row in rows {
+        let scopes = Scopes {
+            row,
+            parent: env.scopes,
+        };
+        let inner = EvalEnv {
+            scopes: Some(&scopes),
+            params: env.params,
+        };
+        let mut pk = Vec::with_capacity(w.partition_by.len());
+        for e in &w.partition_by {
+            pk.push(eval(e, &inner, rt)?);
+        }
+        part_keys.push(pk);
+        let mut ok = Vec::with_capacity(w.order_by.len());
+        for k in &w.order_by {
+            ok.push(eval(&k.expr, &inner, rt)?);
+        }
+        order_keys.push(ok);
+        let mut av = Vec::with_capacity(w.args.len());
+        for a in &w.args {
+            av.push(eval(a, &inner, rt)?);
+        }
+        args.push(av);
+    }
+
+    // Partition: group row indices by partition key (first-seen order).
+    let mut partitions: Vec<Vec<usize>> = Vec::new();
+    {
+        let mut by_key: std::collections::HashMap<&[Value], usize> =
+            std::collections::HashMap::new();
+        for i in 0..n {
+            let key = part_keys[i].as_slice();
+            match by_key.get(key) {
+                Some(&p) => partitions[p].push(i),
+                None => {
+                    by_key.insert(key, partitions.len());
+                    partitions.push(vec![i]);
+                }
+            }
+        }
+    }
+
+    let mut out: Vec<Value> = vec![Value::Null; n];
+    for partition in &mut partitions {
+        // Sort the partition by the window's ORDER BY (stable).
+        partition.sort_by(|&a, &b| cmp_key_vectors(&order_keys[a], &order_keys[b], &w.order_by));
+        eval_partition(partition, &order_keys, &args, w, &mut out)?;
+    }
+    Ok(out)
+}
+
+/// Peer group bounds: `[peer_start[i], peer_end[i])` positions within the
+/// sorted partition that share row i's order keys.
+fn peer_bounds(
+    sorted: &[usize],
+    order_keys: &[Vec<Value>],
+    keys: &[SortKey],
+) -> (Vec<usize>, Vec<usize>) {
+    let p = sorted.len();
+    let mut start = vec![0usize; p];
+    let mut end = vec![0usize; p];
+    let mut i = 0;
+    while i < p {
+        let mut j = i + 1;
+        while j < p
+            && cmp_key_vectors(
+                &order_keys[sorted[i]],
+                &order_keys[sorted[j]],
+                keys,
+            ) == std::cmp::Ordering::Equal
+        {
+            j += 1;
+        }
+        for k in i..j {
+            start[k] = i;
+            end[k] = j;
+        }
+        i = j;
+    }
+    (start, end)
+}
+
+fn eval_partition(
+    sorted: &[usize],
+    order_keys: &[Vec<Value>],
+    args: &[Vec<Value>],
+    w: &WindowExprIr,
+    out: &mut [Value],
+) -> Result<()> {
+    let p = sorted.len();
+    match w.func {
+        WinFn::RowNumber => {
+            for (pos, &row) in sorted.iter().enumerate() {
+                out[row] = Value::Int(pos as i64 + 1);
+            }
+            Ok(())
+        }
+        WinFn::Rank | WinFn::DenseRank => {
+            let (peer_start, _) = peer_bounds(sorted, order_keys, &w.order_by);
+            let mut dense = 0i64;
+            let mut last_start = usize::MAX;
+            for (pos, &row) in sorted.iter().enumerate() {
+                if peer_start[pos] != last_start {
+                    dense += 1;
+                    last_start = peer_start[pos];
+                }
+                out[row] = match w.func {
+                    WinFn::Rank => Value::Int(peer_start[pos] as i64 + 1),
+                    _ => Value::Int(dense),
+                };
+            }
+            Ok(())
+        }
+        WinFn::Lag | WinFn::Lead => {
+            for (pos, &row) in sorted.iter().enumerate() {
+                let target = if w.func == WinFn::Lag {
+                    pos.checked_sub(1)
+                } else {
+                    (pos + 1 < p).then_some(pos + 1)
+                };
+                out[row] = match target {
+                    Some(t) => args[sorted[t]]
+                        .first()
+                        .cloned()
+                        .ok_or_else(|| Error::exec("lag/lead needs an argument"))?,
+                    None => args[row].get(1).cloned().unwrap_or(Value::Null),
+                };
+            }
+            Ok(())
+        }
+        WinFn::FirstValue | WinFn::LastValue => {
+            let frames = compute_frames(sorted, order_keys, w)?;
+            for (pos, &row) in sorted.iter().enumerate() {
+                let (s, e, excl) = frames[pos];
+                let pick = if w.func == WinFn::FirstValue {
+                    (s..e).find(|&i| !(excl && i == pos))
+                } else {
+                    (s..e).rev().find(|&i| !(excl && i == pos))
+                };
+                out[row] = match pick {
+                    Some(i) => args[sorted[i]]
+                        .first()
+                        .cloned()
+                        .ok_or_else(|| Error::exec("first/last_value needs an argument"))?,
+                    None => Value::Null,
+                };
+            }
+            Ok(())
+        }
+        WinFn::Agg(agg) => eval_frame_aggregate(sorted, order_keys, args, w, agg, out),
+    }
+}
+
+/// Frame `[start, end)` positions (within the sorted partition) per row,
+/// plus whether the current row is excluded.
+fn compute_frames(
+    sorted: &[usize],
+    order_keys: &[Vec<Value>],
+    w: &WindowExprIr,
+) -> Result<Vec<(usize, usize, bool)>> {
+    let p = sorted.len();
+    // Default frame: RANGE BETWEEN UNBOUNDED PRECEDING AND CURRENT ROW when
+    // ORDER BY is present, else the whole partition.
+    let default_frame = FrameIr {
+        units: FrameUnits::Range,
+        start: FrameBound::UnboundedPreceding,
+        end: if w.order_by.is_empty() {
+            FrameBound::UnboundedFollowing
+        } else {
+            FrameBound::CurrentRow
+        },
+        exclude_current_row: false,
+    };
+    let frame = w.frame.as_ref().unwrap_or(&default_frame);
+
+    let (peer_start, peer_end) = peer_bounds(sorted, order_keys, &w.order_by);
+    let mut frames = Vec::with_capacity(p);
+    for pos in 0..p {
+        let (s, e) = match frame.units {
+            FrameUnits::Rows => {
+                let s = match &frame.start {
+                    FrameBound::UnboundedPreceding => 0,
+                    FrameBound::Preceding(k) => pos.saturating_sub(*k as usize),
+                    FrameBound::CurrentRow => pos,
+                    FrameBound::Following(k) => (pos + *k as usize).min(p),
+                    FrameBound::UnboundedFollowing => {
+                        return Err(Error::plan(
+                            "frame start cannot be UNBOUNDED FOLLOWING",
+                        ))
+                    }
+                };
+                let e = match &frame.end {
+                    FrameBound::UnboundedPreceding => {
+                        return Err(Error::plan("frame end cannot be UNBOUNDED PRECEDING"))
+                    }
+                    FrameBound::Preceding(k) => (pos + 1).saturating_sub(*k as usize),
+                    FrameBound::CurrentRow => pos + 1,
+                    FrameBound::Following(k) => (pos + 1 + *k as usize).min(p),
+                    FrameBound::UnboundedFollowing => p,
+                };
+                (s, e.max(s))
+            }
+            FrameUnits::Range => {
+                // Peer-group semantics; offset RANGE bounds are not needed by
+                // the paper and are rejected at plan time.
+                let s = match &frame.start {
+                    FrameBound::UnboundedPreceding => 0,
+                    FrameBound::CurrentRow => peer_start[pos],
+                    other => {
+                        return Err(Error::unsupported(format!(
+                            "RANGE frame bound {other:?} not supported"
+                        )))
+                    }
+                };
+                let e = match &frame.end {
+                    FrameBound::CurrentRow => peer_end[pos],
+                    FrameBound::UnboundedFollowing => p,
+                    other => {
+                        return Err(Error::unsupported(format!(
+                            "RANGE frame bound {other:?} not supported"
+                        )))
+                    }
+                };
+                (s, e.max(s))
+            }
+        };
+        frames.push((s, e, frame.exclude_current_row));
+    }
+    Ok(frames)
+}
+
+fn eval_frame_aggregate(
+    sorted: &[usize],
+    order_keys: &[Vec<Value>],
+    args: &[Vec<Value>],
+    w: &WindowExprIr,
+    agg: AggFn,
+    out: &mut [Value],
+) -> Result<()> {
+    let frames = compute_frames(sorted, order_keys, w)?;
+    let p = sorted.len();
+
+    // Fast path for SUM/COUNT/AVG with a frame that always starts at the
+    // partition head: maintain a running prefix as `end` advances (it is
+    // non-decreasing), then subtract the current row if excluded. This is
+    // the shape the paper's Q2 uses on every robot step.
+    let prefix_ok = matches!(agg, AggFn::Sum | AggFn::Count | AggFn::CountStar | AggFn::Avg)
+        && frames.iter().all(|(s, _, _)| *s == 0)
+        && frames.windows(2).all(|f| f[0].1 <= f[1].1);
+    if prefix_ok {
+        let mut sum: Option<Value> = None;
+        let mut count: i64 = 0;
+        let mut fed = 0usize; // rows [0, fed) already in the accumulator
+        for pos in 0..p {
+            let (_, e, excl) = frames[pos];
+            while fed < e {
+                let v = arg_value(args, sorted[fed], agg)?;
+                if let Some(v) = v {
+                    if !v.is_null() {
+                        count += 1;
+                        sum = Some(match sum.take() {
+                            None => v,
+                            Some(acc) => acc.add(&v)?,
+                        });
+                    }
+                } else {
+                    count += 1; // COUNT(*)
+                }
+                fed += 1;
+            }
+            // Exclude the current row's contribution if requested and the
+            // current row is inside [0, e).
+            let (mut c, mut s) = (count, sum.clone());
+            if excl && pos < e {
+                let v = arg_value(args, sorted[pos], agg)?;
+                match v {
+                    Some(v) if !v.is_null() => {
+                        c -= 1;
+                        s = match s {
+                            Some(acc) => Some(acc.sub(&v)?),
+                            None => None,
+                        };
+                    }
+                    None => c -= 1,
+                    _ => {}
+                }
+            }
+            out[sorted[pos]] = finish_agg(agg, c, s);
+        }
+        return Ok(());
+    }
+
+    // General path: recompute per frame.
+    for pos in 0..p {
+        let (s, e, excl) = frames[pos];
+        let mut count: i64 = 0;
+        let mut sum: Option<Value> = None;
+        let mut extreme: Option<Value> = None;
+        let mut bool_acc: Option<bool> = None;
+        for i in s..e {
+            if excl && i == pos {
+                continue;
+            }
+            let v = arg_value(args, sorted[i], agg)?;
+            match (agg, v) {
+                (AggFn::CountStar, _) => count += 1,
+                (_, Some(v)) if !v.is_null() => match agg {
+                    AggFn::Count => count += 1,
+                    AggFn::Sum | AggFn::Avg => {
+                        count += 1;
+                        sum = Some(match sum.take() {
+                            None => v,
+                            Some(acc) => acc.add(&v)?,
+                        });
+                    }
+                    AggFn::Min | AggFn::Max => {
+                        extreme = Some(match extreme.take() {
+                            None => v,
+                            Some(cur) => {
+                                let keep_new = match v.sql_cmp(&cur)? {
+                                    Some(std::cmp::Ordering::Less) => agg == AggFn::Min,
+                                    Some(std::cmp::Ordering::Greater) => agg == AggFn::Max,
+                                    _ => false,
+                                };
+                                if keep_new {
+                                    v
+                                } else {
+                                    cur
+                                }
+                            }
+                        });
+                    }
+                    AggFn::BoolAnd => {
+                        let b = v.as_bool()?.unwrap_or(false);
+                        bool_acc = Some(bool_acc.map_or(b, |a| a && b));
+                    }
+                    AggFn::BoolOr => {
+                        let b = v.as_bool()?.unwrap_or(false);
+                        bool_acc = Some(bool_acc.map_or(b, |a| a || b));
+                    }
+                    AggFn::CountStar => unreachable!(),
+                },
+                _ => {}
+            }
+        }
+        out[sorted[pos]] = match agg {
+            AggFn::Min | AggFn::Max => extreme.unwrap_or(Value::Null),
+            AggFn::BoolAnd | AggFn::BoolOr => bool_acc.map(Value::Bool).unwrap_or(Value::Null),
+            _ => finish_agg(agg, count, sum),
+        };
+    }
+    Ok(())
+}
+
+fn arg_value(args: &[Vec<Value>], row: usize, agg: AggFn) -> Result<Option<Value>> {
+    if agg == AggFn::CountStar {
+        return Ok(None);
+    }
+    args[row]
+        .first()
+        .cloned()
+        .map(Some)
+        .ok_or_else(|| Error::exec("window aggregate needs an argument"))
+}
+
+fn finish_agg(agg: AggFn, count: i64, sum: Option<Value>) -> Value {
+    match agg {
+        AggFn::Count | AggFn::CountStar => Value::Int(count),
+        AggFn::Sum => sum.unwrap_or(Value::Null),
+        AggFn::Avg => match sum {
+            None => Value::Null,
+            Some(s) => Value::Float(s.as_float().unwrap_or(0.0) / count as f64),
+        },
+        _ => unreachable!("finish_agg only handles count/sum/avg"),
+    }
+}

@@ -1,0 +1,199 @@
+//! PL/pgSQL abstract syntax.
+//!
+//! Expressions are SQL expressions ([`plaway_sql::ast::Expr`]); an embedded
+//! query `Qi` is simply an expression containing a scalar subquery. This is
+//! faithful to PostgreSQL, where `plpgsql` hands every expression to the SQL
+//! parser.
+
+use plaway_common::Type;
+use plaway_sql::ast::Expr;
+
+/// A parsed PL/pgSQL function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlFunction {
+    pub name: String,
+    pub params: Vec<(String, Type)>,
+    pub returns: Type,
+    pub decls: Vec<VarDecl>,
+    pub body: Vec<PlStmt>,
+}
+
+/// `DECLARE name type [:= init];`
+#[derive(Debug, Clone, PartialEq)]
+pub struct VarDecl {
+    pub name: String,
+    pub ty: Type,
+    pub init: Option<Expr>,
+}
+
+/// `RAISE <level> 'format' [, args]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RaiseLevel {
+    Debug,
+    Notice,
+    Info,
+    Warning,
+    Exception,
+}
+
+/// PL/pgSQL statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlStmt {
+    /// `var := expr;` (also accepts `=`).
+    Assign { var: String, expr: Expr },
+    /// `IF c THEN .. ELSIF c THEN .. ELSE .. END IF;`
+    If {
+        branches: Vec<(Expr, Vec<PlStmt>)>,
+        else_: Vec<PlStmt>,
+    },
+    /// `CASE [operand] WHEN v THEN .. ELSE .. END CASE;`
+    CaseStmt {
+        operand: Option<Expr>,
+        branches: Vec<(Vec<Expr>, Vec<PlStmt>)>,
+        else_: Option<Vec<PlStmt>>,
+    },
+    /// `[<<label>>] LOOP .. END LOOP [label];`
+    Loop {
+        label: Option<String>,
+        body: Vec<PlStmt>,
+    },
+    /// `[<<label>>] WHILE c LOOP .. END LOOP;`
+    While {
+        label: Option<String>,
+        cond: Expr,
+        body: Vec<PlStmt>,
+    },
+    /// `[<<label>>] FOR v IN [REVERSE] a..b [BY s] LOOP .. END LOOP;`
+    ForRange {
+        label: Option<String>,
+        var: String,
+        from: Expr,
+        to: Expr,
+        by: Option<Expr>,
+        reverse: bool,
+        body: Vec<PlStmt>,
+    },
+    /// `EXIT [label] [WHEN c];`
+    Exit {
+        label: Option<String>,
+        when: Option<Expr>,
+    },
+    /// `CONTINUE [label] [WHEN c];`
+    Continue {
+        label: Option<String>,
+        when: Option<Expr>,
+    },
+    /// `RETURN [expr];`
+    Return { expr: Option<Expr> },
+    /// `NULL;` — no-op.
+    Null,
+    /// `RAISE NOTICE 'fmt %' , args;`
+    Raise {
+        level: RaiseLevel,
+        format: String,
+        args: Vec<Expr>,
+    },
+    /// `PERFORM expr;` — evaluate and discard (used for side-effect-free
+    /// warm-up queries in benchmarks).
+    Perform { expr: Expr },
+}
+
+impl PlStmt {
+    /// Visit this statement and all nested statements (pre-order).
+    pub fn walk<'a>(&'a self, f: &mut impl FnMut(&'a PlStmt)) {
+        f(self);
+        match self {
+            PlStmt::If { branches, else_ } => {
+                for (_, stmts) in branches {
+                    for s in stmts {
+                        s.walk(f);
+                    }
+                }
+                for s in else_ {
+                    s.walk(f);
+                }
+            }
+            PlStmt::CaseStmt {
+                branches, else_, ..
+            } => {
+                for (_, stmts) in branches {
+                    for s in stmts {
+                        s.walk(f);
+                    }
+                }
+                if let Some(stmts) = else_ {
+                    for s in stmts {
+                        s.walk(f);
+                    }
+                }
+            }
+            PlStmt::Loop { body, .. }
+            | PlStmt::While { body, .. }
+            | PlStmt::ForRange { body, .. } => {
+                for s in body {
+                    s.walk(f);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// All expressions directly contained in this statement (not nested
+    /// statements') — used by analyses like "which queries does f embed?".
+    pub fn own_exprs(&self) -> Vec<&Expr> {
+        match self {
+            PlStmt::Assign { expr, .. } => vec![expr],
+            PlStmt::If { branches, .. } => branches.iter().map(|(c, _)| c).collect(),
+            PlStmt::CaseStmt {
+                operand, branches, ..
+            } => {
+                let mut v: Vec<&Expr> = operand.iter().collect();
+                for (vals, _) in branches {
+                    v.extend(vals.iter());
+                }
+                v
+            }
+            PlStmt::While { cond, .. } => vec![cond],
+            PlStmt::ForRange { from, to, by, .. } => {
+                let mut v = vec![from, to];
+                if let Some(b) = by {
+                    v.push(b);
+                }
+                v
+            }
+            PlStmt::Exit { when, .. } | PlStmt::Continue { when, .. } => {
+                when.iter().collect()
+            }
+            PlStmt::Return { expr } => expr.iter().collect(),
+            PlStmt::Raise { args, .. } => args.iter().collect(),
+            PlStmt::Perform { expr } => vec![expr],
+            PlStmt::Null | PlStmt::Loop { .. } => vec![],
+        }
+    }
+}
+
+impl PlFunction {
+    /// Count the embedded queries (expressions containing subqueries) —
+    /// `walk` of Figure 3 has three (`Q1..Q3`).
+    pub fn embedded_query_count(&self) -> usize {
+        let mut n = 0;
+        let mut count = |e: &Expr| {
+            if e.has_subquery() {
+                n += 1;
+            }
+        };
+        for d in &self.decls {
+            if let Some(init) = &d.init {
+                count(init);
+            }
+        }
+        for s in &self.body {
+            s.walk(&mut |stmt| {
+                for e in stmt.own_exprs() {
+                    count(e);
+                }
+            });
+        }
+        n
+    }
+}

@@ -1,0 +1,31 @@
+//! `plaway-plsql` — PL/pgSQL abstract syntax and parser.
+//!
+//! This front end covers the dialect the paper's functions exercise
+//! (Figure 3's `walk`, plus `parse`, `traverse`, `fibonacci`): declarations
+//! with initializers, assignments, `IF/ELSIF/ELSE`, all loop forms
+//! (`LOOP`, `WHILE`, integer `FOR .. IN a..b [BY s]`, `REVERSE`), labelled
+//! `EXIT`/`CONTINUE` with `WHEN` conditions, `RETURN`, `RAISE`, `PERFORM`,
+//! and the `CASE` statement. Expressions — including the embedded queries
+//! `Q1..Qn` — are plain SQL expressions, re-using `plaway-sql`'s grammar.
+//!
+//! Deliberately unsupported (diagnosed with clear errors, see DESIGN.md):
+//! table-valued variables (PL/SQL itself disallows them, paper §4),
+//! exceptions, cursors, dynamic SQL (`EXECUTE`).
+
+pub mod ast;
+pub mod parser;
+
+pub use ast::*;
+pub use parser::parse_function;
+
+use plaway_common::Result;
+
+/// Parse a complete `CREATE FUNCTION ... LANGUAGE plpgsql` statement into a
+/// [`PlFunction`].
+pub fn parse_create_function(sql: &str) -> Result<PlFunction> {
+    let stmt = plaway_sql::parse_statement(sql)?;
+    let plaway_sql::ast::Stmt::CreateFunction(cf) = stmt else {
+        return Err(plaway_common::Error::parse("expected CREATE FUNCTION", 1, 1));
+    };
+    parse_function(&cf)
+}

@@ -1,0 +1,564 @@
+//! PL/pgSQL body parser.
+//!
+//! Reuses the SQL lexer and expression grammar: a PL/pgSQL expression simply
+//! parses until a token the SQL grammar cannot continue with (`;`, `THEN`,
+//! `LOOP`, ...), exactly how PostgreSQL's plpgsql scanner hands text to the
+//! SQL parser.
+
+use plaway_common::{Error, Result, Type};
+use plaway_sql::ast::{CreateFunction, Language};
+use plaway_sql::token::Sym;
+use plaway_sql::Parser;
+
+use crate::ast::{PlFunction, PlStmt, RaiseLevel, VarDecl};
+
+/// Parse the body of a `CREATE FUNCTION ... LANGUAGE plpgsql` statement.
+pub fn parse_function(cf: &CreateFunction) -> Result<PlFunction> {
+    if cf.language != Language::PlPgSql {
+        return Err(Error::parse(
+            format!("function {:?} is not LANGUAGE plpgsql", cf.name),
+            1,
+            1,
+        ));
+    }
+    let params = cf
+        .params
+        .iter()
+        .map(|(n, t)| Ok((n.clone(), Type::from_sql_name(t)?)))
+        .collect::<Result<Vec<_>>>()?;
+    let returns = Type::from_sql_name(&cf.returns)?;
+
+    let mut p = BodyParser {
+        p: Parser::new(&cf.body)?,
+    };
+    let (decls, body) = p.parse_block()?;
+    Ok(PlFunction {
+        name: cf.name.clone(),
+        params,
+        returns,
+        decls,
+        body,
+    })
+}
+
+struct BodyParser {
+    p: Parser,
+}
+
+impl BodyParser {
+    /// `[DECLARE decls] BEGIN stmts END [;]`
+    fn parse_block(&mut self) -> Result<(Vec<VarDecl>, Vec<PlStmt>)> {
+        let mut decls = Vec::new();
+        if self.p.eat_kw("declare") {
+            while !self.p.peek().is_kw("begin") {
+                decls.push(self.parse_decl()?);
+            }
+        }
+        self.p.expect_kw("begin")?;
+        let body = self.parse_stmts_until(&["end"])?;
+        self.p.expect_kw("end")?;
+        self.p.eat_sym(Sym::Semi);
+        if !self.p.at_eof() {
+            return Err(self.p.err_here("unexpected input after END"));
+        }
+        Ok((decls, body))
+    }
+
+    /// `name type [:= expr | = expr | DEFAULT expr] ;`
+    fn parse_decl(&mut self) -> Result<VarDecl> {
+        let name = self.p.expect_ident()?;
+        let tyname = self.p.expect_ident()?;
+        let ty = Type::from_sql_name(&tyname)?;
+        let init = if self.p.eat_sym(Sym::Assign)
+            || self.p.eat_sym(Sym::Eq)
+            || self.p.eat_kw("default")
+        {
+            Some(self.p.parse_expr()?)
+        } else {
+            None
+        };
+        self.p.expect_sym(Sym::Semi)?;
+        Ok(VarDecl { name, ty, init })
+    }
+
+    /// Parse statements until one of the given keywords is the lookahead
+    /// (the keyword itself is not consumed).
+    fn parse_stmts_until(&mut self, stops: &[&str]) -> Result<Vec<PlStmt>> {
+        let mut out = Vec::new();
+        loop {
+            if self.p.at_eof() {
+                return Err(self.p.err_here(format!(
+                    "unexpected end of function body (expected one of {stops:?})"
+                )));
+            }
+            if stops.iter().any(|s| self.p.peek().is_kw(s)) {
+                return Ok(out);
+            }
+            out.push(self.parse_stmt()?);
+        }
+    }
+
+    fn parse_stmt(&mut self) -> Result<PlStmt> {
+        // Optional <<label>> before a loop statement.
+        if self.p.eat_sym(Sym::LtLt) {
+            let label = self.p.expect_ident()?;
+            self.p.expect_sym(Sym::GtGt)?;
+            return self.parse_loopish(Some(label));
+        }
+        if self.p.peek().is_kw("loop")
+            || self.p.peek().is_kw("while")
+            || self.p.peek().is_kw("for")
+        {
+            return self.parse_loopish(None);
+        }
+        if self.p.eat_kw("if") {
+            return self.parse_if();
+        }
+        if self.p.peek().is_kw("case") {
+            return self.parse_case_stmt();
+        }
+        if self.p.eat_kw("exit") {
+            return self.parse_exit_continue(true);
+        }
+        if self.p.eat_kw("continue") {
+            return self.parse_exit_continue(false);
+        }
+        if self.p.eat_kw("return") {
+            let expr = if self.p.peek().is_sym(Sym::Semi) {
+                None
+            } else {
+                Some(self.p.parse_expr()?)
+            };
+            self.p.expect_sym(Sym::Semi)?;
+            return Ok(PlStmt::Return { expr });
+        }
+        if self.p.eat_kw("null") {
+            self.p.expect_sym(Sym::Semi)?;
+            return Ok(PlStmt::Null);
+        }
+        if self.p.eat_kw("raise") {
+            return self.parse_raise();
+        }
+        if self.p.eat_kw("perform") {
+            let expr = self.p.parse_expr()?;
+            self.p.expect_sym(Sym::Semi)?;
+            return Ok(PlStmt::Perform { expr });
+        }
+        for unsupported in ["execute", "open", "fetch", "close", "get", "exception"] {
+            if self.p.peek().is_kw(unsupported) {
+                return Err(Error::unsupported(format!(
+                    "PL/pgSQL construct {} is not supported by this reproduction \
+                     (see DESIGN.md for the supported dialect)",
+                    unsupported.to_ascii_uppercase()
+                )));
+            }
+        }
+
+        // Assignment: ident (:= | =) expr ;
+        let var = self.p.expect_ident()?;
+        if !self.p.eat_sym(Sym::Assign) && !self.p.eat_sym(Sym::Eq) {
+            return Err(self.p.err_here(format!(
+                "expected ':=' or '=' after {var:?} (assignment is the only \
+                 expression statement)"
+            )));
+        }
+        let expr = self.p.parse_expr()?;
+        self.p.expect_sym(Sym::Semi)?;
+        Ok(PlStmt::Assign { var, expr })
+    }
+
+    fn parse_loopish(&mut self, label: Option<String>) -> Result<PlStmt> {
+        if self.p.eat_kw("loop") {
+            let body = self.parse_stmts_until(&["end"])?;
+            self.end_loop()?;
+            return Ok(PlStmt::Loop { label, body });
+        }
+        if self.p.eat_kw("while") {
+            let cond = self.p.parse_expr()?;
+            self.p.expect_kw("loop")?;
+            let body = self.parse_stmts_until(&["end"])?;
+            self.end_loop()?;
+            return Ok(PlStmt::While { label, cond, body });
+        }
+        self.p.expect_kw("for")?;
+        let var = self.p.expect_ident()?;
+        self.p.expect_kw("in")?;
+        let reverse = self.p.eat_kw("reverse");
+        let from = self.p.parse_expr()?;
+        self.p.expect_sym(Sym::DotDot)?;
+        let to = self.p.parse_expr()?;
+        let by = if self.p.eat_kw("by") {
+            Some(self.p.parse_expr()?)
+        } else {
+            None
+        };
+        self.p.expect_kw("loop")?;
+        let body = self.parse_stmts_until(&["end"])?;
+        self.end_loop()?;
+        Ok(PlStmt::ForRange {
+            label,
+            var,
+            from,
+            to,
+            by,
+            reverse,
+            body,
+        })
+    }
+
+    /// `END LOOP [label] ;`
+    fn end_loop(&mut self) -> Result<()> {
+        self.p.expect_kw("end")?;
+        self.p.expect_kw("loop")?;
+        // Optional closing label (ignored but must be an identifier).
+        if !self.p.peek().is_sym(Sym::Semi) {
+            self.p.expect_ident()?;
+        }
+        self.p.expect_sym(Sym::Semi)?;
+        Ok(())
+    }
+
+    fn parse_if(&mut self) -> Result<PlStmt> {
+        let mut branches = Vec::new();
+        let cond = self.p.parse_expr()?;
+        self.p.expect_kw("then")?;
+        let stmts = self.parse_stmts_until(&["elsif", "else", "end"])?;
+        branches.push((cond, stmts));
+        loop {
+            if self.p.eat_kw("elsif") {
+                let cond = self.p.parse_expr()?;
+                self.p.expect_kw("then")?;
+                let stmts = self.parse_stmts_until(&["elsif", "else", "end"])?;
+                branches.push((cond, stmts));
+            } else {
+                break;
+            }
+        }
+        let else_ = if self.p.eat_kw("else") {
+            self.parse_stmts_until(&["end"])?
+        } else {
+            Vec::new()
+        };
+        self.p.expect_kw("end")?;
+        self.p.expect_kw("if")?;
+        self.p.expect_sym(Sym::Semi)?;
+        Ok(PlStmt::If { branches, else_ })
+    }
+
+    /// `CASE [operand] WHEN v1 [, v2...] THEN stmts ... [ELSE stmts] END CASE;`
+    fn parse_case_stmt(&mut self) -> Result<PlStmt> {
+        // Distinguish the CASE *statement* from a CASE *expression* opening
+        // an assignment — as a statement position construct, CASE here is
+        // always the statement form.
+        self.p.expect_kw("case")?;
+        let operand = if self.p.peek().is_kw("when") {
+            None
+        } else {
+            Some(self.p.parse_expr()?)
+        };
+        let mut branches = Vec::new();
+        while self.p.eat_kw("when") {
+            let mut vals = vec![self.p.parse_expr()?];
+            while self.p.eat_sym(Sym::Comma) {
+                vals.push(self.p.parse_expr()?);
+            }
+            self.p.expect_kw("then")?;
+            let stmts = self.parse_stmts_until(&["when", "else", "end"])?;
+            branches.push((vals, stmts));
+        }
+        if branches.is_empty() {
+            return Err(self.p.err_here("CASE statement needs at least one WHEN"));
+        }
+        let else_ = if self.p.eat_kw("else") {
+            Some(self.parse_stmts_until(&["end"])?)
+        } else {
+            None
+        };
+        self.p.expect_kw("end")?;
+        self.p.expect_kw("case")?;
+        self.p.expect_sym(Sym::Semi)?;
+        Ok(PlStmt::CaseStmt {
+            operand,
+            branches,
+            else_,
+        })
+    }
+
+    fn parse_exit_continue(&mut self, is_exit: bool) -> Result<PlStmt> {
+        let label = match self.p.peek() {
+            k if k.is_kw("when") => None,
+            plaway_sql::token::TokenKind::Ident(s) => {
+                let s = s.clone();
+                self.p.advance();
+                Some(s)
+            }
+            _ => None,
+        };
+        let when = if self.p.eat_kw("when") {
+            Some(self.p.parse_expr()?)
+        } else {
+            None
+        };
+        self.p.expect_sym(Sym::Semi)?;
+        Ok(if is_exit {
+            PlStmt::Exit { label, when }
+        } else {
+            PlStmt::Continue { label, when }
+        })
+    }
+
+    fn parse_raise(&mut self) -> Result<PlStmt> {
+        let level = if self.p.eat_kw("debug") {
+            RaiseLevel::Debug
+        } else if self.p.eat_kw("notice") {
+            RaiseLevel::Notice
+        } else if self.p.eat_kw("info") {
+            RaiseLevel::Info
+        } else if self.p.eat_kw("warning") {
+            RaiseLevel::Warning
+        } else if self.p.eat_kw("exception") {
+            RaiseLevel::Exception
+        } else {
+            RaiseLevel::Notice
+        };
+        let format = match self.p.peek().clone() {
+            plaway_sql::token::TokenKind::Str(s) => {
+                self.p.advance();
+                s
+            }
+            _ => return Err(self.p.err_here("RAISE requires a format string")),
+        };
+        let mut args = Vec::new();
+        while self.p.eat_sym(Sym::Comma) {
+            args.push(self.p.parse_expr()?);
+        }
+        self.p.expect_sym(Sym::Semi)?;
+        Ok(PlStmt::Raise {
+            level,
+            format,
+            args,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_create_function;
+    use plaway_sql::ast::Expr;
+
+    /// The paper's Figure 3 function, verbatim (modulo the window-function
+    /// syntax already covered by the SQL tests).
+    pub const WALK_SQL: &str = r#"
+    CREATE FUNCTION walk(origin coord, win int, loose int, steps int)
+    RETURNS int AS $$
+    DECLARE
+      reward int = 0;
+      location coord = origin;
+      movement text = '';
+      roll float;
+    BEGIN
+      -- move robot repeatedly
+      FOR step IN 1..steps LOOP
+        movement = (SELECT p.action
+                    FROM policy AS p
+                    WHERE location = p.loc);
+        roll = random();
+        location =
+          (SELECT move.loc
+           FROM (SELECT a.there AS loc,
+                        COALESCE(SUM(a.prob) OVER lt, 0.0) AS lo,
+                        SUM(a.prob) OVER leq AS hi
+                 FROM actions AS a
+                 WHERE location = a.here AND movement = a.action
+                 WINDOW leq AS (ORDER BY a.there),
+                        lt AS (leq ROWS UNBOUNDED PRECEDING
+                               EXCLUDE CURRENT ROW)
+                ) AS move(loc, lo, hi)
+           WHERE roll BETWEEN move.lo AND move.hi);
+        reward = reward + (SELECT c.reward
+                           FROM cells AS c
+                           WHERE location = c.loc);
+        IF reward >= win OR reward <= loose THEN
+          RETURN step * sign(reward);
+        END IF;
+      END LOOP;
+      RETURN 0;
+    END;
+    $$ LANGUAGE PLPGSQL;
+    "#;
+
+    #[test]
+    fn parses_the_papers_walk_function() {
+        let f = parse_create_function(WALK_SQL).unwrap();
+        assert_eq!(f.name, "walk");
+        assert_eq!(f.params.len(), 4);
+        assert_eq!(f.params[0].0, "origin");
+        assert_eq!(f.params[0].1, Type::coord());
+        assert_eq!(f.returns, Type::Int);
+        assert_eq!(f.decls.len(), 4);
+        assert_eq!(f.decls[3].name, "roll");
+        assert!(f.decls[3].init.is_none());
+        // Body: FOR loop + trailing RETURN 0.
+        assert_eq!(f.body.len(), 2);
+        let PlStmt::ForRange { var, body, .. } = &f.body[0] else {
+            panic!("first statement should be the FOR loop")
+        };
+        assert_eq!(var, "step");
+        assert_eq!(body.len(), 5); // three assignments + roll + IF
+        // The paper counts three embedded queries Q1..Q3.
+        assert_eq!(f.embedded_query_count(), 3);
+    }
+
+    fn parse_body(body: &str) -> PlFunction {
+        let sql = format!(
+            "CREATE FUNCTION f(n int) RETURNS int AS $$ {body} $$ LANGUAGE plpgsql"
+        );
+        parse_create_function(&sql).unwrap()
+    }
+
+    fn parse_body_err(body: &str) -> Error {
+        let sql = format!(
+            "CREATE FUNCTION f(n int) RETURNS int AS $$ {body} $$ LANGUAGE plpgsql"
+        );
+        parse_create_function(&sql).unwrap_err()
+    }
+
+    #[test]
+    fn while_loop_with_label_and_exit() {
+        let f = parse_body(
+            "BEGIN \
+               <<outer>> WHILE n > 0 LOOP \
+                 n := n - 1; \
+                 EXIT outer WHEN n = 2; \
+                 CONTINUE WHEN n % 2 = 0; \
+               END LOOP; \
+               RETURN n; \
+             END",
+        );
+        let PlStmt::While { label, body, .. } = &f.body[0] else {
+            panic!()
+        };
+        assert_eq!(label.as_deref(), Some("outer"));
+        assert!(matches!(
+            &body[1],
+            PlStmt::Exit { label: Some(l), when: Some(_) } if l == "outer"
+        ));
+        assert!(matches!(
+            &body[2],
+            PlStmt::Continue { label: None, when: Some(_) }
+        ));
+    }
+
+    #[test]
+    fn for_reverse_and_by() {
+        let f = parse_body(
+            "BEGIN FOR i IN REVERSE 10..1 BY 2 LOOP NULL; END LOOP; RETURN 0; END",
+        );
+        let PlStmt::ForRange { reverse, by, .. } = &f.body[0] else {
+            panic!()
+        };
+        assert!(*reverse);
+        assert_eq!(by.as_ref(), Some(&Expr::int(2)));
+    }
+
+    #[test]
+    fn if_elsif_else_nesting() {
+        let f = parse_body(
+            "BEGIN \
+               IF n > 10 THEN RETURN 1; \
+               ELSIF n > 5 THEN \
+                 IF n = 7 THEN RETURN 7; END IF; \
+                 RETURN 2; \
+               ELSE RETURN 3; \
+               END IF; \
+             END",
+        );
+        let PlStmt::If { branches, else_ } = &f.body[0] else {
+            panic!()
+        };
+        assert_eq!(branches.len(), 2);
+        assert_eq!(else_.len(), 1);
+        assert!(matches!(branches[1].1[0], PlStmt::If { .. }));
+    }
+
+    #[test]
+    fn case_statement() {
+        let f = parse_body(
+            "BEGIN \
+               CASE n WHEN 1, 2 THEN RETURN 12; WHEN 3 THEN RETURN 3; \
+               ELSE RETURN 0; END CASE; \
+             END",
+        );
+        let PlStmt::CaseStmt {
+            operand,
+            branches,
+            else_,
+        } = &f.body[0]
+        else {
+            panic!()
+        };
+        assert!(operand.is_some());
+        assert_eq!(branches[0].0.len(), 2);
+        assert!(else_.is_some());
+    }
+
+    #[test]
+    fn raise_and_perform() {
+        let f = parse_body(
+            "BEGIN RAISE NOTICE 'n is %', n; PERFORM n + 1; RETURN n; END",
+        );
+        assert!(matches!(
+            &f.body[0],
+            PlStmt::Raise { level: RaiseLevel::Notice, args, .. } if args.len() == 1
+        ));
+        assert!(matches!(&f.body[1], PlStmt::Perform { .. }));
+    }
+
+    #[test]
+    fn bare_return_and_null_statement() {
+        let f = parse_body("BEGIN NULL; RETURN; END");
+        assert!(matches!(f.body[0], PlStmt::Null));
+        assert!(matches!(f.body[1], PlStmt::Return { expr: None }));
+    }
+
+    #[test]
+    fn assignment_both_operators() {
+        let f = parse_body("BEGIN n := 1; n = 2; RETURN n; END");
+        assert!(matches!(&f.body[0], PlStmt::Assign { .. }));
+        assert!(matches!(&f.body[1], PlStmt::Assign { .. }));
+    }
+
+    #[test]
+    fn unsupported_constructs_are_diagnosed() {
+        let err = parse_body_err("BEGIN EXECUTE 'SELECT 1'; END");
+        assert!(matches!(err, Error::Unsupported(_)), "{err}");
+        let err = parse_body_err("BEGIN OPEN cur; END");
+        assert!(matches!(err, Error::Unsupported(_)), "{err}");
+    }
+
+    #[test]
+    fn missing_semicolon_is_an_error() {
+        let err = parse_body_err("BEGIN RETURN 1 END");
+        assert!(matches!(err, Error::Parse { .. }), "{err}");
+    }
+
+    #[test]
+    fn garbage_after_end_is_an_error() {
+        let err = parse_body_err("BEGIN RETURN 1; END; banana");
+        assert!(matches!(err, Error::Parse { .. }), "{err}");
+    }
+
+    #[test]
+    fn decl_with_subquery_initializer() {
+        let f = parse_body("DECLARE x int := (SELECT max(v) FROM t); BEGIN RETURN x; END");
+        assert!(f.decls[0].init.as_ref().unwrap().has_subquery());
+        assert_eq!(f.embedded_query_count(), 1);
+    }
+
+    #[test]
+    fn sql_language_function_is_rejected() {
+        let sql = "CREATE FUNCTION f(n int) RETURNS int AS $$ SELECT n $$ LANGUAGE SQL";
+        assert!(parse_create_function(sql).is_err());
+    }
+}

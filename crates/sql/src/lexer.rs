@@ -1,0 +1,513 @@
+//! Hand-written lexer for the SQL / PL/pgSQL token stream.
+//!
+//! Notable PostgreSQL-isms handled here:
+//! * dollar quoting (`$$ ... $$`, `$body$ ... $body$`) for function bodies,
+//! * `--` line comments and nested `/* ... */` block comments,
+//! * `''` escape inside string literals,
+//! * case folding of bare identifiers (quoted identifiers keep their case),
+//! * the PL/pgSQL-only symbols `:=`, `..` (integer FOR ranges) and
+//!   `<<` `>>` (statement labels).
+
+use plaway_common::error::Pos;
+use plaway_common::{Error, Result};
+
+use crate::token::{Sym, Token, TokenKind};
+
+/// Streaming lexer over source text.
+pub struct Lexer<'a> {
+    src: &'a [u8],
+    text: &'a str,
+    at: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    pub fn new(text: &'a str) -> Self {
+        Lexer {
+            src: text.as_bytes(),
+            text,
+            at: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    /// Lex the whole input up front. The parser works on this vector.
+    pub fn tokenize(mut self) -> Result<Vec<Token>> {
+        let mut out = Vec::with_capacity(self.src.len() / 4 + 4);
+        loop {
+            let tok = self.next_token()?;
+            let done = tok.kind == TokenKind::Eof;
+            out.push(tok);
+            if done {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn pos(&self) -> Pos {
+        Pos::new(self.line, self.col)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.at).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.at + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.at += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_trivia(&mut self) -> Result<()> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'-') if self.peek2() == Some(b'-') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let start = self.pos();
+                    self.bump();
+                    self.bump();
+                    let mut depth = 1u32;
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some(b'*'), Some(b'/')) => {
+                                self.bump();
+                                self.bump();
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            (Some(b'/'), Some(b'*')) => {
+                                self.bump();
+                                self.bump();
+                                depth += 1;
+                            }
+                            (Some(_), _) => {
+                                self.bump();
+                            }
+                            (None, _) => {
+                                return Err(Error::lex(
+                                    "unterminated block comment",
+                                    start.line,
+                                    start.col,
+                                ))
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Token> {
+        self.skip_trivia()?;
+        let pos = self.pos();
+        let Some(c) = self.peek() else {
+            return Ok(Token {
+                kind: TokenKind::Eof,
+                pos,
+            });
+        };
+
+        let kind = match c {
+            b'A'..=b'Z' | b'a'..=b'z' | b'_' => self.lex_ident(),
+            b'0'..=b'9' => self.lex_number(pos)?,
+            b'.' if self.peek2().is_some_and(|d| d.is_ascii_digit()) => self.lex_number(pos)?,
+            b'\'' => self.lex_string(pos)?,
+            b'"' => self.lex_quoted_ident(pos)?,
+            b'$' => self.lex_dollar(pos)?,
+            _ => self.lex_symbol(pos)?,
+        };
+        Ok(Token { kind, pos })
+    }
+
+    fn lex_ident(&mut self) -> TokenKind {
+        let start = self.at;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' || c == b'$' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let raw = &self.text[start..self.at];
+        // SQL folds unquoted identifiers; we fold to lowercase like PostgreSQL.
+        TokenKind::Ident(raw.to_ascii_lowercase())
+    }
+
+    fn lex_number(&mut self, pos: Pos) -> Result<TokenKind> {
+        let start = self.at;
+        let mut seen_dot = false;
+        let mut seen_exp = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => {
+                    self.bump();
+                }
+                b'.' if !seen_dot && !seen_exp => {
+                    // Leave `1..10` ranges alone: `..` is a token of its own.
+                    if self.peek2() == Some(b'.') {
+                        break;
+                    }
+                    seen_dot = true;
+                    self.bump();
+                }
+                b'e' | b'E' if !seen_exp => {
+                    seen_exp = true;
+                    self.bump();
+                    if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+        let raw = &self.text[start..self.at];
+        if raw.ends_with(['e', 'E']) || raw.ends_with('.') && raw.len() == 1 {
+            return Err(Error::lex(
+                format!("malformed numeric literal {raw:?}"),
+                pos.line,
+                pos.col,
+            ));
+        }
+        Ok(TokenKind::Number(raw.to_string()))
+    }
+
+    fn lex_string(&mut self, pos: Pos) -> Result<TokenKind> {
+        self.bump(); // opening quote
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                Some(b'\'') => {
+                    if self.peek() == Some(b'\'') {
+                        self.bump();
+                        s.push('\'');
+                    } else {
+                        return Ok(TokenKind::Str(s));
+                    }
+                }
+                Some(c) => s.push(c as char),
+                None => {
+                    return Err(Error::lex("unterminated string literal", pos.line, pos.col))
+                }
+            }
+        }
+    }
+
+    fn lex_quoted_ident(&mut self, pos: Pos) -> Result<TokenKind> {
+        self.bump(); // opening quote
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => {
+                    if self.peek() == Some(b'"') {
+                        self.bump();
+                        s.push('"');
+                    } else {
+                        return Ok(TokenKind::QuotedIdent(s));
+                    }
+                }
+                Some(c) => s.push(c as char),
+                None => {
+                    return Err(Error::lex(
+                        "unterminated quoted identifier",
+                        pos.line,
+                        pos.col,
+                    ))
+                }
+            }
+        }
+    }
+
+    /// `$$body$$` or `$tag$body$tag$`. A bare `$` not opening a dollar quote
+    /// is an error (we have no positional parameters in this dialect).
+    fn lex_dollar(&mut self, pos: Pos) -> Result<TokenKind> {
+        let save = (self.at, self.line, self.col);
+        self.bump(); // $
+        let tag_start = self.at;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if self.peek() != Some(b'$') {
+            // Not a dollar quote after all.
+            (self.at, self.line, self.col) = save;
+            return Err(Error::lex("unexpected character '$'", pos.line, pos.col));
+        }
+        let tag = self.text[tag_start..self.at].to_string();
+        self.bump(); // closing $ of the opening delimiter
+        let delim = format!("${tag}$");
+        let body_start = self.at;
+        // Find the closing delimiter.
+        if let Some(rel) = self.text[self.at..].find(&delim) {
+            let body = self.text[body_start..body_start + rel].to_string();
+            // Advance over body + delimiter, maintaining line/col.
+            for _ in 0..rel + delim.len() {
+                self.bump();
+            }
+            Ok(TokenKind::DollarStr(body))
+        } else {
+            Err(Error::lex(
+                format!("unterminated dollar-quoted string (missing {delim})"),
+                pos.line,
+                pos.col,
+            ))
+        }
+    }
+
+    fn lex_symbol(&mut self, pos: Pos) -> Result<TokenKind> {
+        let c = self.bump().unwrap();
+        let two = |lexer: &mut Self, sym| {
+            lexer.bump();
+            Ok(TokenKind::Sym(sym))
+        };
+        match c {
+            b'(' => Ok(TokenKind::Sym(Sym::LParen)),
+            b')' => Ok(TokenKind::Sym(Sym::RParen)),
+            b',' => Ok(TokenKind::Sym(Sym::Comma)),
+            b';' => Ok(TokenKind::Sym(Sym::Semi)),
+            b'+' => Ok(TokenKind::Sym(Sym::Plus)),
+            b'-' => Ok(TokenKind::Sym(Sym::Minus)),
+            b'*' => Ok(TokenKind::Sym(Sym::Star)),
+            b'/' => Ok(TokenKind::Sym(Sym::Slash)),
+            b'%' => Ok(TokenKind::Sym(Sym::Percent)),
+            b'=' => Ok(TokenKind::Sym(Sym::Eq)),
+            b'.' => {
+                if self.peek() == Some(b'.') {
+                    two(self, Sym::DotDot)
+                } else {
+                    Ok(TokenKind::Sym(Sym::Dot))
+                }
+            }
+            b'<' => match self.peek() {
+                Some(b'=') => two(self, Sym::LtEq),
+                Some(b'>') => two(self, Sym::NotEq),
+                Some(b'<') => two(self, Sym::LtLt),
+                _ => Ok(TokenKind::Sym(Sym::Lt)),
+            },
+            b'>' => match self.peek() {
+                Some(b'=') => two(self, Sym::GtEq),
+                Some(b'>') => two(self, Sym::GtGt),
+                _ => Ok(TokenKind::Sym(Sym::Gt)),
+            },
+            b'!' => match self.peek() {
+                Some(b'=') => two(self, Sym::NotEq),
+                _ => Err(Error::lex("unexpected character '!'", pos.line, pos.col)),
+            },
+            b'|' => match self.peek() {
+                Some(b'|') => two(self, Sym::Concat),
+                _ => Err(Error::lex("unexpected character '|'", pos.line, pos.col)),
+            },
+            b':' => match self.peek() {
+                Some(b'=') => two(self, Sym::Assign),
+                Some(b':') => two(self, Sym::DoubleColon),
+                _ => Err(Error::lex("unexpected character ':'", pos.line, pos.col)),
+            },
+            other => Err(Error::lex(
+                format!("unexpected character {:?}", other as char),
+                pos.line,
+                pos.col,
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        Lexer::new(sql)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn lexes_basic_select() {
+        let ks = kinds("SELECT a, 42 FROM t WHERE a >= 1.5;");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("select".into()),
+                TokenKind::Ident("a".into()),
+                TokenKind::Sym(Sym::Comma),
+                TokenKind::Number("42".into()),
+                TokenKind::Ident("from".into()),
+                TokenKind::Ident("t".into()),
+                TokenKind::Ident("where".into()),
+                TokenKind::Ident("a".into()),
+                TokenKind::Sym(Sym::GtEq),
+                TokenKind::Number("1.5".into()),
+                TokenKind::Sym(Sym::Semi),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn folds_identifier_case_but_not_quoted() {
+        let ks = kinds(r#"Foo "Bar""Baz""#);
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("foo".into()),
+                TokenKind::QuotedIdent("Bar\"Baz".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(
+            kinds("'it''s'"),
+            vec![TokenKind::Str("it's".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn dollar_quoting_plain_and_tagged() {
+        assert_eq!(
+            kinds("$$ SELECT 1; $$"),
+            vec![TokenKind::DollarStr(" SELECT 1; ".into()), TokenKind::Eof]
+        );
+        assert_eq!(
+            kinds("$body$ x $$ y $body$"),
+            vec![TokenKind::DollarStr(" x $$ y ".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn dotdot_range_vs_float() {
+        assert_eq!(
+            kinds("1..steps"),
+            vec![
+                TokenKind::Number("1".into()),
+                TokenKind::Sym(Sym::DotDot),
+                TokenKind::Ident("steps".into()),
+                TokenKind::Eof
+            ]
+        );
+        assert_eq!(
+            kinds("1.5"),
+            vec![TokenKind::Number("1.5".into()), TokenKind::Eof]
+        );
+        assert_eq!(
+            kinds(".5"),
+            vec![TokenKind::Number(".5".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped_including_nested() {
+        assert_eq!(
+            kinds("a -- comment\n/* outer /* inner */ still */ b"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn plpgsql_symbols() {
+        assert_eq!(
+            kinds("x := 1 :: int << done >>"),
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Sym(Sym::Assign),
+                TokenKind::Number("1".into()),
+                TokenKind::Sym(Sym::DoubleColon),
+                TokenKind::Ident("int".into()),
+                TokenKind::Sym(Sym::LtLt),
+                TokenKind::Ident("done".into()),
+                TokenKind::Sym(Sym::GtGt),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn concat_and_comparisons() {
+        assert_eq!(
+            kinds("a || b <> c != d"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Sym(Sym::Concat),
+                TokenKind::Ident("b".into()),
+                TokenKind::Sym(Sym::NotEq),
+                TokenKind::Ident("c".into()),
+                TokenKind::Sym(Sym::NotEq),
+                TokenKind::Ident("d".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn scientific_notation() {
+        assert_eq!(
+            kinds("1e-3 2.5E+10"),
+            vec![
+                TokenKind::Number("1e-3".into()),
+                TokenKind::Number("2.5E+10".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let err = Lexer::new("a\n  'oops").tokenize().unwrap_err();
+        match err {
+            Error::Lex { pos, .. } => {
+                assert_eq!(pos.line, 2);
+                assert_eq!(pos.col, 3);
+            }
+            other => panic!("expected lex error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unterminated_dollar_quote_errors() {
+        assert!(Lexer::new("$$ never closed").tokenize().is_err());
+        assert!(Lexer::new("$tag$ x $other$").tokenize().is_err());
+    }
+
+    #[test]
+    fn line_tracking_across_dollar_quotes() {
+        let toks = Lexer::new("$$a\nb$$ x").tokenize().unwrap();
+        let x = toks.iter().find(|t| t.kind.is_kw("x")).unwrap();
+        assert_eq!(x.pos.line, 2);
+    }
+}

@@ -1,0 +1,120 @@
+//! Token vocabulary shared by the SQL and PL/pgSQL grammars.
+
+use plaway_common::error::Pos;
+use std::fmt;
+
+/// A lexed token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub pos: Pos,
+}
+
+/// Token payloads.
+///
+/// Keywords are *not* a separate kind: SQL keywords are context dependent
+/// (`row` is a function name in `ROW(...)` but a fine column alias elsewhere),
+/// so the parser matches [`TokenKind::Ident`] case-insensitively instead.
+/// Only quoted identifiers are marked, because they can never act as
+/// keywords.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Bare identifier, stored lowercased (SQL folds unquoted idents).
+    Ident(String),
+    /// `"quoted identifier"` — case preserved, never a keyword.
+    QuotedIdent(String),
+    /// Numeric literal, textual form (`42`, `1.5`, `1e-3`).
+    Number(String),
+    /// `'string literal'` with `''` already unescaped.
+    Str(String),
+    /// `$$ dollar-quoted body $$` (or `$tag$ ... $tag$`), returned verbatim.
+    DollarStr(String),
+    /// Punctuation / operator.
+    Sym(Sym),
+    Eof,
+}
+
+/// Punctuation and operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sym {
+    LParen,
+    RParen,
+    Comma,
+    Semi,
+    Dot,
+    DotDot,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Eq,
+    NotEq, // <> or !=
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Concat,     // ||
+    Assign,     // :=
+    DoubleColon, // ::
+    LtLt,       // << (PL/pgSQL label open)
+    GtGt,       // >> (PL/pgSQL label close)
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Sym::LParen => "(",
+            Sym::RParen => ")",
+            Sym::Comma => ",",
+            Sym::Semi => ";",
+            Sym::Dot => ".",
+            Sym::DotDot => "..",
+            Sym::Plus => "+",
+            Sym::Minus => "-",
+            Sym::Star => "*",
+            Sym::Slash => "/",
+            Sym::Percent => "%",
+            Sym::Eq => "=",
+            Sym::NotEq => "<>",
+            Sym::Lt => "<",
+            Sym::LtEq => "<=",
+            Sym::Gt => ">",
+            Sym::GtEq => ">=",
+            Sym::Concat => "||",
+            Sym::Assign => ":=",
+            Sym::DoubleColon => "::",
+            Sym::LtLt => "<<",
+            Sym::GtGt => ">>",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::QuotedIdent(s) => write!(f, "\"{s}\""),
+            TokenKind::Number(s) => write!(f, "{s}"),
+            TokenKind::Str(s) => write!(f, "'{s}'"),
+            TokenKind::DollarStr(_) => write!(f, "$$...$$"),
+            TokenKind::Sym(s) => write!(f, "{s}"),
+            TokenKind::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+impl TokenKind {
+    /// Is this the given keyword (case-insensitive, unquoted idents only)?
+    /// The lexer lowercases bare identifiers, so a simple compare suffices —
+    /// callers must pass `kw` in lowercase.
+    pub fn is_kw(&self, kw: &str) -> bool {
+        debug_assert!(kw.chars().all(|c| !c.is_ascii_uppercase()));
+        matches!(self, TokenKind::Ident(s) if s == kw)
+    }
+
+    pub fn is_sym(&self, sym: Sym) -> bool {
+        matches!(self, TokenKind::Sym(s) if *s == sym)
+    }
+}

@@ -1,0 +1,269 @@
+//! Additional PL/pgSQL functions used by tests and ablation benchmarks:
+//! classic control-flow shapes the paper's four workloads don't cover
+//! (nested loops with labelled EXIT, CASE dispatch, string building,
+//! WHILE with two mutating variables).
+
+use crate::Workload;
+
+/// Euclid's algorithm — WHILE with a swap.
+pub fn gcd_workload() -> Workload {
+    Workload {
+        name: "gcd",
+        source: r#"
+CREATE OR REPLACE FUNCTION gcd(a int, b int) RETURNS int AS $$
+DECLARE
+  x int := abs(a);
+  y int := abs(b);
+  t int;
+BEGIN
+  WHILE y <> 0 LOOP
+    t := y;
+    y := x % y;
+    x := t;
+  END LOOP;
+  RETURN x;
+END;
+$$ LANGUAGE PLPGSQL;
+"#
+        .to_string(),
+    }
+}
+
+pub fn gcd_reference(a: i64, b: i64) -> i64 {
+    let (mut x, mut y) = (a.abs(), b.abs());
+    while y != 0 {
+        let t = y;
+        y = x % y;
+        x = t;
+    }
+    x
+}
+
+/// Collatz step count — unbounded LOOP with EXIT WHEN and IF/ELSE.
+pub fn collatz_workload() -> Workload {
+    Workload {
+        name: "collatz",
+        source: r#"
+CREATE OR REPLACE FUNCTION collatz(n int) RETURNS int AS $$
+DECLARE
+  x int := n;
+  steps int := 0;
+BEGIN
+  LOOP
+    EXIT WHEN x <= 1;
+    IF x % 2 = 0 THEN
+      x := x / 2;
+    ELSE
+      x := 3 * x + 1;
+    END IF;
+    steps := steps + 1;
+  END LOOP;
+  RETURN steps;
+END;
+$$ LANGUAGE PLPGSQL;
+"#
+        .to_string(),
+    }
+}
+
+pub fn collatz_reference(n: i64) -> i64 {
+    let mut x = n;
+    let mut steps = 0;
+    while x > 1 {
+        x = if x % 2 == 0 { x / 2 } else { 3 * x + 1 };
+        steps += 1;
+    }
+    steps
+}
+
+/// Modular exponentiation by squaring — WHILE with three variables.
+pub fn power_workload() -> Workload {
+    Workload {
+        name: "powmod",
+        source: r#"
+CREATE OR REPLACE FUNCTION powmod(base int, exponent int, modulus int) RETURNS int AS $$
+DECLARE
+  result int := 1;
+  b int := base % modulus;
+  e int := exponent;
+BEGIN
+  WHILE e > 0 LOOP
+    IF e % 2 = 1 THEN
+      result := (result * b) % modulus;
+    END IF;
+    b := (b * b) % modulus;
+    e := e / 2;
+  END LOOP;
+  RETURN result;
+END;
+$$ LANGUAGE PLPGSQL;
+"#
+        .to_string(),
+    }
+}
+
+pub fn powmod_reference(base: i64, exponent: i64, modulus: i64) -> i64 {
+    let mut result = 1i64;
+    let mut b = base % modulus;
+    let mut e = exponent;
+    while e > 0 {
+        if e % 2 == 1 {
+            result = (result * b) % modulus;
+        }
+        b = (b * b) % modulus;
+        e /= 2;
+    }
+    result
+}
+
+/// String reversal — text accumulation in a FOR loop.
+pub fn strrev_workload() -> Workload {
+    Workload {
+        name: "strrev",
+        source: r#"
+CREATE OR REPLACE FUNCTION strrev(s text) RETURNS text AS $$
+DECLARE
+  out text := '';
+BEGIN
+  FOR i IN 1..length(s) LOOP
+    out := substr(s, i, 1) || out;
+  END LOOP;
+  RETURN out;
+END;
+$$ LANGUAGE PLPGSQL;
+"#
+        .to_string(),
+    }
+}
+
+/// A bank-account state machine — CASE statement + labelled nested loops.
+/// `account(ops)` interprets a digit string: 1 deposit 10, 2 withdraw 10
+/// (rejected when balance < 10), 9 close (stop early).
+pub fn bank_workload() -> Workload {
+    Workload {
+        name: "account",
+        source: r#"
+CREATE OR REPLACE FUNCTION account(ops text) RETURNS int AS $$
+DECLARE
+  balance int := 0;
+  op text;
+BEGIN
+  <<run>> FOR i IN 1..length(ops) LOOP
+    op := substr(ops, i, 1);
+    CASE op
+      WHEN '1' THEN balance := balance + 10;
+      WHEN '2' THEN
+        IF balance >= 10 THEN
+          balance := balance - 10;
+        END IF;
+      WHEN '9' THEN EXIT run;
+      ELSE NULL;
+    END CASE;
+  END LOOP;
+  RETURN balance;
+END;
+$$ LANGUAGE PLPGSQL;
+"#
+        .to_string(),
+    }
+}
+
+pub fn bank_reference(ops: &str) -> i64 {
+    let mut balance = 0i64;
+    for c in ops.chars() {
+        match c {
+            '1' => balance += 10,
+            '2' => {
+                if balance >= 10 {
+                    balance -= 10;
+                }
+            }
+            '9' => break,
+            _ => {}
+        }
+    }
+    balance
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plaway_common::Value;
+    use plaway_engine::Session;
+    use plaway_interp::Interpreter;
+    use plaway_core::{compile_sql, CompileOptions};
+
+    fn check_both(
+        w: &Workload,
+        args: &[Value],
+        expect: Value,
+    ) {
+        let mut s = Session::default();
+        w.install(&mut s).unwrap();
+        let mut interp = Interpreter::new();
+        let iv = interp.call(&mut s, w.name, args).unwrap();
+        assert_eq!(iv, expect, "{} interpreter", w.name);
+        let compiled = compile_sql(&s.catalog, &w.source, CompileOptions::default()).unwrap();
+        let cv = compiled.run(&mut s, args).unwrap();
+        assert_eq!(cv, expect, "{} compiled", w.name);
+        // WITH ITERATE mode must agree as well.
+        let compiled_it =
+            compile_sql(&s.catalog, &w.source, CompileOptions::iterate()).unwrap();
+        assert_eq!(compiled_it.run(&mut s, args).unwrap(), expect);
+    }
+
+    #[test]
+    fn gcd_cases() {
+        for (a, b) in [(12i64, 18i64), (17, 5), (0, 9), (270, 192)] {
+            check_both(
+                &gcd_workload(),
+                &[Value::Int(a), Value::Int(b)],
+                Value::Int(gcd_reference(a, b)),
+            );
+        }
+    }
+
+    #[test]
+    fn collatz_cases() {
+        for n in [1i64, 2, 7, 27] {
+            check_both(
+                &collatz_workload(),
+                &[Value::Int(n)],
+                Value::Int(collatz_reference(n)),
+            );
+        }
+    }
+
+    #[test]
+    fn powmod_cases() {
+        for (b, e, m) in [(2i64, 10i64, 1000i64), (3, 0, 7), (7, 13, 97)] {
+            check_both(
+                &power_workload(),
+                &[Value::Int(b), Value::Int(e), Value::Int(m)],
+                Value::Int(powmod_reference(b, e, m)),
+            );
+        }
+    }
+
+    #[test]
+    fn strrev_cases() {
+        for s in ["", "a", "hello world"] {
+            check_both(
+                &strrev_workload(),
+                &[Value::text(s)],
+                Value::text(s.chars().rev().collect::<String>()),
+            );
+        }
+    }
+
+    #[test]
+    fn bank_cases() {
+        for ops in ["", "111", "1122", "2", "11911", "121212"] {
+            check_both(
+                &bank_workload(),
+                &[Value::text(ops)],
+                Value::Int(bank_reference(ops)),
+            );
+        }
+    }
+}

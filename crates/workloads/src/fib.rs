@@ -1,0 +1,103 @@
+//! The query-less `fibonacci()` workload (Table 1 row 4).
+//!
+//! Pure arithmetic iteration — no embedded queries, so the interpreter's
+//! fast path applies and Table 1 shows zero ExecutorStart/End cost.
+//! Arithmetic is carried out modulo a large prime so iteration counts in
+//! the hundreds of thousands cannot overflow 64-bit integers (PostgreSQL's
+//! variant would raise the same overflow error in both execution regimes,
+//! but a modulus keeps the benchmark about iteration cost, not errors).
+
+use crate::Workload;
+
+/// Modulus used by the workload (also by [`fib_reference`]).
+pub const FIB_MOD: i64 = 1_000_000_007;
+
+pub fn fib_workload() -> Workload {
+    Workload {
+        name: "fibonacci",
+        source: r#"
+CREATE OR REPLACE FUNCTION fibonacci(n int) RETURNS int AS $$
+DECLARE
+  a int := 0;
+  b int := 1;
+  t int;
+BEGIN
+  FOR i IN 1..n LOOP
+    t := (a + b) % 1000000007;
+    a := b;
+    b := t;
+  END LOOP;
+  RETURN a;
+END;
+$$ LANGUAGE PLPGSQL;
+"#
+        .to_string(),
+    }
+}
+
+/// Reference implementation.
+pub fn fib_reference(n: i64) -> i64 {
+    let (mut a, mut b) = (0i64, 1i64);
+    for _ in 0..n {
+        let t = (a + b) % FIB_MOD;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plaway_common::Value;
+    use plaway_engine::Session;
+    use plaway_interp::Interpreter;
+
+    #[test]
+    fn interpreter_matches_reference() {
+        let mut s = Session::default();
+        fib_workload().install(&mut s).unwrap();
+        let mut interp = Interpreter::new();
+        for n in [0i64, 1, 2, 10, 50, 91, 100] {
+            let v = interp
+                .call(&mut s, "fibonacci", &[Value::Int(n)])
+                .unwrap();
+            assert_eq!(v, Value::Int(fib_reference(n)), "fib({n})");
+        }
+    }
+
+    #[test]
+    fn compiled_matches_reference_and_uses_no_queries() {
+        let mut s = Session::default();
+        let w = fib_workload();
+        w.install(&mut s).unwrap();
+        let compiled = plaway_core::compile_sql(
+            &s.catalog,
+            &w.source,
+            plaway_core::CompileOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(
+            compiled.run(&mut s, &[Value::Int(90)]).unwrap(),
+            Value::Int(fib_reference(90))
+        );
+        // Query-less function: the interpreter's compiled form must report
+        // zero full-lifecycle expressions.
+        let mut interp = Interpreter::new();
+        let c = interp.compiled_for(&mut s, "fibonacci").unwrap();
+        assert_eq!(c.query_expr_count, 0);
+    }
+
+    #[test]
+    fn modulus_prevents_overflow_at_scale() {
+        let mut s = Session::default();
+        fib_workload().install(&mut s).unwrap();
+        let mut interp = Interpreter::new();
+        let v = interp
+            .call(&mut s, "fibonacci", &[Value::Int(5_000)])
+            .unwrap();
+        let n = v.as_int().unwrap();
+        assert!((0..FIB_MOD).contains(&n));
+        assert_eq!(n, fib_reference(5_000));
+    }
+}

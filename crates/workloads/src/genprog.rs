@@ -1,0 +1,406 @@
+//! Random PL/pgSQL program generator for differential testing.
+//!
+//! Programs are generated so that they *always terminate* (loops carry
+//! explicit bounds) and *never error* (arithmetic is range-bounded, division
+//! only by positive constants). Embedded queries over the `kv` fixture add
+//! genuine `f→Qi` traffic, including NULL results for missing keys.
+//!
+//! The headline correctness property of the whole repository:
+//!
+//! > interpreting a generated function and running its compiled
+//! > `WITH RECURSIVE` / `WITH ITERATE` form produce the same value.
+
+use plaway_common::{Result, SessionRng, Value};
+use plaway_engine::Session;
+
+/// Generation knobs.
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Maximum statement nesting depth.
+    pub max_depth: usize,
+    /// Statements per block (upper bound).
+    pub max_stmts: usize,
+    /// Allow embedded queries over the `kv` fixture.
+    pub allow_queries: bool,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            max_depth: 3,
+            max_stmts: 4,
+            allow_queries: true,
+        }
+    }
+}
+
+/// A generated program plus arguments to call it with.
+#[derive(Debug, Clone)]
+pub struct GenProgram {
+    pub name: String,
+    pub source: String,
+    pub args: Vec<Value>,
+}
+
+/// Install the table the generated queries read.
+pub fn install_fixture(session: &mut Session) -> Result<()> {
+    session.run("DROP TABLE IF EXISTS kv")?;
+    session.run("CREATE TABLE kv (k int, v int)")?;
+    let rows: Vec<Vec<Value>> = (0..10)
+        .map(|k| vec![Value::Int(k), Value::Int((k * k * 7 + 3) % 100)])
+        .collect();
+    session.catalog.bulk_insert("kv", rows)?;
+    session.run("CREATE INDEX kv_k ON kv (k)")?;
+    Ok(())
+}
+
+struct Gen {
+    rng: SessionRng,
+    cfg: GenConfig,
+    /// Integer variables currently in scope (v0, v1, ... + params).
+    int_vars: Vec<String>,
+    /// Loop labels in scope (for labelled EXIT/CONTINUE).
+    labels: Vec<String>,
+    /// Variables that must not be assigned (WHILE counters).
+    protected: Vec<String>,
+    counter: usize,
+    out: String,
+    indent: usize,
+}
+
+/// Generate one program from a seed.
+pub fn generate(seed: u64, cfg: GenConfig) -> GenProgram {
+    let mut g = Gen {
+        rng: SessionRng::new(seed.wrapping_mul(0x9E37_79B9).wrapping_add(seed)),
+        cfg,
+        int_vars: vec!["p0".into(), "p1".into()],
+        labels: Vec::new(),
+        protected: Vec::new(),
+        counter: 0,
+        out: String::new(),
+        indent: 2,
+    };
+    let n_vars = g.rng.next_range(2, 4);
+    let mut decls = String::new();
+    for i in 0..n_vars {
+        let name = format!("v{i}");
+        decls.push_str(&format!("  {name} int := {};\n", g.rng.next_range(-5, 9)));
+        g.int_vars.push(name);
+    }
+
+    let n_stmts = g.rng.next_range(2, g.cfg.max_stmts as i64);
+    for _ in 0..n_stmts {
+        g.gen_stmt(g.cfg.max_depth);
+    }
+    // Final return mixes all variables.
+    let mix = g
+        .int_vars
+        .clone()
+        .iter()
+        .enumerate()
+        .map(|(i, v)| format!("{v} * {}", 2 * i + 1))
+        .collect::<Vec<_>>()
+        .join(" + ");
+    g.line(&format!("RETURN ({mix}) % 10007;"));
+
+    let name = format!("gen{seed}");
+    let source = format!(
+        "CREATE OR REPLACE FUNCTION {name}(p0 int, p1 int) RETURNS int AS $$\nDECLARE\n{decls}BEGIN\n{}END;\n$$ LANGUAGE PLPGSQL;",
+        g.out
+    );
+    let args = vec![
+        Value::Int(g.rng.next_range(-20, 20)),
+        Value::Int(g.rng.next_range(0, 30)),
+    ];
+    GenProgram { name, source, args }
+}
+
+impl Gen {
+    fn line(&mut self, text: &str) {
+        for _ in 0..self.indent {
+            self.out.push(' ');
+        }
+        self.out.push_str(text);
+        self.out.push('\n');
+    }
+
+    fn fresh(&mut self, hint: &str) -> String {
+        self.counter += 1;
+        format!("{hint}{}", self.counter)
+    }
+
+    fn pick_var(&mut self) -> String {
+        let i = self.rng.next_range(0, self.int_vars.len() as i64 - 1) as usize;
+        self.int_vars[i].clone()
+    }
+
+    /// Assignable variables (not parameters — PL/pgSQL allows assigning
+    /// parameters, but keeping them immutable matches more styles).
+    fn pick_assignable(&mut self) -> Option<String> {
+        let assignable: Vec<&String> = self
+            .int_vars
+            .iter()
+            .filter(|v| !v.starts_with('p') && !self.protected.contains(v))
+            .collect();
+        if assignable.is_empty() {
+            return None;
+        }
+        let i = self.rng.next_range(0, assignable.len() as i64 - 1) as usize;
+        Some(assignable[i].clone())
+    }
+
+    /// A bounded integer expression (values stay small; `%` keeps them so).
+    fn gen_int_expr(&mut self, depth: usize) -> String {
+        if depth == 0 {
+            return match self.rng.next_range(0, 2) {
+                0 => self.pick_var(),
+                1 => self.rng.next_range(-9, 9).to_string(),
+                _ => format!("({} % 13)", self.pick_var()),
+            };
+        }
+        match self.rng.next_range(0, 7) {
+            0 | 1 => {
+                let a = self.gen_int_expr(depth - 1);
+                let b = self.gen_int_expr(depth - 1);
+                format!("({a} + {b})")
+            }
+            2 => {
+                let a = self.gen_int_expr(depth - 1);
+                let b = self.gen_int_expr(depth - 1);
+                format!("({a} - {b})")
+            }
+            3 => {
+                let a = self.gen_int_expr(depth - 1);
+                let b = self.gen_int_expr(depth - 1);
+                format!("(({a} * {b}) % 97)")
+            }
+            4 => {
+                let a = self.gen_int_expr(depth - 1);
+                let k = self.rng.next_range(2, 9);
+                format!("({a} / {k})")
+            }
+            5 => {
+                let a = self.gen_int_expr(depth - 1);
+                format!("abs({a} % 23)")
+            }
+            6 if self.cfg.allow_queries => {
+                let a = self.gen_int_expr(depth - 1);
+                // May hit no row (negative keys) -> NULL, exercising NULL
+                // propagation through both execution regimes.
+                format!("COALESCE((SELECT kv.v FROM kv WHERE kv.k = ({a}) % 12), -1)")
+            }
+            _ => {
+                let c = self.gen_bool_expr(depth - 1);
+                let a = self.gen_int_expr(depth - 1);
+                let b = self.gen_int_expr(depth - 1);
+                format!("(CASE WHEN {c} THEN {a} ELSE {b} END)")
+            }
+        }
+    }
+
+    fn gen_bool_expr(&mut self, depth: usize) -> String {
+        let cmp = ["<", "<=", "=", "<>", ">", ">="];
+        if depth == 0 {
+            let a = self.pick_var();
+            let b = self.rng.next_range(-9, 9);
+            let op = cmp[self.rng.next_range(0, cmp.len() as i64 - 1) as usize];
+            return format!("{a} {op} {b}");
+        }
+        match self.rng.next_range(0, 3) {
+            0 => {
+                let a = self.gen_int_expr(depth - 1);
+                let b = self.gen_int_expr(depth - 1);
+                let op = cmp[self.rng.next_range(0, cmp.len() as i64 - 1) as usize];
+                format!("({a}) {op} ({b})")
+            }
+            1 => {
+                let a = self.gen_bool_expr(depth - 1);
+                let b = self.gen_bool_expr(depth - 1);
+                format!("({a} AND {b})")
+            }
+            2 => {
+                let a = self.gen_bool_expr(depth - 1);
+                let b = self.gen_bool_expr(depth - 1);
+                format!("({a} OR {b})")
+            }
+            _ => {
+                let a = self.gen_bool_expr(depth - 1);
+                format!("(NOT {a})")
+            }
+        }
+    }
+
+    fn gen_stmt(&mut self, depth: usize) {
+        let choice = if depth == 0 {
+            0
+        } else {
+            self.rng.next_range(0, 9)
+        };
+        match choice {
+            // Assignment (weighted heaviest).
+            0..=3 => {
+                if let Some(var) = self.pick_assignable() {
+                    let e = self.gen_int_expr(2.min(depth + 1));
+                    self.line(&format!("{var} := {e};"));
+                }
+            }
+            4 | 5 => {
+                // IF / ELSIF / ELSE.
+                let c = self.gen_bool_expr(1);
+                self.line(&format!("IF {c} THEN"));
+                self.indent += 2;
+                let n = self.rng.next_range(1, 2);
+                for _ in 0..n {
+                    self.gen_stmt(depth - 1);
+                }
+                self.indent -= 2;
+                if self.rng.next_bool(0.5) {
+                    let c2 = self.gen_bool_expr(0);
+                    self.line(&format!("ELSIF {c2} THEN"));
+                    self.indent += 2;
+                    self.gen_stmt(depth - 1);
+                    self.indent -= 2;
+                }
+                if self.rng.next_bool(0.6) {
+                    self.line("ELSE");
+                    self.indent += 2;
+                    self.gen_stmt(depth - 1);
+                    self.indent -= 2;
+                }
+                self.line("END IF;");
+            }
+            6 | 7 => {
+                // Bounded FOR loop with optional EXIT/CONTINUE.
+                let loop_var = self.fresh("i");
+                let label = if self.rng.next_bool(0.3) {
+                    let l = self.fresh("lbl");
+                    self.line(&format!("<<{l}>>"));
+                    Some(l)
+                } else {
+                    None
+                };
+                let lo = self.rng.next_range(0, 3);
+                let hi = lo + self.rng.next_range(0, 5);
+                let reverse = self.rng.next_bool(0.2);
+                if reverse {
+                    self.line(&format!("FOR {loop_var} IN REVERSE {hi}..{lo} LOOP"));
+                } else {
+                    self.line(&format!("FOR {loop_var} IN {lo}..{hi} LOOP"));
+                }
+                self.indent += 2;
+                self.int_vars.push(loop_var.clone());
+                if let Some(l) = &label {
+                    self.labels.push(l.clone());
+                }
+                if self.rng.next_bool(0.3) {
+                    let c = self.gen_bool_expr(0);
+                    self.line(&format!("CONTINUE WHEN {c};"));
+                }
+                let n = self.rng.next_range(1, 2);
+                for _ in 0..n {
+                    self.gen_stmt(depth - 1);
+                }
+                if self.rng.next_bool(0.3) {
+                    let c = self.gen_bool_expr(0);
+                    let target = if !self.labels.is_empty() && self.rng.next_bool(0.5) {
+                        let i =
+                            self.rng.next_range(0, self.labels.len() as i64 - 1) as usize;
+                        format!("{} ", self.labels[i])
+                    } else {
+                        String::new()
+                    };
+                    self.line(&format!("EXIT {target}WHEN {c};"));
+                }
+                if label.is_some() {
+                    self.labels.pop();
+                }
+                self.int_vars.pop();
+                self.indent -= 2;
+                self.line("END LOOP;");
+            }
+            8 => {
+                // Bounded WHILE: an assignable variable becomes the loop
+                // counter, guaranteeing termination.
+                if let Some(var) = self.pick_assignable() {
+                    let bound = self.rng.next_range(2, 6);
+                    self.line(&format!("{var} := 0;"));
+                    let c = self.gen_bool_expr(0);
+                    self.line(&format!("WHILE {var} < {bound} AND ({c} OR true) LOOP"));
+                    self.indent += 2;
+                    self.line(&format!("{var} := {var} + 1;"));
+                    self.protected.push(var.clone());
+                    self.gen_stmt(depth - 1);
+                    self.protected.pop();
+                    self.indent -= 2;
+                    self.line("END LOOP;");
+                }
+            }
+            _ => {
+                // Early RETURN behind a condition.
+                let c = self.gen_bool_expr(0);
+                let e = self.gen_int_expr(1);
+                self.line(&format!("IF {c} THEN RETURN {e}; END IF;"));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plaway_core::{compile_sql, CompileOptions};
+    use plaway_interp::Interpreter;
+
+    /// The centerpiece differential test: interpreter == compiled SQL, for
+    /// many random programs, in both CTE modes.
+    #[test]
+    fn interpreter_and_compiler_agree_on_random_programs() {
+        let mut s = Session::default();
+        install_fixture(&mut s).unwrap();
+        let mut interp = Interpreter::new();
+        interp.max_statements = 5_000_000;
+        let mut checked = 0;
+        for seed in 0..60u64 {
+            let prog = generate(seed, GenConfig::default());
+            s.run(&prog.source)
+                .unwrap_or_else(|e| panic!("generated source must parse: {e}\n{}", prog.source));
+            let reference = interp
+                .call(&mut s, &prog.name, &prog.args)
+                .unwrap_or_else(|e| panic!("interp failed: {e}\n{}", prog.source));
+            for options in [CompileOptions::default(), CompileOptions::iterate()] {
+                let compiled = compile_sql(&s.catalog, &prog.source, options)
+                    .unwrap_or_else(|e| panic!("compile failed: {e}\n{}", prog.source));
+                let got = compiled.run(&mut s, &prog.args).unwrap_or_else(|e| {
+                    panic!("compiled run failed: {e}\n{}\n{}", prog.source, compiled.sql)
+                });
+                assert_eq!(
+                    got, reference,
+                    "seed {seed}, options {options:?}\n--- source ---\n{}\n--- sql ---\n{}",
+                    prog.source, compiled.sql
+                );
+            }
+            checked += 1;
+        }
+        assert_eq!(checked, 60);
+    }
+
+    #[test]
+    fn generated_programs_parse_and_terminate() {
+        let mut s = Session::default();
+        install_fixture(&mut s).unwrap();
+        let mut interp = Interpreter::new();
+        interp.max_statements = 5_000_000;
+        for seed in 100..120u64 {
+            let prog = generate(
+                seed,
+                GenConfig {
+                    max_depth: 4,
+                    max_stmts: 6,
+                    allow_queries: false,
+                },
+            );
+            s.run(&prog.source).unwrap();
+            interp.call(&mut s, &prog.name, &prog.args).unwrap();
+        }
+    }
+}

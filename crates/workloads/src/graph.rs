@@ -1,0 +1,165 @@
+//! The `traverse()` workload: directed graph traversal (Table 1 row 3).
+//!
+//! A weighted digraph in `edges(src, dst, w)`; `traverse(start, hops)`
+//! follows the heaviest outgoing edge until it reaches a sink or exhausts
+//! the hop budget, returning the last node visited. One embedded query per
+//! hop — the same `f→Qi` pattern as `walk`, with a heavier inner query
+//! (ORDER BY + LIMIT instead of a point lookup).
+
+use plaway_common::{Result, SessionRng, Value};
+use plaway_engine::Session;
+
+use crate::Workload;
+
+/// A generated digraph (adjacency list with weights).
+pub struct Digraph {
+    pub nodes: i64,
+    /// `(src, dst, weight)`.
+    pub edges: Vec<(i64, i64, f64)>,
+}
+
+impl Digraph {
+    /// Random graph: every node gets 0–3 outgoing edges (nodes divisible by
+    /// 17 become sinks so traversals can terminate early).
+    pub fn generate(nodes: i64, seed: u64) -> Digraph {
+        assert!(nodes > 1);
+        let mut rng = SessionRng::new(seed);
+        let mut edges = Vec::new();
+        for src in 0..nodes {
+            if src % 17 == 0 {
+                continue; // sink
+            }
+            let degree = rng.next_range(1, 3);
+            for _ in 0..degree {
+                let dst = rng.next_range(0, nodes - 1);
+                let w = rng.next_f64();
+                edges.push((src, dst, w));
+            }
+        }
+        Digraph { nodes, edges }
+    }
+
+    pub fn install(&self, session: &mut Session) -> Result<()> {
+        session.run("DROP TABLE IF EXISTS edges")?;
+        session.run("CREATE TABLE edges (src int, dst int, w float8)")?;
+        let rows: Vec<Vec<Value>> = self
+            .edges
+            .iter()
+            .map(|&(s, d, w)| vec![Value::Int(s), Value::Int(d), Value::Float(w)])
+            .collect();
+        session.catalog.bulk_insert("edges", rows)?;
+        session.run("CREATE INDEX edges_src ON edges (src)")?;
+        Ok(())
+    }
+
+    /// Reference traversal in plain Rust (for equivalence tests).
+    pub fn traverse_reference(&self, start: i64, hops: i64) -> i64 {
+        let mut cur = start;
+        for _ in 0..hops {
+            let best = self
+                .edges
+                .iter()
+                .filter(|(s, _, _)| *s == cur)
+                .max_by(|a, b| {
+                    // Mirror ORDER BY w DESC, dst ASC (deterministic tie).
+                    a.2.total_cmp(&b.2)
+                        .then_with(|| b.1.cmp(&a.1))
+                });
+            match best {
+                Some(&(_, dst, _)) => cur = dst,
+                None => return cur,
+            }
+        }
+        cur
+    }
+}
+
+/// The traversal function.
+pub fn traverse_workload() -> Workload {
+    Workload {
+        name: "traverse",
+        source: r#"
+CREATE OR REPLACE FUNCTION traverse(start int, hops int) RETURNS int AS $$
+DECLARE
+  cur int := start;
+  nxt int;
+BEGIN
+  FOR hop IN 1..hops LOOP
+    -- follow the heaviest outgoing edge (deterministic tie-break on dst)
+    nxt := (SELECT e.dst
+            FROM edges AS e
+            WHERE e.src = cur
+            ORDER BY e.w DESC, e.dst ASC
+            LIMIT 1);
+    IF nxt IS NULL THEN
+      RETURN cur;     -- sink reached
+    END IF;
+    cur := nxt;
+  END LOOP;
+  RETURN cur;
+END;
+$$ LANGUAGE PLPGSQL;
+"#
+        .to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plaway_interp::Interpreter;
+
+    #[test]
+    fn interpreter_matches_reference() {
+        let mut s = Session::default();
+        let g = Digraph::generate(100, 11);
+        g.install(&mut s).unwrap();
+        traverse_workload().install(&mut s).unwrap();
+        let mut interp = Interpreter::new();
+        for start in [1i64, 5, 20, 33] {
+            let expect = g.traverse_reference(start, 50);
+            let v = interp
+                .call(&mut s, "traverse", &[Value::Int(start), Value::Int(50)])
+                .unwrap();
+            assert_eq!(v, Value::Int(expect), "start {start}");
+        }
+    }
+
+    #[test]
+    fn compiled_matches_interpreter() {
+        let mut s = Session::default();
+        Digraph::generate(80, 3).install(&mut s).unwrap();
+        let w = traverse_workload();
+        w.install(&mut s).unwrap();
+        let compiled = plaway_core::compile_sql(
+            &s.catalog,
+            &w.source,
+            plaway_core::CompileOptions::default(),
+        )
+        .unwrap();
+        let mut interp = Interpreter::new();
+        for start in [1i64, 2, 18, 40] {
+            let args = [Value::Int(start), Value::Int(30)];
+            let reference = interp.call(&mut s, "traverse", &args).unwrap();
+            let got = compiled.run(&mut s, &args).unwrap();
+            assert_eq!(got, reference, "start {start}");
+        }
+    }
+
+    #[test]
+    fn sink_terminates_early() {
+        let mut s = Session::default();
+        let g = Digraph {
+            nodes: 3,
+            edges: vec![(1, 0, 0.9), (2, 1, 0.5)],
+        };
+        g.install(&mut s).unwrap();
+        traverse_workload().install(&mut s).unwrap();
+        let mut interp = Interpreter::new();
+        // 2 -> 1 -> 0 (sink), well before the hop budget.
+        let v = interp
+            .call(&mut s, "traverse", &[Value::Int(2), Value::Int(99)])
+            .unwrap();
+        assert_eq!(v, Value::Int(0));
+    }
+}

@@ -1,0 +1,420 @@
+//! The robot world of the paper's Figures 1–3.
+//!
+//! A `width × height` grid of integer rewards; a Markov policy computed by
+//! **value iteration** (the paper says the policy "has been precomputed by a
+//! Markov decision process"); and the straying model: the robot follows the
+//! prescribed direction with probability 0.75 and strays to each
+//! perpendicular direction with probability 0.125. (The paper uses
+//! 0.8/0.1/0.1; we use powers of two so the cumulative distribution sums to
+//! exactly 1.0 in binary floating point, keeping `roll BETWEEN lo AND hi`
+//! total. Same shape, documented in DESIGN.md.)
+//!
+//! Tabular encoding (Figure 2): `cells(loc, reward)`, `policy(loc, action)`,
+//! `actions(here, action, there, prob)`, with `loc/here/there` of composite
+//! type `coord`.
+
+use plaway_common::{Result, SessionRng, Value};
+use plaway_engine::Session;
+
+use crate::Workload;
+
+/// Direction of a move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dir {
+    Up,
+    Down,
+    Left,
+    Right,
+}
+
+impl Dir {
+    pub const ALL: [Dir; 4] = [Dir::Up, Dir::Down, Dir::Left, Dir::Right];
+
+    pub fn arrow(&self) -> &'static str {
+        match self {
+            Dir::Up => "^",
+            Dir::Down => "v",
+            Dir::Left => "<",
+            Dir::Right => ">",
+        }
+    }
+
+    fn delta(&self) -> (i64, i64) {
+        match self {
+            Dir::Up => (0, 1),
+            Dir::Down => (0, -1),
+            Dir::Left => (-1, 0),
+            Dir::Right => (1, 0),
+        }
+    }
+
+    /// The two perpendicular straying directions.
+    fn strays(&self) -> [Dir; 2] {
+        match self {
+            Dir::Up | Dir::Down => [Dir::Left, Dir::Right],
+            Dir::Left | Dir::Right => [Dir::Up, Dir::Down],
+        }
+    }
+}
+
+/// The generated world.
+pub struct GridWorld {
+    pub width: i64,
+    pub height: i64,
+    /// `rewards[y][x]`.
+    pub rewards: Vec<Vec<i64>>,
+    /// `policy[y][x]`.
+    pub policy: Vec<Vec<Dir>>,
+}
+
+/// Probability of following the prescribed direction (rest strays).
+pub const P_FOLLOW: f64 = 0.75;
+pub const P_STRAY: f64 = 0.125;
+
+impl GridWorld {
+    /// Build a world with rewards drawn from `[-2, 1]` (the Figure 1 range)
+    /// and the value-iteration policy.
+    pub fn generate(width: i64, height: i64, seed: u64) -> GridWorld {
+        assert!(width > 0 && height > 0);
+        let mut rng = SessionRng::new(seed);
+        let rewards: Vec<Vec<i64>> = (0..height)
+            .map(|_| (0..width).map(|_| rng.next_range(-2, 1)).collect())
+            .collect();
+        let policy = value_iteration(width, height, &rewards);
+        GridWorld {
+            width,
+            height,
+            rewards,
+            policy,
+        }
+    }
+
+    fn clamp_move(&self, x: i64, y: i64, d: Dir) -> (i64, i64) {
+        let (dx, dy) = d.delta();
+        let (nx, ny) = (x + dx, y + dy);
+        // Bumping the wall keeps the robot in place (Figure 1c).
+        if nx < 0 || nx >= self.width || ny < 0 || ny >= self.height {
+            (x, y)
+        } else {
+            (nx, ny)
+        }
+    }
+
+    /// Install `cells`, `policy` and `actions` (plus hash indexes on the
+    /// lookup columns — the same access paths PostgreSQL would pick).
+    pub fn install(&self, session: &mut Session) -> Result<()> {
+        session.run("DROP TABLE IF EXISTS cells")?;
+        session.run("DROP TABLE IF EXISTS policy")?;
+        session.run("DROP TABLE IF EXISTS actions")?;
+        session.run("CREATE TABLE cells (loc coord, reward int)")?;
+        session.run("CREATE TABLE policy (loc coord, action text)")?;
+        session.run(
+            "CREATE TABLE actions (here coord, action text, there coord, prob float8)",
+        )?;
+
+        let mut cells = Vec::new();
+        let mut policy = Vec::new();
+        let mut actions = Vec::new();
+        for y in 0..self.height {
+            for x in 0..self.width {
+                let here = Value::coord(x, y);
+                cells.push(vec![here.clone(), Value::Int(self.rewards[y as usize][x as usize])]);
+                let dir = self.policy[y as usize][x as usize];
+                policy.push(vec![here.clone(), Value::text(dir_name(dir))]);
+                // Outcome distribution for EVERY action from this cell
+                // (Q2 filters on the prescribed one). Outcomes landing on
+                // the same cell are merged so the cumulative distribution
+                // keyed by `there` stays well-defined.
+                for a in Dir::ALL {
+                    let mut outcomes: Vec<((i64, i64), f64)> = Vec::new();
+                    let mut add = |cell: (i64, i64), p: f64| {
+                        if let Some(slot) = outcomes.iter_mut().find(|(c, _)| *c == cell) {
+                            slot.1 += p;
+                        } else {
+                            outcomes.push((cell, p));
+                        }
+                    };
+                    add(self.clamp_move(x, y, a), P_FOLLOW);
+                    for s in a.strays() {
+                        add(self.clamp_move(x, y, s), P_STRAY);
+                    }
+                    for ((tx, ty), p) in outcomes {
+                        actions.push(vec![
+                            here.clone(),
+                            Value::text(dir_name(a)),
+                            Value::coord(tx, ty),
+                            Value::Float(p),
+                        ]);
+                    }
+                }
+            }
+        }
+        session.catalog.bulk_insert("cells", cells)?;
+        session.catalog.bulk_insert("policy", policy)?;
+        session.catalog.bulk_insert("actions", actions)?;
+        session.run("CREATE INDEX cells_loc ON cells (loc)")?;
+        session.run("CREATE INDEX policy_loc ON policy (loc)")?;
+        session.run("CREATE INDEX actions_here ON actions (here)")?;
+        Ok(())
+    }
+
+    /// ASCII rendering of rewards and policy (for the example binaries).
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "rewards / policy ({}x{}):", self.width, self.height);
+        for y in (0..self.height).rev() {
+            for x in 0..self.width {
+                let _ = write!(out, "{:>3} ", self.rewards[y as usize][x as usize]);
+            }
+            let _ = write!(out, "   ");
+            for x in 0..self.width {
+                let _ = write!(out, "{} ", self.policy[y as usize][x as usize].arrow());
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn dir_name(d: Dir) -> &'static str {
+    match d {
+        Dir::Up => "up",
+        Dir::Down => "down",
+        Dir::Left => "left",
+        Dir::Right => "right",
+    }
+}
+
+/// Value iteration on the grid MDP: `V(s) = R(s) + γ · max_a Σ p·V(s')`,
+/// greedy policy extraction.
+fn value_iteration(width: i64, height: i64, rewards: &[Vec<i64>]) -> Vec<Vec<Dir>> {
+    const GAMMA: f64 = 0.9;
+    const SWEEPS: usize = 200;
+    let idx = |x: i64, y: i64| (y * width + x) as usize;
+    let mut v = vec![0.0f64; (width * height) as usize];
+    let world = |x: i64, y: i64, d: Dir| -> (i64, i64) {
+        let (dx, dy) = d.delta();
+        let (nx, ny) = (x + dx, y + dy);
+        if nx < 0 || nx >= width || ny < 0 || ny >= height {
+            (x, y)
+        } else {
+            (nx, ny)
+        }
+    };
+    let action_value = |v: &[f64], x: i64, y: i64, a: Dir| -> f64 {
+        let mut total = 0.0;
+        let (fx, fy) = world(x, y, a);
+        total += P_FOLLOW * v[idx(fx, fy)];
+        for s in a.strays() {
+            let (sx, sy) = world(x, y, s);
+            total += P_STRAY * v[idx(sx, sy)];
+        }
+        total
+    };
+    for _ in 0..SWEEPS {
+        let mut next = v.clone();
+        for y in 0..height {
+            for x in 0..width {
+                let best = Dir::ALL
+                    .iter()
+                    .map(|&a| action_value(&v, x, y, a))
+                    .fold(f64::NEG_INFINITY, f64::max);
+                next[idx(x, y)] = rewards[y as usize][x as usize] as f64 + GAMMA * best;
+            }
+        }
+        v = next;
+    }
+    (0..height)
+        .map(|y| {
+            (0..width)
+                .map(|x| {
+                    *Dir::ALL
+                        .iter()
+                        .max_by(|&&a, &&b| {
+                            action_value(&v, x, y, a)
+                                .total_cmp(&action_value(&v, x, y, b))
+                        })
+                        .unwrap()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// The paper's `walk()` function, verbatim modulo whitespace (Figure 3).
+pub fn walk_workload() -> Workload {
+    Workload {
+        name: "walk",
+        source: r#"
+CREATE OR REPLACE FUNCTION walk(origin coord, win int, loose int, steps int)
+RETURNS int AS $$
+DECLARE
+  reward int = 0;
+  location coord = origin;
+  movement text = '';
+  roll float;
+BEGIN
+  -- move robot repeatedly
+  FOR step IN 1..steps LOOP
+    -- where does the Markov policy send the robot from here?
+    movement = (SELECT p.action
+                FROM policy AS p
+                WHERE location = p.loc);
+    -- compute new location of robot,
+    -- robot may randomly stray from policy's direction
+    roll = random();
+    location =
+      (SELECT move.loc
+       FROM (SELECT a.there AS loc,
+                    COALESCE(SUM(a.prob) OVER lt, 0.0) AS lo,
+                    SUM(a.prob) OVER leq AS hi
+             FROM actions AS a
+             WHERE location = a.here AND movement = a.action
+             WINDOW leq AS (ORDER BY a.there),
+                    lt AS (leq ROWS UNBOUNDED PRECEDING
+                           EXCLUDE CURRENT ROW)
+            ) AS move(loc, lo, hi)
+       WHERE roll BETWEEN move.lo AND move.hi);
+    -- robot collects reward (or penalty) at new location
+    reward = reward + (SELECT c.reward
+                       FROM cells AS c
+                       WHERE location = c.loc);
+    -- bail out if we win or loose early
+    IF reward >= win OR reward <= loose THEN
+      RETURN step * sign(reward);
+    END IF;
+  END LOOP;
+  -- draw: robot performed all steps without winning or losing
+  RETURN 0;
+END;
+$$ LANGUAGE PLPGSQL;
+"#
+        .to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plaway_common::Value;
+    use plaway_interp::Interpreter;
+
+    #[test]
+    fn value_iteration_prefers_high_rewards() {
+        // A 3x1 strip with a big prize on the right: everything must point
+        // right.
+        let rewards = vec![vec![-1, -1, 10]];
+        let policy = value_iteration(3, 1, &rewards);
+        assert_eq!(policy[0][0], Dir::Right);
+        assert_eq!(policy[0][1], Dir::Right);
+    }
+
+    #[test]
+    fn world_installs_consistent_tables() {
+        let mut s = Session::default();
+        let world = GridWorld::generate(5, 5, 42);
+        world.install(&mut s).unwrap();
+        assert_eq!(
+            s.query_scalar("SELECT count(*) FROM cells").unwrap(),
+            Value::Int(25)
+        );
+        assert_eq!(
+            s.query_scalar("SELECT count(*) FROM policy").unwrap(),
+            Value::Int(25)
+        );
+        // Outcome distributions sum to 1 per (here, action).
+        let bad = s
+            .run(
+                "SELECT count(*) FROM \
+                 (SELECT here, action, sum(prob) AS total FROM actions \
+                  GROUP BY here, action) AS sums \
+                 WHERE total < 0.999 OR total > 1.001",
+            )
+            .unwrap();
+        assert_eq!(bad.rows[0][0], Value::Int(0));
+    }
+
+    #[test]
+    fn walk_runs_under_the_interpreter() {
+        let mut s = Session::default();
+        s.set_seed(7);
+        let world = GridWorld::generate(5, 5, 42);
+        world.install(&mut s).unwrap();
+        let w = walk_workload();
+        w.install(&mut s).unwrap();
+        let mut interp = Interpreter::new();
+        let result = interp
+            .call(
+                &mut s,
+                "walk",
+                &[
+                    Value::coord(2, 2),
+                    Value::Int(5),
+                    Value::Int(-5),
+                    Value::Int(50),
+                ],
+            )
+            .unwrap();
+        let v = result.as_int().unwrap();
+        assert!((-50..=50).contains(&v), "plausible outcome, got {v}");
+    }
+
+    #[test]
+    fn interpreter_profile_has_three_queries_per_step() {
+        let mut s = Session::default();
+        s.set_seed(1);
+        GridWorld::generate(5, 5, 42).install(&mut s).unwrap();
+        walk_workload().install(&mut s).unwrap();
+        let mut interp = Interpreter::new();
+        s.reset_instrumentation();
+        // win/loose unreachable => exactly `steps` iterations.
+        interp
+            .call(
+                &mut s,
+                "walk",
+                &[
+                    Value::coord(2, 2),
+                    Value::Int(1_000_000),
+                    Value::Int(-1_000_000),
+                    Value::Int(40),
+                ],
+            )
+            .unwrap();
+        assert_eq!(
+            s.profiler.start_count, 120,
+            "Q1..Q3 once per step (3 x 40)"
+        );
+    }
+
+    #[test]
+    fn walk_compiles_and_matches_interpreter_with_same_seed() {
+        let mut s = Session::default();
+        GridWorld::generate(4, 4, 9).install(&mut s).unwrap();
+        let w = walk_workload();
+        w.install(&mut s).unwrap();
+        let compiled = plaway_core::compile_sql(
+            &s.catalog,
+            &w.source,
+            plaway_core::CompileOptions::default(),
+        )
+        .unwrap();
+        let args = [
+            Value::coord(1, 1),
+            Value::Int(4),
+            Value::Int(-4),
+            Value::Int(25),
+        ];
+        let mut interp = Interpreter::new();
+        for seed in [3u64, 17, 99] {
+            s.set_seed(seed);
+            let reference = interp.call(&mut s, "walk", &args).unwrap();
+            s.set_seed(seed);
+            let compiled_v = compiled.run(&mut s, &args).unwrap();
+            assert_eq!(
+                compiled_v, reference,
+                "same seed must yield the same walk (seed {seed})"
+            );
+        }
+    }
+}

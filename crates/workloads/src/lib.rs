@@ -1,0 +1,41 @@
+//! `plaway-workloads` — the paper's workloads and their data generators.
+//!
+//! * [`grid`] — the robot world of Figures 1–3: reward grid, Markov policy
+//!   (computed by value iteration, the "precomputed Markov decision process"
+//!   of §1), straying-action table, and the `walk()` function.
+//! * [`fsa`] — the `parse()` finite-state-automaton workload (Table 1 row 2,
+//!   Figure 11b, Table 2): a table-driven tokenizer over a residual string.
+//! * [`graph`] — the `traverse()` directed-graph workload (Table 1 row 3).
+//! * [`fib`] — the query-less `fibonacci()` workload (Table 1 row 4).
+//! * [`extras`] — additional functions (gcd, collatz, power, strrev, bank)
+//!   used by tests and ablations.
+//! * [`genprog`] — a seeded random PL/pgSQL program generator powering the
+//!   interpreter-vs-compiler differential property tests.
+
+pub mod extras;
+pub mod fib;
+pub mod fsa;
+pub mod genprog;
+pub mod graph;
+pub mod grid;
+
+use plaway_common::Result;
+use plaway_engine::Session;
+
+/// A ready-to-run workload: schema + data are installed into a session and
+/// the PL/pgSQL function source is available for the interpreter and the
+/// compiler alike.
+pub struct Workload {
+    /// Function name as registered in the catalog.
+    pub name: &'static str,
+    /// The full `CREATE FUNCTION ... LANGUAGE plpgsql` source.
+    pub source: String,
+}
+
+impl Workload {
+    /// Register the function in the session's catalog.
+    pub fn install(&self, session: &mut Session) -> Result<()> {
+        session.run(&self.source)?;
+        Ok(())
+    }
+}

@@ -1,0 +1,53 @@
+//! The `traverse()` workload (Table 1, row 3): walk a weighted digraph by
+//! always following the heaviest outgoing edge. Each hop is an embedded
+//! ORDER BY/LIMIT query — a heavier `Qi` than the point lookups of `walk`.
+//!
+//! Also demonstrates §2's "Finalization": the compiled query is inlined into
+//! an embracing SQL query `Q` that calls `traverse` once per row.
+//!
+//! Run with: `cargo run --release --example graph_traverse`
+
+use plsql_away::compiler::inline::inline_into_query;
+use plsql_away::prelude::*;
+use plsql_away::workloads::graph::{traverse_workload, Digraph};
+
+fn main() -> Result<()> {
+    let mut session = Session::default();
+    let graph = Digraph::generate(200, 7);
+    graph.install(&mut session)?;
+    println!(
+        "digraph: {} nodes, {} weighted edges (nodes divisible by 17 are sinks)",
+        graph.nodes,
+        graph.edges.len()
+    );
+
+    let traverse = traverse_workload();
+    traverse.install(&mut session)?;
+    let compiled = compile_sql(&session.catalog, &traverse.source, CompileOptions::default())?;
+
+    let mut interp = Interpreter::new();
+    println!("\nstart | steps | interpreted | compiled | reference");
+    for start in [1i64, 23, 99, 150] {
+        let args = [Value::Int(start), Value::Int(64)];
+        let iv = interp.call(&mut session, "traverse", &args)?;
+        let cv = compiled.run(&mut session, &args)?;
+        let rv = graph.traverse_reference(start, 64);
+        println!("{start:>5} | {:>5} | {iv:>11} | {cv:>8} | {rv:>9}", 64);
+        assert_eq!(iv, cv);
+        assert_eq!(cv.as_int().unwrap(), rv);
+    }
+
+    // ---- inline the compiled function into an embracing query Q -------
+    session.run("CREATE TABLE starts (node int)")?;
+    session.run("INSERT INTO starts VALUES (1), (23), (99), (150)")?;
+    let q = plsql_away::sql::parse_query(
+        "SELECT starts.node, traverse(starts.node, 64) FROM starts ORDER BY starts.node",
+    )?;
+    let inlined = inline_into_query(q, &compiled, &session.catalog)?;
+    println!("\ninlined Q (PL/SQL gone — first 160 chars):");
+    let text = inlined.to_string();
+    println!("  {}...", &text[..160.min(text.len())]);
+    let result = session.run(&text)?;
+    println!("\n{}", result.to_table_string());
+    Ok(())
+}

@@ -1,0 +1,76 @@
+//! Quickstart: define an iterative PL/pgSQL function, watch every stage of
+//! the compilation pipeline (Figures 4–9 of the paper), and compare the
+//! interpreted baseline with the compiled `WITH RECURSIVE` query.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use plsql_away::prelude::*;
+
+fn main() -> Result<()> {
+    let mut session = Session::default();
+
+    // A small lookup table so the function has an embedded query (a "Qi").
+    session.run("CREATE TABLE bonus (d int, amount int)")?;
+    session.run("INSERT INTO bonus VALUES (1, 5), (2, 0), (3, 12), (4, 3), (5, 8)")?;
+
+    let src = r#"
+CREATE FUNCTION payout(days int, cap int) RETURNS int AS $$
+DECLARE
+  total int := 0;
+  today int;
+BEGIN
+  FOR day IN 1..days LOOP
+    today := (SELECT b.amount FROM bonus AS b WHERE b.d = 1 + (day - 1) % 5);
+    total := total + today;
+    IF total >= cap THEN
+      RETURN day;    -- capped early: return the day it happened
+    END IF;
+  END LOOP;
+  RETURN -total;     -- never capped: return accumulated payout (negated)
+END;
+$$ LANGUAGE PLPGSQL;
+"#;
+    session.run(src)?;
+
+    // ---- the compilation pipeline, stage by stage --------------------
+    let compiled = compile_sql(&session.catalog, src, CompileOptions::default())?;
+
+    println!("================ goto form (pre-SSA) ================");
+    println!("{}", compiled.goto_text);
+    println!("================ SSA (Figure 5) ======================");
+    println!("{}", compiled.ssa_text);
+    println!("================ ANF (Figure 6) ======================");
+    println!("{}", compiled.anf_text);
+    println!("================ recursive UDF (Figure 7) ============");
+    println!("{}", compiled.udf_sql);
+    println!("================ pure SQL (Figures 8/9) ==============");
+    println!("{}\n", compiled.sql);
+
+    // ---- interpreted vs compiled -------------------------------------
+    let mut interp = Interpreter::new();
+    let args = [Value::Int(40), Value::Int(100)];
+
+    session.reset_instrumentation();
+    let interpreted = interp.call(&mut session, "payout", &args)?;
+    let (s, r, e, i) = session.profiler.percentages();
+    println!("interpreted result : {interpreted}");
+    println!(
+        "interpreter profile: ExecStart {s:.1}% | ExecRun {r:.1}% | ExecEnd {e:.1}% | Interp {i:.1}%"
+    );
+    println!(
+        "context switches   : {} embedded-query evaluations ({}% f->Qi overhead)",
+        session.profiler.start_count,
+        session.profiler.switch_overhead_pct().round()
+    );
+
+    session.reset_instrumentation();
+    let compiled_v = compiled.run(&mut session, &args)?;
+    println!("\ncompiled result    : {compiled_v}");
+    println!(
+        "compiled executor  : {} Start / {} End (one per invocation, not per iteration)",
+        session.profiler.start_count, session.profiler.end_count
+    );
+    assert_eq!(interpreted, compiled_v);
+    println!("\nInterpreter and compiled SQL agree. PL/SQL: compiled away.");
+    Ok(())
+}

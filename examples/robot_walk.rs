@@ -1,0 +1,84 @@
+//! The paper's running example (Figures 1–3): a robot walks a reward grid
+//! following a Markov policy, straying at random. We build the world (the
+//! policy comes from an actual value-iteration MDP solve), run `walk()`
+//! interpreted and compiled, and show that with the same RNG seed both
+//! regimes take the same walk — then time them.
+//!
+//! Run with: `cargo run --release --example robot_walk`
+
+use std::time::Instant;
+
+use plsql_away::prelude::*;
+use plsql_away::workloads::grid::{walk_workload, GridWorld};
+
+fn main() -> Result<()> {
+    let mut session = Session::default();
+
+    let world = GridWorld::generate(5, 5, 42);
+    world.install(&mut session)?;
+    println!("{}", world.render());
+
+    let walk = walk_workload();
+    walk.install(&mut session)?;
+
+    let compiled = compile_sql(&session.catalog, &walk.source, CompileOptions::default())?;
+    println!(
+        "compiled walk() into {} characters of pure SQL (WITH RECURSIVE)\n",
+        compiled.sql.len()
+    );
+
+    let mut interp = Interpreter::new();
+    let args = [
+        Value::coord(2, 2), // origin
+        Value::Int(10),     // win when reward >= 10
+        Value::Int(-10),    // lose when reward <= -10
+        Value::Int(500),    // at most 500 steps
+    ];
+
+    // Same seed -> same random strays -> identical outcome in both regimes.
+    for seed in [7u64, 2026] {
+        session.set_seed(seed);
+        let iv = interp.call(&mut session, "walk", &args)?;
+        session.set_seed(seed);
+        let cv = compiled.run(&mut session, &args)?;
+        println!("seed {seed}: interpreted walk = {iv}, compiled walk = {cv}");
+        assert_eq!(iv, cv);
+    }
+
+    // ---- timing: the Figure 10 effect in miniature --------------------
+    let long_args = [
+        Value::coord(2, 2),
+        Value::Int(1_000_000), // unreachable: force the full step budget
+        Value::Int(-1_000_000),
+        Value::Int(2_000),
+    ];
+    let runs = 5;
+
+    session.set_seed(1);
+    session.reset_instrumentation();
+    let t0 = Instant::now();
+    for _ in 0..runs {
+        interp.call(&mut session, "walk", &long_args)?;
+    }
+    let interp_time = t0.elapsed() / runs;
+    let switch_pct = session.profiler.switch_overhead_pct();
+
+    session.set_seed(1);
+    let plan = compiled.prepare(&mut session)?;
+    let t0 = Instant::now();
+    for _ in 0..runs {
+        session.execute_prepared(&plan, long_args.to_vec())?;
+    }
+    let compiled_time = t0.elapsed() / runs;
+
+    println!("\n2000-step walk, average of {runs} runs:");
+    println!(
+        "  PL/pgSQL interpreter : {interp_time:?}  ({switch_pct:.0}% spent in f->Qi context switches)"
+    );
+    println!("  WITH RECURSIVE       : {compiled_time:?}");
+    println!(
+        "  compiled / interpreted: {:.0}%",
+        compiled_time.as_secs_f64() / interp_time.as_secs_f64() * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! # plsql-away — Compiling PL/SQL Away, in Rust
+//!
+//! A from-scratch reproduction of *"Compiling PL/SQL Away"* (Duta, Hirn &
+//! Grust, CIDR 2020): a compiler that turns iterative PL/pgSQL functions
+//! into plain SQL queries built on `WITH RECURSIVE`, plus the instrumented
+//! database engine needed to measure why that wins.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use plsql_away::prelude::*;
+//!
+//! let mut session = Session::default();
+//! session.run("CREATE TABLE t (k int, v int)").unwrap();
+//! session.run("INSERT INTO t VALUES (1, 10), (2, 20)").unwrap();
+//!
+//! // An iterative PL/pgSQL function with an embedded query per step.
+//! let src = "CREATE FUNCTION sum_v(n int) RETURNS int AS $$
+//!     DECLARE total int := 0;
+//!     BEGIN
+//!       FOR i IN 1..n LOOP
+//!         total := total + (SELECT t.v FROM t WHERE t.k = i);
+//!       END LOOP;
+//!       RETURN total;
+//!     END $$ LANGUAGE plpgsql";
+//! session.run(src).unwrap();
+//!
+//! // Baseline: statement-by-statement interpretation (pays f→Qi switches).
+//! let mut interp = Interpreter::new();
+//! let v1 = interp.call(&mut session, "sum_v", &[Value::Int(2)]).unwrap();
+//!
+//! // Compile the PL/SQL away: one plain SQL query, zero context switches.
+//! let compiled = compile_sql(&session.catalog, src, CompileOptions::default()).unwrap();
+//! assert!(compiled.sql.starts_with("WITH RECURSIVE"));
+//! let v2 = compiled.run(&mut session, &[Value::Int(2)]).unwrap();
+//! assert_eq!(v1, v2);
+//! assert_eq!(v2, Value::Int(30));
+//! ```
+//!
+//! ## Crate map
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`common`] | `plaway-common` | values, types, errors, RNG |
+//! | [`sql`] | `plaway-sql` | SQL lexer/AST/parser/printer |
+//! | [`engine`] | `plaway-engine` | instrumented query engine, `WITH ITERATE` |
+//! | [`plsql`] | `plaway-plsql` | PL/pgSQL front end |
+//! | [`interp`] | `plaway-interp` | the interpreted baseline |
+//! | [`compiler`] | `plaway-core` | SSA → ANF → UDF → `WITH RECURSIVE` |
+//! | [`workloads`] | `plaway-workloads` | walk/parse/traverse/fibonacci + generators |
+
+pub use plaway_common as common;
+pub use plaway_core as compiler;
+pub use plaway_engine as engine;
+pub use plaway_interp as interp;
+pub use plaway_plsql as plsql;
+pub use plaway_sql as sql;
+pub use plaway_workloads as workloads;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use plaway_common::{Error, Result, SessionRng, Type, Value};
+    pub use plaway_core::{compile, compile_sql, ArgsLayout, CompileOptions, Compiled, CteMode};
+    pub use plaway_engine::{EngineConfig, ParamScope, QueryResult, Session};
+    pub use plaway_interp::Interpreter;
+    pub use plaway_plsql::parse_create_function;
+}

@@ -1,0 +1,257 @@
+//! Cross-crate integration tests: the full journey from PL/pgSQL source
+//! through every intermediate form to engine execution, exercised via the
+//! public facade.
+
+use plsql_away::compiler::inline::inline_into_query;
+use plsql_away::prelude::*;
+use plsql_away::workloads::{extras, fib, fsa, graph, grid};
+
+/// All workloads of the paper agree between the interpreter and every
+/// compiled variant.
+#[test]
+fn paper_workloads_agree_across_all_modes() {
+    // walk (randomized: fix the seed per run).
+    let mut s = Session::default();
+    grid::GridWorld::generate(5, 5, 42).install(&mut s).unwrap();
+    let w = grid::walk_workload();
+    w.install(&mut s).unwrap();
+    let mut interp = Interpreter::new();
+    let args = [
+        Value::coord(2, 2),
+        Value::Int(8),
+        Value::Int(-8),
+        Value::Int(200),
+    ];
+    for options in [
+        CompileOptions::default(),
+        CompileOptions::iterate(),
+        CompileOptions::packed(),
+    ] {
+        let compiled = compile_sql(&s.catalog, &w.source, options).unwrap();
+        s.set_seed(12345);
+        let reference = interp.call(&mut s, "walk", &args).unwrap();
+        s.set_seed(12345);
+        let got = compiled.run(&mut s, &args).unwrap();
+        assert_eq!(got, reference, "walk, options {options:?}");
+    }
+
+    // parse.
+    let mut s = Session::default();
+    fsa::install_fsa(&mut s).unwrap();
+    let w = fsa::parse_workload();
+    w.install(&mut s).unwrap();
+    let input = Value::text(fsa::generate_input(500, 7));
+    let reference = interp.call(&mut s, "parse", &[input.clone()]).unwrap();
+    assert_eq!(reference, Value::Int(500));
+    for options in [CompileOptions::default(), CompileOptions::iterate()] {
+        let compiled = compile_sql(&s.catalog, &w.source, options).unwrap();
+        assert_eq!(
+            compiled.run(&mut s, &[input.clone()]).unwrap(),
+            reference,
+            "parse, options {options:?}"
+        );
+    }
+
+    // traverse.
+    let mut s = Session::default();
+    let g = graph::Digraph::generate(300, 5);
+    g.install(&mut s).unwrap();
+    let w = graph::traverse_workload();
+    w.install(&mut s).unwrap();
+    let compiled = compile_sql(&s.catalog, &w.source, CompileOptions::default()).unwrap();
+    for start in [1i64, 50, 200] {
+        let args = [Value::Int(start), Value::Int(40)];
+        let reference = interp.call(&mut s, "traverse", &args).unwrap();
+        assert_eq!(compiled.run(&mut s, &args).unwrap(), reference);
+        assert_eq!(
+            reference.as_int().unwrap(),
+            g.traverse_reference(start, 40)
+        );
+    }
+
+    // fibonacci.
+    let mut s = Session::default();
+    let w = fib::fib_workload();
+    w.install(&mut s).unwrap();
+    let compiled = compile_sql(&s.catalog, &w.source, CompileOptions::default()).unwrap();
+    assert_eq!(
+        compiled.run(&mut s, &[Value::Int(80)]).unwrap(),
+        Value::Int(fib::fib_reference(80))
+    );
+}
+
+/// The compiled intermediate forms carry the paper's structure (Figures 5-9).
+#[test]
+fn walk_intermediate_forms_match_figures() {
+    let mut s = Session::default();
+    grid::GridWorld::generate(5, 5, 42).install(&mut s).unwrap();
+    let w = grid::walk_workload();
+    w.install(&mut s).unwrap();
+    let c = compile_sql(&s.catalog, &w.source, CompileOptions::default()).unwrap();
+
+    // Figure 5: SSA renames variables inside embedded queries.
+    assert!(
+        c.ssa_text.contains("phi("),
+        "loop head must carry phis:\n{}",
+        c.ssa_text
+    );
+    assert!(
+        c.ssa_text.contains("= p.loc") && c.ssa_text.contains("location"),
+        "Q1 with substituted variable expected:\n{}",
+        c.ssa_text
+    );
+
+    // Figure 6: mutually tail-recursive letrec functions.
+    assert!(c.anf_text.contains("letrec"), "{}", c.anf_text);
+    assert!(c.anf.has_recursion(), "walk loops, ANF must recurse");
+
+    // Figure 7: one defunctionalized worker + wrapper.
+    assert!(c.udf_sql.contains("\"walk*\""), "{}", c.udf_sql);
+    assert!(c.udf_sql.contains("fn int"), "{}", c.udf_sql);
+
+    // Figure 8: the CTE template.
+    assert!(c.sql.starts_with("WITH RECURSIVE run("), "{}", c.sql);
+    assert!(c.sql.contains("UNION ALL"), "{}", c.sql);
+    assert!(c.sql.contains("\"call?\""), "{}", c.sql);
+    assert!(c.sql.contains("WHERE NOT r.\"call?\""), "{}", c.sql);
+    // Figure 9: recursive calls encoded as rows.
+    assert!(c.sql.contains("ROW(true,"), "{}", c.sql);
+    assert!(c.sql.contains("ROW(false,"), "{}", c.sql);
+
+    // The emitted SQL re-parses to the same AST.
+    let reparsed = plsql_away::sql::parse_query(&c.sql).unwrap();
+    assert_eq!(reparsed, c.query);
+}
+
+/// §2 "Finalization": inline the compiled query into an embracing query and
+/// evaluate everything as one statement.
+#[test]
+fn inlining_matches_per_call_results() {
+    let mut s = Session::default();
+    let w = extras::gcd_workload();
+    w.install(&mut s).unwrap();
+    s.run("CREATE TABLE pairs (a int, b int)").unwrap();
+    s.run("INSERT INTO pairs VALUES (12, 18), (17, 5), (270, 192), (0, 9)")
+        .unwrap();
+    let compiled = compile_sql(&s.catalog, &w.source, CompileOptions::default()).unwrap();
+    let q = plsql_away::sql::parse_query(
+        "SELECT pairs.a, pairs.b, gcd(pairs.a, pairs.b) FROM pairs ORDER BY pairs.a",
+    )
+    .unwrap();
+    let inlined = inline_into_query(q, &compiled, &s.catalog).unwrap();
+    let text = inlined.to_string();
+    assert!(!text.contains("gcd("), "call site must be spliced: {text}");
+    let result = s.run(&text).unwrap();
+    for row in &result.rows {
+        let (a, b, g) = (
+            row[0].as_int().unwrap(),
+            row[1].as_int().unwrap(),
+            row[2].as_int().unwrap(),
+        );
+        assert_eq!(g, extras::gcd_reference(a, b), "gcd({a},{b})");
+    }
+}
+
+
+/// Deep recursive-UDF evaluation nests many native executor frames per call;
+/// debug builds have fat frames, so give these tests a roomy stack (the
+/// engine's depth limit is calibrated for release frames / 2MB stacks).
+fn with_big_stack<T: Send + 'static>(f: impl FnOnce() -> T + Send + 'static) -> T {
+    std::thread::Builder::new()
+        .stack_size(64 * 1024 * 1024)
+        .spawn(f)
+        .unwrap()
+        .join()
+        .unwrap()
+}
+
+/// The recursive SQL UDF stage is executable on its own and hits the
+/// engine's depth limit exactly as §2 describes.
+#[test]
+fn udf_stage_runs_and_hits_stack_limit() {
+    with_big_stack(udf_stage_runs_and_hits_stack_limit_inner)
+}
+
+fn udf_stage_runs_and_hits_stack_limit_inner() {
+    let mut s = Session::default();
+    let w = extras::power_workload();
+    w.install(&mut s).unwrap();
+    let compiled = compile_sql(&s.catalog, &w.source, CompileOptions::default()).unwrap();
+    compiled.install_udfs(&mut s).unwrap();
+    assert_eq!(
+        s.query_scalar("SELECT powmod(7, 13, 97)").unwrap(),
+        Value::Int(extras::powmod_reference(7, 13, 97))
+    );
+
+    // fibonacci via UDF overruns the call-depth limit quickly. Pin the
+    // limit low so the error fires deterministically well inside the test
+    // thread's 2MB stack even in debug builds.
+    s.config.max_udf_depth = 64;
+    let w = fib::fib_workload();
+    w.install(&mut s).unwrap();
+    let fibc = compile_sql(&s.catalog, &w.source, CompileOptions::default()).unwrap();
+    fibc.install_udfs(&mut s).unwrap();
+    let err = s.query_scalar("SELECT fibonacci(100000)").unwrap_err();
+    assert!(
+        err.to_string().contains("stack depth"),
+        "expected the paper's depth-limit failure, got {err}"
+    );
+    // ... while the compiled CTE sails through the same iteration count.
+    assert_eq!(
+        fibc.run(&mut s, &[Value::Int(100_000)]).unwrap(),
+        Value::Int(fib::fib_reference(100_000))
+    );
+}
+
+/// Compilation is catalog-aware: unknown relations in embedded queries are
+/// reported at compile time (like PostgreSQL's validation), and unsupported
+/// constructs carry actionable messages.
+#[test]
+fn compile_errors_are_actionable() {
+    let s = Session::default();
+    let err = compile_sql(
+        &s.catalog,
+        "CREATE FUNCTION f(n int) RETURNS int AS $$ \
+         BEGIN RETURN (SELECT v FROM missing_table WHERE k = n); END \
+         $$ LANGUAGE plpgsql",
+        CompileOptions::default(),
+    )
+    .map(|c| c.sql.clone());
+    // Planning of the compiled query fails at prepare time instead if the
+    // compiler itself stays syntactic; accept either, but the message must
+    // name the relation.
+    if let Err(e) = err {
+        assert!(e.to_string().contains("missing_table"), "{e}");
+    }
+
+    let err = compile_sql(
+        &s.catalog,
+        "CREATE FUNCTION f(n int) RETURNS int AS $$ \
+         BEGIN RAISE EXCEPTION 'no'; RETURN 1; END $$ LANGUAGE plpgsql",
+        CompileOptions::default(),
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("RAISE EXCEPTION"), "{e}", e = err);
+}
+
+/// Session-seeded `random()` makes the randomized workload reproducible in
+/// BOTH regimes — the property every differential walk test relies on.
+#[test]
+fn seeded_random_reproducibility() {
+    let mut s = Session::default();
+    grid::GridWorld::generate(4, 4, 1).install(&mut s).unwrap();
+    let w = grid::walk_workload();
+    w.install(&mut s).unwrap();
+    let compiled = compile_sql(&s.catalog, &w.source, CompileOptions::default()).unwrap();
+    let args = [
+        Value::coord(1, 1),
+        Value::Int(6),
+        Value::Int(-6),
+        Value::Int(100),
+    ];
+    s.set_seed(55);
+    let a = compiled.run(&mut s, &args).unwrap();
+    s.set_seed(55);
+    let b = compiled.run(&mut s, &args).unwrap();
+    assert_eq!(a, b, "same seed, same walk");
+}
