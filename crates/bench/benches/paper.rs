@@ -13,7 +13,9 @@ use plaway_engine::EngineConfig;
 
 fn bench_walk_modes(c: &mut Criterion) {
     let mut group = c.benchmark_group("walk_500_steps");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
 
     let mut b = setup_walk(EngineConfig::postgres_like());
     let args = walk_args(500);
@@ -44,7 +46,9 @@ fn bench_walk_modes(c: &mut Criterion) {
 
 fn bench_parse_modes(c: &mut Criterion) {
     let mut group = c.benchmark_group("parse_1000_chars");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
 
     let mut b = setup_parse(EngineConfig::postgres_like());
     let args = parse_args(1_000);
@@ -66,7 +70,9 @@ fn bench_parse_modes(c: &mut Criterion) {
 
 fn bench_fib(c: &mut Criterion) {
     let mut group = c.benchmark_group("fibonacci_10000");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
 
     let mut b = setup_fib(EngineConfig::postgres_like());
     let args = fib_args(10_000);
@@ -83,7 +89,9 @@ fn bench_fib(c: &mut Criterion) {
 
 fn bench_compile_pipeline(c: &mut Criterion) {
     let mut group = c.benchmark_group("compile_pipeline");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
 
     let b = setup_walk(EngineConfig::postgres_like());
     group.bench_function("walk_to_with_recursive", |bench| {
@@ -94,7 +102,9 @@ fn bench_compile_pipeline(c: &mut Criterion) {
 
 fn bench_engine_primitives(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
 
     let mut s = plaway_engine::Session::new(EngineConfig::raw());
     s.run("CREATE TABLE t (k int, v int)").unwrap();

@@ -14,7 +14,7 @@ use plaway_bench::*;
 use plaway_core::{ArgsLayout, CompileOptions, CteMode};
 use plaway_engine::EngineConfig;
 
-fn time_ms(f: impl FnMut() -> ()) -> f64 {
+fn time_ms(f: impl FnMut()) -> f64 {
     let mut f = f;
     let t0 = Instant::now();
     f();
@@ -40,10 +40,13 @@ fn main() {
         .unwrap();
 
     println!("ablation: walk(), {steps} steps, avg of {runs} runs (postgres profile)\n");
-    let baseline;
+
     let report = |name: &str, ms: f64, baseline: f64| {
         if baseline > 0.0 {
-            println!("{name:<34} {ms:>9.1} ms   ({:>4.0}% of interpreter)", ms / baseline * 100.0);
+            println!(
+                "{name:<34} {ms:>9.1} ms   ({:>4.0}% of interpreter)",
+                ms / baseline * 100.0
+            );
         } else {
             println!("{name:<34} {ms:>9.1} ms   (baseline)");
         }
@@ -56,9 +59,8 @@ fn main() {
         let samples = b.time_interp(&args, runs).unwrap();
         stats_ms(&samples).0
     };
-    baseline = interp_ms;
+    let baseline = interp_ms;
     report("PL/pgSQL interpreter", interp_ms, 0.0);
-    let _ = &baseline;
 
     // Recursive SQL UDF (Figure 7): pays Start/End per recursive call and
     // runs against the engine's call-depth limit, so measure fewer steps
@@ -67,9 +69,7 @@ fn main() {
     let udf_steps = 300i64;
     b.session.config.max_udf_depth = 2_000;
     rec.install_udfs(&mut b.session).unwrap();
-    let call = format!(
-        "SELECT walk(ROW(2, 2), 1000000, -1000000, {udf_steps})"
-    );
+    let call = format!("SELECT walk(ROW(2, 2), 1000000, -1000000, {udf_steps})");
     b.session.set_seed(1);
     b.session.run(&call).unwrap();
     b.session.set_seed(1);

@@ -1,0 +1,94 @@
+//! Fast smoke benchmark seeding the `BENCH_*.json` perf trajectory.
+//!
+//! Runs two small kernels — `walk` (query-per-step, the paper's headline)
+//! and `fibonacci` (query-less) — in all three execution modes:
+//!
+//! * `interpreter` — statement-by-statement PL/pgSQL interpretation,
+//! * `with_recursive` — the compiled `WITH RECURSIVE` query,
+//! * `with_iterate` — the compiled `WITH ITERATE` variant (Passing et al.).
+//!
+//! Writes `BENCH_smoke.json` ({kernel.mode → median ns}) to the current
+//! directory so successive PRs can be compared run-over-run.
+//!
+//! Usage: `cargo run --release -p plaway-bench --bin bench_smoke`
+
+use std::time::Instant;
+
+use plaway_bench::{fib_args, setup_fib, setup_walk, walk_args, BenchSetup};
+use plaway_common::Value;
+use plaway_core::CompileOptions;
+use plaway_engine::EngineConfig;
+
+const WARMUP_RUNS: usize = 3;
+const MEASURED_RUNS: usize = 15;
+
+/// Median of per-run wall times, in nanoseconds.
+fn median_ns(mut samples: Vec<u128>) -> u128 {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Time a closure over warmup + measured runs; returns median ns.
+fn time_runs(mut f: impl FnMut()) -> u128 {
+    for _ in 0..WARMUP_RUNS {
+        f();
+    }
+    let samples = (0..MEASURED_RUNS)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_nanos()
+        })
+        .collect();
+    median_ns(samples)
+}
+
+/// All three modes for one kernel. Every compiled mode goes through the
+/// normalized `Compiled::prepare` + `Session::execute_prepared` path.
+fn smoke_kernel(b: &mut BenchSetup, args: &[Value], results: &mut Vec<(String, u128)>) {
+    let name = b.fn_name;
+
+    let interp_args = args.to_vec();
+    let ns = time_runs(|| {
+        b.session.set_seed(1);
+        b.run_interp(&interp_args).unwrap();
+    });
+    results.push((format!("{name}.interpreter"), ns));
+
+    for (mode, options) in [
+        ("with_recursive", CompileOptions::default()),
+        ("with_iterate", CompileOptions::iterate()),
+    ] {
+        let compiled = b.compile(options).unwrap();
+        let plan = compiled.prepare(&mut b.session).unwrap();
+        let ns = time_runs(|| {
+            b.session.set_seed(1);
+            b.session.execute_prepared(&plan, args.to_vec()).unwrap();
+        });
+        results.push((format!("{name}.{mode}"), ns));
+    }
+}
+
+fn main() {
+    let mut results: Vec<(String, u128)> = Vec::new();
+
+    let mut walk = setup_walk(EngineConfig::postgres_like());
+    smoke_kernel(&mut walk, &walk_args(100), &mut results);
+
+    let mut fib = setup_fib(EngineConfig::postgres_like());
+    smoke_kernel(&mut fib, &fib_args(500), &mut results);
+
+    let mut json = String::from("{\n");
+    for (i, (key, ns)) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        json.push_str(&format!("  \"{key}\": {ns}{comma}\n"));
+    }
+    json.push_str("}\n");
+
+    std::fs::write("BENCH_smoke.json", &json).expect("write BENCH_smoke.json");
+    print!("{json}");
+    eprintln!(
+        "wrote BENCH_smoke.json ({} entries, median ns)",
+        results.len()
+    );
+}

@@ -29,7 +29,11 @@ fn heat_map(
     let rows: Vec<i64> = if full {
         INVOCATION_ROWS.to_vec()
     } else {
-        INVOCATION_ROWS.iter().copied().filter(|&r| r <= 256).collect()
+        INVOCATION_ROWS
+            .iter()
+            .copied()
+            .filter(|&r| r <= 256)
+            .collect()
     };
     let cols: Vec<i64> = if full {
         ITER_COLS.to_vec()
@@ -37,9 +41,7 @@ fn heat_map(
         ITER_COLS.iter().copied().filter(|&c| c <= 256).collect()
     };
 
-    println!(
-        "\nFigure 11 ({name}): relative run time (%) of recursive SQL vs iterative PL/SQL"
-    );
+    println!("\nFigure 11 ({name}): relative run time (%) of recursive SQL vs iterative PL/SQL");
     println!("(rows: #invocations Q->f; columns: #iterations f->Qi; <100 = SQL wins)\n");
     print!("{:>12} |", "inv \\ iter");
     for c in &cols {
@@ -53,7 +55,7 @@ fn heat_map(
     println!();
 
     for &inv in &rows {
-        print!("{inv:>12} |", );
+        print!("{inv:>12} |",);
         for &it in &cols {
             let args = args_of(it);
             // Warm both plans.

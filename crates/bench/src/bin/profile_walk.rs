@@ -58,7 +58,5 @@ fn main() {
     }
     let (s, r, e, i) = b.session.profiler.percentages();
     println!("\ntotals: Exec.Start {s:.2}% | Exec.Run {r:.2}% | Exec.End {e:.2}% | Interp {i:.2}%");
-    println!(
-        "paper:  Q1 28.40% | Q2 54.02% | Q3 12.44%; walk->Qi overhead >35% of total"
-    );
+    println!("paper:  Q1 28.40% | Q2 54.02% | Q3 12.44%; walk->Qi overhead >35% of total");
 }

@@ -8,6 +8,9 @@
 use plaway_bench::*;
 use plaway_engine::EngineConfig;
 
+/// A table row: workload name plus a closure producing its warmed profile.
+type ProfiledRow = (&'static str, Box<dyn FnOnce() -> plaway_engine::Profiler>);
+
 fn main() {
     println!("Table 1: Run time spent (in %) during PL/SQL evaluation.");
     println!("[bracketed] = f->Qi context-switch overhead (ExecutorStart/End)\n");
@@ -15,9 +18,12 @@ fn main() {
         "{:<12} {:>12} {:>10} {:>12} {:>8} | {:>9}",
         "function", "Exec.Start", "Exec.Run", "Exec.End", "Interp", "overhead"
     );
-    println!("{:-<12} {:->12} {:->10} {:->12} {:->8}-+-{:->9}", "", "", "", "", "", "");
+    println!(
+        "{:-<12} {:->12} {:->10} {:->12} {:->8}-+-{:->9}",
+        "", "", "", "", "", ""
+    );
 
-    let rows: Vec<(&str, Box<dyn FnOnce() -> plaway_engine::Profiler>)> = vec![
+    let rows: Vec<ProfiledRow> = vec![
         (
             "walk",
             Box::new(|| {

@@ -18,7 +18,11 @@ impl SessionRng {
     /// state must be non-zero).
     pub fn new(seed: u64) -> Self {
         SessionRng {
-            state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed },
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
         }
     }
 

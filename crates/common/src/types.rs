@@ -130,7 +130,13 @@ mod tests {
 
     #[test]
     fn null_admits_everywhere() {
-        for t in [Type::Bool, Type::Int, Type::Float, Type::Text, Type::coord()] {
+        for t in [
+            Type::Bool,
+            Type::Int,
+            Type::Float,
+            Type::Text,
+            Type::coord(),
+        ] {
             assert!(t.admits(&Value::Null));
         }
     }

@@ -336,10 +336,11 @@ impl Value {
                 .trim()
                 .parse::<i64>()
                 .map_err(|_| Error::exec(format!("invalid int literal {s:?}")))?),
-            (Text(s), Type::Float) => Float(s
-                .trim()
-                .parse::<f64>()
-                .map_err(|_| Error::exec(format!("invalid float literal {s:?}")))?),
+            (Text(s), Type::Float) => Float(
+                s.trim()
+                    .parse::<f64>()
+                    .map_err(|_| Error::exec(format!("invalid float literal {s:?}")))?,
+            ),
             (Text(s), Type::Bool) => match s.trim().to_ascii_lowercase().as_str() {
                 "t" | "true" | "yes" | "on" | "1" => Bool(true),
                 "f" | "false" | "no" | "off" | "0" => Bool(false),
@@ -365,13 +366,7 @@ impl Value {
                     )));
                 }
             }
-            (v, t) => {
-                return Err(Error::exec(format!(
-                    "cannot cast {} to {}",
-                    v.type_of(),
-                    t
-                )))
-            }
+            (v, t) => return Err(Error::exec(format!("cannot cast {} to {}", v.type_of(), t))),
         })
     }
 

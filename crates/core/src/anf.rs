@@ -115,8 +115,7 @@ pub fn from_ssa(prog: &SsaProgram) -> Result<AnfProgram> {
     // Lambda lifting: fixpoint of free-variable sets. A name is a candidate
     // when it is an SSA variable (not an original parameter — those stay
     // free, Figure 6) and not defined locally.
-    let fn_param_names: HashSet<String> =
-        prog.params.iter().map(|(n, _)| n.clone()).collect();
+    let fn_param_names: HashSet<String> = prog.params.iter().map(|(n, _)| n.clone()).collect();
     let is_var = |name: &str| prog.var_types.contains_key(name);
     let mut lifted: Vec<Vec<String>> = vec![Vec::new(); n];
     loop {
@@ -215,18 +214,16 @@ pub fn from_ssa(prog: &SsaProgram) -> Result<AnfProgram> {
         let block = &prog.blocks[b];
         let tail = match &block.term {
             Term::Jump(t) => make_call(b, *t)?,
-            Term::Branch {
-                cond,
-                then_,
-                else_,
-            } => AnfTail::If {
+            Term::Branch { cond, then_, else_ } => AnfTail::If {
                 cond: cond.clone(),
                 then_: Box::new(make_call(b, *then_)?),
                 else_: Box::new(make_call(b, *else_)?),
             },
             Term::Return(e) => AnfTail::Ret(e.clone()),
             Term::Unfinished => {
-                return Err(Error::compile("unfinished block reached ANF (compiler bug)"))
+                return Err(Error::compile(
+                    "unfinished block reached ANF (compiler bug)",
+                ))
             }
         };
         let mut params = phi_params[b].clone();
@@ -271,11 +268,7 @@ fn subst_tail(
     catalog: &plaway_engine::Catalog,
 ) -> AnfTail {
     match tail {
-        AnfTail::If {
-            cond,
-            then_,
-            else_,
-        } => AnfTail::If {
+        AnfTail::If { cond, then_, else_ } => AnfTail::If {
             cond: crate::subst::subst_expr(cond.clone(), map, catalog, &[]),
             then_: Box::new(subst_tail(then_, map, catalog)),
             else_: Box::new(subst_tail(else_, map, catalog)),
@@ -322,11 +315,7 @@ fn replace_calls(
     catalog: &plaway_engine::Catalog,
 ) -> AnfTail {
     match tail {
-        AnfTail::If {
-            cond,
-            then_,
-            else_,
-        } => AnfTail::If {
+        AnfTail::If { cond, then_, else_ } => AnfTail::If {
             cond: cond.clone(),
             then_: Box::new(replace_calls(then_, target, callee, catalog)),
             else_: Box::new(replace_calls(else_, target, callee, catalog)),
@@ -389,20 +378,9 @@ pub fn inline_trivial(prog: &mut AnfProgram, catalog: &plaway_engine::Catalog) {
                 .iter()
                 .enumerate()
                 .filter(|(j, _)| reachable[*j] && *j != idx)
-                .map(|(_, g)| {
-                    g.tail
-                        .calls()
-                        .iter()
-                        .filter(|(t, _)| *t == idx)
-                        .count()
-                })
+                .map(|(_, g)| g.tail.calls().iter().filter(|(t, _)| *t == idx).count())
                 .sum::<usize>()
-                + prog
-                    .entry
-                    .calls()
-                    .iter()
-                    .filter(|(t, _)| *t == idx)
-                    .count();
+                + prog.entry.calls().iter().filter(|(t, _)| *t == idx).count();
             let trivial = f.lets.is_empty() && tail_size(&f.tail) <= 8;
             let single_use = call_sites == 1
                 && tail_size(&f.tail) <= 16
@@ -416,8 +394,7 @@ pub fn inline_trivial(prog: &mut AnfProgram, catalog: &plaway_engine::Catalog) {
                     continue;
                 }
                 if prog.funcs[j].tail.calls().iter().any(|(t, _)| *t == idx) {
-                    prog.funcs[j].tail =
-                        replace_calls(&prog.funcs[j].tail, idx, &callee, catalog);
+                    prog.funcs[j].tail = replace_calls(&prog.funcs[j].tail, idx, &callee, catalog);
                     any = true;
                 }
             }
@@ -542,11 +519,7 @@ fn write_tail(out: &mut String, tail: &AnfTail, funcs: &[AnfFunction], indent: u
     use std::fmt::Write;
     let pad = " ".repeat(indent);
     match tail {
-        AnfTail::If {
-            cond,
-            then_,
-            else_,
-        } => {
+        AnfTail::If { cond, then_, else_ } => {
             let _ = writeln!(out, "{pad}if {cond} then");
             write_tail(out, then_, funcs, indent + 2);
             let _ = writeln!(out, "{pad}else");
@@ -575,9 +548,7 @@ mod tests {
     use plaway_plsql::parse_create_function;
 
     fn anf_of(body: &str) -> AnfProgram {
-        let sql = format!(
-            "CREATE FUNCTION f(n int) RETURNS int AS $$ {body} $$ LANGUAGE plpgsql"
-        );
+        let sql = format!("CREATE FUNCTION f(n int) RETURNS int AS $$ {body} $$ LANGUAGE plpgsql");
         let f = parse_create_function(&sql).unwrap();
         let cat = Catalog::new();
         let cfg = crate::cfg::lower(&f, &cat).unwrap();

@@ -15,7 +15,7 @@ use plaway_sql::ast::{BinOp, Expr};
 pub type BlockId = usize;
 
 /// Block terminator.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub enum Term {
     Jump(BlockId),
     Branch {
@@ -25,6 +25,7 @@ pub enum Term {
     },
     Return(Expr),
     /// Only present transiently during construction.
+    #[default]
     Unfinished,
 }
 
@@ -34,12 +35,6 @@ pub struct Block {
     /// `(variable, value)` assignments, in order.
     pub stmts: Vec<(String, Expr)>,
     pub term: Term,
-}
-
-impl Default for Term {
-    fn default() -> Self {
-        Term::Unfinished
-    }
 }
 
 /// The CFG of one function.
@@ -82,11 +77,7 @@ impl Cfg {
                 Term::Jump(t) => {
                     let _ = writeln!(out, "    goto L{t};");
                 }
-                Term::Branch {
-                    cond,
-                    then_,
-                    else_,
-                } => {
+                Term::Branch { cond, then_, else_ } => {
                     let _ = writeln!(out, "    if {cond} then goto L{then_} else goto L{else_};");
                 }
                 Term::Return(e) => {
@@ -310,9 +301,7 @@ impl<'f> Lowering<'f> {
                         let cond = vals
                             .iter()
                             .map(|v| match &operand_ref {
-                                Some(op) => {
-                                    Expr::binary(BinOp::Eq, op.clone(), v.clone())
-                                }
+                                Some(op) => Expr::binary(BinOp::Eq, op.clone(), v.clone()),
                                 None => v.clone(),
                             })
                             .reduce(|a, b| Expr::binary(BinOp::Or, a, b))
@@ -390,7 +379,9 @@ impl<'f> Lowering<'f> {
                 // and copy it into the user variable at each entry.
                 let iter_tmp = self.fresh_temp(&format!("{v}_iter"), Type::Int);
                 let to_tmp = self.fresh_temp(&format!("{v}_to"), Type::Int);
-                let by_tmp = by_e.as_ref().map(|_| self.fresh_temp(&format!("{v}_by"), Type::Int));
+                let by_tmp = by_e
+                    .as_ref()
+                    .map(|_| self.fresh_temp(&format!("{v}_by"), Type::Int));
 
                 self.blocks[cur].stmts.push((iter_tmp.clone(), from_e));
                 self.blocks[cur].stmts.push((to_tmp.clone(), to_e));
@@ -405,11 +396,7 @@ impl<'f> Lowering<'f> {
                 self.blocks[cur].term = Term::Jump(head);
                 let cmp = if *reverse { BinOp::GtEq } else { BinOp::LtEq };
                 self.blocks[head].term = Term::Branch {
-                    cond: Expr::binary(
-                        cmp,
-                        Expr::col(iter_tmp.clone()),
-                        Expr::col(to_tmp.clone()),
-                    ),
+                    cond: Expr::binary(cmp, Expr::col(iter_tmp.clone()), Expr::col(to_tmp.clone())),
                     then_: body_start,
                     else_: exit,
                 };
@@ -541,7 +528,9 @@ impl<'f> Lowering<'f> {
             Error::compile(format!(
                 "{} outside of {} loop",
                 if is_exit { "EXIT" } else { "CONTINUE" },
-                label.map(|l| format!("loop {l:?}")).unwrap_or_else(|| "any".into())
+                label
+                    .map(|l| format!("loop {l:?}"))
+                    .unwrap_or_else(|| "any".into())
             ))
         })?;
         let target = if is_exit {
@@ -618,11 +607,13 @@ pub fn infer_type(e: &Expr, vars: &HashMap<String, Type>) -> Type {
         }
         Expr::Func { name, args } => match name.as_str() {
             "length" | "strpos" | "ascii" | "mod" => Type::Int,
-            "abs" | "sign" | "round" | "trunc" => {
-                args.first().map(|a| infer_type(a, vars)).unwrap_or(Type::Unknown)
+            "abs" | "sign" | "round" | "trunc" => args
+                .first()
+                .map(|a| infer_type(a, vars))
+                .unwrap_or(Type::Unknown),
+            "floor" | "ceil" | "ceiling" | "sqrt" | "power" | "pow" | "exp" | "ln" | "random" => {
+                Type::Float
             }
-            "floor" | "ceil" | "ceiling" | "sqrt" | "power" | "pow" | "exp" | "ln"
-            | "random" => Type::Float,
             "lower" | "upper" | "substr" | "substring" | "concat" | "replace" | "trim"
             | "ltrim" | "rtrim" | "left" | "right" | "repeat" | "reverse" | "chr" => Type::Text,
             "coalesce" | "greatest" | "least" | "nullif" => args
@@ -645,9 +636,7 @@ mod tests {
     use plaway_plsql::parse_create_function;
 
     fn lower_src(body: &str) -> Cfg {
-        let sql = format!(
-            "CREATE FUNCTION f(n int) RETURNS int AS $$ {body} $$ LANGUAGE plpgsql"
-        );
+        let sql = format!("CREATE FUNCTION f(n int) RETURNS int AS $$ {body} $$ LANGUAGE plpgsql");
         lower(
             &parse_create_function(&sql).unwrap(),
             &plaway_engine::Catalog::new(),
@@ -665,9 +654,7 @@ mod tests {
 
     #[test]
     fn if_produces_diamond() {
-        let cfg = lower_src(
-            "BEGIN IF n > 0 THEN RETURN 1; ELSE RETURN -1; END IF; END",
-        );
+        let cfg = lower_src("BEGIN IF n > 0 THEN RETURN 1; ELSE RETURN -1; END IF; END");
         // entry(branch), then, else, join (unreachable), possibly trailing.
         let entry = &cfg.blocks[cfg.entry];
         assert!(matches!(entry.term, Term::Branch { .. }));
@@ -700,10 +687,7 @@ mod tests {
         // Bound captured into a temp, increment present, comparison on temp.
         assert!(text.contains("i_to_t"), "{text}");
         assert!(text.contains("i_iter_t"), "{text}");
-        assert!(matches!(
-            cfg.var_types.get("i"),
-            Some(Type::Int)
-        ));
+        assert!(matches!(cfg.var_types.get("i"), Some(Type::Int)));
     }
 
     #[test]
@@ -719,9 +703,7 @@ mod tests {
 
     #[test]
     fn exit_with_when_branches() {
-        let cfg = lower_src(
-            "BEGIN LOOP EXIT WHEN n > 3; END LOOP; RETURN 0; END",
-        );
+        let cfg = lower_src("BEGIN LOOP EXIT WHEN n > 3; END LOOP; RETURN 0; END");
         let text = cfg.to_text();
         assert!(text.contains("if n > 3"), "{text}");
     }
@@ -761,13 +743,15 @@ mod tests {
 
     #[test]
     fn case_statement_desugars_with_single_operand_eval() {
-        let cfg = lower_src(
-            "BEGIN CASE n % 2 WHEN 0 THEN RETURN 0; WHEN 1 THEN RETURN 1; END CASE; END",
-        );
+        let cfg =
+            lower_src("BEGIN CASE n % 2 WHEN 0 THEN RETURN 0; WHEN 1 THEN RETURN 1; END CASE; END");
         let text = cfg.to_text();
         // Operand evaluated once into a temp.
         assert!(text.contains("case_op_t"), "{text}");
-        assert!(text.contains("case_op_t1 = 0") || text.contains("= 0"), "{text}");
+        assert!(
+            text.contains("case_op_t1 = 0") || text.contains("= 0"),
+            "{text}"
+        );
     }
 
     #[test]

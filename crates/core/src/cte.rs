@@ -28,8 +28,7 @@
 use plaway_common::{Error, Result, Type};
 use plaway_engine::Catalog;
 use plaway_sql::ast::{
-    Cte, Expr, Query, Select, SelectItem, SetExpr, SetOp, TableAlias, TableRef, UnOp,
-    With,
+    Cte, Expr, Query, Select, SelectItem, SetExpr, SetOp, TableAlias, TableRef, UnOp, With,
 };
 
 use crate::anf::AnfProgram;
@@ -266,11 +265,7 @@ fn used_identifiers(anf: &AnfProgram) -> std::collections::HashSet<String> {
     let add_tail = |t: &crate::anf::AnfTail, text: &mut String| {
         fn rec(t: &crate::anf::AnfTail, text: &mut String) {
             match t {
-                crate::anf::AnfTail::If {
-                    cond,
-                    then_,
-                    else_,
-                } => {
+                crate::anf::AnfTail::If { cond, then_, else_ } => {
                     text.push_str(&format!(" {cond} "));
                     rec(then_, text);
                     rec(else_, text);
@@ -355,8 +350,8 @@ fn is_final_filter(e: &Expr) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use plaway_engine::{ParamScope, Session};
     use plaway_common::Value;
+    use plaway_engine::{ParamScope, Session};
     use plaway_plsql::parse_create_function;
 
     fn compile_to_query(
@@ -479,7 +474,8 @@ mod tests {
     fn embedded_queries_work_inside_cte() {
         let mut s = Session::default();
         s.run("CREATE TABLE kv (k int, v int)").unwrap();
-        s.run("INSERT INTO kv VALUES (1, 10), (2, 20), (3, 30)").unwrap();
+        s.run("INSERT INTO kv VALUES (1, 10), (2, 20), (3, 30)")
+            .unwrap();
         let src = "CREATE FUNCTION f(n int) RETURNS int AS $$ \
              DECLARE total int := 0; i int := 1; \
              BEGIN \

@@ -253,9 +253,7 @@ fn rewrite_expr(e: Expr, f: &mut impl FnMut(Expr) -> Expr) -> Expr {
         },
         Expr::Subquery(q) => Expr::Subquery(Box::new(rewrite_query_infallible(*q, f))),
         Expr::Exists(q) => Expr::Exists(Box::new(rewrite_query_infallible(*q, f))),
-        Expr::Row(items) => {
-            Expr::Row(items.into_iter().map(|i| rewrite_expr(i, f)).collect())
-        }
+        Expr::Row(items) => Expr::Row(items.into_iter().map(|i| rewrite_expr(i, f)).collect()),
         Expr::Cast { expr, ty } => Expr::Cast {
             expr: Box::new(rewrite_expr(*expr, f)),
             ty,

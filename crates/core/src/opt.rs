@@ -64,10 +64,42 @@ pub fn optimize(prog: &mut SsaProgram, catalog: &Catalog) -> OptStats {
 /// Syntactic purity: safe to remove if unused / safe to duplicate.
 pub fn is_pure_expr(e: &Expr) -> bool {
     const PURE_FUNCS: &[&str] = &[
-        "abs", "sign", "floor", "ceil", "ceiling", "round", "trunc", "sqrt", "power", "pow",
-        "exp", "ln", "mod", "length", "char_length", "lower", "upper", "substr", "substring",
-        "concat", "replace", "trim", "btrim", "ltrim", "rtrim", "strpos", "left", "right",
-        "repeat", "reverse", "chr", "ascii", "nullif", "greatest", "least", "coalesce",
+        "abs",
+        "sign",
+        "floor",
+        "ceil",
+        "ceiling",
+        "round",
+        "trunc",
+        "sqrt",
+        "power",
+        "pow",
+        "exp",
+        "ln",
+        "mod",
+        "length",
+        "char_length",
+        "lower",
+        "upper",
+        "substr",
+        "substring",
+        "concat",
+        "replace",
+        "trim",
+        "btrim",
+        "ltrim",
+        "rtrim",
+        "strpos",
+        "left",
+        "right",
+        "repeat",
+        "reverse",
+        "chr",
+        "ascii",
+        "nullif",
+        "greatest",
+        "least",
+        "coalesce",
         "row_field",
     ];
     let mut pure = true;
@@ -224,11 +256,7 @@ fn fold_expr(e: Expr, n_folded: &mut usize) -> Expr {
                     operand: None,
                     branches,
                     else_,
-                } if matches!(
-                    branches.first(),
-                    Some((Expr::Literal(_), _))
-                ) =>
-                {
+                } if matches!(branches.first(), Some((Expr::Literal(_), _))) => {
                     let mut branches = branches;
                     let (first_cond, first_then) = branches.remove(0);
                     let Expr::Literal(v) = first_cond else {
@@ -351,8 +379,12 @@ fn apply_subst(prog: &mut SsaProgram, map: &Subst, catalog: &Catalog) {
         }
         for phi in &mut b.phis {
             for (_, arg) in &mut phi.args {
-                let new =
-                    subst_expr(std::mem::replace(&mut arg.0, Expr::null()), map, catalog, &[]);
+                let new = subst_expr(
+                    std::mem::replace(&mut arg.0, Expr::null()),
+                    map,
+                    catalog,
+                    &[],
+                );
                 arg.0 = new;
             }
         }
@@ -468,17 +500,10 @@ fn eliminate_dead_code(prog: &mut SsaProgram, stats: &mut OptStats) -> bool {
 fn simplify_branches(prog: &mut SsaProgram, stats: &mut OptStats) -> bool {
     let mut changed = false;
     for b in 0..prog.blocks.len() {
-        if let Term::Branch {
-            cond,
-            then_,
-            else_,
-        } = &prog.blocks[b].term
-        {
+        if let Term::Branch { cond, then_, else_ } = &prog.blocks[b].term {
             let (taken, dropped) = match cond {
                 Expr::Literal(v) if v.is_true() => (*then_, *else_),
-                Expr::Literal(Value::Bool(false)) | Expr::Literal(Value::Null) => {
-                    (*else_, *then_)
-                }
+                Expr::Literal(Value::Bool(false)) | Expr::Literal(Value::Null) => (*else_, *then_),
                 _ => continue,
             };
             prog.blocks[b].term = Term::Jump(taken);
@@ -600,10 +625,7 @@ fn thread_jumps(prog: &mut SsaProgram, stats: &mut OptStats) -> bool {
         // Never create duplicate edges (φ args must stay unambiguous by
         // predecessor id).
         let t_preds = &preds[t];
-        if preds[e]
-            .iter()
-            .any(|p| t_preds.contains(p) || *p == e)
-        {
+        if preds[e].iter().any(|p| t_preds.contains(p) || *p == e) {
             continue;
         }
         // Value flowing from E into T's φs.
@@ -623,7 +645,9 @@ fn thread_jumps(prog: &mut SsaProgram, stats: &mut OptStats) -> bool {
             continue;
         }
         for &p in &e_preds {
-            prog.blocks[p].term.map_targets(|x| if x == e { t } else { x });
+            prog.blocks[p]
+                .term
+                .map_targets(|x| if x == e { t } else { x });
             for (pi, phi_val) in phi_args_via_e.iter().enumerate() {
                 prog.blocks[t].phis[pi]
                     .args
@@ -654,9 +678,7 @@ mod tests {
     use plaway_plsql::parse_create_function;
 
     fn optimized(body: &str) -> (SsaProgram, OptStats) {
-        let sql = format!(
-            "CREATE FUNCTION f(n int) RETURNS int AS $$ {body} $$ LANGUAGE plpgsql"
-        );
+        let sql = format!("CREATE FUNCTION f(n int) RETURNS int AS $$ {body} $$ LANGUAGE plpgsql");
         let f = parse_create_function(&sql).unwrap();
         let cat = Catalog::new();
         let cfg = crate::cfg::lower(&f, &cat).unwrap();
@@ -705,9 +727,8 @@ mod tests {
 
     #[test]
     fn constant_branch_becomes_jump_and_dead_arm_vanishes() {
-        let (prog, stats) = optimized(
-            "BEGIN IF 1 > 2 THEN RETURN 111; ELSE RETURN 222; END IF; END",
-        );
+        let (prog, stats) =
+            optimized("BEGIN IF 1 > 2 THEN RETURN 111; ELSE RETURN 222; END IF; END");
         assert!(stats.branches_simplified >= 1);
         let text = prog.to_text();
         assert!(!text.contains("111"), "{text}");
@@ -739,7 +760,11 @@ mod tests {
             "DECLARE s int := 0; \
              BEGIN FOR i IN 1..n LOOP s := s + i; END LOOP; RETURN s; END",
         );
-        assert!(count_phis(&prog) >= 2, "loop carries s and i:\n{}", prog.to_text());
+        assert!(
+            count_phis(&prog) >= 2,
+            "loop carries s and i:\n{}",
+            prog.to_text()
+        );
         // There must still be a back edge.
         let preds = prog.predecessors();
         assert!(preds.iter().any(|p| p.len() >= 2));

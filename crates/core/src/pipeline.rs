@@ -116,7 +116,7 @@ pub fn compile(
         query,
         sql,
         param_names,
-    opt_stats,
+        opt_stats,
     })
 }
 

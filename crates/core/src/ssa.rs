@@ -95,11 +95,7 @@ impl SsaProgram {
             }
             match &b.term {
                 Term::Jump(t) => line(&mut out, &mut first, format!("goto L{t};")),
-                Term::Branch {
-                    cond,
-                    then_,
-                    else_,
-                } => line(
+                Term::Branch { cond, then_, else_ } => line(
                     &mut out,
                     &mut first,
                     format!("if {cond} then goto L{then_} else goto L{else_};"),
@@ -146,8 +142,7 @@ impl SsaProgram {
         // φ arity.
         for (i, b) in self.blocks.iter().enumerate() {
             for phi in &b.phis {
-                let mut arg_blocks: Vec<BlockId> =
-                    phi.args.iter().map(|(p, _)| *p).collect();
+                let mut arg_blocks: Vec<BlockId> = phi.args.iter().map(|(p, _)| *p).collect();
                 arg_blocks.sort_unstable();
                 let mut expect = preds[i].clone();
                 expect.sort_unstable();
@@ -378,9 +373,9 @@ impl Dominators {
     pub fn frontiers(&self, preds: &[Vec<BlockId>]) -> Vec<Vec<BlockId>> {
         let n = preds.len();
         let mut df = vec![Vec::new(); n];
-        for b in 0..n {
-            if preds[b].len() >= 2 {
-                for &p in &preds[b] {
+        for (b, b_preds) in preds.iter().enumerate() {
+            if b_preds.len() >= 2 {
+                for &p in b_preds {
                     if self.idom[p].is_none() {
                         continue; // unreachable
                     }
@@ -503,28 +498,23 @@ pub fn build(cfg: &Cfg, catalog: &Catalog) -> Result<SsaProgram> {
             Step::Enter(b) => {
                 let mut saved: Vec<(String, usize)> = Vec::new();
                 let push_def = |base: &str,
-                                    namer: &mut Namer,
-                                    stacks: &mut HashMap<String, Vec<Expr>>,
-                                    saved: &mut Vec<(String, usize)>,
-                                    var_types: &mut HashMap<String, Type>|
+                                namer: &mut Namer,
+                                stacks: &mut HashMap<String, Vec<Expr>>,
+                                saved: &mut Vec<(String, usize)>,
+                                var_types: &mut HashMap<String, Type>|
                  -> String {
                     let fresh = namer.fresh(base);
                     let st = stacks.entry(base.to_string()).or_default();
                     saved.push((base.to_string(), st.len()));
                     st.push(Expr::col(fresh.clone()));
-                    let ty = cfg
-                        .var_types
-                        .get(base)
-                        .cloned()
-                        .unwrap_or(Type::Unknown);
+                    let ty = cfg.var_types.get(base).cloned().unwrap_or(Type::Unknown);
                     var_types.insert(fresh.clone(), ty);
                     fresh
                 };
 
                 // φ targets define first.
                 for (pi, base) in phi_bases[b].iter().enumerate() {
-                    let fresh =
-                        push_def(base, &mut namer, &mut stacks, &mut saved, &mut var_types);
+                    let fresh = push_def(base, &mut namer, &mut stacks, &mut saved, &mut var_types);
                     blocks[b].phis[pi].target = fresh;
                 }
                 // Statements: rewrite RHS with current names, then define.
@@ -537,11 +527,7 @@ pub fn build(cfg: &Cfg, catalog: &Catalog) -> Result<SsaProgram> {
                 }
                 // Terminator expressions.
                 let term = match cfg.blocks[b].term.clone() {
-                    Term::Branch {
-                        cond,
-                        then_,
-                        else_,
-                    } => Term::Branch {
+                    Term::Branch { cond, then_, else_ } => Term::Branch {
                         cond: rename_expr(cond, &stacks, catalog),
                         then_,
                         else_,
@@ -684,9 +670,7 @@ mod tests {
     use plaway_plsql::parse_create_function;
 
     fn ssa_of(body: &str) -> SsaProgram {
-        let sql = format!(
-            "CREATE FUNCTION f(n int) RETURNS int AS $$ {body} $$ LANGUAGE plpgsql"
-        );
+        let sql = format!("CREATE FUNCTION f(n int) RETURNS int AS $$ {body} $$ LANGUAGE plpgsql");
         let f = parse_create_function(&sql).unwrap();
         let cat = Catalog::new();
         let cfg = crate::cfg::lower(&f, &cat).unwrap();

@@ -12,9 +12,7 @@
 use std::collections::HashMap;
 
 use plaway_engine::Catalog;
-use plaway_sql::ast::{
-    Expr, Query, Select, SelectItem, SetExpr, TableRef, WindowRef, WindowSpec,
-};
+use plaway_sql::ast::{Expr, Query, Select, SelectItem, SetExpr, TableRef, WindowRef, WindowSpec};
 
 /// A substitution: variable name → replacement expression.
 pub type Subst = HashMap<String, Expr>;
@@ -174,19 +172,17 @@ pub fn subst_query(q: Query, map: &Subst, catalog: &Catalog, visible: &[String])
                 oi
             })
             .collect(),
-        limit: q
-            .limit
-            .map(|e| subst_expr(e, map, catalog, &visible_here)),
-        offset: q
-            .offset
-            .map(|e| subst_expr(e, map, catalog, &visible_here)),
+        limit: q.limit.map(|e| subst_expr(e, map, catalog, &visible_here)),
+        offset: q.offset.map(|e| subst_expr(e, map, catalog, &visible_here)),
         body,
     }
 }
 
 fn subst_set_expr(body: SetExpr, map: &Subst, catalog: &Catalog, visible: &[String]) -> SetExpr {
     match body {
-        SetExpr::Select(sel) => SetExpr::Select(Box::new(subst_select(*sel, map, catalog, visible))),
+        SetExpr::Select(sel) => {
+            SetExpr::Select(Box::new(subst_select(*sel, map, catalog, visible)))
+        }
         SetExpr::SetOp {
             op,
             all,
@@ -391,9 +387,7 @@ fn set_expr_output_columns(body: &SetExpr) -> Vec<String> {
             .items
             .iter()
             .filter_map(|i| match i {
-                SelectItem::Expr {
-                    alias: Some(a), ..
-                } => Some(a.clone()),
+                SelectItem::Expr { alias: Some(a), .. } => Some(a.clone()),
                 SelectItem::Expr {
                     expr: Expr::Column { name, .. },
                     ..

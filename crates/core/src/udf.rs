@@ -18,8 +18,7 @@ use std::collections::HashMap;
 
 use plaway_common::{Error, Result, Type};
 use plaway_sql::ast::{
-    CreateFunction, Expr, JoinKind, Language, Query, Select, SelectItem, Stmt, TableAlias,
-    TableRef,
+    CreateFunction, Expr, JoinKind, Language, Query, Select, SelectItem, Stmt, TableAlias, TableRef,
 };
 
 use crate::anf::{AnfProgram, AnfTail};
@@ -96,9 +95,7 @@ pub fn from_anf(anf: &AnfProgram) -> Result<UdfProgram> {
         args: entry_args,
     } = &entry_tail
     else {
-        return Err(Error::compile(
-            "ANF entry must be a call (compiler bug)",
-        ));
+        return Err(Error::compile("ANF entry must be a call (compiler bug)"));
     };
     // Recompute reachability from the (possibly hopped) entry.
     let entry_tag = *tags
@@ -184,11 +181,7 @@ pub(crate) fn build_case(
         }
         let branch = body_to_expr(anf, rec_vars, tags, f, style)?;
         branches.push((
-            Expr::binary(
-                plaway_sql::ast::BinOp::Eq,
-                Expr::col("fn"),
-                Expr::int(tag),
-            ),
+            Expr::binary(plaway_sql::ast::BinOp::Eq, Expr::col("fn"), Expr::int(tag)),
             branch,
         ));
     }
@@ -283,11 +276,7 @@ fn tail_to_expr(
                 Expr::Row(items)
             }
         },
-        AnfTail::If {
-            cond,
-            then_,
-            else_,
-        } => Expr::Case {
+        AnfTail::If { cond, then_, else_ } => Expr::Case {
             operand: None,
             branches: vec![(
                 cond.clone(),
@@ -309,15 +298,16 @@ fn tail_to_expr(
                     let mut call_args = vec![Expr::int(tag)];
                     call_args.extend(vals);
                     // Thread the original parameters through (Figure 7).
-                    call_args.extend(
-                        anf.fn_params.iter().map(|(p, _)| Expr::col(p.clone())),
-                    );
+                    call_args.extend(anf.fn_params.iter().map(|(p, _)| Expr::col(p.clone())));
                     Expr::Func {
                         name: rec_name.clone(),
                         args: call_args,
                     }
                 }
-                LeafStyle::RowEncode { packed: true, params } => {
+                LeafStyle::RowEncode {
+                    packed: true,
+                    params,
+                } => {
                     let mut packed_args = vals;
                     packed_args.extend(params.iter().map(|p| Expr::col(p.clone())));
                     Expr::Row(vec![
@@ -415,9 +405,7 @@ mod tests {
     use plaway_plsql::parse_create_function;
 
     fn udf_of(body: &str) -> UdfProgram {
-        let sql = format!(
-            "CREATE FUNCTION f(n int) RETURNS int AS $$ {body} $$ LANGUAGE plpgsql"
-        );
+        let sql = format!("CREATE FUNCTION f(n int) RETURNS int AS $$ {body} $$ LANGUAGE plpgsql");
         let f = parse_create_function(&sql).unwrap();
         let cat = Catalog::new();
         let cfg = crate::cfg::lower(&f, &cat).unwrap();

@@ -130,7 +130,9 @@ impl<'s> Runtime<'s> {
             )));
         }
         let plan = Arc::new(plan_udf_body(self.catalog, &def)?);
-        self.fn_plans.plans.insert(name.to_string(), Arc::clone(&plan));
+        self.fn_plans
+            .plans
+            .insert(name.to_string(), Arc::clone(&plan));
         Ok(plan)
     }
 }
@@ -485,7 +487,9 @@ pub fn exec(plan: &PlanNode, env: &EvalEnv<'_>, rt: &mut Runtime<'_>) -> Result<
             }
             let t = rt.catalog.table(table)?;
             let idx = t.index_on(*column).ok_or_else(|| {
-                Error::exec(format!("index on {table}.{column} vanished (plan is stale)"))
+                Error::exec(format!(
+                    "index on {table}.{column} vanished (plan is stale)"
+                ))
             })?;
             let positions = idx.lookup(&k);
             rt.stats.rows_scanned += positions.len() as u64;
@@ -564,7 +568,16 @@ pub fn exec(plan: &PlanNode, env: &EvalEnv<'_>, rt: &mut Runtime<'_>) -> Result<
             lateral,
             on,
             right_width,
-        } => exec_nestloop(left, right, *kind, *lateral, on.as_ref(), *right_width, env, rt),
+        } => exec_nestloop(
+            left,
+            right,
+            *kind,
+            *lateral,
+            on.as_ref(),
+            *right_width,
+            env,
+            rt,
+        ),
         PlanNode::Agg {
             input,
             keys,
@@ -582,7 +595,10 @@ pub fn exec(plan: &PlanNode, env: &EvalEnv<'_>, rt: &mut Runtime<'_>) -> Result<
         PlanNode::Distinct { input } => {
             let rows = exec(input, env, rt)?;
             let mut seen = std::collections::HashSet::with_capacity(rows.len());
-            Ok(rows.into_iter().filter(|r| seen.insert(r.clone())).collect())
+            Ok(rows
+                .into_iter()
+                .filter(|r| seen.insert(r.clone()))
+                .collect())
         }
         PlanNode::Limit {
             input,
@@ -792,9 +808,7 @@ impl AggAcc {
                 }
             },
             AggFn::Min | AggFn::Max => self.extreme.unwrap_or(Value::Null),
-            AggFn::BoolAnd | AggFn::BoolOr => {
-                self.bool_acc.map(Value::Bool).unwrap_or(Value::Null)
-            }
+            AggFn::BoolAnd | AggFn::BoolOr => self.bool_acc.map(Value::Bool).unwrap_or(Value::Null),
         }
     }
 }
@@ -1008,12 +1022,8 @@ fn exec_setop(op: SetOp, all: bool, left: Vec<Row>, right: Vec<Row>) -> Vec<Row>
                     }
                     _ => false,
                 };
-                if !blocked {
-                    if all {
-                        out.push(r);
-                    } else if emitted.insert(r.clone()) {
-                        out.push(r);
-                    }
+                if !blocked && (all || emitted.insert(r.clone())) {
+                    out.push(r);
                 }
             }
             out
@@ -1024,6 +1034,10 @@ fn exec_setop(op: SetOp, all: bool, left: Vec<Row>, right: Vec<Row>) -> Vec<Row>
 // ---------------------------------------------------------------------------
 // CTEs (incl. the paper's WITH RECURSIVE / WITH ITERATE machinery)
 
+/// A shadowed CTE binding: `(index, previous materialization, previous
+/// working table)`, restored when the enclosing `WITH` scope exits.
+type SavedCteBinding = (usize, Option<Arc<Vec<Row>>>, Option<Arc<Vec<Row>>>);
+
 fn exec_with(
     ctes: &[CtePlan],
     body: &PlanNode,
@@ -1032,7 +1046,7 @@ fn exec_with(
 ) -> Result<Vec<Row>> {
     // Save shadowed entries so recursive re-entry (e.g. through a UDF that
     // runs the same prepared plan) is safe.
-    let mut saved: Vec<(usize, Option<Arc<Vec<Row>>>, Option<Arc<Vec<Row>>>)> = Vec::new();
+    let mut saved: Vec<SavedCteBinding> = Vec::new();
     let result = (|| -> Result<Vec<Row>> {
         for cte in ctes {
             let index = cte.index();
@@ -1053,9 +1067,8 @@ fn exec_with(
                     union_all,
                     ..
                 } => {
-                    let rows = exec_recursive_cte(
-                        index, base, recursive, *mode, *union_all, env, rt,
-                    )?;
+                    let rows =
+                        exec_recursive_cte(index, base, recursive, *mode, *union_all, env, rt)?;
                     rt.ctes.insert(index, Arc::new(rows));
                 }
             }
@@ -1113,7 +1126,8 @@ fn exec_recursive_cte(
                         rt.config.max_recursive_iterations
                     )));
                 }
-                rt.working.insert(index, Arc::new(std::mem::take(&mut working)));
+                rt.working
+                    .insert(index, Arc::new(std::mem::take(&mut working)));
                 let mut next = exec(recursive, env, rt)?;
                 if !union_all {
                     next.retain(|r| seen.insert(r.clone()));
@@ -1139,7 +1153,8 @@ fn exec_recursive_cte(
                     )));
                 }
                 last = working.clone();
-                rt.working.insert(index, Arc::new(std::mem::take(&mut working)));
+                rt.working
+                    .insert(index, Arc::new(std::mem::take(&mut working)));
                 let mut next = exec(recursive, env, rt)?;
                 if !union_all {
                     next.retain(|r| seen.insert(r.clone()));

@@ -158,7 +158,9 @@ pub fn eval_scalar(func: ScalarFn, args: &[Value], rng: &mut SessionRng) -> Resu
             arity("ln", args, 1..=1)?;
             let x = args[0].as_float()?;
             if x <= 0.0 {
-                return Err(Error::exec("cannot take logarithm of a non-positive number"));
+                return Err(Error::exec(
+                    "cannot take logarithm of a non-positive number",
+                ));
             }
             Ok(Value::Float(x.ln()))
         }
@@ -206,9 +208,11 @@ pub fn eval_scalar(func: ScalarFn, args: &[Value], rng: &mut SessionRng) -> Resu
         }
         Replace => {
             arity("replace", args, 3..=3)?;
-            Ok(Value::text(args[0]
-                .as_text()?
-                .replace(args[1].as_text()?, args[2].as_text()?)))
+            Ok(Value::text(
+                args[0]
+                    .as_text()?
+                    .replace(args[1].as_text()?, args[2].as_text()?),
+            ))
         }
         Trim => {
             arity("trim", args, 1..=1)?;
@@ -260,7 +264,9 @@ pub fn eval_scalar(func: ScalarFn, args: &[Value], rng: &mut SessionRng) -> Resu
         }
         Reverse => {
             arity("reverse", args, 1..=1)?;
-            Ok(Value::text(args[0].as_text()?.chars().rev().collect::<String>()))
+            Ok(Value::text(
+                args[0].as_text()?.chars().rev().collect::<String>(),
+            ))
         }
         Chr => {
             arity("chr", args, 1..=1)?;
@@ -366,7 +372,10 @@ mod tests {
         );
         // Start before the string: PG keeps the overlap.
         assert_eq!(
-            call(ScalarFn::Substr, &[s.clone(), Value::Int(-1), Value::Int(4)]),
+            call(
+                ScalarFn::Substr,
+                &[s.clone(), Value::Int(-1), Value::Int(4)]
+            ),
             Value::text("he")
         );
         // Past the end.
@@ -432,17 +441,15 @@ mod tests {
             call(ScalarFn::RowField, &[rec.clone(), Value::Int(2)]),
             Value::Int(2)
         );
-        assert!(eval_scalar(
-            ScalarFn::RowField,
-            &[rec, Value::Int(3)],
-            &mut rng()
-        )
-        .is_err());
+        assert!(eval_scalar(ScalarFn::RowField, &[rec, Value::Int(3)], &mut rng()).is_err());
     }
 
     #[test]
     fn string_functions() {
-        assert_eq!(call(ScalarFn::Length, &[Value::text("héllo")]), Value::Int(5));
+        assert_eq!(
+            call(ScalarFn::Length, &[Value::text("héllo")]),
+            Value::Int(5)
+        );
         assert_eq!(
             call(ScalarFn::Strpos, &[Value::text("hello"), Value::text("ll")]),
             Value::Int(3)

@@ -17,7 +17,10 @@ use plaway_sql::ast::{BinOp, JoinKind, SetOp};
 pub enum ExprIr {
     Const(Value),
     /// Scope-stack reference: `depth` levels up, column `index`.
-    Slot { depth: usize, index: usize },
+    Slot {
+        depth: usize,
+        index: usize,
+    },
     /// Prepared-statement parameter (PL/pgSQL variable or UDF argument).
     Param(usize),
     Neg(Box<ExprIr>),
@@ -95,9 +98,7 @@ impl ExprIr {
         match self {
             ExprIr::Const(_) | ExprIr::Slot { .. } | ExprIr::Param(_) => true,
             ExprIr::Neg(e) | ExprIr::Not(e) => e.is_pure_scalar(),
-            ExprIr::Binary { left, right, .. } => {
-                left.is_pure_scalar() && right.is_pure_scalar()
-            }
+            ExprIr::Binary { left, right, .. } => left.is_pure_scalar() && right.is_pure_scalar(),
             ExprIr::IsNull { expr, .. } => expr.is_pure_scalar(),
             ExprIr::Between {
                 expr, low, high, ..
@@ -124,9 +125,7 @@ impl ExprIr {
             ExprIr::InList { expr, list, .. } => {
                 expr.is_pure_scalar() && list.iter().all(ExprIr::is_pure_scalar)
             }
-            ExprIr::Like { expr, pattern, .. } => {
-                expr.is_pure_scalar() && pattern.is_pure_scalar()
-            }
+            ExprIr::Like { expr, pattern, .. } => expr.is_pure_scalar() && pattern.is_pure_scalar(),
             ExprIr::Row(items) => items.iter().all(ExprIr::is_pure_scalar),
             ExprIr::Cast { expr, .. } => expr.is_pure_scalar(),
         }
@@ -351,7 +350,9 @@ impl CtePlan {
 #[derive(Debug, Clone)]
 pub enum PlanNode {
     /// Full scan of a base table.
-    SeqScan { table: String },
+    SeqScan {
+        table: String,
+    },
     /// Hash-index point lookup: rows of `table` where `column = key`.
     IndexLookup {
         table: String,
@@ -359,9 +360,13 @@ pub enum PlanNode {
         key: ExprIr,
     },
     /// Literal rows.
-    Values { rows: Vec<Vec<ExprIr>> },
+    Values {
+        rows: Vec<Vec<ExprIr>>,
+    },
     /// Table-less one-row SELECT (`SELECT 1 + 2`).
-    Result { exprs: Vec<ExprIr> },
+    Result {
+        exprs: Vec<ExprIr>,
+    },
     Filter {
         input: Box<PlanNode>,
         pred: ExprIr,
@@ -406,14 +411,18 @@ pub enum PlanNode {
         input: Box<PlanNode>,
         keys: Vec<SortKey>,
     },
-    Distinct { input: Box<PlanNode> },
+    Distinct {
+        input: Box<PlanNode>,
+    },
     Limit {
         input: Box<PlanNode>,
         limit: Option<ExprIr>,
         offset: Option<ExprIr>,
     },
     /// UNION ALL of independently planned inputs.
-    Append { inputs: Vec<PlanNode> },
+    Append {
+        inputs: Vec<PlanNode>,
+    },
     /// Deduplicating / bag set operations other than UNION ALL.
     SetOpNode {
         op: SetOp,
@@ -427,9 +436,13 @@ pub enum PlanNode {
         body: Box<PlanNode>,
     },
     /// Scan of a materialized CTE result.
-    CteScan { index: usize },
+    CteScan {
+        index: usize,
+    },
     /// Scan of the recursive working table (inside a recursive arm).
-    WorkingScan { index: usize },
+    WorkingScan {
+        index: usize,
+    },
 }
 
 impl PlanNode {

@@ -20,8 +20,8 @@ use plaway_sql::ast::{
 
 use crate::catalog::{Catalog, FunctionDef};
 use crate::ir::{
-    AggFn, AggSpec, CtePlan, ExprIr, FrameIr, PlanNode, RecursionMode, ScalarFn, SortKey,
-    WinFn, WindowExprIr,
+    AggFn, AggSpec, CtePlan, ExprIr, FrameIr, PlanNode, RecursionMode, ScalarFn, SortKey, WinFn,
+    WindowExprIr,
 };
 
 /// Parameter scope: maps free identifiers to parameter indexes. Order is
@@ -157,11 +157,7 @@ pub fn plan_query(
 }
 
 /// Plan a bare scalar expression (PL/pgSQL expression evaluation).
-pub fn plan_expr(
-    catalog: &Catalog,
-    expr: &Expr,
-    params: Option<&ParamScope>,
-) -> Result<ExprIr> {
+pub fn plan_expr(catalog: &Catalog, expr: &Expr, params: Option<&ParamScope>) -> Result<ExprIr> {
     let mut p = Planner {
         catalog,
         params,
@@ -179,9 +175,8 @@ pub fn plan_expr(
 /// Plan the body of a SQL-language UDF: a single query over the function's
 /// parameters, returning one column.
 pub fn plan_udf_body(catalog: &Catalog, def: &FunctionDef) -> Result<PreparedPlan> {
-    let query = plaway_sql::parse_query(&def.body).map_err(|e| {
-        Error::plan(format!("in body of function {:?}: {e}", def.name))
-    })?;
+    let query = plaway_sql::parse_query(&def.body)
+        .map_err(|e| Error::plan(format!("in body of function {:?}: {e}", def.name)))?;
     let ps = ParamScope::new(def.params.iter().map(|(n, _)| n.clone()).collect());
     let plan = plan_query(catalog, &query, Some(&ps))?;
     if plan.columns.len() != 1 {
@@ -432,8 +427,7 @@ impl<'a> Planner<'a> {
                     }
                     compiled.push(irs);
                 }
-                let names: Vec<String> =
-                    (1..=width).map(|i| format!("column{i}")).collect();
+                let names: Vec<String> = (1..=width).map(|i| format!("column{i}")).collect();
                 Ok((
                     PlanNode::Values { rows: compiled },
                     Scope::from_names(None, &names),
@@ -632,9 +626,7 @@ impl<'a> Planner<'a> {
                         }
                     }
                     if !found {
-                        return Err(Error::plan(format!(
-                            "there is no FROM item named {q:?}"
-                        )));
+                        return Err(Error::plan(format!("there is no FROM item named {q:?}")));
                     }
                 }
                 SelectItem::Expr { expr, alias } => {
@@ -818,8 +810,7 @@ impl<'a> Planner<'a> {
                     return Ok((plan, Scope::from_names(Some(&qualifier), &names)));
                 }
                 let table = self.catalog.table(name)?;
-                let cols: Vec<String> =
-                    table.columns.iter().map(|c| c.name.clone()).collect();
+                let cols: Vec<String> = table.columns.iter().map(|c| c.name.clone()).collect();
                 let names = alias_column_names(alias.as_ref(), &cols)?;
                 Ok((
                     PlanNode::SeqScan {
@@ -911,9 +902,7 @@ impl<'a> Planner<'a> {
                                 continue;
                             };
                             // Resolve against the scan's scope only.
-                            let Ok(Some(col)) =
-                                from_scope.find(qualifier.as_deref(), name)
-                            else {
+                            let Ok(Some(col)) = from_scope.find(qualifier.as_deref(), name) else {
                                 continue;
                             };
                             if t.index_on(col).is_none() {
@@ -978,12 +967,12 @@ impl<'a> Planner<'a> {
                 self.resolve_column(qualifier.as_deref(), name, cx)?
             }
             Expr::Param(name) => {
-                let ps = self.params.ok_or_else(|| {
-                    Error::plan(format!("no parameter scope for {name:?}"))
-                })?;
-                let i = ps.index_of(name).ok_or_else(|| {
-                    Error::plan(format!("unknown parameter {name:?}"))
-                })?;
+                let ps = self
+                    .params
+                    .ok_or_else(|| Error::plan(format!("no parameter scope for {name:?}")))?;
+                let i = ps
+                    .index_of(name)
+                    .ok_or_else(|| Error::plan(format!("unknown parameter {name:?}")))?;
                 ExprIr::Param(i)
             }
             Expr::Unary { op, expr } => {
@@ -1058,9 +1047,7 @@ impl<'a> Planner<'a> {
                     .transpose()?,
                 branches: branches
                     .iter()
-                    .map(|(w, t)| {
-                        Ok((self.compile_expr(w, cx)?, self.compile_expr(t, cx)?))
-                    })
+                    .map(|(w, t)| Ok((self.compile_expr(w, cx)?, self.compile_expr(t, cx)?)))
                     .collect::<Result<_>>()?,
                 else_: else_
                     .as_ref()
@@ -1162,9 +1149,8 @@ impl<'a> Planner<'a> {
                 distinct: false,
             }),
             Expr::Func { name, args } => {
-                let func = AggFn::from_name(name).ok_or_else(|| {
-                    Error::plan(format!("{name} is not an aggregate function"))
-                })?;
+                let func = AggFn::from_name(name)
+                    .ok_or_else(|| Error::plan(format!("{name} is not an aggregate function")))?;
                 if args.len() != 1 {
                     return Err(Error::plan(format!(
                         "aggregate {name}() takes exactly one argument"
@@ -1259,9 +1245,7 @@ impl<'a> Planner<'a> {
                 .iter()
                 .find(|(n, _)| n == &base_name)
                 .map(|(_, s)| s.clone())
-                .ok_or_else(|| {
-                    Error::plan(format!("window {base_name:?} does not exist"))
-                })?;
+                .ok_or_else(|| Error::plan(format!("window {base_name:?} does not exist")))?;
             let base = self.flatten_window_spec(base, sel, depth + 1)?;
             if spec.partition_by.is_empty() {
                 spec.partition_by = base.partition_by;
@@ -1280,10 +1264,7 @@ impl<'a> Planner<'a> {
 // ---------------------------------------------------------------------------
 // AST analysis helpers
 
-fn alias_column_names(
-    alias: Option<&ast::TableAlias>,
-    natural: &[String],
-) -> Result<Vec<String>> {
+fn alias_column_names(alias: Option<&ast::TableAlias>, natural: &[String]) -> Result<Vec<String>> {
     match alias {
         Some(a) if !a.columns.is_empty() => {
             if a.columns.len() != natural.len() {
@@ -1320,9 +1301,7 @@ fn fuse_lateral_chains(plan: PlanNode) -> PlanNode {
             Some(ExprIr::Const(v)) => v.is_true(),
             _ => false,
         };
-        if on_is_trivial
-            && matches!(kind, JoinKind::Left | JoinKind::Cross | JoinKind::Inner)
-        {
+        if on_is_trivial && matches!(kind, JoinKind::Left | JoinKind::Cross | JoinKind::Inner) {
             if let PlanNode::Result { exprs } = *right {
                 // A Result always yields exactly one row, so LEFT/INNER/CROSS
                 // coincide and the join can only extend the row.
@@ -1500,16 +1479,16 @@ fn split_conjuncts<'e>(e: &'e Expr, out: &mut Vec<&'e Expr>) {
 /// the arguments of other aggregates / window functions).
 fn collect_aggregates<'e>(e: &'e Expr, out: &mut Vec<&'e Expr>) {
     match e {
-        Expr::CountStar => {
-            if !out.contains(&e) {
-                out.push(e);
-            }
+        Expr::CountStar if !out.contains(&e) => {
+            out.push(e);
         }
-        Expr::Func { name, .. } if AggFn::from_name(name).is_some() => {
-            if !out.contains(&e) {
-                out.push(e);
-            }
+        Expr::Func { name, .. } if AggFn::from_name(name).is_some() && !out.contains(&e) => {
+            out.push(e);
         }
+        // A repeated aggregate is a no-op: it must NOT fall through to the
+        // generic Func arm below, which would descend into its arguments.
+        Expr::CountStar => {}
+        Expr::Func { name, .. } if AggFn::from_name(name).is_some() => {}
         Expr::WindowFunc { .. } | Expr::Subquery(_) | Expr::Exists(_) => {}
         Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } | Expr::Cast { expr, .. } => {
             collect_aggregates(expr, out)
@@ -1564,11 +1543,11 @@ fn collect_aggregates<'e>(e: &'e Expr, out: &mut Vec<&'e Expr>) {
 /// Collect window function calls (not descending into subqueries).
 fn collect_windows<'e>(e: &'e Expr, out: &mut Vec<&'e Expr>) {
     match e {
-        Expr::WindowFunc { .. } => {
-            if !out.contains(&e) {
-                out.push(e);
-            }
+        Expr::WindowFunc { .. } if !out.contains(&e) => {
+            out.push(e);
         }
+        // Repeated window call: already collected, don't revisit.
+        Expr::WindowFunc { .. } => {}
         Expr::Subquery(_) | Expr::Exists(_) => {}
         Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } | Expr::Cast { expr, .. } => {
             collect_windows(expr, out)
@@ -1650,15 +1629,15 @@ fn set_expr_references(body: &SetExpr, name: &str) -> bool {
                     SelectItem::Expr { expr, .. } => expr_references(expr, name),
                     _ => false,
                 })
-                || sel.where_.as_ref().is_some_and(|e| expr_references(e, name))
+                || sel
+                    .where_
+                    .as_ref()
+                    .is_some_and(|e| expr_references(e, name))
         }
         SetExpr::SetOp { left, right, .. } => {
             set_expr_references(left, name) || set_expr_references(right, name)
         }
-        SetExpr::Values(rows) => rows
-            .iter()
-            .flatten()
-            .any(|e| expr_references(e, name)),
+        SetExpr::Values(rows) => rows.iter().flatten().any(|e| expr_references(e, name)),
         SetExpr::Query(q) => query_references(q, name),
     }
 }
@@ -1676,15 +1655,11 @@ fn table_ref_references(t: &TableRef, name: &str) -> bool {
 fn expr_references(e: &Expr, name: &str) -> bool {
     let mut found = false;
     e.walk(&mut |sub| match sub {
-        Expr::Subquery(q) | Expr::Exists(q) => {
-            if query_references(q, name) {
-                found = true;
-            }
+        Expr::Subquery(q) | Expr::Exists(q) if query_references(q, name) => {
+            found = true;
         }
-        Expr::InSubquery { query, .. } => {
-            if query_references(query, name) {
-                found = true;
-            }
+        Expr::InSubquery { query, .. } if query_references(query, name) => {
+            found = true;
         }
         _ => {}
     });

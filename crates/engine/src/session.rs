@@ -90,7 +90,11 @@ impl QueryResult {
                 .collect();
             out.push_str(&format!(" {}\n", line.join(" | ")));
         }
-        out.push_str(&format!("({} row{})\n", self.rows.len(), if self.rows.len() == 1 { "" } else { "s" }));
+        out.push_str(&format!(
+            "({} row{})\n",
+            self.rows.len(),
+            if self.rows.len() == 1 { "" } else { "s" }
+        ));
         out
     }
 }
@@ -263,9 +267,7 @@ impl Session {
                     if let Err(e) = plan_udf_body(&self.catalog, &def) {
                         // Roll back on a body that does not plan.
                         match existed {
-                            Some(old) => {
-                                self.catalog.create_function((*old).clone(), true)?
-                            }
+                            Some(old) => self.catalog.create_function((*old).clone(), true)?,
                             None => self.catalog.drop_function(&def.name, true)?,
                         }
                         return Err(e);
@@ -345,10 +347,9 @@ impl Session {
             columns
                 .iter()
                 .map(|c| {
-                    schema
-                        .iter()
-                        .position(|(n, _)| n == c)
-                        .ok_or_else(|| Error::plan(format!("column {c:?} of {table:?} does not exist")))
+                    schema.iter().position(|(n, _)| n == c).ok_or_else(|| {
+                        Error::plan(format!("column {c:?} of {table:?} does not exist"))
+                    })
                 })
                 .collect::<Result<Vec<_>>>()?
         };
@@ -551,10 +552,7 @@ impl Session {
         let rows = self.executor_run(&handle);
         self.executor_end(handle);
         let after = self.profiler;
-        let entry = self
-            .query_stats
-            .entry(prepared.sql.clone())
-            .or_default();
+        let entry = self.query_stats.entry(prepared.sql.clone()).or_default();
         entry.start_ns += after.exec_start_ns - before.exec_start_ns;
         entry.run_ns += after.exec_run_ns - before.exec_run_ns;
         entry.end_ns += after.exec_end_ns - before.exec_end_ns;
@@ -776,7 +774,10 @@ mod tests {
                  LEFT JOIN LATERAL (SELECT x + y) AS _2(z) ON true",
             )
             .unwrap();
-        assert_eq!(r.rows, vec![vec![Value::Int(1), Value::Int(2), Value::Int(3)]]);
+        assert_eq!(
+            r.rows,
+            vec![vec![Value::Int(1), Value::Int(2), Value::Int(3)]]
+        );
     }
 
     #[test]
@@ -816,11 +817,14 @@ mod tests {
             ]
         );
         // Scalar aggregation over an empty input still yields one row.
-        let r = s.run("SELECT count(*), sum(a) FROM t WHERE a > 100").unwrap();
+        let r = s
+            .run("SELECT count(*), sum(a) FROM t WHERE a > 100")
+            .unwrap();
         assert_eq!(r.rows, vec![vec![Value::Int(0), Value::Null]]);
 
         s.run("CREATE TABLE g (k int, v int)").unwrap();
-        s.run("INSERT INTO g VALUES (1, 10), (1, 20), (2, 30)").unwrap();
+        s.run("INSERT INTO g VALUES (1, 10), (1, 20), (2, 30)")
+            .unwrap();
         let r = s
             .run("SELECT k, sum(v) FROM g GROUP BY k ORDER BY k")
             .unwrap();
@@ -897,10 +901,22 @@ mod tests {
             )
             .unwrap();
         // partition 1: (10: rn1 rank1 dr1), (10: rn2 rank1 dr1), (20: rn3 rank3 dr2)
-        assert_eq!(r.rows[0][2..], [Value::Int(1), Value::Int(1), Value::Int(1)]);
-        assert_eq!(r.rows[1][2..], [Value::Int(2), Value::Int(1), Value::Int(1)]);
-        assert_eq!(r.rows[2][2..], [Value::Int(3), Value::Int(3), Value::Int(2)]);
-        assert_eq!(r.rows[3][2..], [Value::Int(1), Value::Int(1), Value::Int(1)]);
+        assert_eq!(
+            r.rows[0][2..],
+            [Value::Int(1), Value::Int(1), Value::Int(1)]
+        );
+        assert_eq!(
+            r.rows[1][2..],
+            [Value::Int(2), Value::Int(1), Value::Int(1)]
+        );
+        assert_eq!(
+            r.rows[2][2..],
+            [Value::Int(3), Value::Int(3), Value::Int(2)]
+        );
+        assert_eq!(
+            r.rows[3][2..],
+            [Value::Int(1), Value::Int(1), Value::Int(1)]
+        );
     }
 
     #[test]
@@ -955,7 +971,8 @@ mod tests {
     fn window_bounded_rows_frame() {
         let mut s = Session::default();
         s.run("CREATE TABLE w (v int)").unwrap();
-        s.run("INSERT INTO w VALUES (1), (2), (3), (4), (5)").unwrap();
+        s.run("INSERT INTO w VALUES (1), (2), (3), (4), (5)")
+            .unwrap();
         let r = s
             .run(
                 "SELECT v, sum(v) OVER (ORDER BY v ROWS BETWEEN 1 PRECEDING                  AND 1 FOLLOWING) FROM w ORDER BY v",
@@ -976,9 +993,7 @@ mod tests {
         assert_eq!(r.rows.len(), 2);
         let r = s.run("SELECT 1 UNION ALL SELECT 1").unwrap();
         assert_eq!(r.rows.len(), 2);
-        let r = s
-            .run("SELECT a FROM t EXCEPT SELECT 2 ORDER BY a")
-            .unwrap();
+        let r = s.run("SELECT a FROM t EXCEPT SELECT 2 ORDER BY a").unwrap();
         assert_eq!(r.rows, vec![vec![Value::Int(1)], vec![Value::Int(3)]]);
         let r = s.run("SELECT a FROM t INTERSECT SELECT 2").unwrap();
         assert_eq!(r.rows, vec![vec![Value::Int(2)]]);
@@ -1003,7 +1018,8 @@ mod tests {
         // NULL semantics of NOT IN.
         s.run("INSERT INTO t VALUES (NULL, 'n', 0.0)").unwrap();
         assert_eq!(
-            s.query_scalar("SELECT 99 NOT IN (SELECT a FROM t)").unwrap(),
+            s.query_scalar("SELECT 99 NOT IN (SELECT a FROM t)")
+                .unwrap(),
             Value::Null
         );
     }
@@ -1094,7 +1110,10 @@ mod tests {
              SELECT CASE WHEN n <= 1 THEN 1 ELSE n * fact(n - 1) END $$ LANGUAGE SQL",
         )
         .unwrap();
-        assert_eq!(s.query_scalar("SELECT fact(10)").unwrap(), Value::Int(3628800));
+        assert_eq!(
+            s.query_scalar("SELECT fact(10)").unwrap(),
+            Value::Int(3628800)
+        );
         // The paper: "we quickly hit default stack depth limits".
         s.config.max_udf_depth = 32;
         let err = s.query_scalar("SELECT fact(100)").unwrap_err();
@@ -1104,10 +1123,8 @@ mod tests {
     #[test]
     fn plpgsql_function_cannot_run_in_sql() {
         let mut s = Session::default();
-        s.run(
-            "CREATE FUNCTION f(n int) RETURNS int AS $$ BEGIN RETURN n; END $$ LANGUAGE PLPGSQL",
-        )
-        .unwrap();
+        s.run("CREATE FUNCTION f(n int) RETURNS int AS $$ BEGIN RETURN n; END $$ LANGUAGE PLPGSQL")
+            .unwrap();
         let err = s.query_scalar("SELECT f(1)").unwrap_err();
         assert!(matches!(err, Error::Unsupported(_)), "{err}");
     }
@@ -1143,7 +1160,9 @@ mod tests {
         let mut s = session();
         // `a` is a column of t; the parameter of the same name loses.
         let ps = ParamScope::new(vec!["a".into()]);
-        let plan = s.prepare("SELECT count(*) FROM t WHERE a = 2", &ps).unwrap();
+        let plan = s
+            .prepare("SELECT count(*) FROM t WHERE a = 2", &ps)
+            .unwrap();
         let r = s.execute_prepared(&plan, vec![Value::Int(999)]).unwrap();
         assert_eq!(r.rows[0][0], Value::Int(1));
     }
@@ -1173,7 +1192,9 @@ mod tests {
         s.catalog.bulk_insert("big", rows).unwrap();
         s.run("CREATE INDEX big_k ON big (k)").unwrap();
         let ps = ParamScope::new(vec!["needle".into()]);
-        let plan = s.prepare("SELECT v FROM big WHERE k = needle", &ps).unwrap();
+        let plan = s
+            .prepare("SELECT v FROM big WHERE k = needle", &ps)
+            .unwrap();
         assert!(
             plan.plan.explain().contains("IndexLookup"),
             "expected index plan, got:\n{}",
@@ -1213,7 +1234,10 @@ mod tests {
         );
         let r = s.run("DELETE FROM t WHERE a > 10").unwrap();
         assert_eq!(r.rows[0][0], Value::Int(1));
-        assert_eq!(s.query_scalar("SELECT count(*) FROM t").unwrap(), Value::Int(2));
+        assert_eq!(
+            s.query_scalar("SELECT count(*) FROM t").unwrap(),
+            Value::Int(2)
+        );
     }
 
     #[test]

@@ -157,7 +157,7 @@ mod tests {
         let rows = ts.finish(&mut stats);
         assert_eq!(rows.len(), n);
         // All bytes charged, in whole pages plus one trailing partial page.
-        let expect_pages = (total / PAGE_SIZE) as u64 + u64::from(total % PAGE_SIZE != 0);
+        let expect_pages = (total / PAGE_SIZE) as u64 + u64::from(!total.is_multiple_of(PAGE_SIZE));
         assert_eq!(stats.page_writes, expect_pages);
         assert_eq!(stats.spilled_bytes, total as u64);
     }
@@ -179,7 +179,10 @@ mod tests {
         let p20 = count_pages(20_000);
         // Quadratic: doubling n must roughly quadruple pages.
         let ratio = p20 as f64 / p10 as f64;
-        assert!((3.5..4.5).contains(&ratio), "ratio {ratio}, p10={p10}, p20={p20}");
+        assert!(
+            (3.5..4.5).contains(&ratio),
+            "ratio {ratio}, p10={p10}, p20={p20}"
+        );
         // Within 5% of the analytic n^2/2 bytes prediction.
         let analytic = (10_000f64 * 10_000f64 / 2.0) / PAGE_SIZE as f64;
         assert!(

@@ -88,8 +88,8 @@ fn eval_one_window(
     {
         let mut by_key: std::collections::HashMap<&[Value], usize> =
             std::collections::HashMap::new();
-        for i in 0..n {
-            let key = part_keys[i].as_slice();
+        for (i, part_key) in part_keys.iter().enumerate() {
+            let key = part_key.as_slice();
             match by_key.get(key) {
                 Some(&p) => partitions[p].push(i),
                 None => {
@@ -123,11 +123,8 @@ fn peer_bounds(
     while i < p {
         let mut j = i + 1;
         while j < p
-            && cmp_key_vectors(
-                &order_keys[sorted[i]],
-                &order_keys[sorted[j]],
-                keys,
-            ) == std::cmp::Ordering::Equal
+            && cmp_key_vectors(&order_keys[sorted[i]], &order_keys[sorted[j]], keys)
+                == std::cmp::Ordering::Equal
         {
             j += 1;
         }
@@ -244,9 +241,7 @@ fn compute_frames(
                     FrameBound::CurrentRow => pos,
                     FrameBound::Following(k) => (pos + *k as usize).min(p),
                     FrameBound::UnboundedFollowing => {
-                        return Err(Error::plan(
-                            "frame start cannot be UNBOUNDED FOLLOWING",
-                        ))
+                        return Err(Error::plan("frame start cannot be UNBOUNDED FOLLOWING"))
                     }
                 };
                 let e = match &frame.end {
@@ -304,8 +299,10 @@ fn eval_frame_aggregate(
     // partition head: maintain a running prefix as `end` advances (it is
     // non-decreasing), then subtract the current row if excluded. This is
     // the shape the paper's Q2 uses on every robot step.
-    let prefix_ok = matches!(agg, AggFn::Sum | AggFn::Count | AggFn::CountStar | AggFn::Avg)
-        && frames.iter().all(|(s, _, _)| *s == 0)
+    let prefix_ok = matches!(
+        agg,
+        AggFn::Sum | AggFn::Count | AggFn::CountStar | AggFn::Avg
+    ) && frames.iter().all(|(s, _, _)| *s == 0)
         && frames.windows(2).all(|f| f[0].1 <= f[1].1);
     if prefix_ok {
         let mut sum: Option<Value> = None;
@@ -357,11 +354,11 @@ fn eval_frame_aggregate(
         let mut sum: Option<Value> = None;
         let mut extreme: Option<Value> = None;
         let mut bool_acc: Option<bool> = None;
-        for i in s..e {
+        for (i, &row) in sorted.iter().enumerate().take(e).skip(s) {
             if excl && i == pos {
                 continue;
             }
-            let v = arg_value(args, sorted[i], agg)?;
+            let v = arg_value(args, row, agg)?;
             match (agg, v) {
                 (AggFn::CountStar, _) => count += 1,
                 (_, Some(v)) if !v.is_null() => match agg {

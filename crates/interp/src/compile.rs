@@ -226,9 +226,7 @@ impl<'s> Compiler<'s> {
             PlStmt::If { branches, else_ } => CStmt::If {
                 branches: branches
                     .iter()
-                    .map(|(c, body)| {
-                        Ok((self.compile_expr(c)?, self.compile_stmts(body)?))
-                    })
+                    .map(|(c, body)| Ok((self.compile_expr(c)?, self.compile_stmts(body)?)))
                     .collect::<Result<_>>()?,
                 else_: self.compile_stmts(else_)?,
             },
@@ -337,9 +335,7 @@ fn needs_full_executor(ir: &ExprIr) -> bool {
         ExprIr::IsNull { expr, .. } => needs_full_executor(expr),
         ExprIr::Between {
             expr, low, high, ..
-        } => {
-            needs_full_executor(expr) || needs_full_executor(low) || needs_full_executor(high)
-        }
+        } => needs_full_executor(expr) || needs_full_executor(low) || needs_full_executor(high),
         ExprIr::Case {
             operand,
             branches,

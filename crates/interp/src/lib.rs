@@ -60,22 +60,13 @@ impl Interpreter {
     }
 
     /// Call a PL/pgSQL function registered in the session's catalog.
-    pub fn call(
-        &mut self,
-        session: &mut Session,
-        name: &str,
-        args: &[Value],
-    ) -> Result<Value> {
+    pub fn call(&mut self, session: &mut Session, name: &str, args: &[Value]) -> Result<Value> {
         let compiled = self.compiled_for(session, name)?;
         self.run_compiled(session, &compiled, args)
     }
 
     /// Compile (with caching) a catalog function.
-    pub fn compiled_for(
-        &mut self,
-        session: &mut Session,
-        name: &str,
-    ) -> Result<Arc<PlCompiled>> {
+    pub fn compiled_for(&mut self, session: &mut Session, name: &str) -> Result<Arc<PlCompiled>> {
         if let Some((version, c)) = self.compiled.get(name) {
             if *version == session.catalog.version {
                 return Ok(Arc::clone(c));
@@ -105,8 +96,10 @@ impl Interpreter {
         };
         let parsed = plaway_plsql::parse_function(&cf)?;
         let compiled = Arc::new(compile::compile(session, &parsed)?);
-        self.compiled
-            .insert(name.to_string(), (session.catalog.version, Arc::clone(&compiled)));
+        self.compiled.insert(
+            name.to_string(),
+            (session.catalog.version, Arc::clone(&compiled)),
+        );
         Ok(compiled)
     }
 
@@ -222,9 +215,7 @@ impl<'a> CallCtx<'a> {
                     1 => {
                         let row = &result.rows[0];
                         if row.len() != 1 {
-                            return Err(Error::exec(
-                                "embedded query must return a single column",
-                            ));
+                            return Err(Error::exec("embedded query must return a single column"));
                         }
                         Ok(row[0].clone())
                     }
@@ -338,9 +329,7 @@ impl<'a> CallCtx<'a> {
                 let from_v = self.eval(from)?;
                 let to_v = self.eval(to)?;
                 if from_v.is_null() || to_v.is_null() {
-                    return Err(Error::exec(
-                        "lower/upper bound of FOR loop cannot be null",
-                    ));
+                    return Err(Error::exec("lower/upper bound of FOR loop cannot be null"));
                 }
                 let mut i = from_v.as_int()?;
                 let to_i = to_v.as_int()?;
@@ -669,7 +658,10 @@ mod tests {
         );
         s.reset_instrumentation();
         call(&mut s, &mut i, 0);
-        assert!(s.profiler.exec_start_ns > 0, "queries must pay ExecutorStart");
+        assert!(
+            s.profiler.exec_start_ns > 0,
+            "queries must pay ExecutorStart"
+        );
         assert!(s.profiler.exec_end_ns > 0);
         assert!(s.profiler.interp_ns > 0);
         assert_eq!(s.profiler.start_count, 50, "one Start per query evaluation");

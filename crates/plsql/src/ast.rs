@@ -37,6 +37,10 @@ pub enum RaiseLevel {
 }
 
 /// PL/pgSQL statements.
+// The ForRange variant carries bounds/step expressions inline; boxing them
+// would ripple `Box` through the parser, interpreter and compiler for a type
+// that only ever lives inside already-heap-allocated statement lists.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum PlStmt {
     /// `var := expr;` (also accepts `=`).
@@ -161,9 +165,7 @@ impl PlStmt {
                 }
                 v
             }
-            PlStmt::Exit { when, .. } | PlStmt::Continue { when, .. } => {
-                when.iter().collect()
-            }
+            PlStmt::Exit { when, .. } | PlStmt::Continue { when, .. } => when.iter().collect(),
             PlStmt::Return { expr } => expr.iter().collect(),
             PlStmt::Raise { args, .. } => args.iter().collect(),
             PlStmt::Perform { expr } => vec![expr],

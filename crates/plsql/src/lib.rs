@@ -25,7 +25,11 @@ use plaway_common::Result;
 pub fn parse_create_function(sql: &str) -> Result<PlFunction> {
     let stmt = plaway_sql::parse_statement(sql)?;
     let plaway_sql::ast::Stmt::CreateFunction(cf) = stmt else {
-        return Err(plaway_common::Error::parse("expected CREATE FUNCTION", 1, 1));
+        return Err(plaway_common::Error::parse(
+            "expected CREATE FUNCTION",
+            1,
+            1,
+        ));
     };
     parse_function(&cf)
 }

@@ -69,14 +69,12 @@ impl BodyParser {
         let name = self.p.expect_ident()?;
         let tyname = self.p.expect_ident()?;
         let ty = Type::from_sql_name(&tyname)?;
-        let init = if self.p.eat_sym(Sym::Assign)
-            || self.p.eat_sym(Sym::Eq)
-            || self.p.eat_kw("default")
-        {
-            Some(self.p.parse_expr()?)
-        } else {
-            None
-        };
+        let init =
+            if self.p.eat_sym(Sym::Assign) || self.p.eat_sym(Sym::Eq) || self.p.eat_kw("default") {
+                Some(self.p.parse_expr()?)
+            } else {
+                None
+            };
         self.p.expect_sym(Sym::Semi)?;
         Ok(VarDecl { name, ty, init })
     }
@@ -105,9 +103,7 @@ impl BodyParser {
             self.p.expect_sym(Sym::GtGt)?;
             return self.parse_loopish(Some(label));
         }
-        if self.p.peek().is_kw("loop")
-            || self.p.peek().is_kw("while")
-            || self.p.peek().is_kw("for")
+        if self.p.peek().is_kw("loop") || self.p.peek().is_kw("while") || self.p.peek().is_kw("for")
         {
             return self.parse_loopish(None);
         }
@@ -406,21 +402,17 @@ mod tests {
         };
         assert_eq!(var, "step");
         assert_eq!(body.len(), 5); // three assignments + roll + IF
-        // The paper counts three embedded queries Q1..Q3.
+                                   // The paper counts three embedded queries Q1..Q3.
         assert_eq!(f.embedded_query_count(), 3);
     }
 
     fn parse_body(body: &str) -> PlFunction {
-        let sql = format!(
-            "CREATE FUNCTION f(n int) RETURNS int AS $$ {body} $$ LANGUAGE plpgsql"
-        );
+        let sql = format!("CREATE FUNCTION f(n int) RETURNS int AS $$ {body} $$ LANGUAGE plpgsql");
         parse_create_function(&sql).unwrap()
     }
 
     fn parse_body_err(body: &str) -> Error {
-        let sql = format!(
-            "CREATE FUNCTION f(n int) RETURNS int AS $$ {body} $$ LANGUAGE plpgsql"
-        );
+        let sql = format!("CREATE FUNCTION f(n int) RETURNS int AS $$ {body} $$ LANGUAGE plpgsql");
         parse_create_function(&sql).unwrap_err()
     }
 
@@ -446,15 +438,16 @@ mod tests {
         ));
         assert!(matches!(
             &body[2],
-            PlStmt::Continue { label: None, when: Some(_) }
+            PlStmt::Continue {
+                label: None,
+                when: Some(_)
+            }
         ));
     }
 
     #[test]
     fn for_reverse_and_by() {
-        let f = parse_body(
-            "BEGIN FOR i IN REVERSE 10..1 BY 2 LOOP NULL; END LOOP; RETURN 0; END",
-        );
+        let f = parse_body("BEGIN FOR i IN REVERSE 10..1 BY 2 LOOP NULL; END LOOP; RETURN 0; END");
         let PlStmt::ForRange { reverse, by, .. } = &f.body[0] else {
             panic!()
         };
@@ -505,9 +498,7 @@ mod tests {
 
     #[test]
     fn raise_and_perform() {
-        let f = parse_body(
-            "BEGIN RAISE NOTICE 'n is %', n; PERFORM n + 1; RETURN n; END",
-        );
+        let f = parse_body("BEGIN RAISE NOTICE 'n is %', n; PERFORM n + 1; RETURN n; END");
         assert!(matches!(
             &f.body[0],
             PlStmt::Raise { level: RaiseLevel::Notice, args, .. } if args.len() == 1

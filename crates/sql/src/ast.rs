@@ -487,9 +487,9 @@ impl Expr {
         f(self);
         match self {
             Expr::Literal(_) | Expr::Column { .. } | Expr::Param(_) | Expr::CountStar => {}
-            Expr::Unary { expr, .. }
-            | Expr::IsNull { expr, .. }
-            | Expr::Cast { expr, .. } => expr.walk(f),
+            Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } | Expr::Cast { expr, .. } => {
+                expr.walk(f)
+            }
             Expr::Binary { left, right, .. } => {
                 left.walk(f);
                 right.walk(f);
@@ -618,9 +618,7 @@ impl Expr {
                 args: args.into_iter().map(|a| a.rewrite(f, fq)).collect(),
                 window,
             },
-            Expr::Row(items) => {
-                Expr::Row(items.into_iter().map(|a| a.rewrite(f, fq)).collect())
-            }
+            Expr::Row(items) => Expr::Row(items.into_iter().map(|a| a.rewrite(f, fq)).collect()),
             Expr::Subquery(q) => Expr::Subquery(Box::new(fq(*q))),
             Expr::Exists(q) => Expr::Exists(Box::new(fq(*q))),
             Expr::Cast { expr, ty } => Expr::Cast {

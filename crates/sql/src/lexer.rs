@@ -210,9 +210,7 @@ impl<'a> Lexer<'a> {
                     }
                 }
                 Some(c) => s.push(c as char),
-                None => {
-                    return Err(Error::lex("unterminated string literal", pos.line, pos.col))
-                }
+                None => return Err(Error::lex("unterminated string literal", pos.line, pos.col)),
             }
         }
     }

@@ -18,11 +18,56 @@ use crate::token::{Sym, Token, TokenKind};
 
 /// Identifiers that terminate an expression / cannot be a bare column alias.
 const RESERVED: &[&str] = &[
-    "from", "where", "group", "having", "order", "limit", "offset", "union", "except",
-    "intersect", "on", "join", "left", "right", "full", "inner", "outer", "cross", "lateral",
-    "as", "window", "values", "when", "then", "else", "end", "and", "or", "not", "asc", "desc",
-    "nulls", "using", "returning", "with", "recursive", "iterate", "set", "into", "loop",
-    "if", "elsif", "while", "for", "exit", "continue", "return", "begin", "declare", "case",
+    "from",
+    "where",
+    "group",
+    "having",
+    "order",
+    "limit",
+    "offset",
+    "union",
+    "except",
+    "intersect",
+    "on",
+    "join",
+    "left",
+    "right",
+    "full",
+    "inner",
+    "outer",
+    "cross",
+    "lateral",
+    "as",
+    "window",
+    "values",
+    "when",
+    "then",
+    "else",
+    "end",
+    "and",
+    "or",
+    "not",
+    "asc",
+    "desc",
+    "nulls",
+    "using",
+    "returning",
+    "with",
+    "recursive",
+    "iterate",
+    "set",
+    "into",
+    "loop",
+    "if",
+    "elsif",
+    "while",
+    "for",
+    "exit",
+    "continue",
+    "return",
+    "begin",
+    "declare",
+    "case",
 ];
 
 pub struct Parser {
@@ -307,9 +352,7 @@ impl Parser {
                 language = Some(match lang.as_str() {
                     "sql" => Language::Sql,
                     "plpgsql" => Language::PlPgSql,
-                    other => {
-                        return Err(self.err_here(format!("unsupported language {other:?}")))
-                    }
+                    other => return Err(self.err_here(format!("unsupported language {other:?}"))),
                 });
             }
         }
@@ -735,7 +778,11 @@ impl Parser {
     /// `mark_lateral`: record LATERAL on the Derived node itself;
     /// `scope_lateral` only affects planning context and is currently the
     /// same thing for comma-list items.
-    fn parse_table_primary_inner(&mut self, mark_lateral: bool, _scope_lateral: bool) -> Result<TableRef> {
+    fn parse_table_primary_inner(
+        &mut self,
+        mark_lateral: bool,
+        _scope_lateral: bool,
+    ) -> Result<TableRef> {
         let lateral = mark_lateral;
         if self.eat_sym(Sym::LParen) {
             // Subquery or parenthesized join.
@@ -1206,11 +1253,42 @@ impl Parser {
             // `SELECT FROM t` a syntax error and lets the PL/pgSQL grammar's
             // terminators (THEN, LOOP, ...) end embedded expressions cleanly.
             const PRIMARY_RESERVED: &[&str] = &[
-                "from", "where", "group", "having", "order", "limit", "offset", "union",
-                "except", "intersect", "on", "join", "as", "when", "then", "else", "end",
-                "and", "or", "window", "values", "with", "loop", "if", "elsif", "while",
-                "for", "exit", "continue", "return", "begin", "declare", "into", "set",
-                "using", "select",
+                "from",
+                "where",
+                "group",
+                "having",
+                "order",
+                "limit",
+                "offset",
+                "union",
+                "except",
+                "intersect",
+                "on",
+                "join",
+                "as",
+                "when",
+                "then",
+                "else",
+                "end",
+                "and",
+                "or",
+                "window",
+                "values",
+                "with",
+                "loop",
+                "if",
+                "elsif",
+                "while",
+                "for",
+                "exit",
+                "continue",
+                "return",
+                "begin",
+                "declare",
+                "into",
+                "set",
+                "using",
+                "select",
             ];
             if PRIMARY_RESERVED.contains(&word.as_str()) {
                 return Err(self.err_here(format!(
@@ -1313,7 +1391,11 @@ impl Parser {
             } else {
                 WindowRef::Named(self.expect_ident()?)
             };
-            let fname = if star { "count".to_string() } else { name.to_string() };
+            let fname = if star {
+                "count".to_string()
+            } else {
+                name.to_string()
+            };
             return Ok(Expr::WindowFunc {
                 name: fname,
                 args,
@@ -1367,8 +1449,8 @@ mod tests {
 
     #[test]
     fn parses_simple_select() {
-        let q = parse_query("SELECT a, b AS two FROM t WHERE a > 1 ORDER BY b DESC LIMIT 3")
-            .unwrap();
+        let q =
+            parse_query("SELECT a, b AS two FROM t WHERE a > 1 ORDER BY b DESC LIMIT 3").unwrap();
         let SetExpr::Select(sel) = &q.body else {
             panic!("not a select")
         };
@@ -1392,20 +1474,8 @@ mod tests {
         else {
             panic!("top not OR")
         };
-        assert!(matches!(
-            *left,
-            Expr::Binary {
-                op: BinOp::Eq,
-                ..
-            }
-        ));
-        assert!(matches!(
-            *right,
-            Expr::Binary {
-                op: BinOp::And,
-                ..
-            }
-        ));
+        assert!(matches!(*left, Expr::Binary { op: BinOp::Eq, .. }));
+        assert!(matches!(*right, Expr::Binary { op: BinOp::And, .. }));
     }
 
     #[test]
@@ -1436,10 +1506,7 @@ mod tests {
         else {
             panic!("top not AND")
         };
-        assert!(matches!(
-            *left,
-            Expr::Between { negated: true, .. }
-        ));
+        assert!(matches!(*left, Expr::Between { negated: true, .. }));
     }
 
     #[test]
@@ -1463,10 +1530,7 @@ mod tests {
         assert_eq!(branches.len(), 2);
 
         let e = parse_expr("CASE x WHEN 1 THEN 'one' END").unwrap();
-        let Expr::Case {
-            operand, else_, ..
-        } = e
-        else {
+        let Expr::Case { operand, else_, .. } = e else {
             panic!()
         };
         assert!(operand.is_some());
@@ -1580,8 +1644,9 @@ mod tests {
         assert_eq!(table, "t");
         assert!(matches!(source, InsertSource::Values(rows) if rows.len() == 2));
 
-        let Stmt::Insert { columns, source, .. } =
-            parse_statement("INSERT INTO t (a, b) SELECT x, y FROM s").unwrap()
+        let Stmt::Insert {
+            columns, source, ..
+        } = parse_statement("INSERT INTO t (a, b) SELECT x, y FROM s").unwrap()
         else {
             panic!()
         };

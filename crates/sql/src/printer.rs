@@ -21,9 +21,10 @@ fn prec_of(e: &Expr) -> u8 {
         },
         Expr::Unary { op: UnOp::Not, .. } => 3,
         Expr::IsNull { .. } => 4,
-        Expr::Between { .. } | Expr::InList { .. } | Expr::InSubquery { .. } | Expr::Like { .. } => {
-            6
-        }
+        Expr::Between { .. }
+        | Expr::InList { .. }
+        | Expr::InSubquery { .. }
+        | Expr::Like { .. } => 6,
         Expr::Unary { op: UnOp::Neg, .. } => 10,
         Expr::Cast { .. } => 11,
         _ => 12,
@@ -43,10 +44,45 @@ pub fn quote_ident(name: &str) -> String {
             .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_');
     // A handful of words the parser treats specially even in ident position.
     const NEEDS_QUOTES: &[&str] = &[
-        "select", "from", "where", "group", "having", "order", "limit", "offset", "union",
-        "except", "intersect", "case", "when", "then", "else", "end", "null", "true", "false",
-        "and", "or", "not", "as", "on", "join", "left", "cross", "lateral", "exists", "row",
-        "cast", "between", "in", "like", "is", "with", "values", "window", "over",
+        "select",
+        "from",
+        "where",
+        "group",
+        "having",
+        "order",
+        "limit",
+        "offset",
+        "union",
+        "except",
+        "intersect",
+        "case",
+        "when",
+        "then",
+        "else",
+        "end",
+        "null",
+        "true",
+        "false",
+        "and",
+        "or",
+        "not",
+        "as",
+        "on",
+        "join",
+        "left",
+        "cross",
+        "lateral",
+        "exists",
+        "row",
+        "cast",
+        "between",
+        "in",
+        "like",
+        "is",
+        "with",
+        "values",
+        "window",
+        "over",
     ];
     if plain && !NEEDS_QUOTES.contains(&name) {
         name.to_string()
@@ -106,7 +142,11 @@ fn write_expr(out: &mut String, e: &Expr, min_prec: u8) {
             negated,
         } => {
             write_expr(out, expr, 7);
-            out.push_str(if *negated { " NOT BETWEEN " } else { " BETWEEN " });
+            out.push_str(if *negated {
+                " NOT BETWEEN "
+            } else {
+                " BETWEEN "
+            });
             write_expr(out, low, 7);
             out.push_str(" AND ");
             write_expr(out, high, 7);

@@ -54,11 +54,11 @@ pub enum Sym {
     LtEq,
     Gt,
     GtEq,
-    Concat,     // ||
-    Assign,     // :=
+    Concat,      // ||
+    Assign,      // :=
     DoubleColon, // ::
-    LtLt,       // << (PL/pgSQL label open)
-    GtGt,       // >> (PL/pgSQL label close)
+    LtLt,        // << (PL/pgSQL label open)
+    GtGt,        // >> (PL/pgSQL label close)
 }
 
 impl fmt::Display for Sym {

@@ -173,10 +173,8 @@ pub fn bank_reference(ops: &str) -> i64 {
     for c in ops.chars() {
         match c {
             '1' => balance += 10,
-            '2' => {
-                if balance >= 10 {
-                    balance -= 10;
-                }
+            '2' if balance >= 10 => {
+                balance -= 10;
             }
             '9' => break,
             _ => {}
@@ -189,15 +187,11 @@ pub fn bank_reference(ops: &str) -> i64 {
 mod tests {
     use super::*;
     use plaway_common::Value;
+    use plaway_core::{compile_sql, CompileOptions};
     use plaway_engine::Session;
     use plaway_interp::Interpreter;
-    use plaway_core::{compile_sql, CompileOptions};
 
-    fn check_both(
-        w: &Workload,
-        args: &[Value],
-        expect: Value,
-    ) {
+    fn check_both(w: &Workload, args: &[Value], expect: Value) {
         let mut s = Session::default();
         w.install(&mut s).unwrap();
         let mut interp = Interpreter::new();
@@ -207,8 +201,7 @@ mod tests {
         let cv = compiled.run(&mut s, args).unwrap();
         assert_eq!(cv, expect, "{} compiled", w.name);
         // WITH ITERATE mode must agree as well.
-        let compiled_it =
-            compile_sql(&s.catalog, &w.source, CompileOptions::iterate()).unwrap();
+        let compiled_it = compile_sql(&s.catalog, &w.source, CompileOptions::iterate()).unwrap();
         assert_eq!(compiled_it.run(&mut s, args).unwrap(), expect);
     }
 

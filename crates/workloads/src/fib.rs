@@ -59,9 +59,7 @@ mod tests {
         fib_workload().install(&mut s).unwrap();
         let mut interp = Interpreter::new();
         for n in [0i64, 1, 2, 10, 50, 91, 100] {
-            let v = interp
-                .call(&mut s, "fibonacci", &[Value::Int(n)])
-                .unwrap();
+            let v = interp.call(&mut s, "fibonacci", &[Value::Int(n)]).unwrap();
             assert_eq!(v, Value::Int(fib_reference(n)), "fib({n})");
         }
     }

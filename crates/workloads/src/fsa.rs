@@ -33,7 +33,11 @@ pub fn install_fsa(session: &mut Session) -> Result<()> {
     session.run("CREATE TABLE fsa (s int, c text, nxt int)")?;
     let mut rows = Vec::new();
     let mut add = |s: i64, c: char, nxt: i64| {
-        rows.push(vec![Value::Int(s), Value::text(c.to_string()), Value::Int(nxt)]);
+        rows.push(vec![
+            Value::Int(s),
+            Value::text(c.to_string()),
+            Value::Int(nxt),
+        ]);
     };
     for ch in LETTERS.chars() {
         add(0, ch, 1); // gap -> ident
@@ -188,9 +192,7 @@ mod tests {
         )
         .unwrap();
         for input in ["", "abc", "abc 123", "9 9 9", "12a", "a b c d e f"] {
-            let reference = interp
-                .call(&mut s, "parse", &[Value::text(input)])
-                .unwrap();
+            let reference = interp.call(&mut s, "parse", &[Value::text(input)]).unwrap();
             let compiled_v = compiled.run(&mut s, &[Value::text(input)]).unwrap();
             assert_eq!(compiled_v, reference, "input {input:?}");
         }
@@ -217,7 +219,7 @@ mod tests {
 
         let input = Value::text(generate_input(600, 5));
         s.reset_instrumentation();
-        rec.run(&mut s, &[input.clone()]).unwrap();
+        rec.run(&mut s, std::slice::from_ref(&input)).unwrap();
         let rec_pages = s.buffers.page_writes;
         assert!(rec_pages > 0, "recursive trace must spill");
 

@@ -303,8 +303,7 @@ impl Gen {
                 if self.rng.next_bool(0.3) {
                     let c = self.gen_bool_expr(0);
                     let target = if !self.labels.is_empty() && self.rng.next_bool(0.5) {
-                        let i =
-                            self.rng.next_range(0, self.labels.len() as i64 - 1) as usize;
+                        let i = self.rng.next_range(0, self.labels.len() as i64 - 1) as usize;
                         format!("{} ", self.labels[i])
                     } else {
                         String::new()
@@ -371,7 +370,10 @@ mod tests {
                 let compiled = compile_sql(&s.catalog, &prog.source, options)
                     .unwrap_or_else(|e| panic!("compile failed: {e}\n{}", prog.source));
                 let got = compiled.run(&mut s, &prog.args).unwrap_or_else(|e| {
-                    panic!("compiled run failed: {e}\n{}\n{}", prog.source, compiled.sql)
+                    panic!(
+                        "compiled run failed: {e}\n{}\n{}",
+                        prog.source, compiled.sql
+                    )
                 });
                 assert_eq!(
                     got, reference,

@@ -62,8 +62,7 @@ impl Digraph {
                 .filter(|(s, _, _)| *s == cur)
                 .max_by(|a, b| {
                     // Mirror ORDER BY w DESC, dst ASC (deterministic tie).
-                    a.2.total_cmp(&b.2)
-                        .then_with(|| b.1.cmp(&a.1))
+                    a.2.total_cmp(&b.2).then_with(|| b.1.cmp(&a.1))
                 });
             match best {
                 Some(&(_, dst, _)) => cur = dst,

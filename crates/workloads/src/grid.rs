@@ -108,9 +108,7 @@ impl GridWorld {
         session.run("DROP TABLE IF EXISTS actions")?;
         session.run("CREATE TABLE cells (loc coord, reward int)")?;
         session.run("CREATE TABLE policy (loc coord, action text)")?;
-        session.run(
-            "CREATE TABLE actions (here coord, action text, there coord, prob float8)",
-        )?;
+        session.run("CREATE TABLE actions (here coord, action text, there coord, prob float8)")?;
 
         let mut cells = Vec::new();
         let mut policy = Vec::new();
@@ -118,7 +116,10 @@ impl GridWorld {
         for y in 0..self.height {
             for x in 0..self.width {
                 let here = Value::coord(x, y);
-                cells.push(vec![here.clone(), Value::Int(self.rewards[y as usize][x as usize])]);
+                cells.push(vec![
+                    here.clone(),
+                    Value::Int(self.rewards[y as usize][x as usize]),
+                ]);
                 let dir = self.policy[y as usize][x as usize];
                 policy.push(vec![here.clone(), Value::text(dir_name(dir))]);
                 // Outcome distribution for EVERY action from this cell
@@ -232,8 +233,7 @@ fn value_iteration(width: i64, height: i64, rewards: &[Vec<i64>]) -> Vec<Vec<Dir
                     *Dir::ALL
                         .iter()
                         .max_by(|&&a, &&b| {
-                            action_value(&v, x, y, a)
-                                .total_cmp(&action_value(&v, x, y, b))
+                            action_value(&v, x, y, a).total_cmp(&action_value(&v, x, y, b))
                         })
                         .unwrap()
                 })
@@ -381,10 +381,7 @@ mod tests {
                 ],
             )
             .unwrap();
-        assert_eq!(
-            s.profiler.start_count, 120,
-            "Q1..Q3 once per step (3 x 40)"
-        );
+        assert_eq!(s.profiler.start_count, 120, "Q1..Q3 once per step (3 x 40)");
     }
 
     #[test]

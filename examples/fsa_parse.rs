@@ -30,13 +30,16 @@ fn main() -> Result<()> {
     // ---- Table 2 in miniature -----------------------------------------
     println!("buffer page writes while parsing inputs of growing length");
     println!("(work_mem = 4MB, page = 8KiB — PostgreSQL defaults):\n");
-    println!("{:>12} | {:>12} | {:>14}", "#iterations", "WITH ITERATE", "WITH RECURSIVE");
+    println!(
+        "{:>12} | {:>12} | {:>14}",
+        "#iterations", "WITH ITERATE", "WITH RECURSIVE"
+    );
     println!("{:->12}-+-{:->12}-+-{:->14}", "", "", "");
     for n in [2_000usize, 4_000, 6_000, 8_000] {
         let input = Value::text(generate_input(n, 99));
 
         session.reset_instrumentation();
-        iterate.run(&mut session, &[input.clone()])?;
+        iterate.run(&mut session, std::slice::from_ref(&input))?;
         let iter_pages = session.buffers.page_writes;
 
         session.reset_instrumentation();

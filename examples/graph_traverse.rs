@@ -23,7 +23,11 @@ fn main() -> Result<()> {
 
     let traverse = traverse_workload();
     traverse.install(&mut session)?;
-    let compiled = compile_sql(&session.catalog, &traverse.source, CompileOptions::default())?;
+    let compiled = compile_sql(
+        &session.catalog,
+        &traverse.source,
+        CompileOptions::default(),
+    )?;
 
     let mut interp = Interpreter::new();
     println!("\nstart | steps | interpreted | compiled | reference");

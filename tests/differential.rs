@@ -6,11 +6,23 @@
 //!
 //! Programs come from `plaway_workloads::genprog` (always terminating,
 //! never erroring, with embedded queries over a fixture table).
-
-use proptest::prelude::*;
+//!
+//! The container builds offline, so instead of `proptest` the cases are a
+//! deterministic sweep: a seeded [`SessionRng`] draws program seeds from the
+//! same `0..100_000` space a proptest strategy would. Failures print the
+//! offending seed so a case can be replayed in isolation.
 
 use plsql_away::prelude::*;
 use plsql_away::workloads::genprog::{self, GenConfig};
+
+/// Draw `cases` program seeds from `0..100_000`, deterministically (sampled
+/// with replacement; a rare collision just repeats a passing case).
+fn case_seeds(meta_seed: u64, cases: usize) -> Vec<u64> {
+    let mut rng = SessionRng::new(meta_seed);
+    (0..cases)
+        .map(|_| rng.next_range(0, 99_999) as u64)
+        .collect()
+}
 
 fn run_differential(seed: u64, cfg: GenConfig) {
     let mut session = Session::default();
@@ -21,10 +33,10 @@ fn run_differential(seed: u64, cfg: GenConfig) {
     let prog = genprog::generate(seed, cfg);
     session
         .run(&prog.source)
-        .unwrap_or_else(|e| panic!("source must install: {e}\n{}", prog.source));
+        .unwrap_or_else(|e| panic!("seed {seed}: source must install: {e}\n{}", prog.source));
     let reference = interp
         .call(&mut session, &prog.name, &prog.args)
-        .unwrap_or_else(|e| panic!("interpreter failed: {e}\n{}", prog.source));
+        .unwrap_or_else(|e| panic!("seed {seed}: interpreter failed: {e}\n{}", prog.source));
 
     for options in [
         CompileOptions::default(),
@@ -36,38 +48,33 @@ fn run_differential(seed: u64, cfg: GenConfig) {
         },
     ] {
         let compiled = compile_sql(&session.catalog, &prog.source, options)
-            .unwrap_or_else(|e| panic!("compilation failed: {e}\n{}", prog.source));
-        let got = compiled
-            .run(&mut session, &prog.args)
-            .unwrap_or_else(|e| {
-                panic!(
-                    "compiled execution failed: {e}\n--- source ---\n{}\n--- sql ---\n{}",
-                    prog.source, compiled.sql
-                )
-            });
+            .unwrap_or_else(|e| panic!("seed {seed}: compilation failed: {e}\n{}", prog.source));
+        let got = compiled.run(&mut session, &prog.args).unwrap_or_else(|e| {
+            panic!(
+                "seed {seed}: compiled execution failed: {e}\n--- source ---\n{}\n--- sql ---\n{}",
+                prog.source, compiled.sql
+            )
+        });
         assert_eq!(
             got, reference,
-            "mode {options:?}\n--- source ---\n{}\n--- sql ---\n{}",
+            "seed {seed} mode {options:?}\n--- source ---\n{}\n--- sql ---\n{}",
             prog.source, compiled.sql
         );
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 48,
-        .. ProptestConfig::default()
-    })]
-
-    /// Default-shaped programs (queries on).
-    #[test]
-    fn interpreter_equals_compiler(seed in 0u64..100_000) {
+/// Default-shaped programs (queries on).
+#[test]
+fn interpreter_equals_compiler() {
+    for seed in case_seeds(0xD1FF, 48) {
         run_differential(seed, GenConfig::default());
     }
+}
 
-    /// Deeper nesting, no queries (stresses control-flow translation).
-    #[test]
-    fn interpreter_equals_compiler_deep(seed in 0u64..100_000) {
+/// Deeper nesting, no queries (stresses control-flow translation).
+#[test]
+fn interpreter_equals_compiler_deep() {
+    for seed in case_seeds(0xDEE9, 48) {
         run_differential(
             seed,
             GenConfig {
@@ -79,45 +86,45 @@ proptest! {
     }
 }
 
-// Pretty-printer round trip on every generated compilation artifact: the
-// SQL we emit re-parses to the identical AST.
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 32,
-        .. ProptestConfig::default()
-    })]
-
-    #[test]
-    fn emitted_sql_reparses(seed in 0u64..100_000) {
+/// Pretty-printer round trip on every generated compilation artifact: the
+/// SQL we emit re-parses to the identical AST.
+#[test]
+fn emitted_sql_reparses() {
+    for seed in case_seeds(0x9E9A, 32) {
         let mut session = Session::default();
         genprog::install_fixture(&mut session).unwrap();
         let prog = genprog::generate(seed, GenConfig::default());
         session.run(&prog.source).unwrap();
         let compiled =
             compile_sql(&session.catalog, &prog.source, CompileOptions::default()).unwrap();
-        let reparsed = plsql_away::sql::parse_query(&compiled.sql)
-            .unwrap_or_else(|e| panic!("emitted SQL must re-parse: {e}\n{}", compiled.sql));
-        prop_assert_eq!(reparsed, compiled.query);
+        let reparsed = plsql_away::sql::parse_query(&compiled.sql).unwrap_or_else(|e| {
+            panic!(
+                "seed {seed}: emitted SQL must re-parse: {e}\n{}",
+                compiled.sql
+            )
+        });
+        assert_eq!(reparsed, compiled.query, "seed {seed}");
     }
 }
 
-// SSA invariants hold for every generated program (single assignment,
-// φ-per-predecessor, defs dominate uses) — `validate()` re-checks them all.
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 32,
-        .. ProptestConfig::default()
-    })]
-
-    #[test]
-    fn ssa_invariants_hold(seed in 0u64..100_000) {
+/// SSA invariants hold for every generated program (single assignment,
+/// φ-per-predecessor, defs dominate uses) — `validate()` re-checks them all.
+#[test]
+fn ssa_invariants_hold() {
+    for seed in case_seeds(0x55A0, 32) {
         let mut session = Session::default();
         genprog::install_fixture(&mut session).unwrap();
         let prog = genprog::generate(seed, GenConfig::default());
         session.run(&prog.source).unwrap();
         let compiled =
             compile_sql(&session.catalog, &prog.source, CompileOptions::default()).unwrap();
-        compiled.ssa.validate().unwrap();
-        compiled.anf.validate().unwrap();
+        compiled
+            .ssa
+            .validate()
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        compiled
+            .anf
+            .validate()
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
     }
 }

@@ -1,8 +1,10 @@
 //! Property-based tests of the engine substrate: window aggregation against
 //! a naive reference, ordering laws, set-operation semantics, and the
 //! tuplestore accounting model.
-
-use proptest::prelude::*;
+//!
+//! The container builds offline, so instead of `proptest` each property runs
+//! over a deterministic seeded sweep of random inputs drawn with
+//! [`SessionRng`]; failures print the case seed for replay.
 
 use plsql_away::prelude::*;
 
@@ -15,6 +17,14 @@ fn session_with_table(rows: &[(i64, i64)]) -> Session {
             .unwrap();
     }
     s
+}
+
+/// Random `(p, v)` rows: partition key in `0..parts`, value in `lo..hi`.
+fn gen_rows(rng: &mut SessionRng, max_len: usize, parts: i64, lo: i64, hi: i64) -> Vec<(i64, i64)> {
+    let len = rng.next_range(0, max_len as i64) as usize;
+    (0..len)
+        .map(|_| (rng.next_range(0, parts - 1), rng.next_range(lo, hi - 1)))
+        .collect()
 }
 
 /// Naive reference for `SUM(v) OVER (PARTITION BY p ORDER BY v ROWS
@@ -31,16 +41,7 @@ fn reference_running_sum(rows: &[(i64, i64)], exclude_current: bool) -> Vec<(i64
             .map(|(i, (_, vv))| (i, *vv))
             .collect();
         part.sort_by_key(|&(i, vv)| (vv, i)); // stable by original index
-        let my_index = rows
-            .iter()
-            .enumerate()
-            .position(|(i, r)| *r == (p, v) && {
-                // identify by first identical occurrence not yet used; for
-                // simplicity require unique (p, v) pairs in generated input
-                let _ = i;
-                true
-            })
-            .unwrap();
+        let my_index = rows.iter().position(|r| *r == (p, v)).unwrap();
         let my_pos = part.iter().position(|&(i, _)| i == my_index).unwrap();
         let mut sum = 0i64;
         for (k, &(_, vv)) in part.iter().enumerate() {
@@ -53,17 +54,18 @@ fn reference_running_sum(rows: &[(i64, i64)], exclude_current: bool) -> Vec<(i64
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
-
-    /// ROWS UNBOUNDED PRECEDING running sums match the naive reference
-    /// (unique (p, v) pairs keep the reference well-defined under ties).
-    #[test]
-    fn window_running_sum_matches_reference(
-        mut rows in proptest::collection::vec((0i64..4, -50i64..50), 1..24)
-    ) {
+/// ROWS UNBOUNDED PRECEDING running sums match the naive reference
+/// (unique (p, v) pairs keep the reference well-defined under ties).
+#[test]
+fn window_running_sum_matches_reference() {
+    let mut rng = SessionRng::new(0x11D0);
+    for case in 0..64 {
+        let mut rows = gen_rows(&mut rng, 23, 4, -50, 50);
         rows.sort_unstable();
         rows.dedup();
+        if rows.is_empty() {
+            rows.push((0, 0));
+        }
         let mut s = session_with_table(&rows);
         for exclude in [false, true] {
             let frame = if exclude {
@@ -89,15 +91,20 @@ proptest! {
                     )
                 })
                 .collect();
-            prop_assert_eq!(got, expect, "exclude={}", exclude);
+            assert_eq!(got, expect, "case {case} exclude={exclude} rows={rows:?}");
         }
     }
+}
 
-    /// `count(*) OVER ()` equals the partition size for every row.
-    #[test]
-    fn count_over_whole_partition(
-        rows in proptest::collection::vec((0i64..3, -9i64..9), 1..20)
-    ) {
+/// `count(*) OVER ()` equals the partition size for every row.
+#[test]
+fn count_over_whole_partition() {
+    let mut rng = SessionRng::new(0xC0DE);
+    for case in 0..64 {
+        let mut rows = gen_rows(&mut rng, 19, 3, -9, 9);
+        if rows.is_empty() {
+            rows.push((0, 0));
+        }
         let mut s = session_with_table(&rows);
         let result = s
             .run("SELECT p, count(*) OVER (PARTITION BY p) FROM t ORDER BY p")
@@ -106,14 +113,19 @@ proptest! {
             let p = r[0].as_int().unwrap();
             let c = r[1].as_int().unwrap();
             let expect = rows.iter().filter(|(pp, _)| *pp == p).count() as i64;
-            prop_assert_eq!(c, expect);
+            assert_eq!(c, expect, "case {case} rows={rows:?}");
         }
     }
+}
 
-    /// ORDER BY really sorts (adjacent pairs non-decreasing), with NULLs
-    /// last by default.
-    #[test]
-    fn order_by_sorts(values in proptest::collection::vec(-100i64..100, 0..30)) {
+/// ORDER BY really sorts (adjacent pairs non-decreasing), with NULLs
+/// last by default.
+#[test]
+fn order_by_sorts() {
+    let mut rng = SessionRng::new(0x50F7);
+    for case in 0..64 {
+        let len = rng.next_range(0, 29) as usize;
+        let values: Vec<i64> = (0..len).map(|_| rng.next_range(-100, 99)).collect();
         let mut s = Session::new(EngineConfig::raw());
         s.run("CREATE TABLE o (v int)").unwrap();
         for v in &values {
@@ -128,18 +140,24 @@ proptest! {
                 (Value::Null, _) => false,
                 (a, b) => a.as_int().unwrap() <= b.as_int().unwrap(),
             };
-            prop_assert!(ok, "out of order: {:?}", got);
+            assert!(ok, "case {case}: out of order: {got:?}");
         }
-        prop_assert_eq!(got.len(), values.len() + 1);
+        assert_eq!(got.len(), values.len() + 1, "case {case}");
     }
+}
 
-    /// UNION deduplicates; UNION ALL preserves multiplicity; EXCEPT/INTERSECT
-    /// behave like their set counterparts on distinct inputs.
-    #[test]
-    fn set_operations_match_reference(
-        a in proptest::collection::vec(0i64..8, 0..12),
-        b in proptest::collection::vec(0i64..8, 0..12),
-    ) {
+/// UNION deduplicates; UNION ALL preserves multiplicity; EXCEPT/INTERSECT
+/// behave like their set counterparts on distinct inputs.
+#[test]
+fn set_operations_match_reference() {
+    let mut rng = SessionRng::new(0x5E70);
+    for case in 0..64 {
+        let gen_vals = |rng: &mut SessionRng| -> Vec<i64> {
+            let len = rng.next_range(0, 11) as usize;
+            (0..len).map(|_| rng.next_range(0, 7)).collect()
+        };
+        let a = gen_vals(&mut rng);
+        let b = gen_vals(&mut rng);
         let mut s = Session::new(EngineConfig::raw());
         s.run("CREATE TABLE a (v int)").unwrap();
         s.run("CREATE TABLE b (v int)").unwrap();
@@ -158,27 +176,45 @@ proptest! {
                 .unwrap()
         };
         let union_all = count(&mut s, "SELECT v FROM a UNION ALL SELECT v FROM b");
-        prop_assert_eq!(union_all as usize, a.len() + b.len());
+        assert_eq!(union_all as usize, a.len() + b.len(), "case {case}");
 
         let union = count(&mut s, "SELECT v FROM a UNION SELECT v FROM b");
-        let distinct: std::collections::HashSet<i64> =
-            a.iter().chain(b.iter()).copied().collect();
-        prop_assert_eq!(union as usize, distinct.len());
+        let distinct: std::collections::HashSet<i64> = a.iter().chain(b.iter()).copied().collect();
+        assert_eq!(union as usize, distinct.len(), "case {case}");
 
         let except = count(&mut s, "SELECT v FROM a EXCEPT SELECT v FROM b");
         let a_set: std::collections::HashSet<i64> = a.iter().copied().collect();
         let b_set: std::collections::HashSet<i64> = b.iter().copied().collect();
-        prop_assert_eq!(except as usize, a_set.difference(&b_set).count());
+        assert_eq!(
+            except as usize,
+            a_set.difference(&b_set).count(),
+            "case {case}"
+        );
 
         let intersect = count(&mut s, "SELECT v FROM a INTERSECT SELECT v FROM b");
-        prop_assert_eq!(intersect as usize, a_set.intersection(&b_set).count());
+        assert_eq!(
+            intersect as usize,
+            a_set.intersection(&b_set).count(),
+            "case {case}"
+        );
     }
+}
 
-    /// Aggregates agree with references on arbitrary inputs (NULLs mixed in).
-    #[test]
-    fn aggregates_match_reference(
-        values in proptest::collection::vec(proptest::option::of(-100i64..100), 0..25)
-    ) {
+/// Aggregates agree with references on arbitrary inputs (NULLs mixed in).
+#[test]
+fn aggregates_match_reference() {
+    let mut rng = SessionRng::new(0xA66E);
+    for case in 0..64 {
+        let len = rng.next_range(0, 24) as usize;
+        let values: Vec<Option<i64>> = (0..len)
+            .map(|_| {
+                if rng.next_bool(0.2) {
+                    None
+                } else {
+                    Some(rng.next_range(-100, 99))
+                }
+            })
+            .collect();
         let mut s = Session::new(EngineConfig::raw());
         s.run("CREATE TABLE g (v int)").unwrap();
         for v in &values {
@@ -192,26 +228,46 @@ proptest! {
             .unwrap();
         let row = &result.rows[0];
         let non_null: Vec<i64> = values.iter().flatten().copied().collect();
-        prop_assert_eq!(row[0].as_int().unwrap(), values.len() as i64);
-        prop_assert_eq!(row[1].as_int().unwrap(), non_null.len() as i64);
+        assert_eq!(row[0].as_int().unwrap(), values.len() as i64, "case {case}");
+        assert_eq!(
+            row[1].as_int().unwrap(),
+            non_null.len() as i64,
+            "case {case}"
+        );
         match &row[2] {
-            Value::Null => prop_assert!(non_null.is_empty()),
-            v => prop_assert_eq!(v.as_int().unwrap(), non_null.iter().sum::<i64>()),
+            Value::Null => assert!(non_null.is_empty(), "case {case}"),
+            v => assert_eq!(
+                v.as_int().unwrap(),
+                non_null.iter().sum::<i64>(),
+                "case {case}"
+            ),
         }
         match &row[3] {
-            Value::Null => prop_assert!(non_null.is_empty()),
-            v => prop_assert_eq!(v.as_int().unwrap(), *non_null.iter().min().unwrap()),
+            Value::Null => assert!(non_null.is_empty(), "case {case}"),
+            v => assert_eq!(
+                v.as_int().unwrap(),
+                *non_null.iter().min().unwrap(),
+                "case {case}"
+            ),
         }
         match &row[4] {
-            Value::Null => prop_assert!(non_null.is_empty()),
-            v => prop_assert_eq!(v.as_int().unwrap(), *non_null.iter().max().unwrap()),
+            Value::Null => assert!(non_null.is_empty(), "case {case}"),
+            v => assert_eq!(
+                v.as_int().unwrap(),
+                *non_null.iter().max().unwrap(),
+                "case {case}"
+            ),
         }
     }
+}
 
-    /// A recursive CTE computing a sum agrees with closed form, and the same
-    /// query under WITH ITERATE returns only the final row.
-    #[test]
-    fn recursive_cte_sums(n in 1i64..300) {
+/// A recursive CTE computing a sum agrees with closed form, and the same
+/// query under WITH ITERATE returns only the final row.
+#[test]
+fn recursive_cte_sums() {
+    let mut rng = SessionRng::new(0xCE7E);
+    for _ in 0..24 {
+        let n = rng.next_range(1, 299);
         let mut s = Session::new(EngineConfig::raw());
         let sum: i64 = s
             .run(&format!(
@@ -223,7 +279,7 @@ proptest! {
             .unwrap()
             .as_int()
             .unwrap();
-        prop_assert_eq!(sum, n * (n + 1) / 2);
+        assert_eq!(sum, n * (n + 1) / 2);
 
         let last = s
             .run(&format!(
@@ -235,17 +291,21 @@ proptest! {
             .unwrap()
             .as_int()
             .unwrap();
-        prop_assert_eq!(last, n);
+        assert_eq!(last, n);
     }
+}
 
-    /// Value total order is transitive and antisymmetric on random samples
-    /// (the comparator driving every sort in the engine).
-    #[test]
-    fn value_total_order_laws(
-        a in -50i64..50, b in -50i64..50, c in -50i64..50,
-        fa in -5.0f64..5.0,
-    ) {
-        use std::cmp::Ordering;
+/// Value total order is transitive and antisymmetric on random samples
+/// (the comparator driving every sort in the engine).
+#[test]
+fn value_total_order_laws() {
+    use std::cmp::Ordering;
+    let mut rng = SessionRng::new(0x707A);
+    for _ in 0..32 {
+        let a = rng.next_range(-50, 49);
+        let b = rng.next_range(-50, 49);
+        let c = rng.next_range(-50, 49);
+        let fa = rng.next_f64() * 10.0 - 5.0;
         let vals = [
             Value::Int(a),
             Value::Int(b),
@@ -255,18 +315,45 @@ proptest! {
             Value::text("x"),
         ];
         for x in &vals {
-            prop_assert_eq!(x.total_cmp(x), Ordering::Equal);
+            assert_eq!(x.total_cmp(x), Ordering::Equal);
             for y in &vals {
                 let xy = x.total_cmp(y);
-                prop_assert_eq!(xy, y.total_cmp(x).reverse());
+                assert_eq!(xy, y.total_cmp(x).reverse());
                 for z in &vals {
                     if xy != Ordering::Greater && y.total_cmp(z) != Ordering::Greater {
-                        prop_assert_ne!(x.total_cmp(z), Ordering::Greater);
+                        assert_ne!(x.total_cmp(z), Ordering::Greater);
                     }
                 }
             }
         }
     }
+}
+
+/// A repeated aggregate expression is computed once and never descended
+/// into (regression guard for the planner's collect_aggregates dedup: a
+/// duplicate must not fall through to the generic Func arm and collect the
+/// aggregate's own arguments).
+#[test]
+fn repeated_aggregates_plan_once() {
+    let mut s = Session::new(EngineConfig::raw());
+    s.run("CREATE TABLE t (k int, v int)").unwrap();
+    s.run("INSERT INTO t VALUES (1, 10), (1, 20), (2, 5)")
+        .unwrap();
+    let r = s
+        .run("SELECT k, sum(v), sum(v) + count(*) FROM t GROUP BY k ORDER BY k")
+        .unwrap();
+    let got: Vec<(i64, i64, i64)> = r
+        .rows
+        .iter()
+        .map(|row| {
+            (
+                row[0].as_int().unwrap(),
+                row[1].as_int().unwrap(),
+                row[2].as_int().unwrap(),
+            )
+        })
+        .collect();
+    assert_eq!(got, vec![(1, 30, 32), (2, 5, 6)]);
 }
 
 /// Failure injection: recursion guards, plan invalidation, work_mem edges.

@@ -1,0 +1,135 @@
+//! Facade coverage: the `plsql_away` root crate must keep re-exporting the
+//! full public surface (the quickstart in `src/lib.rs` and every example
+//! compile against `plsql_away::prelude` alone), and the quickstart logic
+//! must round-trip — interpreter result == compiled result — on real
+//! workloads, through the normalized `Compiled::prepare` +
+//! `Session::execute_prepared` execution path.
+
+use plsql_away::prelude::*;
+
+/// Every name the prelude promises is nameable and usable from here. A
+/// removed or renamed re-export fails this test at compile time.
+#[test]
+fn prelude_exposes_the_public_surface() {
+    // Types as values/constructors.
+    let _session: Session = Session::default();
+    let _interp: Interpreter = Interpreter::new();
+    let _opts: CompileOptions = CompileOptions::default();
+    let _val: Value = Value::Int(1);
+    let _ty: Type = Type::Int;
+    let _rng: SessionRng = SessionRng::new(7);
+    let _cfg: EngineConfig = EngineConfig::postgres_like();
+    let _scope: ParamScope = ParamScope::default();
+
+    // Functions as items (referencing them type-checks the signatures).
+    let _compile_sql: fn(&plsql_away::engine::Catalog, &str, CompileOptions) -> Result<Compiled> =
+        compile_sql;
+    let _parse: fn(&str) -> Result<plsql_away::plsql::PlFunction> = parse_create_function;
+
+    // Enum re-exports.
+    let _mode: CteMode = CteMode::Recursive;
+    let _layout: ArgsLayout = ArgsLayout::Flattened;
+}
+
+/// The `src/lib.rs` quickstart flow, end to end, against one workload.
+fn round_trip(setup_sql: &[&str], fn_src: &str, fn_name: &str, args: &[Value]) {
+    let mut session = Session::default();
+    for sql in setup_sql {
+        session.run(sql).unwrap();
+    }
+    session.run(fn_src).unwrap();
+
+    let mut interp = Interpreter::new();
+    session.set_seed(1);
+    let interpreted = interp.call(&mut session, fn_name, args).unwrap();
+
+    let compiled = compile_sql(&session.catalog, fn_src, CompileOptions::default()).unwrap();
+    assert!(
+        compiled.sql.starts_with("WITH RECURSIVE"),
+        "compiled SQL must be a WITH RECURSIVE query: {}",
+        compiled.sql
+    );
+
+    // The normalized execution path: plan once, execute prepared.
+    let plan = compiled.prepare(&mut session).unwrap();
+    session.set_seed(1);
+    let compiled_v = session
+        .execute_prepared(&plan, args.to_vec())
+        .unwrap()
+        .scalar()
+        .unwrap();
+    assert_eq!(interpreted, compiled_v, "{fn_name} diverged");
+
+    // The one-shot convenience wrapper rides the same path.
+    session.set_seed(1);
+    assert_eq!(compiled.run(&mut session, args).unwrap(), compiled_v);
+}
+
+/// Workload 1: the lib.rs doctest's table-summing loop (query per step).
+#[test]
+fn quickstart_round_trips_sum_v() {
+    round_trip(
+        &[
+            "CREATE TABLE t (k int, v int)",
+            "INSERT INTO t VALUES (1, 10), (2, 20), (3, 30)",
+        ],
+        "CREATE FUNCTION sum_v(n int) RETURNS int AS $$
+            DECLARE total int := 0;
+            BEGIN
+              FOR i IN 1..n LOOP
+                total := total + (SELECT t.v FROM t WHERE t.k = i);
+              END LOOP;
+              RETURN total;
+            END $$ LANGUAGE plpgsql",
+        "sum_v",
+        &[Value::Int(3)],
+    );
+}
+
+/// Workload 2: the quickstart example's capped-payout function (early
+/// RETURN inside a loop, modular indexing in the embedded query).
+#[test]
+fn quickstart_round_trips_payout() {
+    let src = "CREATE FUNCTION payout(days int, cap int) RETURNS int AS $$
+        DECLARE
+          total int := 0;
+          today int;
+        BEGIN
+          FOR day IN 1..days LOOP
+            today := (SELECT b.amount FROM bonus AS b WHERE b.d = 1 + (day - 1) % 5);
+            total := total + today;
+            IF total >= cap THEN
+              RETURN day;
+            END IF;
+          END LOOP;
+          RETURN -total;
+        END $$ LANGUAGE plpgsql";
+    let setup = &[
+        "CREATE TABLE bonus (d int, amount int)",
+        "INSERT INTO bonus VALUES (1, 5), (2, 0), (3, 12), (4, 3), (5, 8)",
+    ];
+    // Both exits: capped (hits the early RETURN) and never-capped.
+    round_trip(setup, src, "payout", &[Value::Int(40), Value::Int(100)]);
+    round_trip(setup, src, "payout", &[Value::Int(10), Value::Int(100_000)]);
+}
+
+/// Workload 3: a query-less function (the interpreter's fast path) still
+/// round-trips through the facade.
+#[test]
+fn quickstart_round_trips_queryless_gcd() {
+    round_trip(
+        &[],
+        "CREATE FUNCTION gcd(a int, b int) RETURNS int AS $$
+            DECLARE t int;
+            BEGIN
+              WHILE b <> 0 LOOP
+                t := b;
+                b := a % b;
+                a := t;
+              END LOOP;
+              RETURN a;
+            END $$ LANGUAGE plpgsql",
+        "gcd",
+        &[Value::Int(252), Value::Int(105)],
+    );
+}

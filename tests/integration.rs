@@ -41,12 +41,14 @@ fn paper_workloads_agree_across_all_modes() {
     let w = fsa::parse_workload();
     w.install(&mut s).unwrap();
     let input = Value::text(fsa::generate_input(500, 7));
-    let reference = interp.call(&mut s, "parse", &[input.clone()]).unwrap();
+    let reference = interp
+        .call(&mut s, "parse", std::slice::from_ref(&input))
+        .unwrap();
     assert_eq!(reference, Value::Int(500));
     for options in [CompileOptions::default(), CompileOptions::iterate()] {
         let compiled = compile_sql(&s.catalog, &w.source, options).unwrap();
         assert_eq!(
-            compiled.run(&mut s, &[input.clone()]).unwrap(),
+            compiled.run(&mut s, std::slice::from_ref(&input)).unwrap(),
             reference,
             "parse, options {options:?}"
         );
@@ -63,10 +65,7 @@ fn paper_workloads_agree_across_all_modes() {
         let args = [Value::Int(start), Value::Int(40)];
         let reference = interp.call(&mut s, "traverse", &args).unwrap();
         assert_eq!(compiled.run(&mut s, &args).unwrap(), reference);
-        assert_eq!(
-            reference.as_int().unwrap(),
-            g.traverse_reference(start, 40)
-        );
+        assert_eq!(reference.as_int().unwrap(), g.traverse_reference(start, 40));
     }
 
     // fibonacci.
@@ -151,7 +150,6 @@ fn inlining_matches_per_call_results() {
         assert_eq!(g, extras::gcd_reference(a, b), "gcd({a},{b})");
     }
 }
-
 
 /// Deep recursive-UDF evaluation nests many native executor frames per call;
 /// debug builds have fat frames, so give these tests a roomy stack (the

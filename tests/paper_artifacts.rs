@@ -56,7 +56,10 @@ fn compiled_walk_beats_interpreter() {
     // parallel debug test runs skew both sides arbitrarily). In debug the
     // test still exercises both paths end to end.
     if cfg!(debug_assertions) {
-        eprintln!("debug build: skipping timing assertion (relative {:.0}%)", rel * 100.0);
+        eprintln!(
+            "debug build: skipping timing assertion (relative {:.0}%)",
+            rel * 100.0
+        );
     } else {
         assert!(
             rel < 0.85,
@@ -87,9 +90,13 @@ fn table1_shape_claims() {
     let mut s = Session::new(EngineConfig::postgres_like());
     fib::fib_workload().install(&mut s).unwrap();
     let mut interp = Interpreter::new();
-    interp.call(&mut s, "fibonacci", &[Value::Int(500)]).unwrap();
+    interp
+        .call(&mut s, "fibonacci", &[Value::Int(500)])
+        .unwrap();
     s.reset_instrumentation();
-    interp.call(&mut s, "fibonacci", &[Value::Int(500)]).unwrap();
+    interp
+        .call(&mut s, "fibonacci", &[Value::Int(500)])
+        .unwrap();
     assert_eq!(
         s.profiler.start_count, 0,
         "query-less function must never enter ExecutorStart"
@@ -131,7 +138,10 @@ fn table2_shape_claims() {
         let args = vec![Value::text(fsa::generate_input(n, 3))];
         s.reset_instrumentation();
         iter.run(&mut s, &args).unwrap();
-        assert_eq!(s.buffers.page_writes, 0, "ITERATE must write nothing (n={n})");
+        assert_eq!(
+            s.buffers.page_writes, 0,
+            "ITERATE must write nothing (n={n})"
+        );
         s.reset_instrumentation();
         rec.run(&mut s, &args).unwrap();
         rec_pages.push(s.buffers.page_writes);
@@ -149,7 +159,6 @@ fn table2_shape_claims() {
         "n=1000: measured {measured} vs analytic {analytic:.0}"
     );
 }
-
 
 /// Deep recursive-UDF evaluation nests many native executor frames per call;
 /// debug builds have fat frames, so give these tests a roomy stack (the

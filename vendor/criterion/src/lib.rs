@@ -1,0 +1,189 @@
+//! Offline shim for the subset of the `criterion` API that `plaway-bench`
+//! uses. The build container has no network access to crates.io, so this
+//! path dependency stands in for the real crate with the same surface:
+//! `Criterion`, `benchmark_group`, `sample_size`, `measurement_time`,
+//! `bench_function`, `Bencher::iter`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model: each `bench_function` first calibrates how many
+//! iterations fit in ~1/10 of the measurement time, then collects
+//! `sample_size` samples of that batch size and reports min / median / max
+//! per-iteration wall time to stdout in a criterion-like format.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Top-level benchmark driver (shim for `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Configure the driver from CLI args. The shim accepts and ignores the
+    /// filter/`--bench` arguments cargo passes through.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut group = self.benchmark_group(id.clone());
+        group.bench_function(id, f);
+        group.finish();
+        self
+    }
+
+    /// Called by `criterion_main!` after all groups ran.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of related benchmarks (shim for `BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+
+        // Calibrate: grow the batch until one batch takes >= 1/10 of the
+        // per-sample budget, so short kernels are timed in bulk.
+        let per_sample = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        loop {
+            f(&mut bencher);
+            let t = bencher.elapsed.as_secs_f64();
+            if t >= per_sample / 10.0 || bencher.iters >= 1 << 20 {
+                break;
+            }
+            bencher.iters *= 2;
+        }
+
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            f(&mut bencher);
+            samples.push(bencher.elapsed.as_secs_f64() / bencher.iters as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("benchmark sample was NaN"));
+        let med = samples[samples.len() / 2];
+        println!(
+            "{}/{}: [{} {} {}] ({} samples x {} iters)",
+            self.name,
+            id,
+            fmt_secs(samples[0]),
+            fmt_secs(med),
+            fmt_secs(samples[samples.len() - 1]),
+            samples.len(),
+            bencher.iters,
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.4} s")
+    } else if s >= 1e-3 {
+        format!("{:.4} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.4} µs", s * 1e6)
+    } else {
+        format!("{:.2} ns", s * 1e9)
+    }
+}
+
+/// Timing context handed to the benchmark closure (shim for `Bencher`).
+/// Calibration and measurement passes time identically; only the caller's
+/// use of `elapsed` differs.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+            $crate::Criterion::default().final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_measures_and_prints() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3).measurement_time(Duration::from_millis(30));
+        let mut calls = 0u64;
+        g.bench_function("noop", |b| b.iter(|| calls += 1));
+        g.finish();
+        assert!(calls > 0);
+    }
+}
