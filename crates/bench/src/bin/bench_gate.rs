@@ -1,0 +1,241 @@
+//! CI bench-regression gate.
+//!
+//! Compares a freshly produced `BENCH_smoke.json` against the committed
+//! baseline and fails (exit code 1) when any shared key regressed beyond
+//! the tolerance, when a baseline key disappeared, or when the paper's
+//! headline property — compiled fibonacci beating the interpreter — no
+//! longer holds in the fresh numbers. Fresh numbers are normalized by the
+//! median fresh/baseline ratio first, so a uniformly slower or faster
+//! machine (CI runner vs the baseline's container) does not trip the gate;
+//! only keys that move against the pack do.
+//!
+//! Usage:
+//! `bench_gate <baseline.json> <fresh.json> [tolerance-pct]`
+//! (default tolerance 25%).
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Parse the flat `{"key": int, ...}` JSON that `bench_smoke` emits.
+/// Hand-rolled on purpose: the container has no serde, and the format is
+/// fixed by our own writer.
+fn parse_bench_json(text: &str) -> Result<BTreeMap<String, u128>, String> {
+    let mut out = BTreeMap::new();
+    let body = text.trim();
+    let body = body
+        .strip_prefix('{')
+        .and_then(|b| b.strip_suffix('}'))
+        .ok_or("not a JSON object")?;
+    for line in body.split(',') {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (key, value) = line
+            .split_once(':')
+            .ok_or_else(|| format!("bad entry {line:?}"))?;
+        let key = key
+            .trim()
+            .strip_prefix('"')
+            .and_then(|k| k.strip_suffix('"'))
+            .ok_or_else(|| format!("bad key {key:?}"))?;
+        let value: u128 = value
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad value for {key:?}: {value:?}"))?;
+        out.insert(key.to_string(), value);
+    }
+    Ok(out)
+}
+
+/// Median ratio fresh/baseline across shared keys: a hardware-speed
+/// calibration factor. CI runners are not the machine the baseline was
+/// committed from; a uniformly slower (or faster) machine scales every
+/// key alike, while a real regression moves individual keys against the
+/// pack. Normalizing by the median cancels the former and keeps the
+/// latter.
+fn scale_factor(baseline: &BTreeMap<String, u128>, fresh: &BTreeMap<String, u128>) -> f64 {
+    let mut ratios: Vec<f64> = baseline
+        .iter()
+        .filter_map(|(k, &b)| fresh.get(k).map(|&f| f as f64 / b as f64))
+        .collect();
+    if ratios.is_empty() {
+        return 1.0;
+    }
+    ratios.sort_by(f64::total_cmp);
+    ratios[ratios.len() / 2]
+}
+
+/// One gate violation, human-readable.
+fn check(
+    baseline: &BTreeMap<String, u128>,
+    fresh: &BTreeMap<String, u128>,
+    tolerance_pct: u128,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    let scale = scale_factor(baseline, fresh);
+    for (key, &base) in baseline {
+        match fresh.get(key) {
+            None => failures.push(format!("key {key:?} missing from fresh results")),
+            Some(&now) => {
+                let normalized = now as f64 / scale;
+                let limit = (base + base * tolerance_pct / 100) as f64;
+                if normalized > limit {
+                    failures.push(format!(
+                        "{key}: {now} ns ({normalized:.0} ns at machine scale {scale:.2}) vs \
+                         baseline {base} ns (> +{tolerance_pct}% limit {limit:.0})"
+                    ));
+                }
+            }
+        }
+    }
+    // The paper's thesis, enforced: the compiled fibonacci modes must beat
+    // the interpreter in the fresh numbers.
+    if let Some(&interp) = fresh.get("fibonacci.interpreter") {
+        for mode in ["fibonacci.with_recursive", "fibonacci.with_iterate"] {
+            if let Some(&compiled) = fresh.get(mode) {
+                if compiled >= interp {
+                    failures.push(format!(
+                        "{mode} ({compiled} ns) must be faster than fibonacci.interpreter \
+                         ({interp} ns) — the compiled path lost its win"
+                    ));
+                }
+            }
+        }
+    }
+    failures
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let (baseline_path, fresh_path) = match (args.get(1), args.get(2)) {
+        (Some(b), Some(f)) => (b, f),
+        _ => {
+            eprintln!("usage: bench_gate <baseline.json> <fresh.json> [tolerance-pct]");
+            return ExitCode::from(2);
+        }
+    };
+    let tolerance_pct: u128 = args
+        .get(3)
+        .map(|t| t.parse().expect("tolerance must be an integer percent"))
+        .unwrap_or(25);
+
+    let read = |path: &str| {
+        std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {path}: {e}"))
+            .and_then(|t| parse_bench_json(&t).map_err(|e| format!("{path}: {e}")))
+    };
+    let baseline = match read(baseline_path) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let fresh = match read(fresh_path) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for (key, &now) in &fresh {
+        match baseline.get(key) {
+            Some(&base) => {
+                let delta = now as f64 / base as f64 - 1.0;
+                println!("{key}: {base} -> {now} ns ({:+.1}%)", delta * 100.0);
+            }
+            None => println!("{key}: {now} ns (new, no baseline)"),
+        }
+    }
+
+    let failures = check(&baseline, &fresh, tolerance_pct);
+    if failures.is_empty() {
+        println!(
+            "bench-gate OK ({} keys, tolerance {tolerance_pct}%)",
+            baseline.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("bench-gate FAIL: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map(entries: &[(&str, u128)]) -> BTreeMap<String, u128> {
+        entries.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn parses_bench_smoke_format() {
+        let text = "{\n  \"walk.interpreter\": 1699912,\n  \"fibonacci.with_iterate\": 639418\n}\n";
+        let m = parse_bench_json(text).unwrap();
+        assert_eq!(m["walk.interpreter"], 1699912);
+        assert_eq!(m["fibonacci.with_iterate"], 639418);
+        assert!(parse_bench_json("not json").is_err());
+    }
+
+    #[test]
+    fn within_tolerance_passes() {
+        let base = map(&[("k.a", 1000), ("k.b", 2000)]);
+        let fresh = map(&[("k.a", 1200), ("k.b", 1500)]);
+        assert!(check(&base, &fresh, 25).is_empty());
+    }
+
+    #[test]
+    fn regression_beyond_tolerance_fails() {
+        // Three stable keys pin the machine-scale median at 1.0; the
+        // fourth regresses against the pack.
+        let base = map(&[("k.a", 1000), ("k.b", 1000), ("k.c", 1000), ("k.d", 1000)]);
+        let fresh = map(&[("k.a", 1300), ("k.b", 1000), ("k.c", 1000), ("k.d", 1000)]);
+        let failures = check(&base, &fresh, 25);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("k.a"));
+    }
+
+    #[test]
+    fn uniformly_slower_machine_passes() {
+        // Everything 2x slower (different hardware): the median scale
+        // cancels it, no false regressions.
+        let base = map(&[("k.a", 1000), ("k.b", 2000), ("k.c", 3000)]);
+        let fresh = map(&[("k.a", 2000), ("k.b", 4000), ("k.c", 6000)]);
+        assert!(check(&base, &fresh, 25).is_empty());
+        // ... but a key regressing on top of the uniform slowdown fails.
+        let fresh = map(&[("k.a", 2900), ("k.b", 4000), ("k.c", 6000)]);
+        let failures = check(&base, &fresh, 25);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+    }
+
+    #[test]
+    fn missing_key_fails_new_key_passes() {
+        let base = map(&[("k.a", 1000)]);
+        let fresh = map(&[("k.b", 1000)]);
+        assert!(
+            !check(&base, &fresh, 25).is_empty(),
+            "missing key must fail"
+        );
+        let base = map(&[("k.a", 1000)]);
+        let fresh = map(&[("k.a", 1000), ("k.new", 5)]);
+        assert!(check(&base, &fresh, 25).is_empty(), "new keys are fine");
+    }
+
+    #[test]
+    fn compiled_fibonacci_must_beat_interpreter() {
+        let base = map(&[]);
+        let fresh = map(&[
+            ("fibonacci.interpreter", 1000),
+            ("fibonacci.with_recursive", 1100),
+            ("fibonacci.with_iterate", 900),
+        ]);
+        let failures = check(&base, &fresh, 25);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("with_recursive"));
+    }
+}

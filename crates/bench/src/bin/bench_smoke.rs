@@ -1,20 +1,25 @@
 //! Fast smoke benchmark seeding the `BENCH_*.json` perf trajectory.
 //!
-//! Runs two small kernels — `walk` (query-per-step, the paper's headline)
-//! and `fibonacci` (query-less) — in all three execution modes:
+//! Runs four small kernels — `walk` (query-per-step, the paper's headline),
+//! `fibonacci` (query-less), `graph` (digraph traversal) and `fsa`
+//! (string-consuming automaton) — in all three execution modes:
 //!
 //! * `interpreter` — statement-by-statement PL/pgSQL interpretation,
 //! * `with_recursive` — the compiled `WITH RECURSIVE` query,
 //! * `with_iterate` — the compiled `WITH ITERATE` variant (Passing et al.).
 //!
-//! Writes `BENCH_smoke.json` ({kernel.mode → median ns}) to the current
-//! directory so successive PRs can be compared run-over-run.
+//! Writes `BENCH_smoke.json` ({kernel.mode → median ns}, keys sorted so
+//! baseline diffs are stable) to the current directory; CI's `bench-gate`
+//! job compares the fresh numbers against the committed baseline.
 //!
 //! Usage: `cargo run --release -p plaway-bench --bin bench_smoke`
 
 use std::time::Instant;
 
-use plaway_bench::{fib_args, setup_fib, setup_walk, walk_args, BenchSetup};
+use plaway_bench::{
+    fib_args, parse_args, setup_fib, setup_parse, setup_traverse, setup_walk, traverse_args,
+    walk_args, BenchSetup,
+};
 use plaway_common::Value;
 use plaway_core::CompileOptions;
 use plaway_engine::EngineConfig;
@@ -45,15 +50,18 @@ fn time_runs(mut f: impl FnMut()) -> u128 {
 
 /// All three modes for one kernel. Every compiled mode goes through the
 /// normalized `Compiled::prepare` + `Session::execute_prepared` path.
-fn smoke_kernel(b: &mut BenchSetup, args: &[Value], results: &mut Vec<(String, u128)>) {
-    let name = b.fn_name;
-
+fn smoke_kernel(
+    kernel: &str,
+    b: &mut BenchSetup,
+    args: &[Value],
+    results: &mut Vec<(String, u128)>,
+) {
     let interp_args = args.to_vec();
     let ns = time_runs(|| {
         b.session.set_seed(1);
         b.run_interp(&interp_args).unwrap();
     });
-    results.push((format!("{name}.interpreter"), ns));
+    results.push((format!("{kernel}.interpreter"), ns));
 
     for (mode, options) in [
         ("with_recursive", CompileOptions::default()),
@@ -65,7 +73,7 @@ fn smoke_kernel(b: &mut BenchSetup, args: &[Value], results: &mut Vec<(String, u
             b.session.set_seed(1);
             b.session.execute_prepared(&plan, args.to_vec()).unwrap();
         });
-        results.push((format!("{name}.{mode}"), ns));
+        results.push((format!("{kernel}.{mode}"), ns));
     }
 }
 
@@ -73,10 +81,19 @@ fn main() {
     let mut results: Vec<(String, u128)> = Vec::new();
 
     let mut walk = setup_walk(EngineConfig::postgres_like());
-    smoke_kernel(&mut walk, &walk_args(100), &mut results);
+    smoke_kernel("walk", &mut walk, &walk_args(100), &mut results);
 
     let mut fib = setup_fib(EngineConfig::postgres_like());
-    smoke_kernel(&mut fib, &fib_args(500), &mut results);
+    smoke_kernel("fibonacci", &mut fib, &fib_args(500), &mut results);
+
+    let mut graph = setup_traverse(EngineConfig::postgres_like());
+    smoke_kernel("graph", &mut graph, &traverse_args(40), &mut results);
+
+    let mut fsa = setup_parse(EngineConfig::postgres_like());
+    smoke_kernel("fsa", &mut fsa, &parse_args(150), &mut results);
+
+    // Deterministic key order so baseline diffs (and the CI gate) are stable.
+    results.sort_by(|(a, _), (b, _)| a.cmp(b));
 
     let mut json = String::from("{\n");
     for (i, (key, ns)) in results.iter().enumerate() {

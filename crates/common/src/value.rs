@@ -122,13 +122,18 @@ impl Value {
     // ---------------------------------------------------------------- logic
 
     /// SQL equality under three-valued logic: `NULL = x` is `NULL` (`None`).
+    #[inline]
     pub fn sql_eq(&self, other: &Value) -> Result<Option<bool>> {
         Ok(self.sql_cmp(other)?.map(|o| o == Ordering::Equal))
     }
 
     /// SQL comparison under three-valued logic. `None` when either side is
     /// `NULL`; an error when the operand types are incomparable.
+    #[inline]
     pub fn sql_cmp(&self, other: &Value) -> Result<Option<Ordering>> {
+        if let (Value::Int(a), Value::Int(b)) = (self, other) {
+            return Ok(Some(a.cmp(b)));
+        }
         use Value::*;
         Ok(match (self, other) {
             (Null, _) | (_, Null) => None,
@@ -209,16 +214,39 @@ impl Value {
     // ----------------------------------------------------------- arithmetic
 
     /// `self + other` with numeric coercion; `||`-style text concat is NOT
-    /// folded in here (see [`Value::concat`]).
+    /// folded in here (see [`Value::concat`]). The int/int case is matched
+    /// directly (not via [`Value::numeric_binop`]'s function pointers) so
+    /// hot evaluation loops can inline it.
+    #[inline]
     pub fn add(&self, other: &Value) -> Result<Value> {
+        if let (Value::Int(a), Value::Int(b)) = (self, other) {
+            return a
+                .checked_add(*b)
+                .map(Value::Int)
+                .ok_or_else(|| Error::exec("integer overflow in +"));
+        }
         self.numeric_binop(other, "+", i64::checked_add, |a, b| a + b)
     }
 
+    #[inline]
     pub fn sub(&self, other: &Value) -> Result<Value> {
+        if let (Value::Int(a), Value::Int(b)) = (self, other) {
+            return a
+                .checked_sub(*b)
+                .map(Value::Int)
+                .ok_or_else(|| Error::exec("integer overflow in -"));
+        }
         self.numeric_binop(other, "-", i64::checked_sub, |a, b| a - b)
     }
 
+    #[inline]
     pub fn mul(&self, other: &Value) -> Result<Value> {
+        if let (Value::Int(a), Value::Int(b)) = (self, other) {
+            return a
+                .checked_mul(*b)
+                .map(Value::Int)
+                .ok_or_else(|| Error::exec("integer overflow in *"));
+        }
         self.numeric_binop(other, "*", i64::checked_mul, |a, b| a * b)
     }
 

@@ -31,7 +31,7 @@ pub struct Scopes<'a> {
 }
 
 impl<'a> Scopes<'a> {
-    fn at_depth(&self, depth: usize) -> Result<&'a [Value]> {
+    pub(crate) fn at_depth(&self, depth: usize) -> Result<&'a [Value]> {
         let mut cur = self;
         for _ in 0..depth {
             cur = cur
@@ -107,6 +107,13 @@ pub struct Runtime<'s> {
     /// Recursive working tables.
     pub working: HashMap<usize, Arc<Vec<Row>>>,
     pub udf_depth: usize,
+    /// Scratch value stack for compiled expression programs ([`crate::vm`]);
+    /// reentrant via base offsets, reused across evaluations.
+    pub vm_stack: Vec<Value>,
+    /// Per-execution memo for invariant sub-plans, keyed by plan address.
+    /// The catalog cannot change mid-statement, so a closed sub-plan's
+    /// scalar result is computed once instead of once per fixpoint row.
+    pub subplan_cache: HashMap<usize, Value>,
 }
 
 impl<'s> Runtime<'s> {
@@ -255,6 +262,9 @@ pub fn eval(ir: &ExprIr, env: &EvalEnv<'_>, rt: &mut Runtime<'_>) -> Result<Valu
         }
         ExprIr::Subplan(plan) => {
             rt.stats.subplan_evals += 1;
+            if let Some(v) = try_scalar_chain(plan, env, rt)? {
+                return Ok(v);
+            }
             let rows = exec(plan, env, rt)?;
             scalar_from_rows(rows)
         }
@@ -325,11 +335,12 @@ pub fn eval(ir: &ExprIr, env: &EvalEnv<'_>, rt: &mut Runtime<'_>) -> Result<Valu
             Ok(Value::record(vals))
         }
         ExprIr::Cast { expr, ty } => eval(expr, env, rt)?.cast(ty),
+        ExprIr::Vm(prog) => crate::vm::run(prog, env, rt),
     }
 }
 
 /// Three-valued AND over already-evaluated operands.
-fn and3(a: Option<bool>, b: Option<bool>) -> Option<bool> {
+pub(crate) fn and3(a: Option<bool>, b: Option<bool>) -> Option<bool> {
     match (a, b) {
         (Some(false), _) | (_, Some(false)) => Some(false),
         (Some(true), Some(true)) => Some(true),
@@ -373,15 +384,21 @@ fn eval_binary(
     }
     let l = eval(left, env, rt)?;
     let r = eval(right, env, rt)?;
+    apply_bin(op, &l, &r)
+}
+
+/// Apply a non-short-circuit binary operator to evaluated operands. Shared
+/// with the flat-program evaluator in [`crate::vm`].
+pub(crate) fn apply_bin(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
     match op {
-        BinOp::Add => l.add(&r),
-        BinOp::Sub => l.sub(&r),
-        BinOp::Mul => l.mul(&r),
-        BinOp::Div => l.div(&r),
-        BinOp::Mod => l.rem(&r),
-        BinOp::Concat => l.concat(&r),
+        BinOp::Add => l.add(r),
+        BinOp::Sub => l.sub(r),
+        BinOp::Mul => l.mul(r),
+        BinOp::Div => l.div(r),
+        BinOp::Mod => l.rem(r),
+        BinOp::Concat => l.concat(r),
         BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq => {
-            let cmp = l.sql_cmp(&r)?;
+            let cmp = l.sql_cmp(r)?;
             Ok(match cmp {
                 None => Value::Null,
                 Some(ord) => {
@@ -399,8 +416,48 @@ fn eval_binary(
                 }
             })
         }
-        BinOp::And | BinOp::Or => unreachable!("handled above"),
+        BinOp::And | BinOp::Or => unreachable!("short-circuit ops handled by the caller"),
     }
+}
+
+/// Fast path for the let-chain scalar sub-queries the PL/SQL compiler emits
+/// (`SELECT e FROM (SELECT e1) _0(v1) LEFT JOIN LATERAL (SELECT e2) ...`,
+/// planned as `Project[e] ∘ Extend* ∘ Result`): exactly one row by
+/// construction, so evaluate the chain into a single scratch row instead of
+/// driving the plan executor through five `Vec`s per evaluation. Returns
+/// `None` when the plan has any other shape.
+fn try_scalar_chain(
+    plan: &PlanNode,
+    env: &EvalEnv<'_>,
+    rt: &mut Runtime<'_>,
+) -> Result<Option<Value>> {
+    // Shape matching is shared with the VM's chain flattening so both fast
+    // paths accelerate (or skip) exactly the same plans.
+    let Some((first, extends, final_expr)) = crate::vm::chain_shape(plan) else {
+        return Ok(None);
+    };
+    // Evaluate exactly as Result → Extend* → Project would: the Result
+    // expressions see the outer environment; every later expression sees the
+    // row built so far pushed on the scope stack.
+    let mut letrow: Row = Vec::with_capacity(first.len() + extends.len());
+    for e in first {
+        letrow.push(eval(e, env, rt)?);
+    }
+    for exprs in extends {
+        for e in exprs {
+            let scopes = Scopes {
+                row: &letrow,
+                parent: env.scopes,
+            };
+            let v = eval(e, &env.with_row(&scopes), rt)?;
+            letrow.push(v);
+        }
+    }
+    let scopes = Scopes {
+        row: &letrow,
+        parent: env.scopes,
+    };
+    eval(final_expr, &env.with_row(&scopes), rt).map(Some)
 }
 
 fn scalar_from_rows(rows: Vec<Row>) -> Result<Value> {
@@ -514,6 +571,25 @@ pub fn exec(plan: &PlanNode, env: &EvalEnv<'_>, rt: &mut Runtime<'_>) -> Result<
             Ok(vec![row])
         }
         PlanNode::Filter { input, pred } => {
+            // Filtering a materialized CTE clones only the passing rows —
+            // the compiled queries' outer `WHERE NOT call?` otherwise copies
+            // the whole trace to keep one row.
+            if let PlanNode::CteScan { index } = input.as_ref() {
+                let rows = rt.ctes.get(index).cloned().ok_or_else(|| {
+                    Error::exec(format!("CTE #{index} not materialized (planner bug)"))
+                })?;
+                let mut out = Vec::new();
+                for row in rows.iter() {
+                    let scopes = Scopes {
+                        row,
+                        parent: env.scopes,
+                    };
+                    if eval(pred, &env.with_row(&scopes), rt)?.is_true() {
+                        out.push(row.clone());
+                    }
+                }
+                return Ok(out);
+            }
             let rows = exec(input, env, rt)?;
             let mut out = Vec::with_capacity(rows.len());
             for row in rows {
@@ -558,6 +634,15 @@ pub fn exec(plan: &PlanNode, env: &EvalEnv<'_>, rt: &mut Runtime<'_>) -> Result<
                     proj.push(eval(e, &inner, rt)?);
                 }
                 out.push(proj);
+            }
+            Ok(out)
+        }
+        PlanNode::ProjectUnpack { input, src, width } => {
+            let rows = exec(input, env, rt)?;
+            let mut out = Vec::with_capacity(rows.len());
+            for mut row in rows {
+                unpack_row(&mut row, *src, *width)?;
+                out.push(row);
             }
             Ok(out)
         }
@@ -647,6 +732,38 @@ pub fn exec(plan: &PlanNode, env: &EvalEnv<'_>, rt: &mut Runtime<'_>) -> Result<
             Ok(rows.as_ref().clone())
         }
     }
+}
+
+/// Replace `row` with the first `width` fields of the record in column
+/// `src`, reusing the row's allocation. Errors mirror the unfused
+/// `row_field(slot, i)` projection exactly.
+fn unpack_row(row: &mut Row, src: usize, width: usize) -> Result<()> {
+    if src >= row.len() {
+        return Err(Error::exec("column slot out of range (planner bug)"));
+    }
+    let v = std::mem::replace(&mut row[src], Value::Null);
+    let rec = take_record(v, width)?;
+    row.clear();
+    row.extend(rec.iter().take(width).cloned());
+    Ok(())
+}
+
+/// Extract a record of at least `width` fields, with the exact errors the
+/// unfused `row_field(x, i)` projection would raise — shared by every
+/// unpack path so they cannot drift.
+fn take_record(v: Value, width: usize) -> Result<Arc<[Value]>> {
+    let rec = match v {
+        Value::Record(rec) => rec,
+        other => return Err(other.as_record().unwrap_err()),
+    };
+    if rec.len() < width {
+        return Err(Error::exec(format!(
+            "row_field: index {} out of bounds for record of width {}",
+            rec.len() + 1,
+            rec.len()
+        )));
+    }
+    Ok(rec)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -842,24 +959,28 @@ fn exec_agg(
     }
 
     // Grouped: preserve first-seen group order for deterministic output.
+    // The key is evaluated into a reusable scratch buffer and only cloned
+    // when a new group is born — `Vec<Value>: Borrow<[Value]>` lets the map
+    // probe by slice, so group hits allocate nothing.
     let mut group_of: HashMap<Vec<Value>, usize> = HashMap::new();
     let mut groups: Vec<(Vec<Value>, Vec<AggAcc>)> = Vec::new();
+    let mut key_scratch: Vec<Value> = Vec::with_capacity(keys.len());
     for row in &rows {
         let scopes = Scopes {
             row,
             parent: env.scopes,
         };
         let inner = env.with_row(&scopes);
-        let mut key = Vec::with_capacity(keys.len());
+        key_scratch.clear();
         for k in keys {
-            key.push(eval(k, &inner, rt)?);
+            key_scratch.push(eval(k, &inner, rt)?);
         }
-        let gi = match group_of.get(&key) {
+        let gi = match group_of.get(key_scratch.as_slice()) {
             Some(&gi) => gi,
             None => {
                 let gi = groups.len();
-                group_of.insert(key.clone(), gi);
-                groups.push((key, aggs.iter().map(AggAcc::new).collect()));
+                group_of.insert(key_scratch.clone(), gi);
+                groups.push((key_scratch.clone(), aggs.iter().map(AggAcc::new).collect()));
                 gi
             }
         };
@@ -1097,6 +1218,369 @@ fn exec_with(
     result
 }
 
+/// One stage of a fused fixpoint pipeline (borrowed from the recursive plan).
+enum Step<'p> {
+    Filter(&'p ExprIr),
+    Extend(&'p [ExprIr]),
+    Project(&'p [ExprIr]),
+    Unpack { src: usize, width: usize },
+}
+
+/// Try to decompose the recursive arm into a row-at-a-time pipeline over the
+/// working table of `index`. The PL/SQL compiler's fixpoint arms are always
+/// `Project/Unpack ∘ Filter ∘ Extend ∘ WorkingScan`; running that shape
+/// directly lets the driver hand each working row through by value — no
+/// working-table map insert, no `Arc` churn, no per-iteration row clones.
+fn pipeline_steps(plan: &PlanNode, index: usize) -> Option<Vec<Step<'_>>> {
+    let mut steps = Vec::new();
+    let mut cur = plan;
+    loop {
+        match cur {
+            PlanNode::Filter { input, pred } => {
+                steps.push(Step::Filter(pred));
+                cur = input;
+            }
+            PlanNode::Extend { input, exprs } => {
+                steps.push(Step::Extend(exprs));
+                cur = input;
+            }
+            PlanNode::Project { input, exprs } => {
+                steps.push(Step::Project(exprs));
+                cur = input;
+            }
+            PlanNode::ProjectUnpack { input, src, width } => {
+                steps.push(Step::Unpack {
+                    src: *src,
+                    width: *width,
+                });
+                cur = input;
+            }
+            PlanNode::WorkingScan { index: i } if *i == index => break,
+            _ => return None,
+        }
+    }
+    steps.reverse();
+    // A self-reference nested in a sub-query (rare, but legal) still needs
+    // the working table materialized in the runtime map — fall back.
+    for step in &steps {
+        let exprs: &[ExprIr] = match step {
+            Step::Filter(e) => std::slice::from_ref(*e),
+            Step::Extend(es) | Step::Project(es) => es,
+            Step::Unpack { .. } => &[],
+        };
+        if exprs.iter().any(|e| expr_uses_working(e, index)) {
+            return None;
+        }
+    }
+    Some(steps)
+}
+
+/// Does the expression (or any plan nested inside it) read the working table
+/// of the given CTE index?
+fn expr_uses_working(e: &ExprIr, index: usize) -> bool {
+    let mut found = false;
+    walk_expr_plans(e, &mut |p| {
+        if plan_uses_working(p, index) {
+            found = true;
+        }
+    });
+    found
+}
+
+fn plan_uses_working(p: &PlanNode, index: usize) -> bool {
+    if matches!(p, PlanNode::WorkingScan { index: i } if *i == index) {
+        return true;
+    }
+    let mut found = false;
+    p.for_each_child(&mut |c| {
+        if plan_uses_working(c, index) {
+            found = true;
+        }
+    });
+    if !found {
+        p.for_each_expr(&mut |e| {
+            if expr_uses_working(e, index) {
+                found = true;
+            }
+        });
+    }
+    found
+}
+
+/// Visit every plan held inside an expression (sub-plans, and sub-plans
+/// reachable through compiled programs' tree fallbacks).
+fn walk_expr_plans(e: &ExprIr, f: &mut impl FnMut(&PlanNode)) {
+    match e {
+        ExprIr::Const(_) | ExprIr::Slot { .. } | ExprIr::Param(_) => {}
+        ExprIr::Neg(x) | ExprIr::Not(x) => walk_expr_plans(x, f),
+        ExprIr::Binary { left, right, .. } => {
+            walk_expr_plans(left, f);
+            walk_expr_plans(right, f);
+        }
+        ExprIr::IsNull { expr, .. } | ExprIr::Cast { expr, .. } => walk_expr_plans(expr, f),
+        ExprIr::Between {
+            expr, low, high, ..
+        } => {
+            walk_expr_plans(expr, f);
+            walk_expr_plans(low, f);
+            walk_expr_plans(high, f);
+        }
+        ExprIr::Case {
+            operand,
+            branches,
+            else_,
+        } => {
+            if let Some(o) = operand {
+                walk_expr_plans(o, f);
+            }
+            for (w, t) in branches {
+                walk_expr_plans(w, f);
+                walk_expr_plans(t, f);
+            }
+            if let Some(x) = else_ {
+                walk_expr_plans(x, f);
+            }
+        }
+        ExprIr::Coalesce(args) | ExprIr::Row(args) => {
+            for a in args {
+                walk_expr_plans(a, f);
+            }
+        }
+        ExprIr::Scalar { args, .. } | ExprIr::UdfCall { args, .. } => {
+            for a in args {
+                walk_expr_plans(a, f);
+            }
+        }
+        ExprIr::Subplan(p) => f(p),
+        ExprIr::Exists { plan } => f(plan),
+        ExprIr::InPlan { expr, plan, .. } => {
+            walk_expr_plans(expr, f);
+            f(plan);
+        }
+        ExprIr::InList { expr, list, .. } => {
+            walk_expr_plans(expr, f);
+            for i in list {
+                walk_expr_plans(i, f);
+            }
+        }
+        ExprIr::Like { expr, pattern, .. } => {
+            walk_expr_plans(expr, f);
+            walk_expr_plans(pattern, f);
+        }
+        ExprIr::Vm(prog) => {
+            for t in prog.fallback_trees() {
+                walk_expr_plans(t, f);
+            }
+        }
+    }
+}
+
+/// Fully fused fixpoint transition: `Extend([body]) → Filter(pred) →
+/// Unpack{src,width}` with the body run in splat mode ([`crate::vm`]) —
+/// each iteration's new row values are computed on the VM stack and moved
+/// into the working row, with no record allocation and no per-column clone.
+struct Transition<'p> {
+    prog: crate::vm::ExprProgram,
+    pred: &'p ExprIr,
+    /// When the predicate is a bare depth-0 column read (the `call?` flag of
+    /// Figure 8), test it directly instead of calling the evaluator.
+    pred_slot: Option<usize>,
+    src: usize,
+    width: usize,
+}
+
+fn try_transition<'p>(steps: &[Step<'p>]) -> Option<Transition<'p>> {
+    let [Step::Extend(exprs), Step::Filter(pred), Step::Unpack { src, width }] = steps else {
+        return None;
+    };
+    let [body] = exprs else {
+        return None;
+    };
+    // width 1 would make "one splatted value" and "one record to unpack"
+    // indistinguishable; compiled fixpoints are always wider.
+    if *width < 2 || !pred_reads_below(pred, *src) {
+        return None;
+    }
+    let base_prog = match body {
+        ExprIr::Vm(p) => (**p).clone(),
+        tree => crate::vm::compile(tree),
+    };
+    let pred_slot = match pred {
+        ExprIr::Slot { depth: 0, index } => Some(*index),
+        _ => None,
+    };
+    Some(Transition {
+        prog: crate::vm::splat_transform(base_prog, *width),
+        pred,
+        pred_slot,
+        src: *src,
+        width: *width,
+    })
+}
+
+/// Does the predicate only read row columns below `limit` (plus outer
+/// scopes and parameters)? Sub-plans and UDFs are rejected — they could
+/// reach the appended column indirectly.
+fn pred_reads_below(e: &ExprIr, limit: usize) -> bool {
+    match e {
+        ExprIr::Const(_) | ExprIr::Param(_) => true,
+        ExprIr::Slot { depth, index } => *depth > 0 || *index < limit,
+        ExprIr::Neg(x) | ExprIr::Not(x) => pred_reads_below(x, limit),
+        ExprIr::Binary { left, right, .. } => {
+            pred_reads_below(left, limit) && pred_reads_below(right, limit)
+        }
+        ExprIr::IsNull { expr, .. } | ExprIr::Cast { expr, .. } => pred_reads_below(expr, limit),
+        ExprIr::Between {
+            expr, low, high, ..
+        } => {
+            pred_reads_below(expr, limit)
+                && pred_reads_below(low, limit)
+                && pred_reads_below(high, limit)
+        }
+        ExprIr::Case {
+            operand,
+            branches,
+            else_,
+        } => {
+            operand
+                .as_deref()
+                .is_none_or(|o| pred_reads_below(o, limit))
+                && branches
+                    .iter()
+                    .all(|(w, t)| pred_reads_below(w, limit) && pred_reads_below(t, limit))
+                && else_.as_deref().is_none_or(|e| pred_reads_below(e, limit))
+        }
+        ExprIr::Coalesce(args) | ExprIr::Row(args) => {
+            args.iter().all(|a| pred_reads_below(a, limit))
+        }
+        ExprIr::Scalar { args, .. } => args.iter().all(|a| pred_reads_below(a, limit)),
+        ExprIr::InList { expr, list, .. } => {
+            pred_reads_below(expr, limit) && list.iter().all(|i| pred_reads_below(i, limit))
+        }
+        ExprIr::Like { expr, pattern, .. } => {
+            pred_reads_below(expr, limit) && pred_reads_below(pattern, limit)
+        }
+        ExprIr::UdfCall { .. }
+        | ExprIr::Subplan(_)
+        | ExprIr::Exists { .. }
+        | ExprIr::InPlan { .. }
+        | ExprIr::Vm(_) => false,
+    }
+}
+
+/// Run one working row through the fused transition, updating it in place.
+/// Returns `false` when the filter drops the row.
+fn run_transition_row(
+    t: &Transition<'_>,
+    row: &mut Row,
+    env: &EvalEnv<'_>,
+    rt: &mut Runtime<'_>,
+) -> Result<bool> {
+    let base = rt.vm_stack.len();
+    // Body first (matching Extend-then-Filter evaluation order), values
+    // parked on the VM stack; the row's own columns stay untouched.
+    let produced = {
+        let scopes = Scopes {
+            row,
+            parent: env.scopes,
+        };
+        crate::vm::run_splat(&t.prog, &env.with_row(&scopes), rt)?
+    };
+    let keep = match t.pred_slot {
+        Some(i) => Ok(row[i].is_true()),
+        None => {
+            let scopes = Scopes {
+                row,
+                parent: env.scopes,
+            };
+            eval(t.pred, &env.with_row(&scopes), rt).map(|v| v.is_true())
+        }
+    };
+    let keep = match keep {
+        Ok(v) => v,
+        Err(e) => {
+            rt.vm_stack.truncate(base);
+            return Err(e);
+        }
+    };
+    if !keep {
+        rt.vm_stack.truncate(base);
+        return Ok(false);
+    }
+    if produced == t.width {
+        row.clear();
+        row.extend(rt.vm_stack.drain(base..));
+    } else {
+        debug_assert_eq!(produced, 1);
+        let v = rt.vm_stack.pop().unwrap();
+        let rec = take_record(v, t.width)?;
+        row.clear();
+        row.extend(rec.iter().take(t.width).cloned());
+    }
+    Ok(true)
+}
+
+/// Push one working row through the pipeline. `None` when a filter drops it.
+fn run_pipeline_row(
+    steps: &[Step<'_>],
+    mut row: Row,
+    env: &EvalEnv<'_>,
+    rt: &mut Runtime<'_>,
+) -> Result<Option<Row>> {
+    for step in steps {
+        match step {
+            Step::Filter(pred) => {
+                let scopes = Scopes {
+                    row: &row,
+                    parent: env.scopes,
+                };
+                if !eval(pred, &env.with_row(&scopes), rt)?.is_true() {
+                    return Ok(None);
+                }
+            }
+            Step::Extend(exprs) => {
+                row.reserve(exprs.len());
+                for e in *exprs {
+                    let scopes = Scopes {
+                        row: &row,
+                        parent: env.scopes,
+                    };
+                    let v = eval(e, &env.with_row(&scopes), rt)?;
+                    row.push(v);
+                }
+            }
+            Step::Project(exprs) => {
+                let proj = {
+                    let scopes = Scopes {
+                        row: &row,
+                        parent: env.scopes,
+                    };
+                    let inner = env.with_row(&scopes);
+                    let mut proj = Vec::with_capacity(exprs.len());
+                    for e in *exprs {
+                        proj.push(eval(e, &inner, rt)?);
+                    }
+                    proj
+                };
+                row = proj;
+            }
+            Step::Unpack { src, width } => unpack_row(&mut row, *src, *width)?,
+        }
+    }
+    Ok(Some(row))
+}
+
+fn iteration_limit_error(mode: RecursionMode, limit: u64) -> Error {
+    Error::exec(format!(
+        "{} CTE exceeded {} iterations (possible infinite recursion)",
+        match mode {
+            RecursionMode::Accumulate => "recursive",
+            RecursionMode::IterateOnly => "iterative",
+        },
+        limit
+    ))
+}
+
 fn exec_recursive_cte(
     index: usize,
     base: &PlanNode,
@@ -1111,58 +1595,130 @@ fn exec_recursive_cte(
     if !union_all {
         working.retain(|r| seen.insert(r.clone()));
     }
+    let limit = rt.config.max_recursive_iterations;
+    let steps = pipeline_steps(recursive, index);
+    let mut iters: u64 = 0;
 
-    match mode {
-        RecursionMode::Accumulate => {
-            // PostgreSQL: every iteration appends to the result tuplestore.
+    let result = match (mode, steps) {
+        (RecursionMode::Accumulate, Some(steps)) => {
+            // Fused driver: rows flow through the pipeline by value; the
+            // drained buffer is recycled as next iteration's output buffer.
+            let trans = try_transition(&steps);
             let mut store = Tuplestore::new(rt.config.work_mem_bytes);
             store.extend(working.iter().cloned());
-            let mut iters: u64 = 0;
+            let mut next: Vec<Row> = Vec::new();
             while !working.is_empty() {
                 iters += 1;
-                if iters > rt.config.max_recursive_iterations {
-                    return Err(Error::exec(format!(
-                        "recursive CTE exceeded {} iterations (possible infinite recursion)",
-                        rt.config.max_recursive_iterations
-                    )));
+                if iters > limit {
+                    return Err(iteration_limit_error(mode, limit));
                 }
-                rt.working
-                    .insert(index, Arc::new(std::mem::take(&mut working)));
-                let mut next = exec(recursive, env, rt)?;
+                for mut row in working.drain(..) {
+                    match &trans {
+                        Some(t) if row.len() == t.src => {
+                            if run_transition_row(t, &mut row, env, rt)? {
+                                next.push(row);
+                            }
+                        }
+                        _ => {
+                            if let Some(out) = run_pipeline_row(&steps, row, env, rt)? {
+                                next.push(out);
+                            }
+                        }
+                    }
+                }
+                if !union_all {
+                    next.retain(|r| seen.insert(r.clone()));
+                }
+                store.extend(next.iter().cloned());
+                std::mem::swap(&mut working, &mut next);
+            }
+            store.finish(rt.buffers)
+        }
+        (RecursionMode::IterateOnly, Some(steps)) => {
+            // WITH ITERATE: only the final iteration survives. The previous
+            // working table is kept by swap, not by cloning it wholesale.
+            let trans = try_transition(&steps);
+            let mut prev: Vec<Row> = Vec::new();
+            while !working.is_empty() {
+                iters += 1;
+                if iters > limit {
+                    return Err(iteration_limit_error(mode, limit));
+                }
+                let mut next = Vec::with_capacity(working.len());
+                for row in &working {
+                    let mut row = row.clone();
+                    match &trans {
+                        Some(t) if row.len() == t.src => {
+                            if run_transition_row(t, &mut row, env, rt)? {
+                                next.push(row);
+                            }
+                        }
+                        _ => {
+                            if let Some(out) = run_pipeline_row(&steps, row, env, rt)? {
+                                next.push(out);
+                            }
+                        }
+                    }
+                }
+                if !union_all {
+                    next.retain(|r| seen.insert(r.clone()));
+                }
+                prev = std::mem::replace(&mut working, next);
+            }
+            prev
+        }
+        (RecursionMode::Accumulate, None) => {
+            // General driver (joins, sub-query self-references, ...):
+            // PostgreSQL's algorithm, every iteration appends to the result
+            // tuplestore. The working-table Arc is recycled when sole owner.
+            let mut store = Tuplestore::new(rt.config.work_mem_bytes);
+            store.extend(working.iter().cloned());
+            let mut slot: Arc<Vec<Row>> = Arc::new(Vec::new());
+            while !working.is_empty() {
+                iters += 1;
+                if iters > limit {
+                    return Err(iteration_limit_error(mode, limit));
+                }
+                match Arc::get_mut(&mut slot) {
+                    Some(buf) => {
+                        buf.clear();
+                        buf.append(&mut working);
+                    }
+                    None => slot = Arc::new(std::mem::take(&mut working)),
+                }
+                rt.working.insert(index, Arc::clone(&slot));
+                let exec_result = exec(recursive, env, rt);
+                rt.working.remove(&index);
+                let mut next = exec_result?;
                 if !union_all {
                     next.retain(|r| seen.insert(r.clone()));
                 }
                 store.extend(next.iter().cloned());
                 working = next;
             }
-            rt.stats.recursive_iterations += iters;
-            Ok(store.finish(rt.buffers))
+            store.finish(rt.buffers)
         }
-        RecursionMode::IterateOnly => {
-            // WITH ITERATE (Passing et al.): keep only the rows of the final
-            // iteration — tail recursion needs no trace, so nothing is
-            // accumulated and nothing can spill.
-            let mut last = working.clone();
-            let mut iters: u64 = 0;
+        (RecursionMode::IterateOnly, None) => {
+            let mut last: Vec<Row> = Vec::new();
             while !working.is_empty() {
                 iters += 1;
-                if iters > rt.config.max_recursive_iterations {
-                    return Err(Error::exec(format!(
-                        "iterative CTE exceeded {} iterations (possible infinite recursion)",
-                        rt.config.max_recursive_iterations
-                    )));
+                if iters > limit {
+                    return Err(iteration_limit_error(mode, limit));
                 }
-                last = working.clone();
-                rt.working
-                    .insert(index, Arc::new(std::mem::take(&mut working)));
-                let mut next = exec(recursive, env, rt)?;
+                let cur = Arc::new(std::mem::take(&mut working));
+                rt.working.insert(index, Arc::clone(&cur));
+                let exec_result = exec(recursive, env, rt);
+                rt.working.remove(&index);
+                let mut next = exec_result?;
                 if !union_all {
                     next.retain(|r| seen.insert(r.clone()));
                 }
+                last = Arc::try_unwrap(cur).unwrap_or_else(|a| (*a).clone());
                 working = next;
             }
-            rt.stats.recursive_iterations += iters;
-            Ok(last)
+            last
         }
-    }
+    };
+    rt.stats.recursive_iterations += iters;
+    Ok(result)
 }

@@ -84,6 +84,10 @@ pub enum ExprIr {
         expr: Box<ExprIr>,
         ty: Type,
     },
+    /// Pre-compiled flat program (see [`crate::vm`]): built once per prepared
+    /// plan by the planner's pre-compilation pass, evaluated on a reusable
+    /// value stack instead of walking the tree per row.
+    Vm(Arc<crate::vm::ExprProgram>),
 }
 
 impl ExprIr {
@@ -128,6 +132,7 @@ impl ExprIr {
             ExprIr::Like { expr, pattern, .. } => expr.is_pure_scalar() && pattern.is_pure_scalar(),
             ExprIr::Row(items) => items.iter().all(ExprIr::is_pure_scalar),
             ExprIr::Cast { expr, .. } => expr.is_pure_scalar(),
+            ExprIr::Vm(prog) => prog.is_pure(),
         }
     }
 }
@@ -375,6 +380,17 @@ pub enum PlanNode {
         input: Box<PlanNode>,
         exprs: Vec<ExprIr>,
     },
+    /// Fused record-unpacking projection: each output row is the first
+    /// `width` fields of the record in column `src` of the input row.
+    /// Replaces the `SELECT row_field(x, 1), ..., row_field(x, n)` shape the
+    /// PL/SQL compiler's recursive arm emits (Figure 8's row decoding),
+    /// avoiding one slot lookup + function dispatch + record clone per
+    /// column per iteration.
+    ProjectUnpack {
+        input: Box<PlanNode>,
+        src: usize,
+        width: usize,
+    },
     /// Fused LATERAL let-chain: for each input row, evaluate `exprs` left to
     /// right, each seeing the row extended so far (depth 0). Replaces the
     /// `LEFT JOIN LATERAL (SELECT e) ...` chains the PL/SQL compiler emits,
@@ -454,7 +470,7 @@ impl PlanNode {
         n
     }
 
-    fn for_each_child(&self, f: &mut impl FnMut(&PlanNode)) {
+    pub(crate) fn for_each_child(&self, f: &mut impl FnMut(&PlanNode)) {
         match self {
             PlanNode::SeqScan { .. }
             | PlanNode::IndexLookup { .. }
@@ -464,6 +480,7 @@ impl PlanNode {
             | PlanNode::WorkingScan { .. } => {}
             PlanNode::Filter { input, .. }
             | PlanNode::Project { input, .. }
+            | PlanNode::ProjectUnpack { input, .. }
             | PlanNode::Extend { input, .. }
             | PlanNode::Agg { input, .. }
             | PlanNode::WindowAgg { input, .. }
@@ -500,6 +517,77 @@ impl PlanNode {
         }
     }
 
+    /// Visit the expressions held directly by this node (not by children).
+    pub(crate) fn for_each_expr(&self, f: &mut impl FnMut(&ExprIr)) {
+        match self {
+            PlanNode::SeqScan { .. }
+            | PlanNode::ProjectUnpack { .. }
+            | PlanNode::Distinct { .. }
+            | PlanNode::Append { .. }
+            | PlanNode::SetOpNode { .. }
+            | PlanNode::CteScan { .. }
+            | PlanNode::WorkingScan { .. } => {}
+            PlanNode::IndexLookup { key, .. } => f(key),
+            PlanNode::Values { rows } => {
+                for row in rows {
+                    for e in row {
+                        f(e);
+                    }
+                }
+            }
+            PlanNode::Result { exprs }
+            | PlanNode::Project { exprs, .. }
+            | PlanNode::Extend { exprs, .. } => {
+                for e in exprs {
+                    f(e);
+                }
+            }
+            PlanNode::Filter { pred, .. } => f(pred),
+            PlanNode::NestLoop { on, .. } => {
+                if let Some(e) = on {
+                    f(e);
+                }
+            }
+            PlanNode::Agg { keys, aggs, .. } => {
+                for k in keys {
+                    f(k);
+                }
+                for a in aggs {
+                    if let Some(e) = &a.arg {
+                        f(e);
+                    }
+                }
+            }
+            PlanNode::WindowAgg { windows, .. } => {
+                for w in windows {
+                    for e in &w.args {
+                        f(e);
+                    }
+                    for e in &w.partition_by {
+                        f(e);
+                    }
+                    for k in &w.order_by {
+                        f(&k.expr);
+                    }
+                }
+            }
+            PlanNode::Sort { keys, .. } => {
+                for k in keys {
+                    f(&k.expr);
+                }
+            }
+            PlanNode::Limit { limit, offset, .. } => {
+                if let Some(e) = limit {
+                    f(e);
+                }
+                if let Some(e) = offset {
+                    f(e);
+                }
+            }
+            PlanNode::With { .. } => {}
+        }
+    }
+
     /// One-line operator name for EXPLAIN output.
     pub fn op_name(&self) -> &'static str {
         match self {
@@ -509,6 +597,7 @@ impl PlanNode {
             PlanNode::Result { .. } => "Result",
             PlanNode::Filter { .. } => "Filter",
             PlanNode::Project { .. } => "Project",
+            PlanNode::ProjectUnpack { .. } => "ProjectUnpack",
             PlanNode::Extend { .. } => "Extend",
             PlanNode::NestLoop { .. } => "NestLoop",
             PlanNode::Agg { .. } => "Aggregate",

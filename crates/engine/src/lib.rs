@@ -27,6 +27,7 @@ pub mod planner;
 pub mod profile;
 pub mod session;
 pub mod tuplestore;
+pub mod vm;
 pub mod window;
 
 pub use catalog::{Catalog, Column, FunctionDef, Row, Table};

@@ -145,7 +145,10 @@ pub fn plan_query(
         next_cte_index: 0,
     };
     let mut chain = Vec::new();
-    let (plan, scope) = p.plan_query(query, &mut chain)?;
+    let (mut plan, scope) = p.plan_query(query, &mut chain)?;
+    // Pre-compile expression trees into flat programs (and memoizable
+    // invariant sub-plans) once, so execution never tree-walks per row.
+    crate::vm::precompile_plan(&mut plan);
     Ok(PreparedPlan {
         sql: query.to_string(),
         plan,
@@ -262,6 +265,7 @@ impl<'a> Planner<'a> {
             };
         }
         plan = fuse_lateral_chains(plan);
+        plan = fuse_project_unpack(plan);
         self.ctes.truncate(cte_mark);
         // Strip qualifiers: a query's output is a fresh anonymous row shape.
         scope = Scope::from_names(None, &scope.names());
@@ -1344,6 +1348,48 @@ fn fuse_lateral_chains(plan: PlanNode) -> PlanNode {
     plan
 }
 
+/// Fuse `SELECT row_field(x, 1), ..., row_field(x, n)` projections — the
+/// row-decoding shape of the compiler's recursive arm (Figure 8) — into a
+/// single [`PlanNode::ProjectUnpack`] that splats the record in place.
+fn fuse_project_unpack(plan: PlanNode) -> PlanNode {
+    let plan = map_children(plan, fuse_project_unpack);
+    if let PlanNode::Project { input, exprs } = plan {
+        if let Some((src, width)) = unpack_pattern(&exprs) {
+            return PlanNode::ProjectUnpack { input, src, width };
+        }
+        return PlanNode::Project { input, exprs };
+    }
+    plan
+}
+
+/// Match `[row_field(slot k, 1), row_field(slot k, 2), ...]` (same depth-0
+/// slot `k`, consecutive 1-based field indexes) and return `(k, width)`.
+fn unpack_pattern(exprs: &[ExprIr]) -> Option<(usize, usize)> {
+    let mut src: Option<usize> = None;
+    for (i, e) in exprs.iter().enumerate() {
+        let ExprIr::Scalar {
+            func: ScalarFn::RowField,
+            args,
+        } = e
+        else {
+            return None;
+        };
+        let [ExprIr::Slot { depth: 0, index }, ExprIr::Const(Value::Int(field))] = args.as_slice()
+        else {
+            return None;
+        };
+        if *field != i as i64 + 1 {
+            return None;
+        }
+        match src {
+            None => src = Some(*index),
+            Some(s) if s == *index => {}
+            Some(_) => return None,
+        }
+    }
+    src.map(|s| (s, exprs.len()))
+}
+
 /// Apply `f` to each direct child plan, rebuilding the node.
 fn map_children(plan: PlanNode, f: fn(PlanNode) -> PlanNode) -> PlanNode {
     use crate::ir::CtePlan;
@@ -1355,6 +1401,11 @@ fn map_children(plan: PlanNode, f: fn(PlanNode) -> PlanNode) -> PlanNode {
         PlanNode::Project { input, exprs } => PlanNode::Project {
             input: Box::new(f(*input)),
             exprs,
+        },
+        PlanNode::ProjectUnpack { input, src, width } => PlanNode::ProjectUnpack {
+            input: Box::new(f(*input)),
+            src,
+            width,
         },
         PlanNode::Extend { input, exprs } => PlanNode::Extend {
             input: Box::new(f(*input)),

@@ -3,9 +3,11 @@
 //! This is where the paper's cost model lives. A prepared query is planned
 //! once and cached; every *evaluation* then pays
 //!
-//! 1. `ExecutorStart` — instantiate runtime state from the cached plan
-//!    (we deep-copy the plan tree, as PostgreSQL copies the cached plan and
-//!    builds per-node `PlanState`),
+//! 1. `ExecutorStart` — instantiate runtime state from the cached plan.
+//!    The plan itself is immutable and shared by `Arc` (re-instantiation
+//!    must not re-pay planning); PostgreSQL's measured per-evaluation
+//!    instantiation cost is injected via the profile's calibrated
+//!    `start_penalty_ns` (see [`EngineConfig::postgres_like`]),
 //! 2. `ExecutorRun` — evaluate,
 //! 3. `ExecutorEnd` — tear the state down (drop).
 //!
@@ -102,9 +104,12 @@ impl QueryResult {
 /// Instantiated executor state for one evaluation (the product of
 /// `ExecutorStart`, consumed by `ExecutorRun`/`ExecutorEnd`).
 pub struct ExecHandle {
-    /// Private deep copy of the cached plan (PostgreSQL: the plan copied out
-    /// of the plan cache into the executor's memory context).
-    state: crate::ir::PlanNode,
+    /// Shared reference to the cached plan. Earlier revisions deep-copied
+    /// the whole plan tree here, which charged every compiled-query
+    /// invocation a planner-shaped allocation storm; the calibrated
+    /// `start_penalty_ns` already models PostgreSQL's instantiation cost,
+    /// so the copy was pure loss.
+    plan: Arc<PreparedPlan>,
     params: Vec<Value>,
 }
 
@@ -564,20 +569,22 @@ impl Session {
     }
 
     /// `ExecutorStart`: instantiate executor state from the cached plan.
-    /// The deep copy is the honest analogue of PostgreSQL copying the cached
-    /// plan tree and running `ExecInitNode` over it.
+    /// PostgreSQL copies the cached plan tree and runs `ExecInitNode` over
+    /// it; that cost is injected as the profile's calibrated start penalty,
+    /// while the plan itself stays shared — repeated `execute_prepared`
+    /// calls never re-copy or re-plan.
     pub fn executor_start(
         &mut self,
         prepared: &Arc<PreparedPlan>,
         params: Vec<Value>,
     ) -> ExecHandle {
         let t0 = Instant::now();
-        let state = prepared.plan.clone();
+        let plan = Arc::clone(prepared);
         if self.config.start_penalty_ns > 0 {
             spin_ns(self.config.start_penalty_ns);
         }
         self.profiler.add(Phase::ExecStart, t0.elapsed());
-        ExecHandle { state, params }
+        ExecHandle { plan, params }
     }
 
     /// `ExecutorRun`: evaluate the instantiated plan.
@@ -589,7 +596,7 @@ impl Session {
                 scopes: None,
                 params: &handle.params,
             };
-            exec(&handle.state, &env, &mut rt)
+            exec(&handle.plan.plan, &env, &mut rt)
         };
         self.profiler.add(Phase::ExecRun, t0.elapsed());
         result
@@ -657,6 +664,8 @@ impl Session {
             ctes: HashMap::new(),
             working: HashMap::new(),
             udf_depth: 0,
+            vm_stack: Vec::new(),
+            subplan_cache: HashMap::new(),
         }
     }
 }

@@ -1,0 +1,164 @@
+//! Plan-cache correctness: a plan prepared once and executed N times must
+//! behave exactly like N fresh prepares — including across catalog
+//! mutation, where the cache must invalidate and re-plan rather than serve
+//! stale plans. These tests pin down the `Arc`-shared executor-state
+//! redesign (ExecutorStart no longer deep-copies the plan tree).
+
+use plaway_common::Value;
+use plaway_engine::{ParamScope, QueryResult, Session};
+
+fn seeded_session() -> Session {
+    let mut s = Session::default();
+    s.run("CREATE TABLE kv (k int, v int)").unwrap();
+    s.run("INSERT INTO kv VALUES (1, 10), (2, 20), (3, 30), (4, 40)")
+        .unwrap();
+    s
+}
+
+/// Execute `sql` through one cached prepare + N executions and through N
+/// fresh sessions, and require identical results.
+fn assert_cached_matches_fresh(sql: &str, params: &ParamScope, binds: &[Vec<Value>]) {
+    let mut cached = seeded_session();
+    let plan = cached.prepare(sql, params).unwrap();
+    let cached_results: Vec<QueryResult> = binds
+        .iter()
+        .map(|b| cached.execute_prepared(&plan, b.clone()).unwrap())
+        .collect();
+
+    for (bind, cached_result) in binds.iter().zip(&cached_results) {
+        let mut fresh = seeded_session();
+        let plan = fresh.prepare(sql, params).unwrap();
+        let fresh_result = fresh.execute_prepared(&plan, bind.clone()).unwrap();
+        assert_eq!(
+            &fresh_result, cached_result,
+            "cached plan diverged from fresh prepare for {sql:?} with {bind:?}"
+        );
+    }
+}
+
+#[test]
+fn repeated_execution_matches_fresh_prepares() {
+    let ps = ParamScope::new(vec!["needle".into()]);
+    let binds: Vec<Vec<Value>> = (0..6).map(|i| vec![Value::Int(i % 5)]).collect();
+    assert_cached_matches_fresh("SELECT v FROM kv WHERE k = needle", &ps, &binds);
+    assert_cached_matches_fresh("SELECT sum(v) FROM kv WHERE k <= needle", &ps, &binds);
+}
+
+#[test]
+fn recursive_plans_are_reexecutable() {
+    // The fixpoint pipeline must leave no state behind between executions.
+    let mut s = Session::default();
+    let ps = ParamScope::new(vec!["n".into()]);
+    let plan = s
+        .prepare(
+            "WITH RECURSIVE c(x, acc) AS (SELECT 1, 0 UNION ALL \
+             SELECT x + 1, acc + x FROM c WHERE x <= n) \
+             SELECT max(acc) FROM c",
+            &ps,
+        )
+        .unwrap();
+    for n in [1i64, 5, 10, 5, 1] {
+        let r = s.execute_prepared(&plan, vec![Value::Int(n)]).unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(n * (n + 1) / 2), "n={n}");
+    }
+}
+
+#[test]
+fn plan_cache_hits_are_counted_and_reused() {
+    let mut s = seeded_session();
+    let ps = ParamScope::default();
+    let (h0, m0) = (s.plan_cache_hits, s.plan_cache_misses);
+    for _ in 0..5 {
+        let plan = s.prepare("SELECT count(*) FROM kv", &ps).unwrap();
+        s.execute_prepared(&plan, vec![]).unwrap();
+    }
+    assert_eq!(s.plan_cache_misses - m0, 1, "only the first prepare plans");
+    assert_eq!(s.plan_cache_hits - h0, 4, "the rest are cache hits");
+}
+
+#[test]
+fn catalog_mutation_invalidates_and_replans() {
+    let mut s = seeded_session();
+    let ps = ParamScope::default();
+    let sql = "SELECT count(*) FROM kv";
+    let before = s.prepare(sql, &ps).unwrap();
+    assert_eq!(
+        s.execute_prepared(&before, vec![]).unwrap().rows[0][0],
+        Value::Int(4)
+    );
+
+    // DML bumps the catalog version: the cache must re-plan, and the new
+    // plan must see the new rows (same as a fresh prepare).
+    s.run("INSERT INTO kv VALUES (5, 50)").unwrap();
+    let after = s.prepare(sql, &ps).unwrap();
+    assert_eq!(
+        s.execute_prepared(&after, vec![]).unwrap().rows[0][0],
+        Value::Int(5)
+    );
+
+    // DDL that changes plan shape: an index turns the scan into a lookup,
+    // results must stay identical to pre-index execution.
+    let ps_n = ParamScope::new(vec!["needle".into()]);
+    let point = "SELECT v FROM kv WHERE k = needle";
+    let scan_plan = s.prepare(point, &ps_n).unwrap();
+    let scan_result = s.execute_prepared(&scan_plan, vec![Value::Int(3)]).unwrap();
+    s.run("CREATE INDEX kv_k ON kv (k)").unwrap();
+    let index_plan = s.prepare(point, &ps_n).unwrap();
+    assert!(
+        index_plan.plan.explain().contains("IndexLookup"),
+        "re-plan after CREATE INDEX must use the index:\n{}",
+        index_plan.plan.explain()
+    );
+    let index_result = s
+        .execute_prepared(&index_plan, vec![Value::Int(3)])
+        .unwrap();
+    assert_eq!(scan_result, index_result);
+}
+
+#[test]
+fn invariant_subplans_are_hoisted_out_of_the_fixpoint() {
+    // A closed scalar sub-query inside a recursive arm depends only on the
+    // catalog, which cannot change mid-statement: it must be evaluated once
+    // per execution, not once per iteration.
+    let mut s = seeded_session();
+    let ps = ParamScope::default();
+    let plan = s
+        .prepare(
+            "WITH RECURSIVE c(x) AS (SELECT 1 UNION ALL \
+             SELECT x + (SELECT count(*) FROM kv) FROM c WHERE x < 400) \
+             SELECT max(x) FROM c",
+            &ps,
+        )
+        .unwrap();
+    s.stats.reset();
+    let r = s.execute_prepared(&plan, vec![]).unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(401), "1 + 100 * count(4)");
+    assert!(
+        s.stats.recursive_iterations >= 100,
+        "sanity: the fixpoint iterated ({})",
+        s.stats.recursive_iterations
+    );
+    assert!(
+        s.stats.subplan_evals <= 2,
+        "closed sub-plan must be memoized per execution, got {} evals over {} iterations",
+        s.stats.subplan_evals,
+        s.stats.recursive_iterations
+    );
+
+    // Correlated sub-queries must NOT be memoized.
+    let plan = s
+        .prepare(
+            "WITH RECURSIVE c(x) AS (SELECT 1 UNION ALL \
+             SELECT x + (SELECT max(k) FROM kv WHERE k <= x) FROM c WHERE x < 20) \
+             SELECT count(*) FROM c",
+            &ps,
+        )
+        .unwrap();
+    s.stats.reset();
+    s.execute_prepared(&plan, vec![]).unwrap();
+    assert!(
+        s.stats.subplan_evals > 2,
+        "correlated sub-plan must re-evaluate per row, got {}",
+        s.stats.subplan_evals
+    );
+}

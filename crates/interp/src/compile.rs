@@ -357,5 +357,8 @@ fn needs_full_executor(ir: &ExprIr) -> bool {
         }
         ExprIr::Row(items) => items.iter().any(needs_full_executor),
         ExprIr::Cast { expr, .. } => needs_full_executor(expr),
+        // Pre-compiled programs (the engine's prepared-plan path; the
+        // interpreter's own expressions are never pre-compiled).
+        ExprIr::Vm(prog) => prog.has_tree_fallback(),
     }
 }
