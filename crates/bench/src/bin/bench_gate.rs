@@ -90,13 +90,25 @@ fn check(
         }
     }
     // The paper's thesis, enforced: the compiled fibonacci modes must beat
-    // the interpreter in the fresh numbers.
-    if let Some(&interp) = fresh.get("fibonacci.interpreter") {
-        for mode in ["fibonacci.with_recursive", "fibonacci.with_iterate"] {
-            if let Some(&compiled) = fresh.get(mode) {
+    // the interpreter in the fresh numbers — and, since the EXCEPTION
+    // machinery landed, so must the compiled `checked` error-handling
+    // kernel (ITERATE mode; its margin is the widest).
+    let flips: &[(&str, &[&str])] = &[
+        (
+            "fibonacci.interpreter",
+            &["fibonacci.with_recursive", "fibonacci.with_iterate"],
+        ),
+        ("checked.interpreter", &["checked.with_iterate"]),
+    ];
+    for (interp_key, modes) in flips {
+        let Some(&interp) = fresh.get(*interp_key) else {
+            continue;
+        };
+        for mode in *modes {
+            if let Some(&compiled) = fresh.get(*mode) {
                 if compiled >= interp {
                     failures.push(format!(
-                        "{mode} ({compiled} ns) must be faster than fibonacci.interpreter \
+                        "{mode} ({compiled} ns) must be faster than {interp_key} \
                          ({interp} ns) — the compiled path lost its win"
                     ));
                 }
@@ -237,5 +249,21 @@ mod tests {
         let failures = check(&base, &fresh, 25);
         assert_eq!(failures.len(), 1, "{failures:?}");
         assert!(failures[0].contains("with_recursive"));
+    }
+
+    #[test]
+    fn compiled_checked_must_beat_interpreter_in_iterate_mode() {
+        let base = map(&[]);
+        let fresh = map(&[
+            ("checked.interpreter", 1000),
+            ("checked.with_iterate", 1200),
+            // with_recursive is allowed to lose (not enforced).
+            ("checked.with_recursive", 1500),
+        ]);
+        let failures = check(&base, &fresh, 25);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("checked.with_iterate"));
+        let fresh = map(&[("checked.interpreter", 1000), ("checked.with_iterate", 800)]);
+        assert!(check(&base, &fresh, 25).is_empty());
     }
 }

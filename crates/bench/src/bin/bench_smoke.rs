@@ -1,8 +1,10 @@
 //! Fast smoke benchmark seeding the `BENCH_*.json` perf trajectory.
 //!
-//! Runs four small kernels — `walk` (query-per-step, the paper's headline),
-//! `fibonacci` (query-less), `graph` (digraph traversal) and `fsa`
-//! (string-consuming automaton) — in all three execution modes:
+//! Runs six small kernels — `walk` (query-per-step, the paper's headline),
+//! `fibonacci` (query-less), `graph` (digraph traversal), `fsa`
+//! (string-consuming automaton), `checked` (RAISE + EXCEPTION recovery per
+//! iteration) and `settle` (FOR-over-query ledger fold) — in all three
+//! execution modes:
 //!
 //! * `interpreter` — statement-by-statement PL/pgSQL interpretation,
 //! * `with_recursive` — the compiled `WITH RECURSIVE` query,
@@ -17,8 +19,8 @@
 use std::time::Instant;
 
 use plaway_bench::{
-    fib_args, parse_args, setup_fib, setup_parse, setup_traverse, setup_walk, traverse_args,
-    walk_args, BenchSetup,
+    checked_args, fib_args, parse_args, settle_args, setup_checked, setup_fib, setup_parse,
+    setup_settle, setup_traverse, setup_walk, traverse_args, walk_args, BenchSetup,
 };
 use plaway_common::Value;
 use plaway_core::CompileOptions;
@@ -91,6 +93,12 @@ fn main() {
 
     let mut fsa = setup_parse(EngineConfig::postgres_like());
     smoke_kernel("fsa", &mut fsa, &parse_args(150), &mut results);
+
+    let mut checked = setup_checked(EngineConfig::postgres_like());
+    smoke_kernel("checked", &mut checked, &checked_args(200), &mut results);
+
+    let mut settle = setup_settle(EngineConfig::postgres_like());
+    smoke_kernel("settle", &mut settle, &settle_args(), &mut results);
 
     // Deterministic key order so baseline diffs (and the CI gate) are stable.
     results.sort_by(|(a, _), (b, _)| a.cmp(b));

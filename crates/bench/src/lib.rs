@@ -20,7 +20,7 @@ use plaway_common::{Result, Value};
 use plaway_core::{compile_sql, CompileOptions, Compiled};
 use plaway_engine::{EngineConfig, Session};
 use plaway_interp::Interpreter;
-use plaway_workloads::{fib, fsa, graph, grid};
+use plaway_workloads::{checked, fib, fsa, graph, grid, rowagg};
 
 /// A workload instance ready for measurement.
 pub struct BenchSetup {
@@ -155,6 +155,51 @@ pub fn fib_args(n: i64) -> Vec<Value> {
     vec![Value::Int(n)]
 }
 
+/// The `checked_sum` error-handling workload (RAISE + EXCEPTION recovery
+/// on every iteration, query-less).
+pub fn setup_checked(config: EngineConfig) -> BenchSetup {
+    let mut session = Session::new(config);
+    let w = checked::checked_workload();
+    w.install(&mut session).expect("checked install");
+    BenchSetup {
+        session,
+        interp: Interpreter::new(),
+        fn_name: "checked_sum",
+        source: w.source,
+    }
+}
+
+/// `checked_sum` arguments: a deterministic `len`-character input (seed 42,
+/// ~15% non-digits so both handler arms fire) and a cap low enough to
+/// overflow repeatedly.
+pub fn checked_args(len: usize) -> Vec<Value> {
+    vec![
+        Value::text(checked::generate_input(len, 42)),
+        Value::Int((len as i64) * 2),
+    ]
+}
+
+/// The `settle` FOR-over-query workload (120-entry generated ledger).
+pub fn setup_settle(config: EngineConfig) -> BenchSetup {
+    let mut session = Session::new(config);
+    rowagg::Ledger::generate(120, 7)
+        .install(&mut session)
+        .expect("ledger install");
+    let w = rowagg::settle_workload();
+    w.install(&mut session).expect("settle install");
+    BenchSetup {
+        session,
+        interp: Interpreter::new(),
+        fn_name: "settle",
+        source: w.source,
+    }
+}
+
+/// `settle` argument: an unreachable limit, so the loop folds every row.
+pub fn settle_args() -> Vec<Value> {
+    vec![Value::Int(1_000_000)]
+}
+
 /// Mean / min / max of a duration sample, in milliseconds.
 pub fn stats_ms(samples: &[Duration]) -> (f64, f64, f64) {
     let ms: Vec<f64> = samples.iter().map(|d| d.as_secs_f64() * 1e3).collect();
@@ -202,6 +247,31 @@ mod tests {
         let mut b = setup_fib(EngineConfig::raw());
         let v = b.run_interp(&fib_args(30)).unwrap();
         assert_eq!(v, Value::Int(fib::fib_reference(30)));
+
+        let mut b = setup_checked(EngineConfig::raw());
+        let v = b.run_interp(&checked_args(50)).unwrap();
+        let input = checked::generate_input(50, 42);
+        assert_eq!(v, Value::Int(checked::checked_reference(&input, 100)));
+
+        let mut b = setup_settle(EngineConfig::raw());
+        let v = b.run_interp(&settle_args()).unwrap();
+        assert_eq!(
+            v,
+            Value::Int(rowagg::Ledger::generate(120, 7).settle_reference(1_000_000))
+        );
+    }
+
+    #[test]
+    fn new_workload_kernels_agree_compiled_vs_interp() {
+        for (mut b, args) in [
+            (setup_checked(EngineConfig::raw()), checked_args(80)),
+            (setup_settle(EngineConfig::raw()), settle_args()),
+        ] {
+            let compiled = b.compile(CompileOptions::default()).unwrap();
+            let i = b.run_interp(&args).unwrap();
+            let c = compiled.run(&mut b.session, &args).unwrap();
+            assert_eq!(i, c, "{}", b.fn_name);
+        }
     }
 
     #[test]

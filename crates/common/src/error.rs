@@ -43,6 +43,17 @@ pub enum Error {
     Compile(String),
     /// A construct the reproduction deliberately does not support.
     Unsupported(String),
+    /// A PL/pgSQL condition raised by `RAISE EXCEPTION` (or a raisable
+    /// runtime condition such as `case_not_found`). Unlike [`Error::Exec`],
+    /// a raised condition is *catchable*: `EXCEPTION WHEN <condition> THEN`
+    /// handlers match on `condition`, and the compiled trampoline carries it
+    /// as data (a tagged row) instead of aborting the query.
+    Raised {
+        /// Condition name, lowercased (`others` in a handler matches any).
+        condition: String,
+        /// Formatted message (the `RAISE` format string with `%` filled in).
+        message: String,
+    },
 }
 
 impl Error {
@@ -76,6 +87,13 @@ impl Error {
         Error::Unsupported(msg.into())
     }
 
+    pub fn raised(condition: impl Into<String>, message: impl Into<String>) -> Self {
+        Error::Raised {
+            condition: condition.into(),
+            message: message.into(),
+        }
+    }
+
     /// Human-readable stage tag, useful in test assertions.
     pub fn stage(&self) -> &'static str {
         match self {
@@ -85,6 +103,7 @@ impl Error {
             Error::Exec(_) => "exec",
             Error::Compile(_) => "compile",
             Error::Unsupported(_) => "unsupported",
+            Error::Raised { .. } => "raised",
         }
     }
 }
@@ -98,6 +117,7 @@ impl fmt::Display for Error {
             Error::Exec(msg) => write!(f, "execution error: {msg}"),
             Error::Compile(msg) => write!(f, "compile error: {msg}"),
             Error::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+            Error::Raised { condition, message } => write!(f, "{condition}: {message}"),
         }
     }
 }
@@ -124,10 +144,18 @@ mod tests {
             Error::exec("x"),
             Error::compile("x"),
             Error::unsupported("x"),
+            Error::raised("overflow", "x"),
         ];
         let mut tags: Vec<_> = all.iter().map(|e| e.stage()).collect();
         tags.sort_unstable();
         tags.dedup();
-        assert_eq!(tags.len(), 6);
+        assert_eq!(tags.len(), 7);
+    }
+
+    #[test]
+    fn raised_display_leads_with_the_condition() {
+        let e = Error::raised("division_by_zero", "division by zero");
+        assert_eq!(e.to_string(), "division_by_zero: division by zero");
+        assert_eq!(e.stage(), "raised");
     }
 }

@@ -215,7 +215,7 @@ impl Value {
 
     /// `self + other` with numeric coercion; `||`-style text concat is NOT
     /// folded in here (see [`Value::concat`]). The int/int case is matched
-    /// directly (not via [`Value::numeric_binop`]'s function pointers) so
+    /// directly (not via `Value::numeric_binop`'s function pointers) so
     /// hot evaluation loops can inline it.
     #[inline]
     pub fn add(&self, other: &Value) -> Result<Value> {

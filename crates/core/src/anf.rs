@@ -12,7 +12,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use plaway_common::{Error, Result, Type};
+use plaway_common::{Error, Result, Type, Value};
 use plaway_sql::ast::Expr;
 
 use crate::cfg::{BlockId, Term};
@@ -22,20 +22,31 @@ use crate::ssa::SsaProgram;
 /// calls or returns.
 #[derive(Debug, Clone, PartialEq)]
 pub enum AnfTail {
+    /// `if cond then tail else tail` in tail position.
     If {
+        /// Branch condition.
         cond: Expr,
+        /// Tail taken when the condition is true.
         then_: Box<AnfTail>,
+        /// Tail taken when the condition is false or NULL.
         else_: Box<AnfTail>,
     },
     /// `let v1 = e1 in ... in tail` nested in tail position — produced when
     /// a single-use block function is inlined into its caller (Figure 7's
     /// `WHEN fn = L2 THEN (SELECT ... FROM lets...)` shape).
     LetChain {
+        /// `(name, value)` bindings, evaluated in order.
         lets: Vec<(String, Expr)>,
+        /// Tail evaluated under the bindings.
         body: Box<AnfTail>,
     },
     /// Tail call to block-function `target` (index into `AnfProgram::funcs`).
-    Call { target: usize, args: Vec<Expr> },
+    Call {
+        /// Callee index into [`AnfProgram::funcs`].
+        target: usize,
+        /// Positional arguments for the callee's parameters.
+        args: Vec<Expr>,
+    },
     /// Base case: the function's result.
     Ret(Expr),
 }
@@ -56,6 +67,7 @@ impl AnfTail {
         }
     }
 
+    /// All base-case result expressions in this tail.
     pub fn returns(&self) -> Vec<&Expr> {
         match self {
             AnfTail::If { then_, else_, .. } => {
@@ -73,12 +85,15 @@ impl AnfTail {
 /// One block-function: `name(params) = let v₁ = e₁ in ... in tail`.
 #[derive(Debug, Clone)]
 pub struct AnfFunction {
+    /// Display name (`L<block id>`).
     pub name: String,
     /// φ-derived parameters first, lambda-lifted free variables after.
     pub params: Vec<String>,
     /// How many of `params` are φ-derived (the rest are lifted).
     pub phi_params: usize,
+    /// `(name, value)` bindings evaluated before the tail.
     pub lets: Vec<(String, Expr)>,
+    /// The function's tail position.
     pub tail: AnfTail,
 }
 
@@ -86,10 +101,16 @@ pub struct AnfFunction {
 /// call.
 #[derive(Debug, Clone)]
 pub struct AnfProgram {
+    /// The source function's name.
     pub fn_name: String,
+    /// The source function's parameters (they stay free in the block
+    /// functions, as in the paper's Figure 6).
     pub fn_params: Vec<(String, Type)>,
+    /// Declared return type.
     pub returns: Type,
+    /// One block function per CFG block (same indices).
     pub funcs: Vec<AnfFunction>,
+    /// The original invocation (a call into `funcs`).
     pub entry: AnfTail,
     /// SSA name → type, carried through for the UDF signature.
     pub var_types: HashMap<String, Type>,
@@ -354,25 +375,92 @@ fn replace_calls(
     }
 }
 
+/// Fold conditionals whose condition is a compile-time constant — these
+/// arise when inlining substitutes literal arguments into a handler
+/// dispatch test (`if 'not_a_digit' = 'overflow' then ...`). SQL 3VL: a
+/// NULL condition takes the else branch.
+fn fold_constant_tails(tail: &mut AnfTail) -> bool {
+    let mut changed = false;
+    match tail {
+        AnfTail::If { then_, else_, .. } => {
+            changed |= fold_constant_tails(then_);
+            changed |= fold_constant_tails(else_);
+        }
+        AnfTail::LetChain { body, .. } => changed |= fold_constant_tails(body),
+        _ => {}
+    }
+    let replacement = if let AnfTail::If { cond, then_, else_ } = tail {
+        crate::opt::const_value(cond).map(|v| {
+            let taken = if matches!(v, Value::Bool(true)) {
+                &mut **then_
+            } else {
+                &mut **else_
+            };
+            std::mem::replace(taken, AnfTail::Ret(Expr::null()))
+        })
+    } else {
+        None
+    };
+    if let Some(r) = replacement {
+        *tail = r;
+        changed = true;
+    }
+    changed
+}
+
+/// Is every argument of every (reachable) call to `idx` a bare column or
+/// literal? Such arguments can be substituted into a callee that mentions a
+/// parameter more than once without duplicating work.
+fn all_call_args_simple(prog: &AnfProgram, idx: usize, reachable: &[bool]) -> bool {
+    let simple = |args: &[Expr]| {
+        args.iter()
+            .all(|a| matches!(a, Expr::Column { .. } | Expr::Literal(_)))
+    };
+    prog.funcs
+        .iter()
+        .enumerate()
+        .filter(|(j, _)| reachable[*j] && *j != idx)
+        .all(|(_, g)| {
+            g.tail
+                .calls()
+                .iter()
+                .all(|(t, args)| *t != idx || simple(args))
+        })
+}
+
 /// Inline trivial block functions (no `let`s, small tails, not
 /// self-recursive) into their callers. The decisive case is the loop
 /// *condition* block: inlining it into the loop body's tail means one CTE
 /// iteration per source-loop iteration instead of two — the shape Figure 7
 /// shows for `walk*` (L2 jumps straight back into L2 via L1's test).
+///
+/// Three inlining shapes (see the call-site comment below): trivial
+/// everywhere, single-use with lets, and — new with the exception
+/// machinery — multi-use functions with a couple of *pure* lets and simple
+/// arguments, which is exactly the handled-block join/increment shape that
+/// would otherwise cost an extra CTE iteration per loop pass.
 pub fn inline_trivial(prog: &mut AnfProgram, catalog: &plaway_engine::Catalog) {
     for _round in 0..prog.funcs.len() {
         let mut any = false;
+        for f in &mut prog.funcs {
+            any |= fold_constant_tails(&mut f.tail);
+        }
+        any |= fold_constant_tails(&mut prog.entry);
         for idx in 0..prog.funcs.len() {
             let reachable = prog.reachable();
             let f = &prog.funcs[idx];
             if !reachable[idx] || f.tail.calls().iter().any(|(t, _)| *t == idx) {
                 continue;
             }
-            // Two inlining shapes:
+            // Three inlining shapes:
             //  (a) trivial: no lets, small tail — inline everywhere;
             //  (b) single-use with lets — inline at its one call site,
             //      producing a LetChain (arguments are SSA names/literals,
-            //      so duplication-by-substitution cannot re-run effects).
+            //      so duplication-by-substitution cannot re-run effects);
+            //  (c) multi-use with few *pure* lets, a small tail and simple
+            //      (column/literal) arguments at every call site — the
+            //      handled-block join/increment shape. Duplicating pure
+            //      lets is safe and buys one CTE iteration per loop pass.
             let call_sites: usize = prog
                 .funcs
                 .iter()
@@ -385,7 +473,13 @@ pub fn inline_trivial(prog: &mut AnfProgram, catalog: &plaway_engine::Catalog) {
             let single_use = call_sites == 1
                 && tail_size(&f.tail) <= 16
                 && !prog.entry.calls().iter().any(|(t, _)| *t == idx);
-            if !(trivial || single_use) {
+            let small_pure = (2..=4).contains(&call_sites)
+                && f.lets.len() <= 2
+                && tail_size(&f.tail) <= 8
+                && f.lets.iter().all(|(_, e)| crate::opt::is_pure_expr(e))
+                && !prog.entry.calls().iter().any(|(t, _)| *t == idx)
+                && all_call_args_simple(prog, idx, &reachable);
+            if !(trivial || single_use || small_pure) {
                 continue;
             }
             let callee = prog.funcs[idx].clone();

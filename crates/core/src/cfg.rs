@@ -9,20 +9,30 @@
 use std::collections::HashMap;
 
 use plaway_common::{Error, Result, Type};
-use plaway_plsql::ast::{PlFunction, PlStmt, RaiseLevel};
-use plaway_sql::ast::{BinOp, Expr};
+use plaway_plsql::ast::{
+    ExceptionHandler, PlFunction, PlStmt, RaiseLevel, VarDecl, CASE_NOT_FOUND_CONDITION,
+    NO_RETURN_CONDITION, RAISE_EXCEPTION_CONDITION,
+};
+use plaway_sql::ast::{BinOp, Expr, Query, Select, SelectItem, TableAlias, TableRef};
 
+/// Index of a basic block within its [`Cfg`].
 pub type BlockId = usize;
 
 /// Block terminator.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub enum Term {
+    /// Unconditional `goto`.
     Jump(BlockId),
+    /// Two-way conditional `goto`.
     Branch {
+        /// Branch condition.
         cond: Expr,
+        /// Successor when the condition is true.
         then_: BlockId,
+        /// Successor when the condition is false or NULL.
         else_: BlockId,
     },
+    /// Leave the function with the given result.
     Return(Expr),
     /// Only present transiently during construction.
     #[default]
@@ -34,24 +44,30 @@ pub enum Term {
 pub struct Block {
     /// `(variable, value)` assignments, in order.
     pub stmts: Vec<(String, Expr)>,
+    /// The block's terminator.
     pub term: Term,
 }
 
 /// The CFG of one function.
 #[derive(Debug, Clone)]
 pub struct Cfg {
+    /// The source function's name.
     pub name: String,
     /// Original parameters (uniquified names).
     pub params: Vec<(String, Type)>,
+    /// Declared return type.
     pub returns: Type,
     /// Every variable (params, declarations, loop variables, temps) with its
     /// type, keyed by the uniquified name used in block statements.
     pub var_types: HashMap<String, Type>,
+    /// Basic blocks, indexed by [`BlockId`].
     pub blocks: Vec<Block>,
+    /// Entry block (holds parameter/declaration initialization).
     pub entry: BlockId,
 }
 
 impl Cfg {
+    /// Predecessor lists, indexed like [`Cfg::blocks`].
     pub fn predecessors(&self) -> Vec<Vec<BlockId>> {
         let mut preds = vec![Vec::new(); self.blocks.len()];
         for (b, block) in self.blocks.iter().enumerate() {
@@ -94,6 +110,7 @@ impl Cfg {
 }
 
 impl Term {
+    /// The blocks this terminator can transfer control to.
     pub fn successors(&self) -> Vec<BlockId> {
         match self {
             Term::Jump(t) => vec![*t],
@@ -122,6 +139,15 @@ struct LoopCtx {
     exit_target: BlockId,
 }
 
+/// Handler context for RAISE resolution: the innermost enclosing
+/// `EXCEPTION` section. A raise assigns the condition name and message to
+/// the context's variables and jumps to the dispatch block.
+struct HandlerCtx {
+    dispatch: BlockId,
+    cond_var: String,
+    msg_var: String,
+}
+
 struct Lowering<'f> {
     catalog: &'f plaway_engine::Catalog,
     blocks: Vec<Block>,
@@ -129,6 +155,7 @@ struct Lowering<'f> {
     /// Scope stack: source name -> uniquified name.
     scopes: Vec<HashMap<String, String>>,
     loops: Vec<LoopCtx>,
+    handlers: Vec<HandlerCtx>,
     temp_counter: usize,
 }
 
@@ -141,6 +168,7 @@ pub fn lower(f: &PlFunction, catalog: &plaway_engine::Catalog) -> Result<Cfg> {
         var_types: HashMap::new(),
         scopes: vec![HashMap::new()],
         loops: Vec::new(),
+        handlers: Vec::new(),
         temp_counter: 0,
     };
 
@@ -162,11 +190,19 @@ pub fn lower(f: &PlFunction, catalog: &plaway_engine::Catalog) -> Result<Cfg> {
     }
     let after = lw.lower_stmts(&f.body, cur)?;
     if let Some(open) = after {
-        // Control can fall off the end. PostgreSQL raises a runtime error
-        // here; a compiled query has no way to raise, so we return NULL and
-        // document the divergence (DESIGN.md). Functions produced by the
-        // workloads always end in RETURN.
-        lw.blocks[open].term = Term::Return(Expr::null());
+        // Control can fall off the end. PostgreSQL raises; so do we — the
+        // engine's raise_error aborts the query with the same catchable
+        // condition the interpreter produces (see DESIGN.md §2).
+        lw.blocks[open].term = Term::Return(Expr::func(
+            "raise_error",
+            vec![
+                Expr::str(NO_RETURN_CONDITION),
+                Expr::str(format!(
+                    "control reached end of function {:?} without RETURN",
+                    f.name
+                )),
+            ],
+        ));
     }
     Ok(Cfg {
         name: f.name.clone(),
@@ -309,10 +345,18 @@ impl<'f> Lowering<'f> {
                         (cond, body.clone())
                     })
                     .collect();
-                // A CASE statement without ELSE errors at runtime in
-                // PostgreSQL; the compiled form returns NULL instead
-                // (documented divergence, same spirit as missing RETURN).
-                let else_body = else_.clone().unwrap_or_default();
+                // A CASE statement without ELSE raises case_not_found in
+                // PostgreSQL — and, via the exception machinery, here too:
+                // catchable by an enclosing handler, a query abort
+                // otherwise. Exactly what the interpreter does.
+                let else_body = else_.clone().unwrap_or_else(|| {
+                    vec![PlStmt::Raise {
+                        level: RaiseLevel::Exception,
+                        format: "case not found in CASE statement".into(),
+                        args: Vec::new(),
+                        condition: Some(CASE_NOT_FOUND_CONDITION.into()),
+                    }]
+                });
                 self.lower_if(&if_branches, &else_body, cur)
             }
             PlStmt::Loop { label, body } => {
@@ -442,12 +486,24 @@ impl<'f> Lowering<'f> {
                 Ok(None)
             }
             PlStmt::Null => Ok(Some(cur)),
-            PlStmt::Raise { level, .. } => {
+            PlStmt::Raise {
+                level,
+                format,
+                args,
+                condition,
+            } => {
                 if *level == RaiseLevel::Exception {
-                    return Err(Error::unsupported(
-                        "RAISE EXCEPTION cannot be compiled to SQL (queries cannot abort \
-                         with a custom error); keep such functions interpreted",
-                    ));
+                    let (name, msg) = match condition {
+                        // `RAISE overflow;` — message is the format field,
+                        // which the parser set to the condition name (or a
+                        // fuller text for synthesized raises).
+                        Some(c) => (c.clone(), Expr::str(format.clone())),
+                        None => (
+                            RAISE_EXCEPTION_CONDITION.to_string(),
+                            self.format_message_expr(format, args),
+                        ),
+                    };
+                    return self.lower_raise(&name, msg, cur);
                 }
                 // Notices have no SQL equivalent; Froid drops them too.
                 Ok(Some(cur))
@@ -460,7 +516,354 @@ impl<'f> Lowering<'f> {
                 self.blocks[cur].stmts.push((tmp, e));
                 Ok(Some(cur))
             }
+            PlStmt::Block {
+                decls,
+                body,
+                handlers,
+            } => self.lower_block(decls, body, handlers, cur),
+            PlStmt::ForQuery {
+                label,
+                var,
+                query,
+                body,
+            } => self.lower_for_query(label.clone(), var, query, body, cur),
         }
+    }
+
+    /// Lower a nested block. Declarations re-initialize at every entry and
+    /// are not protected by the block's own handlers (PostgreSQL
+    /// semantics); handler edges route every `RAISE` in the body to the
+    /// dispatch block, where an IF chain over the condition name selects
+    /// the first matching arm.
+    fn lower_block(
+        &mut self,
+        decls: &[VarDecl],
+        body: &[PlStmt],
+        handlers: &[ExceptionHandler],
+        cur: BlockId,
+    ) -> Result<Option<BlockId>> {
+        self.scopes.push(HashMap::new());
+        for d in decls {
+            let init = match &d.init {
+                Some(e) => self.rename_expr(e.clone()),
+                None => Expr::null(),
+            };
+            let unique = self.declare(&d.name, d.ty.clone())?;
+            self.blocks[cur].stmts.push((unique, init));
+        }
+        if handlers.is_empty() {
+            let end = self.lower_stmts(body, cur)?;
+            self.scopes.pop();
+            return Ok(end);
+        }
+
+        // The condition travels as data: its name and message, assigned at
+        // each raise site, merged by φs at the dispatch block.
+        let cond_var = self.fresh_temp("exc_cond", Type::Text);
+        let msg_var = self.fresh_temp("exc_msg", Type::Text);
+        let dispatch = self.new_block();
+        let join = self.new_block();
+
+        self.handlers.push(HandlerCtx {
+            dispatch,
+            cond_var: cond_var.clone(),
+            msg_var: msg_var.clone(),
+        });
+        let body_end = self.lower_stmts(body, cur)?;
+        self.handlers.pop();
+        let mut reaches_join = false;
+        if let Some(open) = body_end {
+            self.blocks[open].term = Term::Jump(join);
+            reaches_join = true;
+        }
+
+        // Dispatch: first matching arm wins; `others` catches everything.
+        // Handler bodies run *outside* this block's protection — a raise
+        // inside a handler propagates to the next enclosing block — but
+        // still see the block's variables.
+        let mut cond_block = dispatch;
+        let mut caught_all = false;
+        for h in handlers {
+            let arm_start = self.new_block();
+            let catch_all = h.conditions.iter().any(|c| c == "others");
+            if catch_all {
+                self.blocks[cond_block].term = Term::Jump(arm_start);
+            } else {
+                let test = h
+                    .conditions
+                    .iter()
+                    .map(|c| {
+                        Expr::binary(BinOp::Eq, Expr::col(cond_var.clone()), Expr::str(c.clone()))
+                    })
+                    .reduce(|a, b| Expr::binary(BinOp::Or, a, b))
+                    .expect("handler with no conditions");
+                let next = self.new_block();
+                self.blocks[cond_block].term = Term::Branch {
+                    cond: test,
+                    then_: arm_start,
+                    else_: next,
+                };
+                cond_block = next;
+            }
+            let end = self.lower_stmts(&h.body, arm_start)?;
+            if let Some(open) = end {
+                self.blocks[open].term = Term::Jump(join);
+                reaches_join = true;
+            }
+            if catch_all {
+                caught_all = true;
+                break; // later arms are unreachable
+            }
+        }
+        if !caught_all {
+            // No arm matched: re-raise to the enclosing handler, or abort
+            // the query when none exists.
+            match self.handlers.last() {
+                Some(outer) => {
+                    let (oc, om, od) = (
+                        outer.cond_var.clone(),
+                        outer.msg_var.clone(),
+                        outer.dispatch,
+                    );
+                    self.blocks[cond_block]
+                        .stmts
+                        .push((oc, Expr::col(cond_var.clone())));
+                    self.blocks[cond_block]
+                        .stmts
+                        .push((om, Expr::col(msg_var.clone())));
+                    self.blocks[cond_block].term = Term::Jump(od);
+                }
+                None => {
+                    self.blocks[cond_block].term = Term::Return(Expr::func(
+                        "raise_error",
+                        vec![Expr::col(cond_var.clone()), Expr::col(msg_var.clone())],
+                    ));
+                }
+            }
+        }
+        self.scopes.pop();
+        Ok(reaches_join.then_some(join))
+    }
+
+    /// Lower a raise of `condition` with message expression `msg` (already
+    /// renamed): jump to the innermost handler's dispatch block, or — when
+    /// no handler encloses — return `raise_error(condition, msg)`, which
+    /// aborts the query with the same catchable error the interpreter
+    /// produces.
+    fn lower_raise(&mut self, condition: &str, msg: Expr, cur: BlockId) -> Result<Option<BlockId>> {
+        match self.handlers.last() {
+            Some(ctx) => {
+                let (cv, mv, d) = (ctx.cond_var.clone(), ctx.msg_var.clone(), ctx.dispatch);
+                self.blocks[cur].stmts.push((cv, Expr::str(condition)));
+                self.blocks[cur].stmts.push((mv, msg));
+                self.blocks[cur].term = Term::Jump(d);
+            }
+            None => {
+                self.blocks[cur].term =
+                    Term::Return(Expr::func("raise_error", vec![Expr::str(condition), msg]));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Compile a `RAISE` format string with `%` placeholders into a SQL
+    /// expression that renders the same text the interpreter's formatter
+    /// produces: a `concat` of literal pieces and
+    /// `COALESCE(CAST(arg AS text), 'NULL')` (NULL displays as `NULL`).
+    fn format_message_expr(&self, format: &str, args: &[Expr]) -> Expr {
+        let mut parts: Vec<Expr> = Vec::new();
+        let mut lit = String::new();
+        let mut arg_i = 0;
+        let mut chars = format.chars().peekable();
+        while let Some(c) = chars.next() {
+            if c == '%' {
+                if chars.peek() == Some(&'%') {
+                    chars.next();
+                    lit.push('%');
+                } else if arg_i < args.len() {
+                    if !lit.is_empty() {
+                        parts.push(Expr::str(std::mem::take(&mut lit)));
+                    }
+                    let arg = self.rename_expr(args[arg_i].clone());
+                    arg_i += 1;
+                    parts.push(Expr::func(
+                        "coalesce",
+                        vec![
+                            Expr::Cast {
+                                expr: Box::new(arg),
+                                ty: "text".into(),
+                            },
+                            Expr::str("NULL"),
+                        ],
+                    ));
+                } else {
+                    lit.push('%');
+                }
+            } else {
+                lit.push(c);
+            }
+        }
+        if !lit.is_empty() {
+            parts.push(Expr::str(lit));
+        }
+        match parts.len() {
+            0 => Expr::str(""),
+            1 if matches!(parts[0], Expr::Literal(_)) => parts.pop().unwrap(),
+            _ => Expr::func("concat", parts),
+        }
+    }
+
+    /// Lower `FOR rec IN <query> LOOP body END LOOP` — the row-loop
+    /// desugaring. The query's free variables are snapshotted at loop entry
+    /// (cursor semantics: the interpreter evaluates the query exactly once,
+    /// so the compiled re-evaluations must see frozen inputs), the row
+    /// count is bound once, and each iteration fetches row *i* via
+    /// `LIMIT 1 OFFSET i-1` and unpacks it into per-field temporaries.
+    fn lower_for_query(
+        &mut self,
+        label: Option<String>,
+        var: &str,
+        query: &Query,
+        body: &[PlStmt],
+        cur: BlockId,
+    ) -> Result<Option<BlockId>> {
+        // 1. Snapshot every in-scope variable the query mentions.
+        let mut map = crate::subst::Subst::new();
+        for ident in idents_in_query(query) {
+            if map.contains_key(&ident) {
+                continue;
+            }
+            let Some(unique) = self.resolve(&ident).map(str::to_string) else {
+                continue;
+            };
+            let ty = self
+                .var_types
+                .get(&unique)
+                .cloned()
+                .unwrap_or(Type::Unknown);
+            let snap = self.fresh_temp(&format!("{unique}_cap"), ty);
+            self.blocks[cur]
+                .stmts
+                .push((snap.clone(), Expr::col(unique)));
+            map.insert(ident, Expr::col(snap));
+        }
+        let q = crate::subst::subst_query(query.clone(), &map, self.catalog, &[]);
+
+        // 2. The query's output columns name the record's fields.
+        let cols = plaway_engine::query_output_columns(&q, self.catalog)?;
+
+        // 3. Loop scaffolding: count, cursor position, fetched row, fields.
+        let rows_tmp = self.fresh_temp(&format!("{var}_rows"), Type::Int);
+        let pos_tmp = self.fresh_temp(&format!("{var}_pos"), Type::Int);
+        let row_tmp = self.fresh_temp(&format!("{var}_row"), Type::Unknown);
+        let field_tmps: Vec<String> = cols
+            .iter()
+            .map(|c| self.fresh_temp(&format!("{var}_{c}"), Type::Unknown))
+            .collect();
+
+        let count_query = Query::simple(Select {
+            items: vec![SelectItem::Expr {
+                expr: Expr::CountStar,
+                alias: None,
+            }],
+            from: vec![derived(q.clone())],
+            ..Default::default()
+        });
+        self.blocks[cur]
+            .stmts
+            .push((rows_tmp.clone(), Expr::Subquery(Box::new(count_query))));
+        self.blocks[cur].stmts.push((pos_tmp.clone(), Expr::int(1)));
+
+        let head = self.new_block();
+        let body_start = self.new_block();
+        let incr = self.new_block();
+        let exit = self.new_block();
+        self.blocks[cur].term = Term::Jump(head);
+        self.blocks[head].term = Term::Branch {
+            cond: Expr::binary(
+                BinOp::LtEq,
+                Expr::col(pos_tmp.clone()),
+                Expr::col(rows_tmp.clone()),
+            ),
+            then_: body_start,
+            else_: exit,
+        };
+
+        // Fetch row `pos` as one record — a single embedded query per
+        // iteration, whatever the record's width.
+        let fetch_query = Query {
+            with: None,
+            body: plaway_sql::ast::SetExpr::Select(Box::new(Select {
+                items: vec![SelectItem::Expr {
+                    expr: Expr::Row(
+                        cols.iter()
+                            .map(|c| Expr::qcol("__rows", c.clone()))
+                            .collect(),
+                    ),
+                    alias: None,
+                }],
+                from: vec![derived(q)],
+                ..Default::default()
+            })),
+            order_by: vec![],
+            limit: Some(Expr::int(1)),
+            offset: Some(Expr::binary(
+                BinOp::Sub,
+                Expr::col(pos_tmp.clone()),
+                Expr::int(1),
+            )),
+        };
+        self.blocks[body_start]
+            .stmts
+            .push((row_tmp.clone(), Expr::Subquery(Box::new(fetch_query))));
+        for (k, ft) in field_tmps.iter().enumerate() {
+            self.blocks[body_start].stmts.push((
+                ft.clone(),
+                Expr::func(
+                    "row_field",
+                    vec![Expr::col(row_tmp.clone()), Expr::int(k as i64 + 1)],
+                ),
+            ));
+        }
+        self.blocks[incr].stmts.push((
+            pos_tmp.clone(),
+            Expr::binary(BinOp::Add, Expr::col(pos_tmp.clone()), Expr::int(1)),
+        ));
+        self.blocks[incr].term = Term::Jump(head);
+
+        // 4. Rewrite `rec.field` / `rec` references, then lower the body.
+        let mut unknown: Vec<String> = Vec::new();
+        let body2 = plaway_plsql::record::rewrite_stmts(body.to_vec(), var, &mut |r| {
+            use plaway_plsql::record::RecordRef;
+            match r {
+                RecordRef::Field(f) => match cols.iter().position(|c| c == f) {
+                    Some(k) => Expr::col(field_tmps[k].clone()),
+                    None => {
+                        unknown.push(f.to_string());
+                        Expr::null()
+                    }
+                },
+                RecordRef::Whole => Expr::col(row_tmp.clone()),
+            }
+        });
+        if let Some(f) = unknown.first() {
+            return Err(Error::compile(format!(
+                "record variable {var:?} has no field {f:?}; the loop query \
+                 provides columns {cols:?}"
+            )));
+        }
+
+        self.loops.push(LoopCtx {
+            label,
+            continue_target: incr,
+            exit_target: exit,
+        });
+        let body_end = self.lower_stmts(&body2, body_start)?;
+        self.loops.pop();
+        if let Some(open) = body_end {
+            self.blocks[open].term = Term::Jump(incr);
+        }
+        Ok(Some(exit))
     }
 
     fn lower_if(
@@ -555,6 +958,37 @@ impl<'f> Lowering<'f> {
             }
         }
     }
+}
+
+/// The FROM item `(q) AS __rows` shared by the row-loop's count and fetch
+/// queries.
+fn derived(q: Query) -> TableRef {
+    TableRef::Derived {
+        lateral: false,
+        query: Box::new(q),
+        alias: TableAlias::named("__rows"),
+    }
+}
+
+/// Every identifier lexically appearing in a query — harvested by re-lexing
+/// its printed form. Deliberately over-approximate (it includes column and
+/// table names): snapshotting a variable the query does not actually read
+/// costs one dead temporary, which DCE removes; missing one would let a
+/// loop-body assignment leak into the re-evaluated query.
+fn idents_in_query(q: &Query) -> Vec<String> {
+    use plaway_sql::token::TokenKind;
+    let mut out: Vec<String> = Vec::new();
+    if let Ok(tokens) = plaway_sql::Lexer::new(&q.to_string()).tokenize() {
+        for t in tokens {
+            match t.kind {
+                TokenKind::Ident(s) | TokenKind::QuotedIdent(s) if !out.contains(&s) => {
+                    out.push(s);
+                }
+                _ => {}
+            }
+        }
+    }
+    out
 }
 
 /// Best-effort static type inference, used for temp variables and UDF
@@ -755,24 +1189,84 @@ mod tests {
     }
 
     #[test]
-    fn raise_exception_rejected_notice_dropped() {
-        let sql = "CREATE FUNCTION f(n int) RETURNS int AS $$ BEGIN RAISE EXCEPTION 'x'; RETURN 1; END $$ LANGUAGE plpgsql";
-        assert!(lower(
-            &parse_create_function(sql).unwrap(),
-            &plaway_engine::Catalog::new()
-        )
-        .is_err());
+    fn unhandled_raise_compiles_to_raise_error_notice_dropped() {
+        let cfg = lower_src("BEGIN RAISE EXCEPTION 'x'; RETURN 1; END");
+        let text = cfg.to_text();
+        assert!(
+            text.contains("raise_error('raise_exception', 'x')"),
+            "{text}"
+        );
         let cfg = lower_src("BEGIN RAISE NOTICE 'hello'; RETURN 1; END");
         assert_eq!(cfg.blocks[0].stmts.len(), 0, "notice compiles to nothing");
     }
 
     #[test]
-    fn fall_off_end_returns_null() {
+    fn fall_off_end_raises_no_function_result() {
         let cfg = lower_src("BEGIN NULL; END");
         assert!(matches!(
             &cfg.blocks[cfg.entry].term,
-            Term::Return(e) if *e == Expr::null()
+            Term::Return(Expr::Func { name, .. }) if name == "raise_error"
         ));
+        assert!(cfg.to_text().contains("no_function_result"));
+    }
+
+    #[test]
+    fn handled_raise_jumps_to_dispatch() {
+        let cfg = lower_src(
+            "DECLARE r int := 0; BEGIN \
+               BEGIN \
+                 IF n > 3 THEN RAISE overflow; END IF; \
+                 r := 1; \
+               EXCEPTION \
+                 WHEN overflow THEN r := 2; \
+                 WHEN OTHERS THEN r := 3; \
+               END; \
+               RETURN r; \
+             END",
+        );
+        let text = cfg.to_text();
+        assert!(text.contains("exc_cond"), "{text}");
+        assert!(text.contains("'overflow'"), "{text}");
+        // The dispatch tests the condition variable against the arm names.
+        assert!(text.contains("= 'overflow'"), "{text}");
+        // No raise escapes: every path returns r.
+        assert!(!text.contains("raise_error"), "{text}");
+    }
+
+    #[test]
+    fn unmatched_condition_reraises_outward() {
+        let cfg = lower_src(
+            "BEGIN \
+               BEGIN \
+                 RAISE stray; \
+               EXCEPTION WHEN overflow THEN RETURN 1; END; \
+               RETURN 0; \
+             END",
+        );
+        let text = cfg.to_text();
+        // The inner dispatch falls through to a top-level raise_error.
+        assert!(text.contains("raise_error("), "{text}");
+    }
+
+    #[test]
+    fn for_query_desugars_to_count_and_offset_fetch() {
+        let mut session = plaway_engine::Session::default();
+        session.run("CREATE TABLE t (k int, v int)").unwrap();
+        let sql = "CREATE FUNCTION f(n int) RETURNS int AS $$ \
+                   DECLARE s int := 0; \
+                   BEGIN \
+                     FOR r IN SELECT t.k AS k, t.v AS v FROM t LOOP \
+                       s := s + r.v; \
+                     END LOOP; \
+                     RETURN s; \
+                   END $$ LANGUAGE plpgsql";
+        let f = parse_create_function(sql).unwrap();
+        let cfg = lower(&f, &session.catalog).unwrap();
+        let text = cfg.to_text();
+        assert!(text.contains("count(*)"), "{text}");
+        assert!(text.contains("OFFSET"), "{text}");
+        assert!(text.contains("row_field"), "{text}");
+        assert!(text.contains("r_rows"), "{text}");
     }
 
     #[test]

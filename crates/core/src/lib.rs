@@ -7,11 +7,13 @@
 //!        --SQL--> WITH RECURSIVE (or WITH ITERATE) query
 //! ```
 //!
-//! Every stage is exposed: [`cfg`] (goto lowering), [`ssa`] (+ [`opt`]
+//! Every stage is exposed: [`cfg`](mod@cfg) (goto lowering), [`ssa`] (+ [`opt`]
 //! simplifications), [`anf`], [`udf`] (defunctionalized recursive SQL UDF),
 //! [`cte`] (the Figure 8 template) and [`inline`] (splicing the compiled
 //! query into call sites). The [`pipeline::compile`] driver runs them all
 //! and keeps each intermediate form for inspection.
+
+#![warn(missing_docs)]
 
 pub mod anf;
 pub mod cfg;

@@ -29,12 +29,19 @@ use crate::subst::{subst_expr, Subst};
 /// Statistics of one optimization run (used in tests and EXPLAIN output).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct OptStats {
+    /// Constant sub-expressions replaced by their value.
     pub constants_folded: usize,
+    /// Single-definition copies propagated to their uses.
     pub copies_propagated: usize,
+    /// Trivial φ nodes (one distinct argument) removed.
     pub phis_removed: usize,
+    /// Dead pure assignments removed.
     pub stmts_removed: usize,
+    /// Constant branches rewritten to jumps.
     pub branches_simplified: usize,
+    /// Unreachable blocks dropped.
     pub blocks_removed: usize,
+    /// Straight-line blocks merged / empty jumps threaded.
     pub blocks_merged: usize,
 }
 
@@ -115,7 +122,7 @@ pub fn is_pure_expr(e: &Expr) -> bool {
 /// Evaluate a constant expression, if it is one and evaluation cannot fail.
 /// Returns `None` for anything non-constant or error-prone (division by
 /// zero must remain a runtime error, not a compile-time one).
-fn const_value(e: &Expr) -> Option<Value> {
+pub(crate) fn const_value(e: &Expr) -> Option<Value> {
     match e {
         Expr::Literal(v) => Some(v.clone()),
         Expr::Unary { op, expr } => {

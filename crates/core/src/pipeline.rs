@@ -36,6 +36,7 @@ impl Default for CompileOptions {
 }
 
 impl CompileOptions {
+    /// Defaults, but with the `WITH ITERATE` fixpoint.
     pub fn iterate() -> Self {
         CompileOptions {
             mode: CteMode::Iterate,
@@ -43,6 +44,7 @@ impl CompileOptions {
         }
     }
 
+    /// Defaults, but with the packed (single record column) layout.
     pub fn packed() -> Self {
         CompileOptions {
             layout: ArgsLayout::Packed,
@@ -55,22 +57,32 @@ impl CompileOptions {
 /// intermediate form for inspection (the paper shows each one).
 #[derive(Debug, Clone)]
 pub struct Compiled {
+    /// The switches this artifact was compiled with.
     pub options: CompileOptions,
+    /// The parsed source function.
     pub source: PlFunction,
     /// Goto form (pre-SSA), Figure 5's flavor.
     pub goto_text: String,
+    /// SSA form (after simplification when `options.optimize`).
     pub ssa: SsaProgram,
+    /// Figure 5-style rendering of [`Compiled::ssa`].
     pub ssa_text: String,
+    /// ANF form (after inlining when `options.optimize`).
     pub anf: AnfProgram,
+    /// Figure 6-style rendering of [`Compiled::anf`].
     pub anf_text: String,
+    /// The defunctionalized recursive UDF (Figure 7).
     pub udf: UdfProgram,
     /// The two CREATE FUNCTION statements of Figure 7.
     pub udf_sql: String,
     /// The pure-SQL query (Figure 8/9). Function parameters appear as free
     /// identifiers bound via [`ParamScope`].
     pub query: Query,
+    /// [`Compiled::query`] rendered as SQL text.
     pub sql: String,
+    /// The original parameter names, in order (for [`ParamScope`] binding).
     pub param_names: Vec<String>,
+    /// What the SSA simplification passes did.
     pub opt_stats: OptStats,
 }
 
@@ -121,6 +133,26 @@ pub fn compile(
 }
 
 /// Compile straight from `CREATE FUNCTION ... LANGUAGE plpgsql` source text.
+///
+/// ```
+/// use plaway_common::Value;
+/// use plaway_core::{compile_sql, CompileOptions};
+/// use plaway_engine::Session;
+///
+/// let mut session = Session::default();
+/// let src = "CREATE FUNCTION triple(n int) RETURNS int AS $$ \
+///            DECLARE t int := 0; \
+///            BEGIN \
+///              FOR i IN 1..3 LOOP t := t + n; END LOOP; \
+///              RETURN t; \
+///            END $$ LANGUAGE plpgsql";
+/// let compiled = compile_sql(&session.catalog, src, CompileOptions::default()).unwrap();
+/// assert!(compiled.sql.starts_with("WITH RECURSIVE"));
+/// assert_eq!(
+///     compiled.run(&mut session, &[Value::Int(14)]).unwrap(),
+///     Value::Int(42),
+/// );
+/// ```
 pub fn compile_sql(
     catalog: &Catalog,
     create_function_sql: &str,
@@ -249,6 +281,89 @@ mod tests {
                 vec![Value::Int(34)],
             ]
         );
+    }
+
+    #[test]
+    fn exception_handler_compiles_and_recovers() {
+        // A raised condition becomes a tagged row that transfers control to
+        // the handler arm — the query keeps running.
+        let mut s = Session::default();
+        let src = "CREATE FUNCTION f(n int) RETURNS int AS $$ \
+             DECLARE acc int := 0; i int := 1; \
+             BEGIN \
+               WHILE i <= n LOOP \
+                 BEGIN \
+                   acc := acc + i; \
+                   IF acc > 10 THEN RAISE overflow; END IF; \
+                 EXCEPTION WHEN overflow THEN acc := 10; END; \
+                 i := i + 1; \
+               END LOOP; \
+               RETURN acc; \
+             END $$ LANGUAGE plpgsql";
+        for options in [
+            CompileOptions::default(),
+            CompileOptions::iterate(),
+            CompileOptions::packed(),
+        ] {
+            let c = compile_sql(&s.catalog, src, options).unwrap();
+            // 1+2+3+4 = 10, +5 -> 15 -> clamp 10, stays clamped.
+            assert_eq!(
+                c.run(&mut s, &[Value::Int(8)]).unwrap(),
+                Value::Int(10),
+                "{options:?}"
+            );
+            assert_eq!(c.run(&mut s, &[Value::Int(3)]).unwrap(), Value::Int(6));
+        }
+    }
+
+    #[test]
+    fn uncaught_raise_aborts_both_regimes_identically() {
+        let mut s = Session::default();
+        let src = "CREATE FUNCTION f(n int) RETURNS int AS $$ \
+             BEGIN \
+               IF n > 2 THEN RAISE EXCEPTION 'boom %', n; END IF; \
+               RETURN n; \
+             END $$ LANGUAGE plpgsql";
+        s.run(src).unwrap();
+        let mut interp = plaway_interp::Interpreter::new();
+        let ierr = interp.call(&mut s, "f", &[Value::Int(7)]).unwrap_err();
+        let c = compile_sql(&s.catalog, src, CompileOptions::default()).unwrap();
+        let cerr = c.run(&mut s, &[Value::Int(7)]).unwrap_err();
+        assert_eq!(ierr.to_string(), cerr.to_string());
+        assert!(cerr.to_string().contains("boom 7"), "{cerr}");
+        // And the non-raising path still runs.
+        assert_eq!(c.run(&mut s, &[Value::Int(2)]).unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn for_over_query_compiles_and_runs() {
+        let mut s = Session::default();
+        s.run("CREATE TABLE ledger (amount int, kind int)").unwrap();
+        s.run("INSERT INTO ledger VALUES (10, 1), (4, 2), (7, 1), (2, 2)")
+            .unwrap();
+        let src = "CREATE FUNCTION f(lim int) RETURNS int AS $$ \
+             DECLARE total int := 0; \
+             BEGIN \
+               FOR o IN SELECT l.amount AS amount, l.kind AS kind FROM ledger AS l LOOP \
+                 IF o.kind = 1 THEN total := total + o.amount; \
+                 ELSE total := total - o.amount; END IF; \
+                 EXIT WHEN total > lim; \
+               END LOOP; \
+               RETURN total; \
+             END $$ LANGUAGE plpgsql";
+        s.run(src).unwrap();
+        let mut interp = plaway_interp::Interpreter::new();
+        for lim in [100i64, 12, 5, 0] {
+            let reference = interp.call(&mut s, "f", &[Value::Int(lim)]).unwrap();
+            for options in [CompileOptions::default(), CompileOptions::iterate()] {
+                let c = compile_sql(&s.catalog, src, options).unwrap();
+                assert_eq!(
+                    c.run(&mut s, &[Value::Int(lim)]).unwrap(),
+                    reference,
+                    "lim {lim} options {options:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -24,32 +24,42 @@ pub struct PhiArg(pub Expr);
 /// One φ node: `target ← φ(pred₁: arg₁, ..., predₙ: argₙ)`.
 #[derive(Debug, Clone)]
 pub struct Phi {
+    /// The SSA name this φ defines.
     pub target: String,
+    /// One argument per predecessor edge.
     pub args: Vec<(BlockId, PhiArg)>,
 }
 
 /// A block in SSA form.
 #[derive(Debug, Clone, Default)]
 pub struct SsaBlock {
+    /// φ nodes, defined before the block's statements.
     pub phis: Vec<Phi>,
+    /// `(ssa name, value)` assignments, in order.
     pub stmts: Vec<(String, Expr)>,
+    /// The block's terminator.
     pub term: Term,
 }
 
 /// A function in SSA form.
 #[derive(Debug, Clone)]
 pub struct SsaProgram {
+    /// The source function's name.
     pub name: String,
     /// Parameters keep their names (they are version 0 of themselves).
     pub params: Vec<(String, Type)>,
+    /// Declared return type.
     pub returns: Type,
     /// SSA name → type (propagated from the underlying CFG variable).
     pub var_types: HashMap<String, Type>,
+    /// Blocks, indexed by [`BlockId`].
     pub blocks: Vec<SsaBlock>,
+    /// Entry block.
     pub entry: BlockId,
 }
 
 impl SsaProgram {
+    /// Predecessor lists, indexed like [`SsaProgram::blocks`].
     pub fn predecessors(&self) -> Vec<Vec<BlockId>> {
         let mut preds = vec![Vec::new(); self.blocks.len()];
         for (b, block) in self.blocks.iter().enumerate() {
@@ -235,7 +245,24 @@ pub(crate) fn collect_free_names(e: &Expr, out: &mut Vec<String>) {
 }
 
 fn collect_names_query(q: &plaway_sql::ast::Query, out: &mut Vec<String>) {
-    use plaway_sql::ast::{SelectItem, SetExpr};
+    use plaway_sql::ast::{SelectItem, SetExpr, TableRef};
+    fn walk_table(t: &TableRef, out: &mut Vec<String>) {
+        match t {
+            TableRef::Table { .. } => {}
+            // SSA variables reach derived tables too (the row-loop fetch
+            // query nests the whole loop source under `(q) AS __rows`).
+            TableRef::Derived { query, .. } => collect_names_query(query, out),
+            TableRef::Join {
+                left, right, on, ..
+            } => {
+                walk_table(left, out);
+                walk_table(right, out);
+                if let Some(e) = on {
+                    collect_free_names(e, out);
+                }
+            }
+        }
+    }
     fn walk_set(s: &SetExpr, out: &mut Vec<String>) {
         match s {
             SetExpr::Select(sel) => {
@@ -244,8 +271,25 @@ fn collect_names_query(q: &plaway_sql::ast::Query, out: &mut Vec<String>) {
                         collect_free_names(expr, out);
                     }
                 }
+                for t in &sel.from {
+                    walk_table(t, out);
+                }
                 if let Some(w) = &sel.where_ {
                     collect_free_names(w, out);
+                }
+                for g in &sel.group_by {
+                    collect_free_names(g, out);
+                }
+                if let Some(h) = &sel.having {
+                    collect_free_names(h, out);
+                }
+                for (_, spec) in &sel.windows {
+                    for e in &spec.partition_by {
+                        collect_free_names(e, out);
+                    }
+                    for o in &spec.order_by {
+                        collect_free_names(&o.expr, out);
+                    }
                 }
             }
             SetExpr::SetOp { left, right, .. } => {
@@ -260,21 +304,40 @@ fn collect_names_query(q: &plaway_sql::ast::Query, out: &mut Vec<String>) {
             SetExpr::Query(q) => collect_names_query(q, out),
         }
     }
+    if let Some(with) = &q.with {
+        for cte in &with.ctes {
+            collect_names_query(&cte.query, out);
+        }
+    }
     walk_set(&q.body, out);
+    for o in &q.order_by {
+        collect_free_names(&o.expr, out);
+    }
+    // LIMIT/OFFSET expressions: the row-loop fetch paginates on an SSA
+    // variable (`OFFSET pos - 1`).
+    if let Some(l) = &q.limit {
+        collect_free_names(l, out);
+    }
+    if let Some(o) = &q.offset {
+        collect_free_names(o, out);
+    }
 }
 
 // ---------------------------------------------------------------------------
 // Dominators (Cooper–Harvey–Kennedy)
 
+/// Dominator tree of a CFG (Cooper–Harvey–Kennedy).
 pub struct Dominators {
     /// Immediate dominator per block (entry's is itself).
     pub idom: Vec<Option<BlockId>>,
     /// Reverse post-order index per block.
     pub rpo_index: Vec<usize>,
+    /// Blocks in reverse post-order.
     pub rpo: Vec<BlockId>,
 }
 
 impl Dominators {
+    /// Compute immediate dominators from predecessor lists.
     pub fn compute(n: usize, entry: BlockId, preds: &[Vec<BlockId>]) -> Dominators {
         // Build successor lists from preds for the DFS.
         let mut succs = vec![Vec::new(); n];

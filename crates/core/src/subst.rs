@@ -214,10 +214,15 @@ fn subst_select(sel: Select, map: &Subst, catalog: &Catalog, visible: &[String])
         collect_table_columns(t, catalog, &mut inner_visible);
     }
 
+    // FROM items are substituted left to right: a LATERAL subquery sees the
+    // outer scope plus the columns of *preceding* items only — never its
+    // own alias columns (a let named like an outer variable must still have
+    // its right-hand side substituted) and never following items'.
+    let mut preceding = visible.to_vec();
     let from = sel
         .from
         .into_iter()
-        .map(|t| subst_table_ref(t, map, catalog, visible, &inner_visible))
+        .map(|t| subst_table_ref(t, map, catalog, visible, &mut preceding))
         .collect();
     Select {
         distinct: sel.distinct,
@@ -282,40 +287,48 @@ fn subst_table_ref(
     map: &Subst,
     catalog: &Catalog,
     outer_visible: &[String],
-    joined_visible: &[String],
+    preceding: &mut Vec<String>,
 ) -> TableRef {
-    subst_table_ref_inner(t, map, catalog, outer_visible, joined_visible, false)
+    subst_table_ref_inner(t, map, catalog, outer_visible, preceding, false)
 }
 
+/// `preceding` accumulates the columns of FROM items already processed (in
+/// join order); on return it additionally holds this item's columns.
 fn subst_table_ref_inner(
     t: TableRef,
     map: &Subst,
     catalog: &Catalog,
     outer_visible: &[String],
-    joined_visible: &[String],
+    preceding: &mut Vec<String>,
     parent_lateral: bool,
 ) -> TableRef {
     match t {
-        TableRef::Table { .. } => t,
+        TableRef::Table { .. } => {
+            collect_table_columns(&t, catalog, preceding);
+            t
+        }
         TableRef::Derived {
             lateral,
             query,
             alias,
         } => {
-            // LATERAL subqueries additionally see their siblings' columns;
-            // non-lateral ones see only the outer visibility. The LATERAL
-            // marker may sit on the Derived itself (comma-list item) or on
-            // the enclosing Join (`JOIN LATERAL`).
-            let vis = if lateral || parent_lateral {
-                joined_visible
+            // LATERAL subqueries additionally see the columns of items to
+            // their left; non-lateral ones see only the outer visibility.
+            // Neither sees its own alias columns. The LATERAL marker may
+            // sit on the Derived itself (comma-list item) or on the
+            // enclosing Join (`JOIN LATERAL`).
+            let vis: &[String] = if lateral || parent_lateral {
+                preceding
             } else {
                 outer_visible
             };
-            TableRef::Derived {
+            let out = TableRef::Derived {
                 lateral,
                 query: Box::new(subst_query(*query, map, catalog, vis)),
                 alias,
-            }
+            };
+            collect_table_columns(&out, catalog, preceding);
+            out
         }
         TableRef::Join {
             left,
@@ -323,27 +336,32 @@ fn subst_table_ref_inner(
             kind,
             lateral,
             on,
-        } => TableRef::Join {
-            left: Box::new(subst_table_ref_inner(
+        } => {
+            let left = Box::new(subst_table_ref_inner(
                 *left,
                 map,
                 catalog,
                 outer_visible,
-                joined_visible,
+                preceding,
                 false,
-            )),
-            right: Box::new(subst_table_ref_inner(
+            ));
+            let right = Box::new(subst_table_ref_inner(
                 *right,
                 map,
                 catalog,
                 outer_visible,
-                joined_visible,
+                preceding,
                 lateral,
-            )),
-            kind,
-            lateral,
-            on: on.map(|e| subst_expr(e, map, catalog, joined_visible)),
-        },
+            ));
+            // ON sees both sides (now accumulated in `preceding`).
+            TableRef::Join {
+                left,
+                right,
+                kind,
+                lateral,
+                on: on.map(|e| subst_expr(e, map, catalog, preceding)),
+            }
+        }
     }
 }
 

@@ -30,7 +30,9 @@ pub struct UdfProgram {
     pub fn_name: String,
     /// Recursive worker name — the paper writes `walk*`.
     pub rec_name: String,
+    /// The source function's parameters, threaded through every call.
     pub fn_params: Vec<(String, Type)>,
+    /// Declared return type.
     pub returns: Type,
     /// Union of block-function parameters: `(ssa name, type)`, in first-seen
     /// order. These become `f*` parameters right after `fn`.
@@ -39,9 +41,10 @@ pub struct UdfProgram {
     pub tags: HashMap<usize, i64>,
     /// The worker's body: one big CASE over `fn`.
     pub body: Expr,
-    /// Entry invocation: tag + initial values for `rec_vars` (positional,
-    /// NULL where the entry target does not bind a variable).
+    /// Entry invocation tag (the block function the original call targets).
     pub entry_tag: i64,
+    /// Initial values for `rec_vars` (positional, NULL where the entry
+    /// target does not bind a variable).
     pub entry_vals: Vec<Expr>,
 }
 

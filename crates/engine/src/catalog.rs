@@ -249,6 +249,100 @@ impl Catalog {
     }
 }
 
+/// Derive the output column names of a query without planning it.
+///
+/// The PL/pgSQL front end needs the names to bind a `FOR rec IN <query>`
+/// loop variable's fields (`rec.name`), both in the interpreter and in the
+/// compiled row-loop desugaring. Every select item must therefore have a
+/// determinable name: a column reference, an aliased expression, or a
+/// wildcard over a FROM item whose columns the catalog (or an explicit
+/// alias list) names.
+pub fn query_output_columns(q: &plaway_sql::ast::Query, catalog: &Catalog) -> Result<Vec<String>> {
+    use plaway_sql::ast::{SelectItem, SetExpr, TableRef};
+
+    fn from_columns(t: &TableRef, catalog: &Catalog, out: &mut Vec<String>) -> Result<()> {
+        match t {
+            TableRef::Table { name, alias } => {
+                if let Some(a) = alias {
+                    if !a.columns.is_empty() {
+                        out.extend(a.columns.iter().cloned());
+                        return Ok(());
+                    }
+                }
+                let table = catalog.table(name)?;
+                out.extend(table.columns.iter().map(|c| c.name.clone()));
+                Ok(())
+            }
+            TableRef::Derived { alias, query, .. } => {
+                if !alias.columns.is_empty() {
+                    out.extend(alias.columns.iter().cloned());
+                    Ok(())
+                } else {
+                    out.extend(query_output_columns(query, catalog)?);
+                    Ok(())
+                }
+            }
+            TableRef::Join { left, right, .. } => {
+                from_columns(left, catalog, out)?;
+                from_columns(right, catalog, out)
+            }
+        }
+    }
+
+    fn set_columns(s: &SetExpr, catalog: &Catalog) -> Result<Vec<String>> {
+        match s {
+            SetExpr::Select(sel) => {
+                let mut out = Vec::with_capacity(sel.items.len());
+                for item in &sel.items {
+                    match item {
+                        SelectItem::Expr { alias: Some(a), .. } => out.push(a.clone()),
+                        SelectItem::Expr {
+                            expr: plaway_sql::ast::Expr::Column { name, .. },
+                            alias: None,
+                        } => out.push(name.clone()),
+                        SelectItem::Expr { expr, alias: None } => {
+                            return Err(Error::plan(format!(
+                                "cannot derive a column name for {expr}; \
+                                 add an alias (`{expr} AS name`) so the row \
+                                 variable's field can be referenced"
+                            )))
+                        }
+                        SelectItem::Wildcard => {
+                            for t in &sel.from {
+                                from_columns(t, catalog, &mut out)?;
+                            }
+                        }
+                        SelectItem::QualifiedWildcard(q) => {
+                            let t = sel
+                                .from
+                                .iter()
+                                .find(|t| match t {
+                                    TableRef::Table { name, alias } => {
+                                        alias.as_ref().map(|a| a.name.as_str()).unwrap_or(name) == q
+                                    }
+                                    TableRef::Derived { alias, .. } => alias.name == *q,
+                                    TableRef::Join { .. } => false,
+                                })
+                                .ok_or_else(|| {
+                                    Error::plan(format!("unknown wildcard qualifier {q:?}"))
+                                })?;
+                            from_columns(t, catalog, &mut out)?;
+                        }
+                    }
+                }
+                Ok(out)
+            }
+            SetExpr::SetOp { left, .. } => set_columns(left, catalog),
+            SetExpr::Query(q) => query_output_columns(q, catalog),
+            SetExpr::Values(rows) => Ok((1..=rows.first().map_or(0, Vec::len))
+                .map(|i| format!("column{i}"))
+                .collect()),
+        }
+    }
+
+    set_columns(&q.body, catalog)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -690,9 +690,17 @@ pub fn exec(plan: &PlanNode, env: &EvalEnv<'_>, rt: &mut Runtime<'_>) -> Result<
             limit,
             offset,
         } => {
-            let rows = exec(input, env, rt)?;
             let off = eval_opt_count(offset.as_ref(), env, rt)?.unwrap_or(0);
             let lim = eval_opt_count(limit.as_ref(), env, rt)?;
+            // With a known row budget, push the bound through
+            // cardinality-preserving nodes so the input never produces (or
+            // projects) rows past `offset + limit`. The compiled row-loop
+            // fetch (`LIMIT 1 OFFSET i-1`, re-executed per iteration) lives
+            // on this path.
+            let rows = match lim.and_then(|n| n.checked_add(off)) {
+                Some(budget) => exec_bounded(input, env, rt, budget)?,
+                None => exec(input, env, rt)?,
+            };
             let it = rows.into_iter().skip(off);
             Ok(match lim {
                 Some(n) => it.take(n).collect(),
@@ -764,6 +772,94 @@ fn take_record(v: Value, width: usize) -> Result<Arc<[Value]>> {
         )));
     }
     Ok(rec)
+}
+
+/// Execute `plan` needing at most the first `budget` rows. The bound pushes
+/// through cardinality-preserving nodes (Project / ProjectUnpack / Extend)
+/// down to scans and filters, so `LIMIT k OFFSET n` over a derived table
+/// neither copies nor projects rows past `n + k`. Skipping the evaluation
+/// of projections for never-returned rows is exactly SQL's LIMIT contract.
+fn exec_bounded(
+    plan: &PlanNode,
+    env: &EvalEnv<'_>,
+    rt: &mut Runtime<'_>,
+    budget: usize,
+) -> Result<Vec<Row>> {
+    match plan {
+        PlanNode::SeqScan { table } => {
+            let t = rt.catalog.table(table)?;
+            let n = budget.min(t.rows.len());
+            rt.stats.rows_scanned += n as u64;
+            Ok(t.rows[..n].to_vec())
+        }
+        PlanNode::Project { input, exprs } => {
+            let rows = exec_bounded(input, env, rt, budget)?;
+            let mut out = Vec::with_capacity(rows.len());
+            for row in rows {
+                let scopes = Scopes {
+                    row: &row,
+                    parent: env.scopes,
+                };
+                let inner = env.with_row(&scopes);
+                let mut proj = Vec::with_capacity(exprs.len());
+                for e in exprs {
+                    proj.push(eval(e, &inner, rt)?);
+                }
+                out.push(proj);
+            }
+            Ok(out)
+        }
+        PlanNode::ProjectUnpack { input, src, width } => {
+            let rows = exec_bounded(input, env, rt, budget)?;
+            let mut out = Vec::with_capacity(rows.len());
+            for mut row in rows {
+                unpack_row(&mut row, *src, *width)?;
+                out.push(row);
+            }
+            Ok(out)
+        }
+        PlanNode::Extend { input, exprs } => {
+            let rows = exec_bounded(input, env, rt, budget)?;
+            let mut out = Vec::with_capacity(rows.len());
+            for mut row in rows {
+                row.reserve(exprs.len());
+                for e in exprs {
+                    let scopes = Scopes {
+                        row: &row,
+                        parent: env.scopes,
+                    };
+                    let v = eval(e, &env.with_row(&scopes), rt)?;
+                    row.push(v);
+                }
+                out.push(row);
+            }
+            Ok(out)
+        }
+        PlanNode::Filter { input, pred } => {
+            // Not cardinality-preserving: the input must stream unbounded,
+            // but the output can stop at the budget.
+            let rows = exec(input, env, rt)?;
+            let mut out = Vec::new();
+            for row in rows {
+                if out.len() >= budget {
+                    break;
+                }
+                let scopes = Scopes {
+                    row: &row,
+                    parent: env.scopes,
+                };
+                if eval(pred, &env.with_row(&scopes), rt)?.is_true() {
+                    out.push(row);
+                }
+            }
+            Ok(out)
+        }
+        other => {
+            let mut rows = exec(other, env, rt)?;
+            rows.truncate(budget);
+            Ok(rows)
+        }
+    }
 }
 
 #[allow(clippy::too_many_arguments)]

@@ -33,6 +33,17 @@ pub fn eval_scalar(func: ScalarFn, args: &[Value], rng: &mut SessionRng) -> Resu
         arity("random", args, 0..=0)?;
         return Ok(Value::Float(rng.next_f64()));
     }
+    // raise_error never returns; evaluated lazily inside CASE branches, it
+    // is how a compiled query aborts with a catchable PL/pgSQL condition.
+    // Non-strict: a NULL condition/message must still raise.
+    if func == RaiseError {
+        arity("raise_error", args, 2..=2)?;
+        let text_of = |v: &Value| match v {
+            Value::Null => Ok(String::new()),
+            other => Ok(other.cast(&Type::Text)?.as_text()?.to_string()),
+        };
+        return Err(Error::raised(text_of(&args[0])?, text_of(&args[1])?));
+    }
     // Non-strict functions first.
     match func {
         Concat => {
@@ -297,7 +308,7 @@ pub fn eval_scalar(func: ScalarFn, args: &[Value], rng: &mut SessionRng) -> Resu
             }
             Ok(rec[(i - 1) as usize].clone())
         }
-        Random | Concat | Nullif | Greatest | Least => unreachable!("handled above"),
+        Random | RaiseError | Concat | Nullif | Greatest | Least => unreachable!("handled above"),
     }
 }
 

@@ -120,7 +120,7 @@ impl ExprIr {
             }
             ExprIr::Coalesce(args) => args.iter().all(ExprIr::is_pure_scalar),
             ExprIr::Scalar { func, args } => {
-                *func != ScalarFn::Random && args.iter().all(ExprIr::is_pure_scalar)
+                !func.is_volatile() && args.iter().all(ExprIr::is_pure_scalar)
             }
             ExprIr::UdfCall { .. }
             | ExprIr::Subplan(_)
@@ -176,6 +176,13 @@ pub enum ScalarFn {
     /// `row_field(rec, i)` (1-based) — used by the packed-arguments CTE
     /// layout the paper's Figure 8 template implies.
     RowField,
+    /// Engine extension: `raise_error(condition, message)` aborts the query
+    /// with a catchable [`plaway_common::Error::Raised`]. The compiler emits
+    /// it for PL/pgSQL conditions that escape every `EXCEPTION` handler, so
+    /// an uncaught `RAISE EXCEPTION` behaves identically under
+    /// interpretation and under the compiled trampoline. Volatile: never
+    /// constant-folded, hoisted or eliminated.
+    RaiseError,
 }
 
 impl ScalarFn {
@@ -215,8 +222,15 @@ impl ScalarFn {
             "greatest" => ScalarFn::Greatest,
             "least" => ScalarFn::Least,
             "row_field" => ScalarFn::RowField,
+            "raise_error" => ScalarFn::RaiseError,
             _ => return None,
         })
+    }
+
+    /// Volatile functions must be re-evaluated at every call site: they are
+    /// excluded from constant folding, memoization and dead-code elimination.
+    pub fn is_volatile(self) -> bool {
+        matches!(self, ScalarFn::Random | ScalarFn::RaiseError)
     }
 }
 

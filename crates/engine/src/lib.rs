@@ -30,7 +30,7 @@ pub mod tuplestore;
 pub mod vm;
 pub mod window;
 
-pub use catalog::{Catalog, Column, FunctionDef, Row, Table};
+pub use catalog::{query_output_columns, Catalog, Column, FunctionDef, Row, Table};
 pub use config::EngineConfig;
 pub use exec::RuntimeStats;
 pub use ir::{ExprIr, PlanNode};

@@ -1220,6 +1220,31 @@ mod tests {
     }
 
     #[test]
+    fn limit_offset_bounds_the_scan() {
+        let mut s = Session::default();
+        s.run("CREATE TABLE big (k int, v int)").unwrap();
+        let rows: Vec<Vec<Value>> = (0..500)
+            .map(|k| vec![Value::Int(k), Value::Int(k * 10)])
+            .collect();
+        s.catalog.bulk_insert("big", rows).unwrap();
+        s.stats.reset();
+        let r = s
+            .run("SELECT q.v FROM (SELECT big.v AS v FROM big) AS q LIMIT 1 OFFSET 3")
+            .unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Int(30)]]);
+        assert!(
+            s.stats.rows_scanned <= 4,
+            "LIMIT 1 OFFSET 3 must stop the scan after 4 rows ({} scanned)",
+            s.stats.rows_scanned
+        );
+        // Sanity: without the limit the whole table is scanned.
+        s.stats.reset();
+        s.run("SELECT q.v FROM (SELECT big.v AS v FROM big) AS q")
+            .unwrap();
+        assert_eq!(s.stats.rows_scanned, 500);
+    }
+
+    #[test]
     fn insert_with_column_list_and_select() {
         let mut s = session();
         s.run("CREATE TABLE copy (b text, a int)").unwrap();

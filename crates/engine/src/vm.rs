@@ -902,8 +902,8 @@ fn expr_free_scopes(e: &ExprIr) -> Option<usize> {
             m
         }
         ExprIr::Scalar { func, args } => {
-            if *func == ScalarFn::Random {
-                return None; // volatile
+            if func.is_volatile() {
+                return None;
             }
             let mut m = Some(0);
             for a in args {

@@ -82,8 +82,29 @@ pub enum CStmt {
         level: RaiseLevel,
         format: String,
         args: Vec<CExpr>,
+        /// Condition name for `RAISE <condition>;`; the format-string form
+        /// raises `raise_exception`.
+        condition: Option<String>,
     },
     Perform(CExpr),
+    /// `FOR rec IN <query> LOOP ...` — the query runs once (cursor
+    /// semantics); each row binds the record slot plus one slot per output
+    /// column.
+    ForQuery {
+        label: Option<String>,
+        rec_slot: usize,
+        field_slots: Vec<usize>,
+        sql: String,
+        scope: ParamScope,
+        body: Vec<CStmt>,
+    },
+    /// Nested block: declarations re-initialize at every entry; handler arms
+    /// `(conditions, body)` catch raised conditions from the body.
+    Block {
+        decl_inits: Vec<(usize, Type, Option<CExpr>)>,
+        body: Vec<CStmt>,
+        handlers: Vec<(Vec<String>, Vec<CStmt>)>,
+    },
 }
 
 /// A fully compiled PL/pgSQL function.
@@ -304,6 +325,7 @@ impl<'s> Compiler<'s> {
                 level,
                 format,
                 args,
+                condition,
             } => CStmt::Raise {
                 level: *level,
                 format: format.clone(),
@@ -311,9 +333,94 @@ impl<'s> Compiler<'s> {
                     .iter()
                     .map(|a| self.compile_expr(a))
                     .collect::<Result<_>>()?,
+                condition: condition.clone(),
             },
             PlStmt::Perform { expr } => CStmt::Perform(self.compile_expr(expr)?),
+            PlStmt::ForQuery {
+                label,
+                var,
+                query,
+                body,
+            } => {
+                // The query sees the enclosing scope (loop-entry values);
+                // the record variable and its fields live in a fresh block
+                // scope under names no source text can collide with.
+                let scope = self.param_scope();
+                let sql = query.to_string();
+                let cols = plaway_engine::query_output_columns(query, &self.session.catalog)?;
+                self.scopes.push(HashMap::new());
+                let rec_slot = self.declare(&record_slot_name(var, None), Type::Unknown)?;
+                let mut field_slots = Vec::with_capacity(cols.len());
+                for c in &cols {
+                    field_slots.push(self.declare(&record_slot_name(var, Some(c)), Type::Unknown)?);
+                }
+                let mut unknown: Vec<String> = Vec::new();
+                let body = plaway_plsql::record::rewrite_stmts(body.clone(), var, &mut |r| {
+                    use plaway_plsql::record::RecordRef;
+                    match r {
+                        RecordRef::Field(f) => {
+                            if !cols.iter().any(|c| c == f) {
+                                unknown.push(f.to_string());
+                            }
+                            Expr::col(record_slot_name(var, Some(f)))
+                        }
+                        RecordRef::Whole => Expr::col(record_slot_name(var, None)),
+                    }
+                });
+                if let Some(f) = unknown.first() {
+                    return Err(Error::compile(format!(
+                        "record variable {var:?} has no field {f:?}; the loop query \
+                         provides columns {cols:?}"
+                    )));
+                }
+                let body = self.compile_stmts(&body)?;
+                self.scopes.pop();
+                CStmt::ForQuery {
+                    label: label.clone(),
+                    rec_slot,
+                    field_slots,
+                    sql,
+                    scope,
+                    body,
+                }
+            }
+            PlStmt::Block {
+                decls,
+                body,
+                handlers,
+            } => {
+                self.scopes.push(HashMap::new());
+                let mut decl_inits = Vec::with_capacity(decls.len());
+                for VarDecl { name, ty, init } in decls {
+                    let compiled_init = init.as_ref().map(|e| self.compile_expr(e)).transpose()?;
+                    let slot = self.declare(name, ty.clone())?;
+                    decl_inits.push((slot, ty.clone(), compiled_init));
+                }
+                let body = self.compile_stmts(body)?;
+                // Handler bodies see the block's variables (PostgreSQL
+                // keeps the block scope alive for its handlers).
+                let handlers = handlers
+                    .iter()
+                    .map(|h| Ok((h.conditions.clone(), self.compile_stmts(&h.body)?)))
+                    .collect::<Result<_>>()?;
+                self.scopes.pop();
+                CStmt::Block {
+                    decl_inits,
+                    body,
+                    handlers,
+                }
+            }
         })
+    }
+}
+
+/// Internal slot name for a FOR-over-query record (`#` cannot appear in a
+/// lexed identifier, so these names never collide with source variables;
+/// the SQL printer quotes them, and quoted identifiers re-lex verbatim).
+fn record_slot_name(var: &str, field: Option<&str>) -> String {
+    match field {
+        Some(f) => format!("{var}#{f}"),
+        None => format!("{var}#"),
     }
 }
 

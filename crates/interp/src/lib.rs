@@ -153,10 +153,15 @@ impl Interpreter {
         let result = match cx.exec_stmts(&compiled.body)? {
             Flow::Return(v) => v,
             Flow::Normal => {
-                return Err(Error::exec(format!(
-                    "control reached end of function {:?} without RETURN",
-                    compiled.name
-                )))
+                // Raised (not a plain Exec error): the compiled trampoline
+                // reports the identical condition via raise_error.
+                return Err(Error::raised(
+                    plaway_plsql::ast::NO_RETURN_CONDITION,
+                    format!(
+                        "control reached end of function {:?} without RETURN",
+                        compiled.name
+                    ),
+                ));
             }
             Flow::Exit(_) | Flow::Continue(_) => {
                 return Err(Error::exec(
@@ -294,8 +299,12 @@ impl<'a> CallCtx<'a> {
                 }
                 match else_ {
                     Some(body) => self.exec_stmts(body),
-                    // PostgreSQL raises CASE_NOT_FOUND when nothing matches.
-                    None => Err(Error::exec("case not found in CASE statement")),
+                    // PostgreSQL raises case_not_found when nothing matches;
+                    // raised conditions are catchable by EXCEPTION handlers.
+                    None => Err(Error::raised(
+                        plaway_plsql::ast::CASE_NOT_FOUND_CONDITION,
+                        "case not found in CASE statement",
+                    )),
                 }
             }
             CStmt::Loop { label, body } => loop {
@@ -392,6 +401,7 @@ impl<'a> CallCtx<'a> {
                 level,
                 format,
                 args,
+                condition,
             } => {
                 let mut vals = Vec::with_capacity(args.len());
                 for a in args {
@@ -399,7 +409,10 @@ impl<'a> CallCtx<'a> {
                 }
                 let msg = format_raise(format, &vals);
                 if *level == RaiseLevel::Exception {
-                    return Err(Error::exec(msg));
+                    let condition = condition
+                        .as_deref()
+                        .unwrap_or(plaway_plsql::ast::RAISE_EXCEPTION_CONDITION);
+                    return Err(Error::raised(condition, msg));
                 }
                 self.notices.push(msg);
                 Ok(Flow::Normal)
@@ -407,6 +420,68 @@ impl<'a> CallCtx<'a> {
             CStmt::Perform(e) => {
                 self.eval(e)?;
                 Ok(Flow::Normal)
+            }
+            CStmt::ForQuery {
+                label,
+                rec_slot,
+                field_slots,
+                sql,
+                scope,
+                body,
+            } => {
+                // Cursor semantics: the query runs exactly once, at loop
+                // entry, through the full prepared-statement lifecycle.
+                let plan = self.session.prepare(sql, scope)?;
+                let result = self.session.execute_prepared(&plan, self.slots.clone())?;
+                for row in &result.rows {
+                    self.charge()?;
+                    if row.len() != field_slots.len() {
+                        return Err(Error::exec(format!(
+                            "FOR-over-query row has {} columns, expected {}",
+                            row.len(),
+                            field_slots.len()
+                        )));
+                    }
+                    self.slots[*rec_slot] = Value::record(row.clone());
+                    for (k, fs) in field_slots.iter().enumerate() {
+                        self.slots[*fs] = row[k].clone();
+                    }
+                    match self.loop_body_step(label.as_deref(), body)? {
+                        LoopStep::Continue => {}
+                        LoopStep::Break => return Ok(Flow::Normal),
+                        LoopStep::Propagate(flow) => return Ok(flow),
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            CStmt::Block {
+                decl_inits,
+                body,
+                handlers,
+            } => {
+                // Declarations re-initialize at every entry, outside handler
+                // protection (as in PostgreSQL, where an error in the
+                // declarations is not caught by this block's handlers).
+                for (slot, ty, init) in decl_inits {
+                    let v = match init {
+                        Some(e) => self.eval(e)?,
+                        None => Value::Null,
+                    };
+                    self.assign(*slot, ty, v)?;
+                }
+                match self.exec_stmts(body) {
+                    Err(Error::Raised { condition, message }) => {
+                        for (conditions, hbody) in handlers {
+                            if plaway_plsql::ast::condition_matches(conditions, &condition) {
+                                // First matching arm wins; handler bodies
+                                // run outside this block's protection.
+                                return self.exec_stmts(hbody);
+                            }
+                        }
+                        Err(Error::Raised { condition, message })
+                    }
+                    other => other,
+                }
             }
         }
     }

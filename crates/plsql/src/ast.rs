@@ -6,34 +6,83 @@
 //! parser.
 
 use plaway_common::Type;
-use plaway_sql::ast::Expr;
+use plaway_sql::ast::{Expr, Query};
 
 /// A parsed PL/pgSQL function.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PlFunction {
+    /// Function name as registered in the catalog.
     pub name: String,
+    /// Parameters: `(name, type)` in declaration order.
     pub params: Vec<(String, Type)>,
+    /// Declared return type.
     pub returns: Type,
+    /// The `DECLARE` section.
     pub decls: Vec<VarDecl>,
+    /// The `BEGIN .. END` statement list.
     pub body: Vec<PlStmt>,
 }
 
 /// `DECLARE name type [:= init];`
 #[derive(Debug, Clone, PartialEq)]
 pub struct VarDecl {
+    /// Variable name.
     pub name: String,
+    /// Declared type.
     pub ty: Type,
+    /// Optional initializer (may embed queries); `NULL` when absent.
     pub init: Option<Expr>,
 }
 
 /// `RAISE <level> 'format' [, args]`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RaiseLevel {
+    /// `RAISE DEBUG` — collected as a notice.
     Debug,
+    /// `RAISE NOTICE` (the parser's default level).
     Notice,
+    /// `RAISE INFO` — collected as a notice.
     Info,
+    /// `RAISE WARNING` — collected as a notice.
     Warning,
+    /// `RAISE EXCEPTION` — raises a catchable condition.
     Exception,
+}
+
+/// The condition name `RAISE EXCEPTION 'message'` raises (PostgreSQL's
+/// `P0001` errcode). `EXCEPTION WHEN raise_exception THEN` (or `OTHERS`)
+/// catches it.
+pub const RAISE_EXCEPTION_CONDITION: &str = "raise_exception";
+
+/// The condition raised when a `CASE` statement finds no matching `WHEN`
+/// and has no `ELSE` (PostgreSQL's `20000` / `case_not_found`).
+pub const CASE_NOT_FOUND_CONDITION: &str = "case_not_found";
+
+/// The condition raised when control falls off the end of a function
+/// without executing `RETURN`.
+pub const NO_RETURN_CONDITION: &str = "no_function_result";
+
+/// One `WHEN cond [OR cond]... THEN stmts` arm of an `EXCEPTION` section.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExceptionHandler {
+    /// Condition names, lowercased. `others` matches every condition.
+    pub conditions: Vec<String>,
+    /// Handler body.
+    pub body: Vec<PlStmt>,
+}
+
+impl ExceptionHandler {
+    /// Does this arm catch the given condition?
+    pub fn matches(&self, condition: &str) -> bool {
+        condition_matches(&self.conditions, condition)
+    }
+}
+
+/// Does a handler arm's condition list catch `condition`? (`others` is the
+/// catch-all.) Shared by [`ExceptionHandler::matches`] and the interpreter's
+/// compiled handler form, so the dispatch rule has exactly one definition.
+pub fn condition_matches(conditions: &[String], condition: &str) -> bool {
+    conditions.iter().any(|c| c == "others" || c == condition)
 }
 
 /// PL/pgSQL statements.
@@ -44,62 +93,128 @@ pub enum RaiseLevel {
 #[derive(Debug, Clone, PartialEq)]
 pub enum PlStmt {
     /// `var := expr;` (also accepts `=`).
-    Assign { var: String, expr: Expr },
+    Assign {
+        /// Assigned variable (resolved against enclosing scopes).
+        var: String,
+        /// Right-hand side.
+        expr: Expr,
+    },
     /// `IF c THEN .. ELSIF c THEN .. ELSE .. END IF;`
     If {
+        /// `(condition, body)` per IF/ELSIF arm, in order.
         branches: Vec<(Expr, Vec<PlStmt>)>,
+        /// The ELSE body (empty when absent).
         else_: Vec<PlStmt>,
     },
     /// `CASE [operand] WHEN v THEN .. ELSE .. END CASE;`
     CaseStmt {
+        /// Dispatch operand; `None` for the searched (`CASE WHEN cond`) form.
         operand: Option<Expr>,
+        /// `(values, body)` per WHEN arm.
         branches: Vec<(Vec<Expr>, Vec<PlStmt>)>,
+        /// ELSE body; its absence raises `case_not_found` when nothing matches.
         else_: Option<Vec<PlStmt>>,
     },
     /// `[<<label>>] LOOP .. END LOOP [label];`
     Loop {
+        /// Optional `<<label>>`.
         label: Option<String>,
+        /// Loop body.
         body: Vec<PlStmt>,
     },
     /// `[<<label>>] WHILE c LOOP .. END LOOP;`
     While {
+        /// Optional `<<label>>`.
         label: Option<String>,
+        /// Loop condition, tested before each iteration.
         cond: Expr,
+        /// Loop body.
         body: Vec<PlStmt>,
     },
     /// `[<<label>>] FOR v IN [REVERSE] a..b [BY s] LOOP .. END LOOP;`
     ForRange {
+        /// Optional `<<label>>`.
         label: Option<String>,
+        /// Loop variable (implicitly declared, loop-scoped, int).
         var: String,
+        /// Lower bound, evaluated once at entry.
         from: Expr,
+        /// Upper bound, evaluated once at entry.
         to: Expr,
+        /// Step (`BY s`), evaluated once at entry; 1 when absent.
         by: Option<Expr>,
+        /// `REVERSE`: iterate downward.
         reverse: bool,
+        /// Loop body.
+        body: Vec<PlStmt>,
+    },
+    /// `[<<label>>] FOR rec IN <query> LOOP .. END LOOP;` — the cursor-style
+    /// loop over query rows. `rec` is implicitly declared, scoped to the
+    /// loop, and its fields are accessed as `rec.column`.
+    ForQuery {
+        /// Optional `<<label>>`.
+        label: Option<String>,
+        /// Record variable (implicitly declared, loop-scoped).
+        var: String,
+        /// The loop source, evaluated with loop-entry variable values.
+        query: Query,
+        /// Loop body; references fields as `var.column`.
         body: Vec<PlStmt>,
     },
     /// `EXIT [label] [WHEN c];`
     Exit {
+        /// Target loop label; innermost loop when absent.
         label: Option<String>,
+        /// Optional `WHEN` condition.
         when: Option<Expr>,
     },
     /// `CONTINUE [label] [WHEN c];`
     Continue {
+        /// Target loop label; innermost loop when absent.
         label: Option<String>,
+        /// Optional `WHEN` condition.
         when: Option<Expr>,
     },
     /// `RETURN [expr];`
-    Return { expr: Option<Expr> },
+    Return {
+        /// Result expression; bare `RETURN;` yields NULL.
+        expr: Option<Expr>,
+    },
     /// `NULL;` — no-op.
     Null,
-    /// `RAISE NOTICE 'fmt %' , args;`
+    /// `RAISE NOTICE 'fmt %', args;` — or, with `condition` set, the
+    /// message-less `RAISE <condition>;` form that raises a named condition
+    /// (always at EXCEPTION level).
     Raise {
+        /// Severity; only `Exception` transfers control.
         level: RaiseLevel,
+        /// Format string with `%` placeholders (`%%` escapes).
         format: String,
+        /// Placeholder arguments, in order.
         args: Vec<Expr>,
+        /// `Some` for `RAISE division_by_zero;`-style named conditions;
+        /// `None` for the format-string form (condition
+        /// [`RAISE_EXCEPTION_CONDITION`] when the level is `Exception`).
+        condition: Option<String>,
     },
     /// `PERFORM expr;` — evaluate and discard (used for side-effect-free
     /// warm-up queries in benchmarks).
-    Perform { expr: Expr },
+    Perform {
+        /// Expression evaluated for its effects.
+        expr: Expr,
+    },
+    /// `[DECLARE decls] BEGIN stmts [EXCEPTION WHEN .. THEN ..] END;` —
+    /// a nested block. Declarations re-initialize at every entry; handlers
+    /// catch conditions raised (via `RAISE`) inside `body`, not inside the
+    /// declarations or the handlers themselves.
+    Block {
+        /// The block's `DECLARE` section (re-initialized at every entry).
+        decls: Vec<VarDecl>,
+        /// Protected statement list.
+        body: Vec<PlStmt>,
+        /// `EXCEPTION` arms, first match wins; empty = plain nested block.
+        handlers: Vec<ExceptionHandler>,
+    },
 }
 
 impl PlStmt {
@@ -133,9 +248,20 @@ impl PlStmt {
             }
             PlStmt::Loop { body, .. }
             | PlStmt::While { body, .. }
-            | PlStmt::ForRange { body, .. } => {
+            | PlStmt::ForRange { body, .. }
+            | PlStmt::ForQuery { body, .. } => {
                 for s in body {
                     s.walk(f);
+                }
+            }
+            PlStmt::Block { body, handlers, .. } => {
+                for s in body {
+                    s.walk(f);
+                }
+                for h in handlers {
+                    for s in &h.body {
+                        s.walk(f);
+                    }
                 }
             }
             _ => {}
@@ -169,7 +295,18 @@ impl PlStmt {
             PlStmt::Return { expr } => expr.iter().collect(),
             PlStmt::Raise { args, .. } => args.iter().collect(),
             PlStmt::Perform { expr } => vec![expr],
-            PlStmt::Null | PlStmt::Loop { .. } => vec![],
+            PlStmt::Block { decls, .. } => decls.iter().filter_map(|d| d.init.as_ref()).collect(),
+            PlStmt::Null | PlStmt::Loop { .. } | PlStmt::ForQuery { .. } => vec![],
+        }
+    }
+
+    /// The queries this statement drives directly (the `FOR rec IN <query>`
+    /// loop source) — not expressions, so reported separately from
+    /// [`PlStmt::own_exprs`].
+    pub fn own_queries(&self) -> Vec<&Query> {
+        match self {
+            PlStmt::ForQuery { query, .. } => vec![query],
+            _ => vec![],
         }
     }
 }
@@ -179,21 +316,19 @@ impl PlFunction {
     /// `walk` of Figure 3 has three (`Q1..Q3`).
     pub fn embedded_query_count(&self) -> usize {
         let mut n = 0;
-        let mut count = |e: &Expr| {
-            if e.has_subquery() {
-                n += 1;
-            }
-        };
         for d in &self.decls {
             if let Some(init) = &d.init {
-                count(init);
+                if init.has_subquery() {
+                    n += 1;
+                }
             }
         }
         for s in &self.body {
             s.walk(&mut |stmt| {
-                for e in stmt.own_exprs() {
-                    count(e);
-                }
+                n += stmt.own_exprs().iter().filter(|e| e.has_subquery()).count();
+                // The loop source of a FOR-over-query is itself one
+                // embedded query, whatever its shape.
+                n += stmt.own_queries().len();
             });
         }
         n

@@ -3,17 +3,24 @@
 //! This front end covers the dialect the paper's functions exercise
 //! (Figure 3's `walk`, plus `parse`, `traverse`, `fibonacci`): declarations
 //! with initializers, assignments, `IF/ELSIF/ELSE`, all loop forms
-//! (`LOOP`, `WHILE`, integer `FOR .. IN a..b [BY s]`, `REVERSE`), labelled
-//! `EXIT`/`CONTINUE` with `WHEN` conditions, `RETURN`, `RAISE`, `PERFORM`,
-//! and the `CASE` statement. Expressions — including the embedded queries
-//! `Q1..Qn` — are plain SQL expressions, re-using `plaway-sql`'s grammar.
+//! (`LOOP`, `WHILE`, integer `FOR .. IN a..b [BY s]`, `REVERSE`, and the
+//! cursor-style `FOR rec IN <query>`), labelled `EXIT`/`CONTINUE` with
+//! `WHEN` conditions, nested blocks with `EXCEPTION WHEN .. THEN` handler
+//! sections, `RETURN`, `RAISE` (format-string and named-condition forms),
+//! `PERFORM`, and the `CASE` statement. Expressions — including the
+//! embedded queries `Q1..Qn` — are plain SQL expressions, re-using
+//! `plaway-sql`'s grammar.
 //!
-//! Deliberately unsupported (diagnosed with clear errors, see DESIGN.md):
-//! table-valued variables (PL/SQL itself disallows them, paper §4),
-//! exceptions, cursors, dynamic SQL (`EXECUTE`).
+//! Deliberately unsupported (diagnosed with clear errors, see
+//! DESIGN.md#unsupported-constructs): table-valued variables (PL/SQL itself
+//! disallows them, paper §4), explicit cursors (`OPEN`/`FETCH`/`CLOSE`),
+//! dynamic SQL (`EXECUTE`), `GET DIAGNOSTICS`, and bare re-raising `RAISE`.
+
+#![warn(missing_docs)]
 
 pub mod ast;
 pub mod parser;
+pub mod record;
 
 pub use ast::*;
 pub use parser::parse_function;

@@ -10,7 +10,7 @@ use plaway_sql::ast::{CreateFunction, Language};
 use plaway_sql::token::Sym;
 use plaway_sql::Parser;
 
-use crate::ast::{PlFunction, PlStmt, RaiseLevel, VarDecl};
+use crate::ast::{ExceptionHandler, PlFunction, PlStmt, RaiseLevel, VarDecl};
 
 /// Parse the body of a `CREATE FUNCTION ... LANGUAGE plpgsql` statement.
 pub fn parse_function(cf: &CreateFunction) -> Result<PlFunction> {
@@ -46,7 +46,7 @@ struct BodyParser {
 }
 
 impl BodyParser {
-    /// `[DECLARE decls] BEGIN stmts END [;]`
+    /// `[DECLARE decls] BEGIN stmts [EXCEPTION handlers] END [;]`
     fn parse_block(&mut self) -> Result<(Vec<VarDecl>, Vec<PlStmt>)> {
         let mut decls = Vec::new();
         if self.p.eat_kw("declare") {
@@ -55,13 +55,69 @@ impl BodyParser {
             }
         }
         self.p.expect_kw("begin")?;
-        let body = self.parse_stmts_until(&["end"])?;
+        let body = self.parse_stmts_until(&["end", "exception"])?;
+        let handlers = self.parse_handlers()?;
         self.p.expect_kw("end")?;
         self.p.eat_sym(Sym::Semi);
         if !self.p.at_eof() {
             return Err(self.p.err_here("unexpected input after END"));
         }
+        // A top-level EXCEPTION section protects the body exactly like a
+        // nested block's would; represent it as one.
+        let body = if handlers.is_empty() {
+            body
+        } else {
+            vec![PlStmt::Block {
+                decls: Vec::new(),
+                body,
+                handlers,
+            }]
+        };
         Ok((decls, body))
+    }
+
+    /// Statement-position `[DECLARE ..] BEGIN .. [EXCEPTION ..] END;`.
+    fn parse_nested_block(&mut self) -> Result<PlStmt> {
+        let mut decls = Vec::new();
+        if self.p.eat_kw("declare") {
+            while !self.p.peek().is_kw("begin") {
+                decls.push(self.parse_decl()?);
+            }
+        }
+        self.p.expect_kw("begin")?;
+        let body = self.parse_stmts_until(&["end", "exception"])?;
+        let handlers = self.parse_handlers()?;
+        self.p.expect_kw("end")?;
+        self.p.expect_sym(Sym::Semi)?;
+        Ok(PlStmt::Block {
+            decls,
+            body,
+            handlers,
+        })
+    }
+
+    /// `EXCEPTION WHEN cond [OR cond].. THEN stmts ...` (empty when the
+    /// block has no EXCEPTION section).
+    fn parse_handlers(&mut self) -> Result<Vec<ExceptionHandler>> {
+        let mut handlers = Vec::new();
+        if !self.p.eat_kw("exception") {
+            return Ok(handlers);
+        }
+        if !self.p.peek().is_kw("when") {
+            return Err(self
+                .p
+                .err_here("EXCEPTION section needs at least one WHEN handler"));
+        }
+        while self.p.eat_kw("when") {
+            let mut conditions = vec![self.p.expect_ident()?.to_ascii_lowercase()];
+            while self.p.eat_kw("or") {
+                conditions.push(self.p.expect_ident()?.to_ascii_lowercase());
+            }
+            self.p.expect_kw("then")?;
+            let body = self.parse_stmts_until(&["when", "end"])?;
+            handlers.push(ExceptionHandler { conditions, body });
+        }
+        Ok(handlers)
     }
 
     /// `name type [:= expr | = expr | DEFAULT expr] ;`
@@ -140,11 +196,14 @@ impl BodyParser {
             self.p.expect_sym(Sym::Semi)?;
             return Ok(PlStmt::Perform { expr });
         }
-        for unsupported in ["execute", "open", "fetch", "close", "get", "exception"] {
+        if self.p.peek().is_kw("declare") || self.p.peek().is_kw("begin") {
+            return self.parse_nested_block();
+        }
+        for unsupported in ["execute", "open", "fetch", "close", "get"] {
             if self.p.peek().is_kw(unsupported) {
                 return Err(Error::unsupported(format!(
                     "PL/pgSQL construct {} is not supported by this reproduction \
-                     (see DESIGN.md for the supported dialect)",
+                     (see DESIGN.md#unsupported-constructs for the supported dialect)",
                     unsupported.to_ascii_uppercase()
                 )));
             }
@@ -179,8 +238,39 @@ impl BodyParser {
         self.p.expect_kw("for")?;
         let var = self.p.expect_ident()?;
         self.p.expect_kw("in")?;
+        // `FOR rec IN SELECT ... LOOP` — the cursor-style row loop. A query
+        // source always starts with SELECT or WITH; anything else is the
+        // integer range form.
+        if self.p.peek().is_kw("select") || self.p.peek().is_kw("with") {
+            let query = self.p.parse_query()?;
+            self.p.expect_kw("loop")?;
+            let body = self.parse_stmts_until(&["end"])?;
+            self.end_loop()?;
+            return Ok(PlStmt::ForQuery {
+                label,
+                var,
+                query,
+                body,
+            });
+        }
         let reverse = self.p.eat_kw("reverse");
         let from = self.p.parse_expr()?;
+        // A parenthesized loop source — `FOR r IN (SELECT ...) LOOP` — parses
+        // as a scalar-subquery expression; `LOOP` instead of `..` here means
+        // it was the row-loop form all along.
+        if !reverse && self.p.peek().is_kw("loop") {
+            if let plaway_sql::ast::Expr::Subquery(query) = from {
+                self.p.expect_kw("loop")?;
+                let body = self.parse_stmts_until(&["end"])?;
+                self.end_loop()?;
+                return Ok(PlStmt::ForQuery {
+                    label,
+                    var,
+                    query: *query,
+                    body,
+                });
+            }
+        }
         self.p.expect_sym(Sym::DotDot)?;
         let to = self.p.parse_expr()?;
         let by = if self.p.eat_kw("by") {
@@ -304,36 +394,59 @@ impl BodyParser {
     }
 
     fn parse_raise(&mut self) -> Result<PlStmt> {
+        if self.p.peek().is_sym(Sym::Semi) {
+            return Err(Error::unsupported(
+                "bare RAISE (re-raising the active condition) is not supported \
+                 by this reproduction (see DESIGN.md#unsupported-constructs)",
+            ));
+        }
         let level = if self.p.eat_kw("debug") {
-            RaiseLevel::Debug
+            Some(RaiseLevel::Debug)
         } else if self.p.eat_kw("notice") {
-            RaiseLevel::Notice
+            Some(RaiseLevel::Notice)
         } else if self.p.eat_kw("info") {
-            RaiseLevel::Info
+            Some(RaiseLevel::Info)
         } else if self.p.eat_kw("warning") {
-            RaiseLevel::Warning
+            Some(RaiseLevel::Warning)
         } else if self.p.eat_kw("exception") {
-            RaiseLevel::Exception
+            Some(RaiseLevel::Exception)
         } else {
-            RaiseLevel::Notice
+            None
         };
-        let format = match self.p.peek().clone() {
+        match self.p.peek().clone() {
             plaway_sql::token::TokenKind::Str(s) => {
                 self.p.advance();
-                s
+                let mut args = Vec::new();
+                while self.p.eat_sym(Sym::Comma) {
+                    args.push(self.p.parse_expr()?);
+                }
+                self.p.expect_sym(Sym::Semi)?;
+                Ok(PlStmt::Raise {
+                    level: level.unwrap_or(RaiseLevel::Notice),
+                    format: s,
+                    args,
+                    condition: None,
+                })
             }
-            _ => return Err(self.p.err_here("RAISE requires a format string")),
-        };
-        let mut args = Vec::new();
-        while self.p.eat_sym(Sym::Comma) {
-            args.push(self.p.parse_expr()?);
+            // `RAISE division_by_zero;` — a named condition, always at
+            // EXCEPTION level (as in PostgreSQL).
+            plaway_sql::token::TokenKind::Ident(name)
+                if level.is_none() || level == Some(RaiseLevel::Exception) =>
+            {
+                self.p.advance();
+                self.p.expect_sym(Sym::Semi)?;
+                let name = name.to_ascii_lowercase();
+                Ok(PlStmt::Raise {
+                    level: RaiseLevel::Exception,
+                    format: name.clone(),
+                    args: Vec::new(),
+                    condition: Some(name),
+                })
+            }
+            _ => Err(self
+                .p
+                .err_here("RAISE requires a format string or condition name")),
         }
-        self.p.expect_sym(Sym::Semi)?;
-        Ok(PlStmt::Raise {
-            level,
-            format,
-            args,
-        })
     }
 }
 
@@ -520,12 +633,183 @@ mod tests {
         assert!(matches!(&f.body[1], PlStmt::Assign { .. }));
     }
 
+    /// GitHub-style anchors of every heading in DESIGN.md (lowercase,
+    /// punctuation stripped, spaces to hyphens) — the same transform
+    /// `scripts/check_doc_anchors.sh` applies.
+    fn design_md_anchors() -> Vec<String> {
+        let design =
+            std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../../DESIGN.md"))
+                .expect("DESIGN.md must exist at the repository root");
+        design
+            .lines()
+            .filter_map(|l| l.strip_prefix('#'))
+            .map(|l| l.trim_start_matches('#').trim())
+            .map(|h| {
+                h.to_ascii_lowercase()
+                    .chars()
+                    .filter(|c| c.is_ascii_alphanumeric() || *c == ' ' || *c == '-')
+                    .collect::<String>()
+                    .split_whitespace()
+                    .collect::<Vec<_>>()
+                    .join("-")
+            })
+            .collect()
+    }
+
     #[test]
-    fn unsupported_constructs_are_diagnosed() {
-        let err = parse_body_err("BEGIN EXECUTE 'SELECT 1'; END");
-        assert!(matches!(err, Error::Unsupported(_)), "{err}");
-        let err = parse_body_err("BEGIN OPEN cur; END");
-        assert!(matches!(err, Error::Unsupported(_)), "{err}");
+    fn unsupported_constructs_are_diagnosed_with_live_anchor() {
+        let anchors = design_md_anchors();
+        for (body, construct) in [
+            ("BEGIN EXECUTE 'SELECT 1'; END", "EXECUTE"),
+            ("BEGIN OPEN cur; END", "OPEN"),
+            ("BEGIN FETCH cur INTO x; END", "FETCH"),
+            ("BEGIN CLOSE cur; END", "CLOSE"),
+            ("BEGIN GET DIAGNOSTICS n = ROW_COUNT; END", "GET"),
+            ("BEGIN RAISE; END", "RAISE"),
+        ] {
+            let err = parse_body_err(body);
+            assert!(matches!(err, Error::Unsupported(_)), "{body}: {err}");
+            let msg = err.to_string();
+            assert!(
+                msg.contains(construct),
+                "message must name the construct {construct}: {msg}"
+            );
+            let anchor: String = msg
+                .split("DESIGN.md#")
+                .nth(1)
+                .unwrap_or_else(|| panic!("message must point at a DESIGN.md anchor: {msg}"))
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '-')
+                .collect();
+            assert!(
+                anchors.contains(&anchor),
+                "anchor #{anchor} in {construct}'s message does not resolve to any \
+                 DESIGN.md heading (have: {anchors:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn exception_block_parses() {
+        let f = parse_body(
+            "BEGIN \
+               BEGIN \
+                 RAISE overflow; \
+               EXCEPTION \
+                 WHEN overflow OR underflow THEN RETURN 1; \
+                 WHEN OTHERS THEN RETURN 2; \
+               END; \
+               RETURN 0; \
+             END",
+        );
+        let PlStmt::Block {
+            decls,
+            body,
+            handlers,
+        } = &f.body[0]
+        else {
+            panic!("expected a nested block, got {:?}", f.body[0])
+        };
+        assert!(decls.is_empty());
+        assert_eq!(body.len(), 1);
+        assert_eq!(handlers.len(), 2);
+        assert_eq!(handlers[0].conditions, vec!["overflow", "underflow"]);
+        assert!(handlers[0].matches("underflow"));
+        assert!(!handlers[0].matches("stray"));
+        assert_eq!(handlers[1].conditions, vec!["others"]);
+        assert!(handlers[1].matches("anything"));
+        // The RAISE inside is the named-condition form.
+        assert!(matches!(
+            &body[0],
+            PlStmt::Raise { condition: Some(c), level: RaiseLevel::Exception, .. } if c == "overflow"
+        ));
+    }
+
+    #[test]
+    fn top_level_exception_section_wraps_the_body() {
+        let f = parse_body(
+            "BEGIN RAISE EXCEPTION 'x'; RETURN 1; \
+             EXCEPTION WHEN OTHERS THEN RETURN 2; END",
+        );
+        assert_eq!(f.body.len(), 1);
+        let PlStmt::Block { handlers, .. } = &f.body[0] else {
+            panic!()
+        };
+        assert_eq!(handlers.len(), 1);
+    }
+
+    #[test]
+    fn nested_block_with_declare_parses() {
+        let f = parse_body(
+            "BEGIN \
+               DECLARE x int := 1; BEGIN RETURN x; END; \
+             END",
+        );
+        let PlStmt::Block { decls, .. } = &f.body[0] else {
+            panic!()
+        };
+        assert_eq!(decls.len(), 1);
+        assert_eq!(decls[0].name, "x");
+    }
+
+    #[test]
+    fn empty_exception_section_is_an_error() {
+        let err = parse_body_err("BEGIN BEGIN NULL; EXCEPTION END; RETURN 1; END");
+        assert!(matches!(err, Error::Parse { .. }), "{err}");
+    }
+
+    #[test]
+    fn for_over_query_parses() {
+        let f = parse_body(
+            "DECLARE s int := 0; \
+             BEGIN \
+               <<rows>> FOR r IN SELECT t.a AS a, t.b AS b FROM t LOOP \
+                 s := s + r.a; \
+                 EXIT rows WHEN r.b > 10; \
+               END LOOP; \
+               RETURN s; \
+             END",
+        );
+        let PlStmt::ForQuery {
+            label, var, body, ..
+        } = &f.body[0]
+        else {
+            panic!("expected ForQuery, got {:?}", f.body[0])
+        };
+        assert_eq!(label.as_deref(), Some("rows"));
+        assert_eq!(var, "r");
+        assert_eq!(body.len(), 2);
+        // The loop source counts as one embedded query.
+        assert_eq!(f.embedded_query_count(), 1);
+    }
+
+    #[test]
+    fn for_over_parenthesized_query_parses() {
+        // PL/pgSQL also accepts a parenthesized loop source.
+        let f = parse_body(
+            "DECLARE s int := 0; \
+             BEGIN \
+               FOR r IN (SELECT t.a AS a FROM t) LOOP s := s + r.a; END LOOP; \
+               RETURN s; \
+             END",
+        );
+        assert!(matches!(&f.body[0], PlStmt::ForQuery { var, .. } if var == "r"));
+        // Parenthesized range bounds still parse as a range.
+        let f = parse_body("BEGIN FOR i IN (1)..(3) LOOP NULL; END LOOP; RETURN 0; END");
+        assert!(matches!(&f.body[0], PlStmt::ForRange { .. }));
+    }
+
+    #[test]
+    fn raise_condition_form_defaults_to_exception_level() {
+        let f = parse_body("BEGIN RAISE division_by_zero; RETURN 1; END");
+        assert!(matches!(
+            &f.body[0],
+            PlStmt::Raise { level: RaiseLevel::Exception, condition: Some(c), format, .. }
+                if c == "division_by_zero" && format == "division_by_zero"
+        ));
+        // NOTICE with a condition name is not a thing.
+        let err = parse_body_err("BEGIN RAISE NOTICE division_by_zero; END");
+        assert!(matches!(err, Error::Parse { .. }), "{err}");
     }
 
     #[test]

@@ -7,8 +7,9 @@
 //! ```
 //!
 //! The parser is shared with the PL/pgSQL front end, which calls back into
-//! [`Parser::parse_expr_bp`] for expressions and into the query grammar for
-//! embedded `(SELECT ...)` scalar subqueries.
+//! [`Parser::parse_expr`] for expressions and into [`Parser::parse_query`]
+//! for embedded `(SELECT ...)` scalar subqueries and `FOR rec IN <query>`
+//! loop sources.
 
 use plaway_common::{Error, Result, Value};
 

@@ -234,7 +234,7 @@ impl Gen {
         let choice = if depth == 0 {
             0
         } else {
-            self.rng.next_range(0, 9)
+            self.rng.next_range(0, 11)
         };
         match choice {
             // Assignment (weighted heaviest).
@@ -334,11 +334,74 @@ impl Gen {
                     self.line("END LOOP;");
                 }
             }
-            _ => {
+            9 => {
                 // Early RETURN behind a condition.
                 let c = self.gen_bool_expr(0);
                 let e = self.gen_int_expr(1);
                 self.line(&format!("IF {c} THEN RETURN {e}; END IF;"));
+            }
+            10 => {
+                // Nested block with EXCEPTION handlers; every raise is
+                // caught by construction (named arm or OTHERS), so the
+                // generated program still never errors.
+                let cond = self.fresh("cond");
+                self.line("BEGIN");
+                self.indent += 2;
+                self.gen_stmt(depth - 1);
+                let c = self.gen_bool_expr(0);
+                if self.rng.next_bool(0.5) {
+                    self.line(&format!("IF {c} THEN RAISE {cond}; END IF;"));
+                } else {
+                    let arg = self.gen_int_expr(0);
+                    self.line(&format!(
+                        "IF {c} THEN RAISE EXCEPTION 'gen %', {arg}; END IF;"
+                    ));
+                }
+                if self.rng.next_bool(0.5) {
+                    self.gen_stmt(depth - 1);
+                }
+                self.indent -= 2;
+                self.line("EXCEPTION");
+                self.indent += 2;
+                self.line(&format!("WHEN {cond} THEN"));
+                self.indent += 2;
+                self.gen_stmt(0);
+                self.indent -= 2;
+                self.line("WHEN OTHERS THEN");
+                self.indent += 2;
+                self.gen_stmt(0);
+                self.indent -= 2;
+                self.indent -= 2;
+                self.line("END;");
+            }
+            _ => {
+                // FOR-over-query against the kv fixture (bounded: the
+                // fixture has ten rows). Falls back to an assignment when
+                // queries are disabled.
+                if !self.cfg.allow_queries {
+                    if let Some(var) = self.pick_assignable() {
+                        let e = self.gen_int_expr(1);
+                        self.line(&format!("{var} := {e};"));
+                    }
+                    return;
+                }
+                let Some(var) = self.pick_assignable() else {
+                    return;
+                };
+                let rec = self.fresh("r");
+                let bound = self.rng.next_range(0, 9);
+                self.line(&format!(
+                    "FOR {rec} IN SELECT kv.k AS k, kv.v AS v FROM kv \
+                     WHERE kv.k <= {bound} LOOP"
+                ));
+                self.indent += 2;
+                self.line(&format!("{var} := ({var} + {rec}.v - {rec}.k) % 53;"));
+                if self.rng.next_bool(0.3) {
+                    let c = self.gen_bool_expr(0);
+                    self.line(&format!("EXIT WHEN {c};"));
+                }
+                self.indent -= 2;
+                self.line("END LOOP;");
             }
         }
     }

@@ -7,17 +7,23 @@
 //!   Figure 11b, Table 2): a table-driven tokenizer over a residual string.
 //! * [`graph`] — the `traverse()` directed-graph workload (Table 1 row 3).
 //! * [`fib`] — the query-less `fibonacci()` workload (Table 1 row 4).
+//! * [`checked`] — the `checked_sum()` error-handling workload: per-row
+//!   `RAISE` + `EXCEPTION` recovery, query-less.
+//! * [`rowagg`] — the `settle()` row-driven aggregation workload:
+//!   `FOR rec IN <query>` over a generated ledger.
 //! * [`extras`] — additional functions (gcd, collatz, power, strrev, bank)
 //!   used by tests and ablations.
 //! * [`genprog`] — a seeded random PL/pgSQL program generator powering the
 //!   interpreter-vs-compiler differential property tests.
 
+pub mod checked;
 pub mod extras;
 pub mod fib;
 pub mod fsa;
 pub mod genprog;
 pub mod graph;
 pub mod grid;
+pub mod rowagg;
 
 use plaway_common::Result;
 use plaway_engine::Session;

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Fail when any in-tree documentation reference is dangling:
+#
+#  * `DESIGN.md#some-anchor` / `README.md#some-anchor` — the named document
+#    must contain a heading whose GitHub-style anchor matches;
+#  * `DESIGN.md §N` — DESIGN.md must contain a heading mentioning `§N`.
+#
+# Run from anywhere: `bash scripts/check_doc_anchors.sh`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# GitHub-style anchors of every markdown heading in a file: lowercase,
+# punctuation stripped, spaces to hyphens.
+anchors_of() {
+    sed -n 's/^##*  *//p' "$1" \
+        | tr '[:upper:]' '[:lower:]' \
+        | sed 's/[^a-z0-9 -]//g; s/  */ /g; s/^ //; s/ $//; s/ /-/g'
+}
+
+# Every tracked text file that may reference the docs (source, tests,
+# markdown, CI), excluding build output and vendored code.
+ref_files() {
+    find crates src tests examples .github -type f \
+        \( -name '*.rs' -o -name '*.md' -o -name '*.yml' -o -name '*.toml' \) \
+        2>/dev/null
+    ls ./*.md 2>/dev/null
+}
+
+for doc in DESIGN.md README.md; do
+    if [ ! -f "$doc" ]; then
+        echo "MISSING DOCUMENT: $doc"
+        fail=1
+        continue
+    fi
+    anchors=$(anchors_of "$doc")
+    refs=$(ref_files | xargs grep -hoE "${doc}#[a-zA-Z0-9_-]+" 2>/dev/null | sort -u || true)
+    for ref in $refs; do
+        anchor="${ref#*#}"
+        if ! printf '%s\n' "$anchors" | grep -qx "$anchor"; then
+            echo "DANGLING ANCHOR: '$ref' — no heading in $doc resolves to '#$anchor'"
+            fail=1
+        fi
+    done
+done
+
+# Section-number references: `DESIGN.md §N` (also "see DESIGN.md §N").
+sections=$(ref_files | xargs grep -hoE 'DESIGN\.md §[0-9]+' 2>/dev/null | grep -oE '§[0-9]+' | sort -u || true)
+for sec in $sections; do
+    if ! grep -qE "^##* .*${sec}( |\b)" DESIGN.md; then
+        echo "DANGLING SECTION: DESIGN.md ${sec} referenced but no '## ${sec} …' heading exists"
+        fail=1
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "doc anchor check FAILED"
+    exit 1
+fi
+echo "doc anchor check OK"

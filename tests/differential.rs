@@ -86,6 +86,78 @@ fn interpreter_equals_compiler_deep() {
     }
 }
 
+/// Seeded sweep over the error-handling workload: `checked_sum` (per-row
+/// `RAISE` + `EXCEPTION` recovery) must return interpreter-identical
+/// results for every drawn input, in every compiled mode.
+#[test]
+fn exception_workload_differential() {
+    use plsql_away::workloads::checked;
+    let mut session = Session::default();
+    let w = checked::checked_workload();
+    w.install(&mut session).unwrap();
+    let mut interp = Interpreter::new();
+    let mut rng = SessionRng::new(0xE4C);
+    for case in 0..24 {
+        let len = rng.next_range(0, 60) as usize;
+        let input = checked::generate_input(len, rng.next_range(0, 1_000_000) as u64);
+        let cap = rng.next_range(0, 80);
+        let args = vec![Value::text(&input), Value::Int(cap)];
+        let reference = interp.call(&mut session, w.name, &args).unwrap();
+        assert_eq!(
+            reference,
+            Value::Int(checked::checked_reference(&input, cap)),
+            "case {case}: interpreter vs native reference ({input:?}, cap {cap})"
+        );
+        for options in [
+            CompileOptions::default(),
+            CompileOptions::iterate(),
+            CompileOptions::packed(),
+        ] {
+            let compiled = compile_sql(&session.catalog, &w.source, options).unwrap();
+            assert_eq!(
+                compiled.run(&mut session, &args).unwrap(),
+                reference,
+                "case {case} ({input:?}, cap {cap}) mode {options:?}"
+            );
+        }
+    }
+}
+
+/// Seeded sweep over the FOR-over-query workload: `settle` folds generated
+/// ledgers of varying sizes; the cursor-style interpreter loop and the
+/// compiled OFFSET-paginated row loop must agree on every limit.
+#[test]
+fn rowloop_workload_differential() {
+    use plsql_away::workloads::rowagg;
+    for seed in 0..6u64 {
+        let mut session = Session::default();
+        let ledger = rowagg::Ledger::generate((seed as usize * 13) % 37 + 1, seed);
+        ledger.install(&mut session).unwrap();
+        let w = rowagg::settle_workload();
+        w.install(&mut session).unwrap();
+        let mut interp = Interpreter::new();
+        let mut rng = SessionRng::new(seed ^ 0x5E77);
+        for _ in 0..5 {
+            let lim = rng.next_range(-500, 2_000);
+            let args = vec![Value::Int(lim)];
+            let reference = interp.call(&mut session, w.name, &args).unwrap();
+            assert_eq!(
+                reference,
+                Value::Int(ledger.settle_reference(lim)),
+                "ledger seed {seed}, lim {lim}: interpreter vs native reference"
+            );
+            for options in [CompileOptions::default(), CompileOptions::iterate()] {
+                let compiled = compile_sql(&session.catalog, &w.source, options).unwrap();
+                assert_eq!(
+                    compiled.run(&mut session, &args).unwrap(),
+                    reference,
+                    "ledger seed {seed}, lim {lim}, mode {options:?}"
+                );
+            }
+        }
+    }
+}
+
 /// Pretty-printer round trip on every generated compilation artifact: the
 /// SQL we emit re-parses to the identical AST.
 #[test]

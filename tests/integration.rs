@@ -225,11 +225,25 @@ fn compile_errors_are_actionable() {
     let err = compile_sql(
         &s.catalog,
         "CREATE FUNCTION f(n int) RETURNS int AS $$ \
-         BEGIN RAISE EXCEPTION 'no'; RETURN 1; END $$ LANGUAGE plpgsql",
+         BEGIN EXECUTE 'SELECT 1'; RETURN 1; END $$ LANGUAGE plpgsql",
         CompileOptions::default(),
     )
     .unwrap_err();
-    assert!(err.to_string().contains("RAISE EXCEPTION"), "{e}", e = err);
+    assert!(err.to_string().contains("EXECUTE"), "{e}", e = err);
+    assert!(err.to_string().contains("DESIGN.md"), "{e}", e = err);
+
+    // RAISE EXCEPTION now compiles: an uncaught raise aborts the query at
+    // runtime with the condition and the formatted message.
+    let mut s = Session::default();
+    let c = compile_sql(
+        &s.catalog,
+        "CREATE FUNCTION f(n int) RETURNS int AS $$ \
+         BEGIN RAISE EXCEPTION 'no'; RETURN 1; END $$ LANGUAGE plpgsql",
+        CompileOptions::default(),
+    )
+    .unwrap();
+    let err = c.run(&mut s, &[Value::Int(0)]).unwrap_err();
+    assert_eq!(err.to_string(), "raise_exception: no");
 }
 
 /// Session-seeded `random()` makes the randomized workload reproducible in
