@@ -92,13 +92,19 @@ fn check(
     // The paper's thesis, enforced: the compiled fibonacci modes must beat
     // the interpreter in the fresh numbers — and, since the EXCEPTION
     // machinery landed, so must the compiled `checked` error-handling
-    // kernel (ITERATE mode; its margin is the widest).
+    // kernel (ITERATE mode; its margin is the widest). With the
+    // materialize-once row-loop operator, `settle` flipped too: both
+    // compiled modes must now beat the interpreter's one-shot cursor.
     let flips: &[(&str, &[&str])] = &[
         (
             "fibonacci.interpreter",
             &["fibonacci.with_recursive", "fibonacci.with_iterate"],
         ),
         ("checked.interpreter", &["checked.with_iterate"]),
+        (
+            "settle.interpreter",
+            &["settle.with_recursive", "settle.with_iterate"],
+        ),
     ];
     for (interp_key, modes) in flips {
         let Some(&interp) = fresh.get(*interp_key) else {
@@ -264,6 +270,27 @@ mod tests {
         assert_eq!(failures.len(), 1, "{failures:?}");
         assert!(failures[0].contains("checked.with_iterate"));
         let fresh = map(&[("checked.interpreter", 1000), ("checked.with_iterate", 800)]);
+        assert!(check(&base, &fresh, 25).is_empty());
+    }
+
+    #[test]
+    fn compiled_settle_must_beat_interpreter_in_both_modes() {
+        // The materialize-once row loop flipped `settle`; the gate keeps it
+        // flipped in both compiled modes.
+        let base = map(&[]);
+        let fresh = map(&[
+            ("settle.interpreter", 1000),
+            ("settle.with_recursive", 1100),
+            ("settle.with_iterate", 900),
+        ]);
+        let failures = check(&base, &fresh, 25);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("settle.with_recursive"));
+        let fresh = map(&[
+            ("settle.interpreter", 1000),
+            ("settle.with_recursive", 950),
+            ("settle.with_iterate", 900),
+        ]);
         assert!(check(&base, &fresh, 25).is_empty());
     }
 }

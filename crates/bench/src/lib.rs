@@ -179,10 +179,14 @@ pub fn checked_args(len: usize) -> Vec<Value> {
     ]
 }
 
-/// The `settle` FOR-over-query workload (120-entry generated ledger).
+/// The `settle` FOR-over-query workload (480-entry generated ledger —
+/// long enough that the row loop, not the fixed executor lifecycle,
+/// dominates; with the pre-materialize `LIMIT 1 OFFSET i-1` desugaring
+/// this size would cost ~230k row touches, with the snapshot cursor it
+/// costs 480).
 pub fn setup_settle(config: EngineConfig) -> BenchSetup {
     let mut session = Session::new(config);
-    rowagg::Ledger::generate(120, 7)
+    rowagg::Ledger::generate(480, 7)
         .install(&mut session)
         .expect("ledger install");
     let w = rowagg::settle_workload();
@@ -257,7 +261,7 @@ mod tests {
         let v = b.run_interp(&settle_args()).unwrap();
         assert_eq!(
             v,
-            Value::Int(rowagg::Ledger::generate(120, 7).settle_reference(1_000_000))
+            Value::Int(rowagg::Ledger::generate(480, 7).settle_reference(1_000_000))
         );
     }
 

@@ -408,6 +408,15 @@ fn fold_constant_tails(tail: &mut AnfTail) -> bool {
     changed
 }
 
+/// Is this expression a row-loop `snapshot_release` call? Impure (it must
+/// never be dropped or hoisted) but safe to *inline* into several call
+/// sites: each dynamic path still evaluates it exactly once, and inlining
+/// the row loop's exit block erases one CTE column (the result φ) and one
+/// fixpoint iteration per loop exit.
+fn is_release_call(e: &Expr) -> bool {
+    matches!(e, Expr::Func { name, .. } if name == "snapshot_release")
+}
+
 /// Is every argument of every (reachable) call to `idx` a bare column or
 /// literal? Such arguments can be substituted into a callee that mentions a
 /// parameter more than once without duplicating work.
@@ -479,7 +488,18 @@ pub fn inline_trivial(prog: &mut AnfProgram, catalog: &plaway_engine::Catalog) {
                 && f.lets.iter().all(|(_, e)| crate::opt::is_pure_expr(e))
                 && !prog.entry.calls().iter().any(|(t, _)| *t == idx)
                 && all_call_args_simple(prog, idx, &reachable);
-            if !(trivial || single_use || small_pure) {
+            // (d) the row-loop exit-block shape: only `snapshot_release`
+            //     lets and a small tail. Inlining it at every exit edge
+            //     removes the loop-result φ column from the trace and one
+            //     CTE iteration per loop exit; per-path evaluation counts
+            //     are unchanged (each site runs its own copy at most once).
+            let release_block = call_sites >= 2
+                && !f.lets.is_empty()
+                && f.lets.iter().all(|(_, e)| is_release_call(e))
+                && tail_size(&f.tail) <= 8
+                && !prog.entry.calls().iter().any(|(t, _)| *t == idx)
+                && all_call_args_simple(prog, idx, &reachable);
+            if !(trivial || single_use || small_pure || release_block) {
                 continue;
             }
             let callee = prog.funcs[idx].clone();

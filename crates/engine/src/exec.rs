@@ -18,9 +18,9 @@ use plaway_sql::ast::{BinOp, JoinKind, Language, SetOp};
 use crate::catalog::{Catalog, Row};
 use crate::config::EngineConfig;
 use crate::functions::{eval_scalar, like_match};
-use crate::ir::{AggFn, AggSpec, CtePlan, ExprIr, PlanNode, RecursionMode, SortKey};
+use crate::ir::{AggFn, AggSpec, CtePlan, ExprIr, PlanNode, RecursionMode, SnapshotOp, SortKey};
 use crate::planner::{plan_udf_body, PreparedPlan};
-use crate::tuplestore::{BufferStats, Tuplestore};
+use crate::tuplestore::{BufferStats, SnapshotStore, Tuplestore};
 use crate::window::exec_window;
 
 /// Linked list of outer rows; `depth` 0 is the innermost row.
@@ -72,6 +72,13 @@ pub struct RuntimeStats {
     pub udf_calls: u64,
     pub rows_scanned: u64,
     pub max_udf_depth: usize,
+    /// Row-loop snapshots materialized (one per compiled loop *entry* —
+    /// the counter the materialize-once tests assert on).
+    pub snapshots_materialized: u64,
+    /// Snapshots explicitly released (loop exit, EXIT/CONTINUE past the
+    /// loop, RETURN inside the loop, or exception unwind). On a normally
+    /// completed execution this equals `snapshots_materialized`.
+    pub snapshots_released: u64,
 }
 
 impl RuntimeStats {
@@ -114,6 +121,10 @@ pub struct Runtime<'s> {
     /// The catalog cannot change mid-statement, so a closed sub-plan's
     /// scalar result is computed once instead of once per fixpoint row.
     pub subplan_cache: HashMap<usize, Value>,
+    /// Materialized row-loop sources (the compiled cursor operator), scoped
+    /// to this execution: handles die with the runtime, which is what makes
+    /// snapshot expressions safe to exclude from `subplan_cache` hoisting.
+    pub snapshots: SnapshotStore,
 }
 
 impl<'s> Runtime<'s> {
@@ -335,7 +346,75 @@ pub fn eval(ir: &ExprIr, env: &EvalEnv<'_>, rt: &mut Runtime<'_>) -> Result<Valu
             Ok(Value::record(vals))
         }
         ExprIr::Cast { expr, ty } => eval(expr, env, rt)?.cast(ty),
+        ExprIr::Materialize { plan } => materialize_snapshot(plan, env, rt),
+        ExprIr::SnapshotFn { op, args } => {
+            // Arity is planner-checked; 1..=3 arguments, stack-allocated.
+            let mut argv = [Value::Null, Value::Null, Value::Null];
+            for (slot, a) in argv.iter_mut().zip(args) {
+                *slot = eval(a, env, rt)?;
+            }
+            eval_snapshot_op(*op, &argv[..args.len()], rt)
+        }
         ExprIr::Vm(prog) => crate::vm::run(prog, env, rt),
+    }
+}
+
+/// Evaluate a row-loop source exactly once into the execution's snapshot
+/// store (through the accounting tuplestore, so cursor materialization is
+/// charged to the buffer statistics like PostgreSQL's portal tuplestore)
+/// and return its handle.
+fn materialize_snapshot(plan: &PlanNode, env: &EvalEnv<'_>, rt: &mut Runtime<'_>) -> Result<Value> {
+    let rows = exec(plan, env, rt)?;
+    let mut store = Tuplestore::new(rt.config.work_mem_bytes);
+    store.extend(rows);
+    let rows = store.finish(rt.buffers);
+    rt.stats.snapshots_materialized += 1;
+    Ok(Value::Int(rt.snapshots.register(rows)))
+}
+
+/// Apply a snapshot accessor to already-evaluated arguments. Shared by the
+/// tree evaluator and the VM's [`crate::vm::Op::Snapshot`] instruction.
+pub(crate) fn eval_snapshot_op(
+    op: SnapshotOp,
+    args: &[Value],
+    rt: &mut Runtime<'_>,
+) -> Result<Value> {
+    let handle = args
+        .first()
+        .ok_or_else(|| Error::exec("snapshot accessor without a handle (planner bug)"))?
+        .as_int()
+        .map_err(|_| Error::exec(format!("{}: snapshot handle must be an integer", op.name())))?;
+    match op {
+        SnapshotOp::Rows => {
+            let n = rt.snapshots.len(handle).map_err(Error::exec)?;
+            Ok(Value::Int(n as i64))
+        }
+        SnapshotOp::Fetch => {
+            let pos = args[1].as_int()?;
+            let row = rt.snapshots.row(handle, pos).map_err(Error::exec)?;
+            match args.get(2) {
+                // 3-argument form: one field, no intermediate record.
+                Some(f) => {
+                    let i = f.as_int()?;
+                    usize::try_from(i - 1)
+                        .ok()
+                        .and_then(|i| row.get(i))
+                        .cloned()
+                        .ok_or_else(|| {
+                            Error::exec(format!(
+                                "fetch_row: field {i} out of bounds for row of width {}",
+                                row.len()
+                            ))
+                        })
+                }
+                None => Ok(Value::record(row.to_vec())),
+            }
+        }
+        SnapshotOp::Release => {
+            rt.snapshots.release(handle).map_err(Error::exec)?;
+            rt.stats.snapshots_released += 1;
+            Ok(Value::Null)
+        }
     }
 }
 
@@ -578,6 +657,41 @@ pub fn exec(plan: &PlanNode, env: &EvalEnv<'_>, rt: &mut Runtime<'_>) -> Result<
                 let rows = rt.ctes.get(index).cloned().ok_or_else(|| {
                     Error::exec(format!("CTE #{index} not materialized (planner bug)"))
                 })?;
+                // The predicate of that outer query is a (negated) boolean
+                // column; scanning a long RECURSIVE trace through the
+                // expression evaluator costs more than the final answer —
+                // test the slot directly.
+                let slot_test: Option<(usize, bool)> = match pred {
+                    ExprIr::Slot { depth: 0, index } => Some((*index, true)),
+                    ExprIr::Not(inner) => match inner.as_ref() {
+                        ExprIr::Slot { depth: 0, index } => Some((*index, false)),
+                        _ => None,
+                    },
+                    _ => None,
+                };
+                if let Some((i, want)) = slot_test {
+                    let mut out = Vec::new();
+                    for row in rows.iter() {
+                        let keep = match row.get(i) {
+                            Some(Value::Bool(b)) => *b == want,
+                            Some(Value::Null) => false,
+                            // A bare slot test is `is_true()` (false on
+                            // non-booleans); NOT of a non-boolean errors —
+                            // both exactly as the expression path would.
+                            Some(other) if !want => {
+                                return Err(Error::exec(format!(
+                                    "expected boolean, got {}",
+                                    other.type_of()
+                                )))
+                            }
+                            _ => false,
+                        };
+                        if keep {
+                            out.push(row.clone());
+                        }
+                    }
+                    return Ok(out);
+                }
                 let mut out = Vec::new();
                 for row in rows.iter() {
                     let scopes = Scopes {
@@ -1449,6 +1563,12 @@ fn walk_expr_plans(e: &ExprIr, f: &mut impl FnMut(&PlanNode)) {
         }
         ExprIr::Subplan(p) => f(p),
         ExprIr::Exists { plan } => f(plan),
+        ExprIr::Materialize { plan } => f(plan),
+        ExprIr::SnapshotFn { args, .. } => {
+            for a in args {
+                walk_expr_plans(a, f);
+            }
+        }
         ExprIr::InPlan { expr, plan, .. } => {
             walk_expr_plans(expr, f);
             f(plan);
@@ -1560,6 +1680,8 @@ fn pred_reads_below(e: &ExprIr, limit: usize) -> bool {
         | ExprIr::Subplan(_)
         | ExprIr::Exists { .. }
         | ExprIr::InPlan { .. }
+        | ExprIr::Materialize { .. }
+        | ExprIr::SnapshotFn { .. }
         | ExprIr::Vm(_) => false,
     }
 }

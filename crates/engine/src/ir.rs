@@ -61,6 +61,24 @@ pub enum ExprIr {
     },
     /// Scalar subquery: must yield at most one row, one column.
     Subplan(Arc<PlanNode>),
+    /// Materialize-once cursor source (`materialize(<subquery>)`): evaluate
+    /// the plan exactly once, register the full row set in the runtime's
+    /// execution-scoped [`crate::tuplestore::SnapshotStore`], and yield the
+    /// integer snapshot handle. The compiled `FOR rec IN <query>` loop binds
+    /// this at loop entry and addresses rows positionally afterwards —
+    /// turning the trampoline's row loop from O(n²) re-scans into O(n).
+    /// Never pure, never memoized: the handle names execution-local state.
+    Materialize {
+        plan: Arc<PlanNode>,
+    },
+    /// Snapshot accessor (`snapshot_rows` / `fetch_row` / `snapshot_release`)
+    /// over a handle produced by [`ExprIr::Materialize`]. Kept apart from
+    /// [`ScalarFn`] because evaluation needs the runtime's snapshot store,
+    /// not just argument values.
+    SnapshotFn {
+        op: SnapshotOp,
+        args: Vec<ExprIr>,
+    },
     Exists {
         plan: Arc<PlanNode>,
     },
@@ -125,7 +143,9 @@ impl ExprIr {
             ExprIr::UdfCall { .. }
             | ExprIr::Subplan(_)
             | ExprIr::Exists { .. }
-            | ExprIr::InPlan { .. } => false,
+            | ExprIr::InPlan { .. }
+            | ExprIr::Materialize { .. }
+            | ExprIr::SnapshotFn { .. } => false,
             ExprIr::InList { expr, list, .. } => {
                 expr.is_pure_scalar() && list.iter().all(ExprIr::is_pure_scalar)
             }
@@ -133,6 +153,52 @@ impl ExprIr {
             ExprIr::Row(items) => items.iter().all(ExprIr::is_pure_scalar),
             ExprIr::Cast { expr, .. } => expr.is_pure_scalar(),
             ExprIr::Vm(prog) => prog.is_pure(),
+        }
+    }
+}
+
+/// Operations over registered row snapshots (see [`ExprIr::SnapshotFn`]).
+/// All three are volatile by construction: they read or mutate the
+/// execution's snapshot store, so folding, hoisting, memoization and
+/// dead-code elimination must leave them alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotOp {
+    /// `snapshot_rows(handle)` — row count of the snapshot.
+    Rows,
+    /// `fetch_row(handle, pos)` — row `pos` (1-based) as a record value;
+    /// `fetch_row(handle, pos, field)` — field `field` (1-based) of that row
+    /// directly, skipping the intermediate record allocation.
+    Fetch,
+    /// `snapshot_release(handle)` — drop the snapshot, recycle its slot,
+    /// yield NULL. Double release is an executor error (compiler bug).
+    Release,
+}
+
+impl SnapshotOp {
+    /// Resolve a snapshot accessor by SQL function name.
+    pub fn from_name(name: &str) -> Option<SnapshotOp> {
+        Some(match name {
+            "snapshot_rows" => SnapshotOp::Rows,
+            "fetch_row" => SnapshotOp::Fetch,
+            "snapshot_release" => SnapshotOp::Release,
+            _ => return None,
+        })
+    }
+
+    /// Accepted argument counts.
+    pub fn arity_ok(self, argc: usize) -> bool {
+        match self {
+            SnapshotOp::Rows | SnapshotOp::Release => argc == 1,
+            SnapshotOp::Fetch => argc == 2 || argc == 3,
+        }
+    }
+
+    /// The SQL-visible function name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SnapshotOp::Rows => "snapshot_rows",
+            SnapshotOp::Fetch => "fetch_row",
+            SnapshotOp::Release => "snapshot_release",
         }
     }
 }

@@ -1059,6 +1059,34 @@ impl<'a> Planner<'a> {
                     .transpose()?,
             },
             Expr::Func { name, args } => {
+                // The row-loop cursor operator: `materialize(<subquery>)`
+                // plans its argument as a full (multi-row, multi-column)
+                // plan evaluated once into the execution's snapshot store.
+                if name == "materialize" {
+                    let [Expr::Subquery(q)] = args.as_slice() else {
+                        return Err(Error::plan(
+                            "materialize() takes exactly one subquery argument",
+                        ));
+                    };
+                    let plan = self.plan_subquery(q, cx)?;
+                    return Ok(ExprIr::Materialize {
+                        plan: Arc::new(plan),
+                    });
+                }
+                if let Some(op) = crate::ir::SnapshotOp::from_name(name) {
+                    if !op.arity_ok(args.len()) {
+                        return Err(Error::plan(format!(
+                            "{}() called with {} arguments",
+                            op.name(),
+                            args.len()
+                        )));
+                    }
+                    let irs: Vec<ExprIr> = args
+                        .iter()
+                        .map(|a| self.compile_expr(a, cx))
+                        .collect::<Result<_>>()?;
+                    return Ok(ExprIr::SnapshotFn { op, args: irs });
+                }
                 let irs: Vec<ExprIr> = args
                     .iter()
                     .map(|a| self.compile_expr(a, cx))

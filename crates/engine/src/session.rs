@@ -666,6 +666,7 @@ impl Session {
             udf_depth: 0,
             vm_stack: Vec::new(),
             subplan_cache: HashMap::new(),
+            snapshots: crate::tuplestore::SnapshotStore::default(),
         }
     }
 }

@@ -121,6 +121,97 @@ impl Tuplestore {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Execution-scoped row snapshots (the materialize-once cursor operator)
+
+/// Positionally addressable row snapshots for compiled `FOR rec IN <query>`
+/// loops: the loop source is evaluated exactly once at loop entry (through
+/// an accounting [`Tuplestore`], so cursor materialization shows up in the
+/// buffer statistics like any other working table) and registered here;
+/// each iteration then fetches row *i* in O(1).
+///
+/// The store lives on the [`crate::exec::Runtime`] — *execution*-scoped
+/// state, torn down with the executor. That scoping is what makes the
+/// operator safe against the VM's invariant-sub-plan memoization: a
+/// snapshot handle is only meaningful within the execution that created
+/// it, so snapshot expressions are never hoisted or cached (see
+/// `expr_free_scopes` in `vm.rs`). Handles are slot indexes with free-list
+/// reuse; `release` keeps the live set bounded by loop-nesting depth even
+/// when one execution enters thousands of loops.
+#[derive(Debug, Default)]
+pub struct SnapshotStore {
+    slots: Vec<Option<Vec<Vec<Value>>>>,
+    free: Vec<usize>,
+}
+
+impl SnapshotStore {
+    /// Register a fully materialized row set; returns its handle.
+    pub fn register(&mut self, rows: Vec<Vec<Value>>) -> i64 {
+        match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot] = Some(rows);
+                slot as i64
+            }
+            None => {
+                self.slots.push(Some(rows));
+                (self.slots.len() - 1) as i64
+            }
+        }
+    }
+
+    fn slot(&self, handle: i64) -> Result<&Vec<Vec<Value>>, String> {
+        usize::try_from(handle)
+            .ok()
+            .and_then(|h| self.slots.get(h))
+            .and_then(Option::as_ref)
+            .ok_or_else(|| format!("snapshot #{handle} is not registered (compiler bug)"))
+    }
+
+    /// Number of rows in the snapshot.
+    pub fn len(&self, handle: i64) -> Result<usize, String> {
+        self.slot(handle).map(Vec::len)
+    }
+
+    /// Is the snapshot empty?
+    pub fn is_empty(&self, handle: i64) -> Result<bool, String> {
+        self.slot(handle).map(Vec::is_empty)
+    }
+
+    /// Row `pos` (1-based — PL/pgSQL cursor positions), O(1).
+    pub fn row(&self, handle: i64, pos: i64) -> Result<&[Value], String> {
+        let rows = self.slot(handle)?;
+        usize::try_from(pos - 1)
+            .ok()
+            .and_then(|i| rows.get(i))
+            .map(Vec::as_slice)
+            .ok_or_else(|| {
+                format!(
+                    "snapshot #{handle}: row {pos} out of range (1..={})",
+                    rows.len()
+                )
+            })
+    }
+
+    /// Drop the snapshot and recycle its slot. Releasing an unknown or
+    /// already-released handle is an error — it would mean the compiler
+    /// emitted a double release on some control-flow path.
+    pub fn release(&mut self, handle: i64) -> Result<(), String> {
+        let slot = usize::try_from(handle)
+            .ok()
+            .filter(|&h| h < self.slots.len() && self.slots[h].is_some())
+            .ok_or_else(|| format!("snapshot #{handle} released twice (compiler bug)"))?;
+        self.slots[slot] = None;
+        self.free.push(slot);
+        Ok(())
+    }
+
+    /// Snapshots currently registered (not yet released). Used by leak
+    /// assertions: after a normally completed execution this must be 0.
+    pub fn live(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,6 +280,36 @@ mod tests {
             (p10 as f64 - analytic).abs() / analytic < 0.10,
             "p10={p10}, analytic={analytic}"
         );
+    }
+
+    #[test]
+    fn snapshot_store_registers_fetches_releases() {
+        let mut st = SnapshotStore::default();
+        let h = st.register(vec![vec![Value::Int(10)], vec![Value::Int(20)]]);
+        assert_eq!(st.len(h).unwrap(), 2);
+        assert!(!st.is_empty(h).unwrap());
+        assert_eq!(st.row(h, 1).unwrap(), &[Value::Int(10)]);
+        assert_eq!(st.row(h, 2).unwrap(), &[Value::Int(20)]);
+        assert!(st.row(h, 3).is_err(), "out of range");
+        assert!(st.row(h, 0).is_err(), "positions are 1-based");
+        assert_eq!(st.live(), 1);
+        st.release(h).unwrap();
+        assert_eq!(st.live(), 0);
+        assert!(st.release(h).is_err(), "double release must be loud");
+        assert!(st.len(h).is_err(), "released handle is dead");
+    }
+
+    #[test]
+    fn snapshot_store_recycles_slots() {
+        let mut st = SnapshotStore::default();
+        let a = st.register(vec![vec![Value::Int(1)]]);
+        st.release(a).unwrap();
+        let b = st.register(vec![vec![Value::Int(2)]]);
+        assert_eq!(a, b, "freed slot is reused");
+        let c = st.register(vec![]);
+        assert_ne!(b, c);
+        assert!(st.is_empty(c).unwrap());
+        assert_eq!(st.live(), 2);
     }
 
     #[test]

@@ -28,9 +28,9 @@ use std::sync::Arc;
 use plaway_common::{Error, Result, Type, Value};
 use plaway_sql::ast::BinOp;
 
-use crate::exec::{and3, apply_bin, eval, EvalEnv, Runtime};
+use crate::exec::{and3, apply_bin, eval, eval_snapshot_op, EvalEnv, Runtime};
 use crate::functions::{eval_scalar, like_match};
-use crate::ir::{CtePlan, ExprIr, PlanNode, ScalarFn};
+use crate::ir::{CtePlan, ExprIr, PlanNode, ScalarFn, SnapshotOp};
 
 /// A directly addressable operand: resolved inline by superinstructions so
 /// common leaf reads never pay a separate dispatch + stack round-trip.
@@ -104,6 +104,26 @@ pub enum Op {
     Scalar {
         func: ScalarFn,
         argc: u32,
+    },
+    /// Pop `argc` values and apply a snapshot accessor (row-loop cursor
+    /// reads). A dedicated op — not [`Op::Tree`] — so the per-iteration
+    /// `fetch_row` of a compiled row loop stays inside flattened let-chain
+    /// frames instead of forcing the whole chain back to the tree evaluator.
+    Snapshot {
+        op: SnapshotOp,
+        argc: u32,
+    },
+    /// Fused field-direct fetch — `fetch_row(handle, pos, <const field>)`
+    /// with operand-addressed handle and position, the exact shape the
+    /// row-loop lowering emits once per used column per iteration. Skips
+    /// the push/pop round-trip and the arity dispatch of the generic form:
+    /// this op *is* the compiled loop's inner-row read, so it is as hot as
+    /// the trampoline gets.
+    FetchField {
+        handle: Operand,
+        pos: Operand,
+        /// 0-based field index (the SQL surface is 1-based).
+        field: u32,
     },
     Jump(u32),
     /// Pop the condition; jump unless it is `true`.
@@ -506,9 +526,40 @@ impl Compiler {
                 }
                 debug_assert_eq!(self.depth, entry + 1);
             }
+            ExprIr::SnapshotFn { op, args } => {
+                // Fuse the hot per-iteration shape: field-direct fetch with
+                // addressable handle/position and a constant field index.
+                if *op == SnapshotOp::Fetch {
+                    if let [h, p, ExprIr::Const(Value::Int(field))] = args.as_slice() {
+                        if *field >= 1 {
+                            if let (Some(handle), Some(pos)) =
+                                (self.as_operand(h), self.as_operand(p))
+                            {
+                                self.ops.push(Op::FetchField {
+                                    handle,
+                                    pos,
+                                    field: (*field - 1) as u32,
+                                });
+                                self.depth = entry + 1;
+                                return;
+                            }
+                        }
+                    }
+                }
+                self.emit_values(args);
+                self.ops.push(Op::Snapshot {
+                    op: *op,
+                    argc: args.len() as u32,
+                });
+                self.depth = entry + 1;
+            }
+            // Materialize holds a full plan that may reference let-chain
+            // cells the plan executor cannot see — always a tree fallback
+            // (and never cacheable: the handle is execution-local state).
             ExprIr::UdfCall { .. }
             | ExprIr::Exists { .. }
             | ExprIr::InPlan { .. }
+            | ExprIr::Materialize { .. }
             | ExprIr::Vm(_) => self.emit_tree(e),
         }
         debug_assert_eq!(self.depth, entry + 1, "emit must net one value: {e:?}");
@@ -612,9 +663,14 @@ fn expr_flattenable(e: &ExprIr) -> bool {
         }
         ExprIr::Like { expr, pattern, .. } => expr_flattenable(expr) && expr_flattenable(pattern),
         ExprIr::Subplan(p) => chain_flattenable(p),
-        ExprIr::UdfCall { .. } | ExprIr::Exists { .. } | ExprIr::InPlan { .. } | ExprIr::Vm(_) => {
-            false
-        }
+        // Snapshot accessors run as a VM op with operand-addressed args, so
+        // they live happily inside a frame; Materialize's plan does not.
+        ExprIr::SnapshotFn { args, .. } => args.iter().all(expr_flattenable),
+        ExprIr::UdfCall { .. }
+        | ExprIr::Exists { .. }
+        | ExprIr::InPlan { .. }
+        | ExprIr::Materialize { .. }
+        | ExprIr::Vm(_) => false,
     }
 }
 
@@ -835,6 +891,16 @@ fn precompile_nested_plans(e: &mut ExprIr) {
                 precompile_plan(p);
             }
         }
+        ExprIr::Materialize { plan } => {
+            if let Some(p) = Arc::get_mut(plan) {
+                precompile_plan(p);
+            }
+        }
+        ExprIr::SnapshotFn { args, .. } => {
+            for a in args {
+                precompile_nested_plans(a);
+            }
+        }
         ExprIr::InPlan { expr, plan, .. } => {
             precompile_nested_plans(expr);
             if let Some(p) = Arc::get_mut(plan) {
@@ -912,6 +978,11 @@ fn expr_free_scopes(e: &ExprIr) -> Option<usize> {
             m
         }
         ExprIr::UdfCall { .. } => None,
+        // Snapshot state is execution-local: a materialize (or any accessor
+        // over its handle) must never be hoisted out of the fixpoint loop or
+        // memoized across rows — the whole point of the operator is that it
+        // runs exactly once *per loop entry*, not once per execution.
+        ExprIr::Materialize { .. } | ExprIr::SnapshotFn { .. } => None,
         ExprIr::Subplan(p) => plan_free_scopes(p),
         ExprIr::Exists { plan } => plan_free_scopes(plan),
         ExprIr::InPlan { expr, plan, .. } => max2(expr_free_scopes(expr), plan_free_scopes(plan)),
@@ -1327,6 +1398,30 @@ fn exec_ops(
                 let k = rt.vm_stack.len() - *argc as usize;
                 let v = eval_scalar(*func, &rt.vm_stack[k..], rt.rng)?;
                 rt.vm_stack.truncate(k);
+                rt.vm_stack.push(v);
+            }
+            Op::Snapshot { op, argc } => {
+                // Pop into a fixed frame first: `eval_snapshot_op` needs the
+                // runtime mutably, which forbids borrowing the stack tail.
+                let mut argv = [Value::Null, Value::Null, Value::Null];
+                let k = rt.vm_stack.len() - *argc as usize;
+                for (i, v) in rt.vm_stack.drain(k..).enumerate() {
+                    argv[i] = v;
+                }
+                let v = eval_snapshot_op(*op, &argv[..*argc as usize], rt)?;
+                rt.vm_stack.push(v);
+            }
+            Op::FetchField { handle, pos, field } => {
+                let h = operand_value(handle, base, env, rt)?.as_int()?;
+                let p = operand_value(pos, base, env, rt)?.as_int()?;
+                let row = rt.snapshots.row(h, p).map_err(Error::exec)?;
+                let v = row.get(*field as usize).cloned().ok_or_else(|| {
+                    Error::exec(format!(
+                        "fetch_row: field {} out of bounds for row of width {}",
+                        field + 1,
+                        row.len()
+                    ))
+                })?;
                 rt.vm_stack.push(v);
             }
             Op::Jump(t) => {

@@ -433,7 +433,12 @@ fn needs_full_executor(ir: &ExprIr) -> bool {
         ExprIr::Subplan(_)
         | ExprIr::Exists { .. }
         | ExprIr::InPlan { .. }
-        | ExprIr::UdfCall { .. } => true,
+        | ExprIr::UdfCall { .. }
+        // Snapshot expressions are the compiled trampoline's cursor
+        // machinery; the interpreter's own cursor never emits them, but a
+        // hand-written expression could — run it with the full executor.
+        | ExprIr::Materialize { .. }
+        | ExprIr::SnapshotFn { .. } => true,
         ExprIr::Const(_) | ExprIr::Slot { .. } | ExprIr::Param(_) => false,
         ExprIr::Neg(e) | ExprIr::Not(e) => needs_full_executor(e),
         ExprIr::Binary { left, right, .. } => {

@@ -234,7 +234,7 @@ impl Gen {
         let choice = if depth == 0 {
             0
         } else {
-            self.rng.next_range(0, 11)
+            self.rng.next_range(0, 12)
         };
         match choice {
             // Assignment (weighted heaviest).
@@ -374,10 +374,63 @@ impl Gen {
                 self.indent -= 2;
                 self.line("END;");
             }
+            11 => {
+                // Row loop whose body RAISEs into an *enclosing* handler:
+                // the raise unwinds out of the loop (abandoning its snapshot
+                // mid-iteration), the handler recovers, execution continues.
+                // Every raise is caught by construction. Falls back to an
+                // assignment when queries are disabled.
+                if !self.cfg.allow_queries {
+                    if let Some(var) = self.pick_assignable() {
+                        let e = self.gen_int_expr(1);
+                        self.line(&format!("{var} := {e};"));
+                    }
+                    return;
+                }
+                let Some(var) = self.pick_assignable() else {
+                    return;
+                };
+                let cond = self.fresh("cond");
+                let rec = self.fresh("r");
+                let bound = self.rng.next_range(1, 9);
+                self.line("BEGIN");
+                self.indent += 2;
+                self.line(&format!(
+                    "FOR {rec} IN SELECT kv.k AS k, kv.v AS v FROM kv \
+                     WHERE kv.k <= {bound} LOOP"
+                ));
+                self.indent += 2;
+                self.line(&format!("{var} := ({var} + {rec}.v) % 61;"));
+                let c = self.gen_bool_expr(0);
+                if self.rng.next_bool(0.5) {
+                    self.line(&format!("IF {c} THEN RAISE {cond}; END IF;"));
+                } else {
+                    self.line(&format!(
+                        "IF {c} THEN RAISE EXCEPTION 'row %', {rec}.k; END IF;"
+                    ));
+                }
+                self.indent -= 2;
+                self.line("END LOOP;");
+                self.indent -= 2;
+                self.line("EXCEPTION");
+                self.indent += 2;
+                self.line(&format!("WHEN {cond} THEN"));
+                self.indent += 2;
+                self.gen_stmt(0);
+                self.indent -= 2;
+                self.line("WHEN OTHERS THEN");
+                self.indent += 2;
+                self.gen_stmt(0);
+                self.indent -= 2;
+                self.indent -= 2;
+                self.line("END;");
+            }
             _ => {
                 // FOR-over-query against the kv fixture (bounded: the
-                // fixture has ten rows). Falls back to an assignment when
-                // queries are disabled.
+                // fixture has ten rows), optionally with a *nested* row loop
+                // so snapshot re-entry is exercised — the inner source must
+                // re-materialize once per outer row. Falls back to an
+                // assignment when queries are disabled.
                 if !self.cfg.allow_queries {
                     if let Some(var) = self.pick_assignable() {
                         let e = self.gen_int_expr(1);
@@ -396,6 +449,24 @@ impl Gen {
                 ));
                 self.indent += 2;
                 self.line(&format!("{var} := ({var} + {rec}.v - {rec}.k) % 53;"));
+                if depth > 0 && self.rng.next_bool(0.35) {
+                    // Nested row loop; the inner source may read the outer
+                    // record (a correlated, re-materialized-per-entry case).
+                    let inner = self.fresh("r");
+                    let ib = self.rng.next_range(0, 4);
+                    self.line(&format!(
+                        "FOR {inner} IN SELECT kv.v AS v FROM kv \
+                         WHERE kv.k <= {ib} + ({rec}.k % 3) LOOP"
+                    ));
+                    self.indent += 2;
+                    self.line(&format!("{var} := ({var} + {inner}.v) % 47;"));
+                    if self.rng.next_bool(0.3) {
+                        let c = self.gen_bool_expr(0);
+                        self.line(&format!("EXIT WHEN {c};"));
+                    }
+                    self.indent -= 2;
+                    self.line("END LOOP;");
+                }
                 if self.rng.next_bool(0.3) {
                     let c = self.gen_bool_expr(0);
                     self.line(&format!("EXIT WHEN {c};"));

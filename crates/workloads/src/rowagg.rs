@@ -4,8 +4,12 @@
 //! early exit, and a running balance — the canonical cursor-loop shape the
 //! front end used to reject. The interpreter runs the loop source once
 //! through the full prepared-statement lifecycle and then iterates in
-//! memory; the compiled trampoline re-fetches row *i* per iteration
-//! (`LIMIT 1 OFFSET i-1`), trading O(n²) scans for zero context switches.
+//! memory; the compiled trampoline now does the moral equivalent inside
+//! the fixpoint: `materialize(<query>)` evaluates the source exactly once
+//! per loop entry into an execution-scoped snapshot, and each iteration
+//! fetches row *i* in O(1) (`fetch_row`) — O(n) row touches *and* zero
+//! per-row context switches, which is why both compiled modes beat the
+//! interpreter on this kernel (see DESIGN.md §2 and `BENCH_smoke.json`).
 
 use plaway_common::{Result, SessionRng, Value};
 use plaway_engine::Session;

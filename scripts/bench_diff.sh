@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Per-kernel delta table between two BENCH_smoke.json files.
+#
+#   scripts/bench_diff.sh <baseline.json> <fresh.json>
+#
+# Emits a GitHub-flavored markdown table (kernel.mode | baseline ns |
+# fresh ns | delta %), sorted by key, with keys present on only one side
+# marked. CI's bench-gate job pipes this into $GITHUB_STEP_SUMMARY so the
+# perf trajectory is visible per PR without downloading artifacts.
+#
+# Pure POSIX awk over the writer's fixed flat format ({"key": int, ...});
+# the container has no jq and the CI runner should not need one.
+
+set -euo pipefail
+
+if [ $# -ne 2 ]; then
+    echo "usage: $0 <baseline.json> <fresh.json>" >&2
+    exit 2
+fi
+
+baseline=$1
+fresh=$2
+for f in "$baseline" "$fresh"; do
+    if [ ! -r "$f" ]; then
+        echo "bench_diff: cannot read $f" >&2
+        exit 2
+    fi
+done
+
+awk -v base="$baseline" -v fresh="$fresh" '
+function parse(file, into,    line, k, v) {
+    while ((getline line < file) > 0) {
+        if (line !~ /":/) continue
+        k = line; sub(/^[ \t]*"/, "", k); sub(/".*$/, "", k)
+        v = line; sub(/^[^:]*:[ \t]*/, "", v); sub(/[ \t,]*$/, "", v)
+        if (k != "" && v + 0 == v) into[k] = v + 0
+    }
+    close(file)
+}
+BEGIN {
+    parse(base, b)
+    parse(fresh, f)
+    for (k in b) keys[k] = 1
+    for (k in f) keys[k] = 1
+    n = 0
+    for (k in keys) sorted[++n] = k
+    # insertion sort: tiny key count, no gawk asort dependency
+    for (i = 2; i <= n; i++) {
+        k = sorted[i]
+        for (j = i - 1; j >= 1 && sorted[j] > k; j--) sorted[j + 1] = sorted[j]
+        sorted[j + 1] = k
+    }
+    print "| kernel.mode | baseline ns | fresh ns | delta |"
+    print "|---|---:|---:|---:|"
+    for (i = 1; i <= n; i++) {
+        k = sorted[i]
+        if (!(k in b))      printf "| %s | — | %d | _new_ |\n", k, f[k]
+        else if (!(k in f)) printf "| %s | %d | — | _missing_ |\n", k, b[k]
+        else                printf "| %s | %d | %d | %+.1f%% |\n", k, b[k], f[k], (f[k] / b[k] - 1) * 100
+    }
+}'

@@ -125,7 +125,7 @@ fn exception_workload_differential() {
 
 /// Seeded sweep over the FOR-over-query workload: `settle` folds generated
 /// ledgers of varying sizes; the cursor-style interpreter loop and the
-/// compiled OFFSET-paginated row loop must agree on every limit.
+/// compiled materialize-once snapshot loop must agree on every limit.
 #[test]
 fn rowloop_workload_differential() {
     use plsql_away::workloads::rowagg;

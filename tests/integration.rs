@@ -267,3 +267,213 @@ fn seeded_random_reproducibility() {
     let b = compiled.run(&mut s, &args).unwrap();
     assert_eq!(a, b, "same seed, same walk");
 }
+
+// ---------------------------------------------------------------------------
+// Materialize-once row loops (the compiled cursor operator)
+
+/// Install a `t(k, v)` table with `n` rows `(i, 10 * i)`.
+fn install_rows(s: &mut Session, table: &str, n: i64) {
+    s.run(&format!("DROP TABLE IF EXISTS {table}")).unwrap();
+    s.run(&format!("CREATE TABLE {table} (k int, v int)"))
+        .unwrap();
+    let rows: Vec<Vec<Value>> = (1..=n)
+        .map(|i| vec![Value::Int(i), Value::Int(10 * i)])
+        .collect();
+    s.catalog.bulk_insert(table, rows).unwrap();
+}
+
+/// The loop source is executed exactly once per loop entry: O(n) row
+/// touches for an n-row source, one snapshot materialized, one released —
+/// not the O(n²) `LIMIT 1 OFFSET i-1` re-scans of the old desugaring.
+#[test]
+fn row_loop_source_runs_once_per_entry() {
+    let n = 60i64;
+    let mut s = Session::default();
+    install_rows(&mut s, "t", n);
+    let src = "CREATE FUNCTION f(z int) RETURNS int AS $$ \
+               DECLARE s int := 0; \
+               BEGIN \
+                 FOR r IN SELECT t.k AS k, t.v AS v FROM t LOOP \
+                   s := s + r.v - r.k; \
+                 END LOOP; \
+                 RETURN s; \
+               END $$ LANGUAGE plpgsql";
+    s.run(src).unwrap();
+    let mut interp = Interpreter::new();
+    let reference = interp.call(&mut s, "f", &[Value::Int(0)]).unwrap();
+    for options in [CompileOptions::default(), CompileOptions::iterate()] {
+        let c = compile_sql(&s.catalog, src, options).unwrap();
+        let plan = c.prepare(&mut s).unwrap();
+        s.reset_instrumentation();
+        let got = s.execute_prepared(&plan, vec![Value::Int(0)]).unwrap();
+        assert_eq!(got.rows[0][0], reference, "{options:?}");
+        assert_eq!(s.stats.snapshots_materialized, 1, "one loop entry");
+        assert_eq!(s.stats.snapshots_released, 1, "no snapshot leaks");
+        assert_eq!(
+            s.stats.rows_scanned, n as u64,
+            "source scanned once, O(n) row touches ({options:?})"
+        );
+    }
+}
+
+/// A nested row loop re-materializes its source once per *entry* (outer
+/// iteration), never per inner iteration — and every snapshot is released.
+#[test]
+fn nested_row_loops_rematerialize_per_entry_and_release() {
+    let (m, n) = (7i64, 5i64);
+    let mut s = Session::default();
+    install_rows(&mut s, "a", m);
+    install_rows(&mut s, "b", n);
+    let src = "CREATE FUNCTION f(z int) RETURNS int AS $$ \
+               DECLARE s int := 0; \
+               BEGIN \
+                 FOR x IN SELECT a.v AS v FROM a LOOP \
+                   FOR y IN SELECT b.v AS v FROM b LOOP \
+                     s := (s + x.v + y.v) % 10007; \
+                   END LOOP; \
+                 END LOOP; \
+                 RETURN s; \
+               END $$ LANGUAGE plpgsql";
+    s.run(src).unwrap();
+    let mut interp = Interpreter::new();
+    let reference = interp.call(&mut s, "f", &[Value::Int(0)]).unwrap();
+    for options in [CompileOptions::default(), CompileOptions::iterate()] {
+        let c = compile_sql(&s.catalog, src, options).unwrap();
+        let plan = c.prepare(&mut s).unwrap();
+        s.reset_instrumentation();
+        let got = s.execute_prepared(&plan, vec![Value::Int(0)]).unwrap();
+        assert_eq!(got.rows[0][0], reference, "{options:?}");
+        assert_eq!(
+            s.stats.snapshots_materialized,
+            1 + m as u64,
+            "outer once, inner once per outer row ({options:?})"
+        );
+        assert_eq!(
+            s.stats.snapshots_released, s.stats.snapshots_materialized,
+            "re-entry must not leak ({options:?})"
+        );
+        assert_eq!(
+            s.stats.rows_scanned,
+            (m + m * n) as u64,
+            "each entry scans its source exactly once ({options:?})"
+        );
+    }
+}
+
+/// A RAISE out of a row loop into an enclosing handler abandons the loop
+/// mid-iteration; the unwind edge must still release the snapshot (and the
+/// handler keeps executing — checked against the interpreter).
+#[test]
+fn exception_unwind_releases_row_loop_snapshots() {
+    let mut s = Session::default();
+    install_rows(&mut s, "t", 20);
+    let src = "CREATE FUNCTION f(cap int) RETURNS int AS $$ \
+               DECLARE s int := 0; \
+               BEGIN \
+                 BEGIN \
+                   FOR x IN SELECT t.v AS v FROM t LOOP \
+                     FOR y IN SELECT t.k AS k FROM t LOOP \
+                       s := s + x.v + y.k; \
+                       IF s > cap THEN RAISE overflow; END IF; \
+                     END LOOP; \
+                   END LOOP; \
+                 EXCEPTION WHEN overflow THEN s := -s; END; \
+                 RETURN s; \
+               END $$ LANGUAGE plpgsql";
+    s.run(src).unwrap();
+    let mut interp = Interpreter::new();
+    for cap in [0i64, 500, 1_000_000] {
+        let reference = interp.call(&mut s, "f", &[Value::Int(cap)]).unwrap();
+        for options in [CompileOptions::default(), CompileOptions::iterate()] {
+            let c = compile_sql(&s.catalog, src, options).unwrap();
+            let plan = c.prepare(&mut s).unwrap();
+            s.reset_instrumentation();
+            let got = s.execute_prepared(&plan, vec![Value::Int(cap)]).unwrap();
+            assert_eq!(got.rows[0][0], reference, "cap {cap} {options:?}");
+            assert!(s.stats.snapshots_materialized > 0);
+            assert_eq!(
+                s.stats.snapshots_released, s.stats.snapshots_materialized,
+                "unwind must release every abandoned snapshot (cap {cap}, {options:?})"
+            );
+        }
+    }
+}
+
+/// An empty loop source: zero iterations, the body never runs, the loop
+/// variable's fields are never fetched — and the snapshot is still
+/// materialized once and released once.
+#[test]
+fn empty_row_loop_source_skips_the_body() {
+    let mut s = Session::default();
+    install_rows(&mut s, "t", 5);
+    let src = "CREATE FUNCTION f(z int) RETURNS int AS $$ \
+               DECLARE s int := 99; \
+               BEGIN \
+                 FOR r IN SELECT t.v AS v FROM t WHERE t.k > 100 LOOP \
+                   s := 0; \
+                 END LOOP; \
+                 RETURN s; \
+               END $$ LANGUAGE plpgsql";
+    s.run(src).unwrap();
+    let mut interp = Interpreter::new();
+    let reference = interp.call(&mut s, "f", &[Value::Int(0)]).unwrap();
+    assert_eq!(reference, Value::Int(99));
+    for options in [CompileOptions::default(), CompileOptions::iterate()] {
+        let c = compile_sql(&s.catalog, src, options).unwrap();
+        let plan = c.prepare(&mut s).unwrap();
+        s.reset_instrumentation();
+        let got = s.execute_prepared(&plan, vec![Value::Int(0)]).unwrap();
+        assert_eq!(got.rows[0][0], reference, "{options:?}");
+        assert_eq!(s.stats.snapshots_materialized, 1, "{options:?}");
+        assert_eq!(s.stats.snapshots_released, 1, "{options:?}");
+    }
+}
+
+/// Loop-variable visibility: outer variables assigned in the body keep
+/// their values after a normal exit AND after EXIT (both mid-loop and
+/// labelled, both regimes agree); the record variable itself is scoped to
+/// the loop — referencing it afterwards is the same error everywhere.
+#[test]
+fn row_loop_variable_visibility_after_exit() {
+    let mut s = Session::default();
+    install_rows(&mut s, "t", 6);
+    // v sums: normal exhaustion folds all 6 rows, EXIT stops at the fourth.
+    let src = "CREATE FUNCTION f(stop int) RETURNS int AS $$ \
+               DECLARE s int := 0; \
+               BEGIN \
+                 FOR r IN SELECT t.k AS k, t.v AS v FROM t LOOP \
+                   s := s + r.v; \
+                   EXIT WHEN r.k >= stop; \
+                 END LOOP; \
+                 RETURN s; \
+               END $$ LANGUAGE plpgsql";
+    s.run(src).unwrap();
+    let mut interp = Interpreter::new();
+    for stop in [4i64, 100] {
+        let reference = interp.call(&mut s, "f", &[Value::Int(stop)]).unwrap();
+        let expect: i64 = (1..=stop.min(6)).map(|k| 10 * k).sum();
+        assert_eq!(reference, Value::Int(expect), "stop {stop}");
+        for options in [CompileOptions::default(), CompileOptions::iterate()] {
+            let c = compile_sql(&s.catalog, src, options).unwrap();
+            assert_eq!(
+                c.run(&mut s, &[Value::Int(stop)]).unwrap(),
+                reference,
+                "stop {stop} {options:?}"
+            );
+        }
+    }
+
+    // The record variable does not outlive its loop, in either regime.
+    let bad = "CREATE FUNCTION g(z int) RETURNS int AS $$ \
+               DECLARE s int := 0; \
+               BEGIN \
+                 FOR r IN SELECT t.v AS v FROM t LOOP s := s + r.v; END LOOP; \
+                 RETURN s + r.v; \
+               END $$ LANGUAGE plpgsql";
+    s.run(bad).unwrap();
+    let ierr = interp.call(&mut s, "g", &[Value::Int(0)]).unwrap_err();
+    let c = compile_sql(&s.catalog, bad, CompileOptions::default()).unwrap();
+    let cerr = c.run(&mut s, &[Value::Int(0)]).unwrap_err();
+    assert_eq!(ierr.to_string(), cerr.to_string());
+    assert!(ierr.to_string().contains("r.v"), "{ierr}");
+}
