@@ -132,4 +132,29 @@ fn main() {
         let samples = b.time_compiled(&compiled, &args, runs).unwrap();
         println!("  {name:<28} {:>9.1} ms", stats_ms(&samples).0);
     }
+
+    // ---- batch trampoline working set ------------------------------------
+    // One WITH RETIRE fixpoint drives every call; the counters show the
+    // working-set story: peak in-flight activations vs total retired.
+    println!("\nbatch trampoline: fibonacci, 100000 calls through one fixpoint:");
+    let mut b = setup_fib(EngineConfig::postgres_like());
+    let compiled = b.compile(CompileOptions::iterate()).unwrap();
+    let calls = batch_fib_calls(100_000);
+    b.session.stats.batch = Default::default();
+    let ms = time_ms(|| {
+        compiled.run_batch(&mut b.session, &calls).unwrap();
+    });
+    let counters = b.session.stats.batch;
+    println!(
+        "  wall clock                   {ms:>9.1} ms   ({:.0} calls/sec)",
+        calls.len() as f64 / (ms / 1e3)
+    );
+    println!(
+        "  batch_rows_in_flight (peak)  {:>9}",
+        counters.batch_rows_in_flight
+    );
+    println!(
+        "  batch_rows_retired           {:>9}",
+        counters.batch_rows_retired
+    );
 }

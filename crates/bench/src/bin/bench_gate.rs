@@ -121,6 +121,34 @@ fn check(
             }
         }
     }
+    // The batch trampoline's acceptance bar. Both per-call throughput pairs
+    // must exist — a bench refactor silently dropping them must not pass —
+    // and the single-fixpoint batch must beat N independent interpreted
+    // calls by the kernel's factor: 5× for the dispatch-bound fibonacci
+    // batch (per-call lifecycle dominates, amortization is the whole win),
+    // 1.5× for the text-heavy checked batch (its per-call body work dwarfs
+    // the lifecycle, so the honest margin is smaller).
+    let batch_gates: &[(&str, f64)] = &[("fibonacci", 5.0), ("checked", 1.5)];
+    for (kernel, factor) in batch_gates {
+        let compiled_key = format!("batch.{kernel}.compiled_ns_per_call");
+        let interp_key = format!("batch.{kernel}.interp_ns_per_call");
+        match (fresh.get(&compiled_key), fresh.get(&interp_key)) {
+            (Some(&compiled), Some(&interp)) => {
+                let ratio = interp as f64 / compiled as f64;
+                if ratio < *factor {
+                    failures.push(format!(
+                        "batch.{kernel}: compiled {compiled} ns/call vs interpreted \
+                         {interp} ns/call is only {ratio:.2}x, need >= {factor}x — \
+                         the batch trampoline lost its amortization win"
+                    ));
+                }
+            }
+            _ => failures.push(format!(
+                "batch throughput keys {compiled_key:?} / {interp_key:?} \
+                 missing from fresh results"
+            )),
+        }
+    }
     failures
 }
 
@@ -191,6 +219,20 @@ mod tests {
         entries.iter().map(|(k, v)| (k.to_string(), *v)).collect()
     }
 
+    /// A fresh map with batch throughput keys that satisfy the batch gate,
+    /// so tests about the *other* checks aren't polluted by it.
+    fn batch_ok(mut m: BTreeMap<String, u128>) -> BTreeMap<String, u128> {
+        for (k, v) in [
+            ("batch.fibonacci.compiled_ns_per_call", 700u128),
+            ("batch.fibonacci.interp_ns_per_call", 4500),
+            ("batch.checked.compiled_ns_per_call", 4000),
+            ("batch.checked.interp_ns_per_call", 9500),
+        ] {
+            m.insert(k.to_string(), v);
+        }
+        m
+    }
+
     #[test]
     fn parses_bench_smoke_format() {
         let text = "{\n  \"walk.interpreter\": 1699912,\n  \"fibonacci.with_iterate\": 639418\n}\n";
@@ -203,7 +245,7 @@ mod tests {
     #[test]
     fn within_tolerance_passes() {
         let base = map(&[("k.a", 1000), ("k.b", 2000)]);
-        let fresh = map(&[("k.a", 1200), ("k.b", 1500)]);
+        let fresh = batch_ok(map(&[("k.a", 1200), ("k.b", 1500)]));
         assert!(check(&base, &fresh, 25).is_empty());
     }
 
@@ -212,7 +254,12 @@ mod tests {
         // Three stable keys pin the machine-scale median at 1.0; the
         // fourth regresses against the pack.
         let base = map(&[("k.a", 1000), ("k.b", 1000), ("k.c", 1000), ("k.d", 1000)]);
-        let fresh = map(&[("k.a", 1300), ("k.b", 1000), ("k.c", 1000), ("k.d", 1000)]);
+        let fresh = batch_ok(map(&[
+            ("k.a", 1300),
+            ("k.b", 1000),
+            ("k.c", 1000),
+            ("k.d", 1000),
+        ]));
         let failures = check(&base, &fresh, 25);
         assert_eq!(failures.len(), 1, "{failures:?}");
         assert!(failures[0].contains("k.a"));
@@ -223,10 +270,10 @@ mod tests {
         // Everything 2x slower (different hardware): the median scale
         // cancels it, no false regressions.
         let base = map(&[("k.a", 1000), ("k.b", 2000), ("k.c", 3000)]);
-        let fresh = map(&[("k.a", 2000), ("k.b", 4000), ("k.c", 6000)]);
+        let fresh = batch_ok(map(&[("k.a", 2000), ("k.b", 4000), ("k.c", 6000)]));
         assert!(check(&base, &fresh, 25).is_empty());
         // ... but a key regressing on top of the uniform slowdown fails.
-        let fresh = map(&[("k.a", 2900), ("k.b", 4000), ("k.c", 6000)]);
+        let fresh = batch_ok(map(&[("k.a", 2900), ("k.b", 4000), ("k.c", 6000)]));
         let failures = check(&base, &fresh, 25);
         assert_eq!(failures.len(), 1, "{failures:?}");
     }
@@ -240,18 +287,18 @@ mod tests {
             "missing key must fail"
         );
         let base = map(&[("k.a", 1000)]);
-        let fresh = map(&[("k.a", 1000), ("k.new", 5)]);
+        let fresh = batch_ok(map(&[("k.a", 1000), ("k.new", 5)]));
         assert!(check(&base, &fresh, 25).is_empty(), "new keys are fine");
     }
 
     #[test]
     fn compiled_fibonacci_must_beat_interpreter() {
         let base = map(&[]);
-        let fresh = map(&[
+        let fresh = batch_ok(map(&[
             ("fibonacci.interpreter", 1000),
             ("fibonacci.with_recursive", 1100),
             ("fibonacci.with_iterate", 900),
-        ]);
+        ]));
         let failures = check(&base, &fresh, 25);
         assert_eq!(failures.len(), 1, "{failures:?}");
         assert!(failures[0].contains("with_recursive"));
@@ -260,17 +307,67 @@ mod tests {
     #[test]
     fn compiled_checked_must_beat_interpreter_in_iterate_mode() {
         let base = map(&[]);
-        let fresh = map(&[
+        let fresh = batch_ok(map(&[
             ("checked.interpreter", 1000),
             ("checked.with_iterate", 1200),
             // with_recursive is allowed to lose (not enforced).
             ("checked.with_recursive", 1500),
-        ]);
+        ]));
         let failures = check(&base, &fresh, 25);
         assert_eq!(failures.len(), 1, "{failures:?}");
         assert!(failures[0].contains("checked.with_iterate"));
-        let fresh = map(&[("checked.interpreter", 1000), ("checked.with_iterate", 800)]);
+        let fresh = batch_ok(map(&[
+            ("checked.interpreter", 1000),
+            ("checked.with_iterate", 800),
+        ]));
         assert!(check(&base, &fresh, 25).is_empty());
+    }
+
+    #[test]
+    fn missing_batch_throughput_keys_fail() {
+        // A bench refactor that silently drops the batch section must not
+        // pass the gate, even with an empty baseline.
+        let base = map(&[]);
+        let fresh = map(&[("fibonacci.interpreter", 1000)]);
+        let failures = check(&base, &fresh, 25);
+        assert_eq!(failures.len(), 2, "{failures:?}");
+        assert!(failures[0].contains("batch.fibonacci"));
+        assert!(failures[1].contains("batch.checked"));
+        // Half a pair missing is still a failure.
+        let fresh = batch_ok(map(&[]));
+        let mut fresh = fresh;
+        fresh.remove("batch.checked.interp_ns_per_call");
+        let failures = check(&base, &fresh, 25);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("batch.checked"));
+    }
+
+    #[test]
+    fn batch_amortization_factors_enforced() {
+        let base = map(&[]);
+        // fibonacci at 4.5x (needs 5x) fails; checked at 2.4x passes.
+        let fresh = map(&[
+            ("batch.fibonacci.compiled_ns_per_call", 1000),
+            ("batch.fibonacci.interp_ns_per_call", 4500),
+            ("batch.checked.compiled_ns_per_call", 4000),
+            ("batch.checked.interp_ns_per_call", 9600),
+        ]);
+        let failures = check(&base, &fresh, 25);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("batch.fibonacci"));
+        assert!(failures[0].contains("4.50x"));
+        // checked below its own 1.5x bar fails too.
+        let fresh = map(&[
+            ("batch.fibonacci.compiled_ns_per_call", 700),
+            ("batch.fibonacci.interp_ns_per_call", 4500),
+            ("batch.checked.compiled_ns_per_call", 4000),
+            ("batch.checked.interp_ns_per_call", 5000),
+        ]);
+        let failures = check(&base, &fresh, 25);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("batch.checked"));
+        // Both at their measured margins pass.
+        assert!(check(&base, &batch_ok(map(&[])), 25).is_empty());
     }
 
     #[test]
@@ -278,19 +375,19 @@ mod tests {
         // The materialize-once row loop flipped `settle`; the gate keeps it
         // flipped in both compiled modes.
         let base = map(&[]);
-        let fresh = map(&[
+        let fresh = batch_ok(map(&[
             ("settle.interpreter", 1000),
             ("settle.with_recursive", 1100),
             ("settle.with_iterate", 900),
-        ]);
+        ]));
         let failures = check(&base, &fresh, 25);
         assert_eq!(failures.len(), 1, "{failures:?}");
         assert!(failures[0].contains("settle.with_recursive"));
-        let fresh = map(&[
+        let fresh = batch_ok(map(&[
             ("settle.interpreter", 1000),
             ("settle.with_recursive", 950),
             ("settle.with_iterate", 900),
-        ]);
+        ]));
         assert!(check(&base, &fresh, 25).is_empty());
     }
 }

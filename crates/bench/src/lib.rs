@@ -52,6 +52,27 @@ impl BenchSetup {
         Ok(out)
     }
 
+    /// Drive `calls` as N independent interpreted invocations, each paying
+    /// the full executor lifecycle around its outer statement — the
+    /// "millions of scalar calls" loop the batch trampoline replaces.
+    /// Returns the results in input order.
+    pub fn interp_loop(&mut self, calls: &[Vec<Value>]) -> Result<Vec<Value>> {
+        // The outer statement shell each call rides in is prepared once —
+        // generous to the loop side: a real client would at best hit the
+        // plan cache here and still pay Start/End per statement.
+        let shell = self
+            .session
+            .prepare("SELECT 1", &plaway_engine::ParamScope::new(Vec::new()))?;
+        let mut out = Vec::with_capacity(calls.len());
+        for args in calls {
+            let handle = self.session.executor_start(&shell, Vec::new());
+            let v = self.interp.call(&mut self.session, self.fn_name, args)?;
+            self.session.executor_end(handle);
+            out.push(v);
+        }
+        Ok(out)
+    }
+
     /// Time `runs` compiled invocations (plan prepared once, like a cached
     /// inlined query).
     pub fn time_compiled(
@@ -153,6 +174,27 @@ pub fn setup_fib(config: EngineConfig) -> BenchSetup {
 
 pub fn fib_args(n: i64) -> Vec<Value> {
     vec![Value::Int(n)]
+}
+
+/// Batch argument vectors for `fibonacci`: `n_i = i % 2`, i.e. a table of
+/// *cheap* calls — the dispatch-bound regime where the per-call executor
+/// lifecycle dominates and the single-fixpoint batch amortizes it away.
+pub fn batch_fib_calls(n: usize) -> Vec<Vec<Value>> {
+    (0..n).map(|i| vec![Value::Int((i % 2) as i64)]).collect()
+}
+
+/// Batch argument vectors for `checked_sum`: short 4-character per-row
+/// inputs (seeded per row) with a low cap, so both EXCEPTION handler arms
+/// fire somewhere in every sizable batch.
+pub fn batch_checked_calls(n: usize) -> Vec<Vec<Value>> {
+    (0..n)
+        .map(|i| {
+            vec![
+                Value::text(checked::generate_input(4, i as u64)),
+                Value::Int(50),
+            ]
+        })
+        .collect()
 }
 
 /// The `checked_sum` error-handling workload (RAISE + EXCEPTION recovery
@@ -276,6 +318,23 @@ mod tests {
             let c = compiled.run(&mut b.session, &args).unwrap();
             assert_eq!(i, c, "{}", b.fn_name);
         }
+    }
+
+    #[test]
+    fn batch_agrees_with_interp_loop() {
+        let mut b = setup_fib(EngineConfig::raw());
+        let compiled = b.compile(CompileOptions::default()).unwrap();
+        let calls = batch_fib_calls(12);
+        let loop_results = b.interp_loop(&calls).unwrap();
+        let batch_results = compiled.run_batch(&mut b.session, &calls).unwrap();
+        assert_eq!(loop_results, batch_results);
+
+        let mut b = setup_checked(EngineConfig::raw());
+        let compiled = b.compile(CompileOptions::default()).unwrap();
+        let calls = batch_checked_calls(12);
+        let loop_results = b.interp_loop(&calls).unwrap();
+        let batch_results = compiled.run_batch(&mut b.session, &calls).unwrap();
+        assert_eq!(loop_results, batch_results);
     }
 
     #[test]

@@ -66,6 +66,44 @@ pub fn build_query(
     layout: ArgsLayout,
     mode: CteMode,
 ) -> Result<Query> {
+    build_query_impl(anf, udf, catalog, layout, mode, None)
+}
+
+/// Name of the batch row-id column. `#` is not a plain-identifier character,
+/// so the name can never collide with a function parameter or SSA variable
+/// (it pairs with the similarly quoted `"call?"`).
+pub const BATCH_RID: &str = "call#";
+
+/// Build the *batched* query: one in-flight activation per row of
+/// `input_table` (columns `"call#" int` + one per function parameter), all
+/// driven through a single fixpoint. Every leaf record is prefixed with the
+/// activation's row id, so the working table interleaves the steps of every
+/// invocation and the outer query returns `("call#", result)` pairs.
+///
+/// [`CteMode::Iterate`] maps to `WITH RETIRE` here, not `WITH ITERATE`:
+/// ITERATE keeps only the *last* iteration's working table, which would drop
+/// activations that finish early. RETIRE keeps no trace either, but moves a
+/// row into the result the moment it fails the recursive arm's filter —
+/// exactly the per-activation finish line.
+pub fn build_batch_query(
+    anf: &AnfProgram,
+    udf: &UdfProgram,
+    catalog: &Catalog,
+    layout: ArgsLayout,
+    mode: CteMode,
+    input_table: &str,
+) -> Result<Query> {
+    build_query_impl(anf, udf, catalog, layout, mode, Some(input_table))
+}
+
+fn build_query_impl(
+    anf: &AnfProgram,
+    udf: &UdfProgram,
+    catalog: &Catalog,
+    layout: ArgsLayout,
+    mode: CteMode,
+    batch_input: Option<&str>,
+) -> Result<Query> {
     let k = udf.rec_vars.len();
 
     // Parameter pruning: parameters used only to *initialize* state (e.g.
@@ -81,8 +119,14 @@ pub fn build_query(
         .collect();
     let kept_names: Vec<String> = kept_params.iter().map(|(p, _)| p.clone()).collect();
 
-    // Column list of the CTE.
-    let mut columns: Vec<String> = vec!["call?".into(), "fn".into()];
+    // Column list of the CTE. Batched trampolines carry the activation's
+    // row id in front of everything else.
+    let mut columns: Vec<String> = Vec::new();
+    if batch_input.is_some() {
+        columns.push(BATCH_RID.into());
+    }
+    columns.push("call?".into());
+    columns.push("fn".into());
     match layout {
         ArgsLayout::Flattened => {
             columns.extend(udf.rec_vars.iter().map(|(v, _)| v.clone()));
@@ -103,6 +147,7 @@ pub fn build_query(
         &LeafStyle::RowEncode {
             packed: layout == ArgsLayout::Packed,
             params: kept_names.clone(),
+            rid: batch_input.map(|_| Expr::qcol("r", BATCH_RID)),
         },
     )?;
     let mut map = Subst::new();
@@ -139,7 +184,10 @@ pub fn build_query(
     }
     let body = subst_expr(encoded, &map, catalog, &[]);
 
-    // ---- base arm: the original invocation (Figure 8 line 3).
+    // ---- base arm: the original invocation (Figure 8 line 3). In batch
+    // mode there is one seed row per input row: parameters come from the
+    // input table's columns instead of free identifiers, and the row id
+    // rides in front.
     let mut base_items: Vec<Expr> = vec![Expr::bool(true), Expr::int(udf.entry_tag)];
     match layout {
         ArgsLayout::Flattened => {
@@ -156,11 +204,28 @@ pub fn build_query(
         expr: Box::new(Expr::null()),
         ty: cast_type_name(&udf.returns),
     });
+    let mut base_from: Vec<TableRef> = Vec::new();
+    if let Some(input) = batch_input {
+        let mut inp_map = Subst::new();
+        for (p, _) in &udf.fn_params {
+            inp_map.insert(p.clone(), Expr::qcol("inp", p.clone()));
+        }
+        base_items = base_items
+            .into_iter()
+            .map(|e| subst_expr(e, &inp_map, catalog, &[]))
+            .collect();
+        base_items.insert(0, Expr::qcol("inp", BATCH_RID));
+        base_from.push(TableRef::Table {
+            name: input.into(),
+            alias: Some(TableAlias::named("inp")),
+        });
+    }
     let base_select = Select {
         items: base_items
             .into_iter()
             .map(|expr| SelectItem::Expr { expr, alias: None })
             .collect(),
+        from: base_from,
         ..Default::default()
     };
 
@@ -214,12 +279,22 @@ pub fn build_query(
         offset: None,
     };
 
-    // ---- outer query (Figure 8 lines 12–14).
+    // ---- outer query (Figure 8 lines 12–14). Batch mode returns
+    // `("call#", result)` pairs — the caller scatters results back to the
+    // input rows by id (retirement order is not input order).
+    let mut outer_items: Vec<SelectItem> = Vec::new();
+    if batch_input.is_some() {
+        outer_items.push(SelectItem::Expr {
+            expr: Expr::qcol("r", BATCH_RID),
+            alias: None,
+        });
+    }
+    outer_items.push(SelectItem::Expr {
+        expr: Expr::qcol("r", "result"),
+        alias: Some("result".into()),
+    });
     let outer = Select {
-        items: vec![SelectItem::Expr {
-            expr: Expr::qcol("r", "result"),
-            alias: Some("result".into()),
-        }],
+        items: outer_items,
         from: vec![TableRef::Table {
             name: "run".into(),
             alias: Some(TableAlias::named("r")),
@@ -231,10 +306,12 @@ pub fn build_query(
         ..Default::default()
     };
 
+    let batch = batch_input.is_some();
     Ok(Query {
         with: Some(With {
             recursive: mode == CteMode::Recursive,
-            iterate: mode == CteMode::Iterate,
+            iterate: !batch && mode == CteMode::Iterate,
+            retire: batch && mode == CteMode::Iterate,
             ctes: vec![Cte {
                 name: "run".into(),
                 columns,

@@ -69,6 +69,7 @@ fn rewrite_query_infallible(mut q: Query, f: &mut impl FnMut(Expr) -> Expr) -> Q
         q.with = Some(plaway_sql::ast::With {
             recursive: with.recursive,
             iterate: with.iterate,
+            retire: with.retire,
             ctes: with
                 .ctes
                 .into_iter()

@@ -165,7 +165,24 @@ pub(crate) enum LeafStyle {
     /// `ret e` -> `ROW(false, NULL..., e)` (flattened), or the nested-record
     /// variant when `packed`. `params` lists the function parameters the CTE
     /// actually carries (pruned to those used beyond initialization).
-    RowEncode { packed: bool, params: Vec<String> },
+    ///
+    /// `rid` is the batch-trampoline row id: when set, every leaf record is
+    /// prefixed with this expression (the activation's `call#`), so the
+    /// working table can drive one in-flight activation per input row while
+    /// the recursive arm stays a pure `row_field` projection.
+    RowEncode {
+        packed: bool,
+        params: Vec<String>,
+        rid: Option<Expr>,
+    },
+}
+
+/// A leaf record, prefixed with the row id when one is threaded through.
+fn leaf_row(rid: &Option<Expr>, mut items: Vec<Expr>) -> Expr {
+    if let Some(r) = rid {
+        items.insert(0, r.clone());
+    }
+    Expr::Row(items)
 }
 
 /// Build the full dispatch CASE over `fn` with the given leaf rendering.
@@ -262,21 +279,22 @@ fn tail_to_expr(
     Ok(match tail {
         AnfTail::Ret(e) => match style {
             LeafStyle::Call { .. } => e.clone(),
-            LeafStyle::RowEncode { packed: true, .. } => Expr::Row(vec![
-                Expr::bool(false),
-                Expr::null(),
-                Expr::null(),
-                e.clone(),
-            ]),
+            LeafStyle::RowEncode {
+                packed: true, rid, ..
+            } => leaf_row(
+                rid,
+                vec![Expr::bool(false), Expr::null(), Expr::null(), e.clone()],
+            ),
             LeafStyle::RowEncode {
                 packed: false,
                 params,
+                rid,
             } => {
                 let mut items = vec![Expr::bool(false), Expr::null()];
                 items.extend(rec_vars.iter().map(|_| Expr::null()));
                 items.extend(params.iter().map(|_| Expr::null()));
                 items.push(e.clone());
-                Expr::Row(items)
+                leaf_row(rid, items)
             }
         },
         AnfTail::If { cond, then_, else_ } => Expr::Case {
@@ -310,25 +328,30 @@ fn tail_to_expr(
                 LeafStyle::RowEncode {
                     packed: true,
                     params,
+                    rid,
                 } => {
                     let mut packed_args = vals;
                     packed_args.extend(params.iter().map(|p| Expr::col(p.clone())));
-                    Expr::Row(vec![
-                        Expr::bool(true),
-                        Expr::int(tag),
-                        Expr::Row(packed_args),
-                        Expr::null(),
-                    ])
+                    leaf_row(
+                        rid,
+                        vec![
+                            Expr::bool(true),
+                            Expr::int(tag),
+                            Expr::Row(packed_args),
+                            Expr::null(),
+                        ],
+                    )
                 }
                 LeafStyle::RowEncode {
                     packed: false,
                     params,
+                    rid,
                 } => {
                     let mut items = vec![Expr::bool(true), Expr::int(tag)];
                     items.extend(vals);
                     items.extend(params.iter().map(|p| Expr::col(p.clone())));
                     items.push(Expr::null());
-                    Expr::Row(items)
+                    leaf_row(rid, items)
                 }
             }
         }

@@ -79,6 +79,13 @@ pub struct RuntimeStats {
     /// loop, RETURN inside the loop, or exception unwind). On a normally
     /// completed execution this equals `snapshots_materialized`.
     pub snapshots_released: u64,
+    /// `ExecutorStart` penalties charged (top-level statements and
+    /// recursive SQL-UDF calls). A batched execution charges exactly one.
+    pub start_penalty_charges: u64,
+    /// `ExecutorEnd` penalties charged.
+    pub end_penalty_charges: u64,
+    /// Batch-trampoline working-set counters (the `WITH RETIRE` driver).
+    pub batch: crate::profile::BatchCounters,
 }
 
 impl RuntimeStats {
@@ -583,27 +590,16 @@ fn call_sql_udf(name: &str, args: Vec<Value>, rt: &mut Runtime<'_>) -> Result<Va
     // (Boxed: the instantiated state must not grow the native stack, which
     // recursion through deep UDF chains would otherwise exhaust.)
     let state = Box::new(plan.plan.clone());
-    spin_ns(rt.config.start_penalty_ns);
+    crate::penalty::charge_start_penalty(rt.config, rt.stats);
     let env = EvalEnv {
         scopes: None,
         params: &args,
     };
     let result = exec(&state, &env, rt).and_then(scalar_from_rows);
     drop(state);
-    spin_ns(rt.config.end_penalty_ns);
+    crate::penalty::charge_end_penalty(rt.config, rt.stats);
     rt.udf_depth -= 1;
     result
-}
-
-/// Busy-wait for approximately `ns` nanoseconds (profile cost injection).
-fn spin_ns(ns: u64) {
-    if ns == 0 {
-        return;
-    }
-    let t0 = std::time::Instant::now();
-    while (t0.elapsed().as_nanos() as u64) < ns {
-        std::hint::spin_loop();
-    }
 }
 
 // ---------------------------------------------------------------------------
@@ -735,6 +731,29 @@ pub fn exec(plan: &PlanNode, env: &EvalEnv<'_>, rt: &mut Runtime<'_>) -> Result<
             Ok(out)
         }
         PlanNode::Project { input, exprs } => {
+            // Projecting a base table evaluates the expressions over rows
+            // borrowed straight from the catalog — no intermediate clone of
+            // every input row. The batch trampoline's seeding arm (one
+            // activation per `batch#…` input row) runs through here, so this
+            // is per-invocation cost on the throughput path.
+            if let PlanNode::SeqScan { table } = input.as_ref() {
+                let t = rt.catalog.table(table)?;
+                rt.stats.rows_scanned += t.rows.len() as u64;
+                let mut out = Vec::with_capacity(t.rows.len());
+                for row in &t.rows {
+                    let scopes = Scopes {
+                        row,
+                        parent: env.scopes,
+                    };
+                    let inner = env.with_row(&scopes);
+                    let mut proj = Vec::with_capacity(exprs.len());
+                    for e in exprs {
+                        proj.push(eval(e, &inner, rt)?);
+                    }
+                    out.push(proj);
+                }
+                return Ok(out);
+            }
             let rows = exec(input, env, rt)?;
             let mut out = Vec::with_capacity(rows.len());
             for row in rows {
@@ -1404,6 +1423,9 @@ fn exec_with(
                 }
             }
         }
+        if let Some(result) = exec_cte_body_fused(ctes, body, env, rt) {
+            return result;
+        }
         exec(body, env, rt)
     })();
     // Restore shadowed entries (in reverse, though indexes are unique here).
@@ -1426,6 +1448,100 @@ fn exec_with(
         }
     }
     result
+}
+
+/// Consume a `WITH` body of the compiled outer-query shape —
+/// `Project(Filter(CteScan))` over a CTE this `WITH` just materialized —
+/// in one pass over *owned* rows. The generic path clones every surviving
+/// CTE row and then projects out of the clone; for a batch-trampoline
+/// result that means copying the full working-table layout of 10⁵+ retired
+/// activations just to keep two columns. Here the freshly built `Arc` is
+/// unwrapped (nothing else holds it yet) and filter + projection run over
+/// each row by value.
+///
+/// Returns `None` when the shape does not match (or the Arc is shared, e.g.
+/// a re-entrant plan) — the caller falls back to `exec(body)`.
+fn exec_cte_body_fused(
+    ctes: &[CtePlan],
+    body: &PlanNode,
+    env: &EvalEnv<'_>,
+    rt: &mut Runtime<'_>,
+) -> Option<Result<Vec<Row>>> {
+    let PlanNode::Project { input, exprs } = body else {
+        return None;
+    };
+    let PlanNode::Filter { input: f_in, pred } = input.as_ref() else {
+        return None;
+    };
+    let PlanNode::CteScan { index } = f_in.as_ref() else {
+        return None;
+    };
+    if !ctes.iter().any(|c| c.index() == *index) {
+        return None;
+    }
+    // The filter predicate or projections could re-read the CTE through a
+    // nested sub-plan; those still need the materialized entry in the map.
+    if expr_scans_cte(pred, *index) || exprs.iter().any(|e| expr_scans_cte(e, *index)) {
+        return None;
+    }
+    let arc = rt.ctes.remove(index)?;
+    let rows = match Arc::try_unwrap(arc) {
+        Ok(rows) => rows,
+        Err(shared) => {
+            rt.ctes.insert(*index, shared);
+            return None;
+        }
+    };
+    // Same direct slot test as the Filter-over-CteScan fast path in `exec`:
+    // the compiled outer predicate is a (negated) boolean column.
+    let slot_test: Option<(usize, bool)> = match pred {
+        ExprIr::Slot { depth: 0, index } => Some((*index, true)),
+        ExprIr::Not(inner) => match inner.as_ref() {
+            ExprIr::Slot { depth: 0, index } => Some((*index, false)),
+            _ => None,
+        },
+        _ => None,
+    };
+    let run = |rt: &mut Runtime<'_>| -> Result<Vec<Row>> {
+        let mut out = Vec::with_capacity(rows.len());
+        for row in rows {
+            let keep = match slot_test {
+                Some((i, want)) => match row.get(i) {
+                    Some(Value::Bool(b)) => *b == want,
+                    Some(Value::Null) => false,
+                    Some(other) if !want => {
+                        return Err(Error::exec(format!(
+                            "expected boolean, got {}",
+                            other.type_of()
+                        )))
+                    }
+                    _ => false,
+                },
+                None => {
+                    let scopes = Scopes {
+                        row: &row,
+                        parent: env.scopes,
+                    };
+                    eval(pred, &env.with_row(&scopes), rt)?.is_true()
+                }
+            };
+            if !keep {
+                continue;
+            }
+            let scopes = Scopes {
+                row: &row,
+                parent: env.scopes,
+            };
+            let inner = env.with_row(&scopes);
+            let mut proj = Vec::with_capacity(exprs.len());
+            for e in exprs {
+                proj.push(eval(e, &inner, rt)?);
+            }
+            out.push(proj);
+        }
+        Ok(out)
+    };
+    Some(run(rt))
 }
 
 /// One stage of a fused fixpoint pipeline (borrowed from the recursive plan).
@@ -1483,6 +1599,38 @@ fn pipeline_steps(plan: &PlanNode, index: usize) -> Option<Vec<Step<'_>>> {
         }
     }
     Some(steps)
+}
+
+/// Does the expression hold a sub-plan that scans the materialized CTE
+/// `index`? (Guards the fused `WITH`-body consumer, which takes the CTE's
+/// rows out of the runtime map.)
+fn expr_scans_cte(e: &ExprIr, index: usize) -> bool {
+    fn plan_scans_cte(p: &PlanNode, index: usize) -> bool {
+        if matches!(p, PlanNode::CteScan { index: i } if *i == index) {
+            return true;
+        }
+        let mut found = false;
+        p.for_each_child(&mut |c| {
+            if plan_scans_cte(c, index) {
+                found = true;
+            }
+        });
+        if !found {
+            p.for_each_expr(&mut |e| {
+                if expr_scans_cte(e, index) {
+                    found = true;
+                }
+            });
+        }
+        found
+    }
+    let mut found = false;
+    walk_expr_plans(e, &mut |p| {
+        if plan_scans_cte(p, index) {
+            found = true;
+        }
+    });
+    found
 }
 
 /// Does the expression (or any plan nested inside it) read the working table
@@ -1794,6 +1942,7 @@ fn iteration_limit_error(mode: RecursionMode, limit: u64) -> Error {
         match mode {
             RecursionMode::Accumulate => "recursive",
             RecursionMode::IterateOnly => "iterative",
+            RecursionMode::Retire => "retiring",
         },
         limit
     ))
@@ -1884,6 +2033,81 @@ fn exec_recursive_cte(
                 prev = std::mem::replace(&mut working, next);
             }
             prev
+        }
+        (RecursionMode::Retire, Some(steps)) => {
+            // WITH RETIRE: no trace, and a working row that fails the
+            // recursive arm's filter is *retired* into the final result
+            // instead of being discarded. The batch trampoline leans on
+            // this: one in-flight activation per input row, all driven by
+            // this single fixpoint, each leaving the working set the
+            // moment its own iteration count is up — never re-scanned.
+            let trans = try_transition(&steps);
+            let mut retired: Vec<Row> = Vec::new();
+            let mut next: Vec<Row> = Vec::new();
+            let mut peak: usize = 0;
+            while !working.is_empty() {
+                iters += 1;
+                if iters > limit {
+                    return Err(iteration_limit_error(mode, limit));
+                }
+                peak = peak.max(working.len());
+                for mut row in working.drain(..) {
+                    match &trans {
+                        Some(t) if row.len() == t.src => {
+                            // Test the `call?` flag before running the
+                            // body: finished activations retire without
+                            // paying one more transition evaluation.
+                            if let Some(i) = t.pred_slot {
+                                if !row[i].is_true() {
+                                    retired.push(row);
+                                    continue;
+                                }
+                            }
+                            if run_transition_row(t, &mut row, env, rt)? {
+                                // Retire a just-finished activation now
+                                // rather than re-scanning it next pass:
+                                // with a slot predicate, "fails the filter
+                                // next iteration" is visible the moment
+                                // the transition writes the flag. (Under
+                                // plain UNION the row must still pass
+                                // through the dedup set first.)
+                                match t.pred_slot {
+                                    Some(i) if union_all && !row[i].is_true() => retired.push(row),
+                                    _ => next.push(row),
+                                }
+                            } else {
+                                retired.push(row);
+                            }
+                        }
+                        _ => {
+                            // General pipeline: the retirement rule is on
+                            // the *input* row — the activation as it last
+                            // left the working set, not a half-transformed
+                            // intermediate.
+                            let orig = row.clone();
+                            match run_pipeline_row(&steps, row, env, rt)? {
+                                Some(out) => next.push(out),
+                                None => retired.push(orig),
+                            }
+                        }
+                    }
+                }
+                if !union_all {
+                    next.retain(|r| seen.insert(r.clone()));
+                }
+                std::mem::swap(&mut working, &mut next);
+            }
+            let batch = &mut rt.stats.batch;
+            batch.batch_rows_in_flight = batch.batch_rows_in_flight.max(peak as u64);
+            batch.batch_rows_retired += retired.len() as u64;
+            retired
+        }
+        (RecursionMode::Retire, None) => {
+            return Err(Error::exec(
+                "WITH RETIRE requires a pipeline-shaped recursive arm \
+                 (a single scan of the working table; joins and sub-query \
+                 self-references cannot retire individual rows)",
+            ));
         }
         (RecursionMode::Accumulate, None) => {
             // General driver (joins, sub-query self-references, ...):

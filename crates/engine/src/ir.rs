@@ -403,6 +403,11 @@ pub enum RecursionMode {
     /// `WITH ITERATE` (Passing et al.): only the final iteration survives;
     /// nothing accumulates, nothing spills.
     IterateOnly,
+    /// `WITH RETIRE`: no trace either, but a working row that fails the
+    /// recursive arm's filter is *retired* into the final result instead of
+    /// being dropped. One fixpoint drives a whole batch of activations,
+    /// each finishing on its own iteration.
+    Retire,
 }
 
 /// A planned common table expression.
@@ -731,6 +736,10 @@ impl PlanNode {
                             mode: RecursionMode::IterateOnly,
                             ..
                         } => "iterate",
+                        CtePlan::Recursive {
+                            mode: RecursionMode::Retire,
+                            ..
+                        } => "retire",
                     })
                     .collect();
                 let _ = writeln!(out, "{pad}With [{}]", kinds.join(", "));

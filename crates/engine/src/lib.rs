@@ -23,6 +23,7 @@ pub mod config;
 pub mod exec;
 pub mod functions;
 pub mod ir;
+pub(crate) mod penalty;
 pub mod planner;
 pub mod profile;
 pub mod session;
@@ -35,6 +36,6 @@ pub use config::EngineConfig;
 pub use exec::RuntimeStats;
 pub use ir::{ExprIr, PlanNode};
 pub use planner::{ParamScope, PreparedPlan};
-pub use profile::{Phase, Profiler};
+pub use profile::{BatchCounters, Phase, Profiler};
 pub use session::{QueryResult, Session};
 pub use tuplestore::{BufferStats, PAGE_SIZE, TUPLE_HEADER_BYTES};

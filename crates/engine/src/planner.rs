@@ -218,8 +218,15 @@ impl<'a> Planner<'a> {
         let mut cte_plans: Vec<CtePlan> = Vec::new();
         if let Some(with) = &q.with {
             for cte in &with.ctes {
-                let fixpoint = with.recursive || with.iterate;
-                let plan = self.plan_cte(cte, fixpoint, with.iterate, chain)?;
+                let fixpoint = with.recursive || with.iterate || with.retire;
+                let mode = if with.iterate {
+                    RecursionMode::IterateOnly
+                } else if with.retire {
+                    RecursionMode::Retire
+                } else {
+                    RecursionMode::Accumulate
+                };
+                let plan = self.plan_cte(cte, fixpoint, mode, chain)?;
                 cte_plans.push(plan);
             }
         }
@@ -276,7 +283,7 @@ impl<'a> Planner<'a> {
         &mut self,
         cte: &ast::Cte,
         fixpoint: bool,
-        iterate: bool,
+        mode: RecursionMode,
         chain: &mut Vec<Scope>,
     ) -> Result<CtePlan> {
         let index = self.next_cte_index;
@@ -337,11 +344,7 @@ impl<'a> Planner<'a> {
                 index,
                 base: base_plan,
                 recursive: rec_plan,
-                mode: if iterate {
-                    RecursionMode::IterateOnly
-                } else {
-                    RecursionMode::Accumulate
-                },
+                mode,
                 union_all: *all,
             })
         } else {

@@ -299,15 +299,22 @@ impl Query {
     }
 }
 
-/// `WITH [RECURSIVE | ITERATE] name (cols) AS (query), ...`.
+/// `WITH [RECURSIVE | ITERATE | RETIRE] name (cols) AS (query), ...`.
 ///
 /// `ITERATE` is the engine extension from Passing et al. (EDBT 2017) that §3
 /// of the paper implements: like RECURSIVE but only the rows of the *last*
 /// iteration survive, so tail recursion needs no working-table trace.
+///
+/// `RETIRE` is the batch-invocation variant: like ITERATE it keeps no
+/// trace, but a working row that fails the recursive arm's filter is
+/// *retired* into the CTE's result instead of being discarded. One fixpoint
+/// can then drive many independent activations, each finishing on its own
+/// iteration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct With {
     pub recursive: bool,
     pub iterate: bool,
+    pub retire: bool,
     pub ctes: Vec<Cte>,
 }
 

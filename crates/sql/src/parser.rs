@@ -56,6 +56,7 @@ const RESERVED: &[&str] = &[
     "with",
     "recursive",
     "iterate",
+    "retire",
     "set",
     "into",
     "loop",
@@ -532,6 +533,7 @@ impl Parser {
         self.expect_kw("with")?;
         let recursive = self.eat_kw("recursive");
         let iterate = !recursive && self.eat_kw("iterate");
+        let retire = !recursive && !iterate && self.eat_kw("retire");
         let mut ctes = Vec::new();
         loop {
             let name = self.expect_ident()?;
@@ -561,6 +563,7 @@ impl Parser {
         Ok(With {
             recursive,
             iterate,
+            retire,
             ctes,
         })
     }
@@ -1603,6 +1606,15 @@ mod tests {
         )
         .unwrap();
         assert!(q.with.unwrap().iterate);
+
+        let q = parse_query(
+            "WITH RETIRE run(id, x) AS (SELECT 1, 0 UNION ALL SELECT id, x+1 FROM run WHERE x < 5) \
+             SELECT id, x FROM run",
+        )
+        .unwrap();
+        let with = q.with.unwrap();
+        assert!(with.retire);
+        assert!(!with.recursive && !with.iterate);
     }
 
     #[test]

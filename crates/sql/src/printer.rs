@@ -534,6 +534,8 @@ impl std::fmt::Display for Query {
                 out.push_str("RECURSIVE ");
             } else if with.iterate {
                 out.push_str("ITERATE ");
+            } else if with.retire {
+                out.push_str("RETIRE ");
             }
             for (i, cte) in with.ctes.iter().enumerate() {
                 if i > 0 {
@@ -766,6 +768,7 @@ mod tests {
             "SELECT * FROM run AS r, LATERAL (SELECT r.x) AS s(y)",
             "WITH RECURSIVE run(a, b) AS (SELECT 1, 2 UNION ALL SELECT a+1, b FROM run WHERE a < 3) SELECT * FROM run",
             "WITH ITERATE go(x) AS (SELECT 0 UNION ALL SELECT x+1 FROM go WHERE x < 9) SELECT x FROM go",
+            "WITH RETIRE go(id, x) AS (SELECT 1, 0 UNION ALL SELECT id, x+1 FROM go WHERE x < 9) SELECT id, x FROM go",
             "VALUES (1, 'a'), (2, 'b')",
             "SELECT 1 UNION ALL SELECT 2",
             "SELECT sum(x) OVER w FROM t WINDOW w AS (ORDER BY y ROWS BETWEEN UNBOUNDED PRECEDING AND CURRENT ROW EXCLUDE CURRENT ROW)",

@@ -5,8 +5,11 @@
 #
 # Emits a GitHub-flavored markdown table (kernel.mode | baseline ns |
 # fresh ns | delta %), sorted by key, with keys present on only one side
-# marked. CI's bench-gate job pipes this into $GITHUB_STEP_SUMMARY so the
-# perf trajectory is visible per PR without downloading artifacts.
+# marked. The `batch.*_ns_per_call` throughput keys additionally get a
+# calls/sec table (1e9 / ns-per-call) — the unit the batch trampoline's
+# story is told in. CI's bench-gate job pipes this into
+# $GITHUB_STEP_SUMMARY so the perf trajectory is visible per PR without
+# downloading artifacts.
 #
 # Pure POSIX awk over the writer's fixed flat format ({"key": int, ...});
 # the container has no jq and the CI runner should not need one.
@@ -57,5 +60,21 @@ BEGIN {
         if (!(k in b))      printf "| %s | — | %d | _new_ |\n", k, f[k]
         else if (!(k in f)) printf "| %s | %d | — | _missing_ |\n", k, b[k]
         else                printf "| %s | %d | %d | %+.1f%% |\n", k, b[k], f[k], (f[k] / b[k] - 1) * 100
+    }
+    # Batch throughput in its native unit: calls/sec = 1e9 / ns-per-call.
+    # A positive delta here means the trampoline got *faster*.
+    hdr = 0
+    for (i = 1; i <= n; i++) {
+        k = sorted[i]
+        if (k !~ /^batch\./ || k !~ /_ns_per_call$/) continue
+        if (!hdr) {
+            print ""
+            print "| batch throughput | baseline calls/sec | fresh calls/sec | delta |"
+            print "|---|---:|---:|---:|"
+            hdr = 1
+        }
+        if (!(k in b))      printf "| %s | — | %d | _new_ |\n", k, 1e9 / f[k]
+        else if (!(k in f)) printf "| %s | %d | — | _missing_ |\n", k, 1e9 / b[k]
+        else                printf "| %s | %d | %d | %+.1f%% |\n", k, 1e9 / b[k], 1e9 / f[k], (b[k] / f[k] - 1) * 100
     }
 }'

@@ -1,0 +1,64 @@
+//! Pins the batch trampoline's accounting claims:
+//!
+//! * the modeled `ExecutorStart`/`ExecutorEnd` penalties are charged
+//!   exactly once per *query* — so a whole batch pays one lifecycle while
+//!   an interpreted call loop pays one per call (the paper's bold
+//!   `f -> Qi` context-switch overhead, amortized away), and
+//! * the `WITH RETIRE` driver's working-set counters see every activation
+//!   enter and retire.
+//!
+//! Charges are counted even under [`EngineConfig::raw`] (zero-ns spins),
+//! which keeps these tests fast.
+
+use plaway_bench::{batch_fib_calls, fib_args, setup_fib};
+use plsql_away::prelude::*;
+
+#[test]
+fn penalties_charge_once_per_query_not_per_call() {
+    let mut b = setup_fib(EngineConfig::raw());
+    let compiled = b.compile(CompileOptions::iterate()).unwrap();
+
+    // One compiled scalar execution: exactly one Start + one End.
+    let plan = compiled.prepare(&mut b.session).unwrap();
+    let (s0, e0) = (
+        b.session.stats.start_penalty_charges,
+        b.session.stats.end_penalty_charges,
+    );
+    b.session.execute_prepared(&plan, fib_args(5)).unwrap();
+    assert_eq!(b.session.stats.start_penalty_charges - s0, 1);
+    assert_eq!(b.session.stats.end_penalty_charges - e0, 1);
+
+    // A 50-call batch: still exactly one Start + one End for the whole
+    // fixpoint — the charge count must not scale with the row count.
+    let calls = batch_fib_calls(50);
+    let (s0, e0) = (
+        b.session.stats.start_penalty_charges,
+        b.session.stats.end_penalty_charges,
+    );
+    compiled.run_batch(&mut b.session, &calls).unwrap();
+    assert_eq!(b.session.stats.start_penalty_charges - s0, 1);
+    assert_eq!(b.session.stats.end_penalty_charges - e0, 1);
+
+    // The interpreted loop over the same calls: one lifecycle per call.
+    let (s0, e0) = (
+        b.session.stats.start_penalty_charges,
+        b.session.stats.end_penalty_charges,
+    );
+    b.interp_loop(&calls).unwrap();
+    assert_eq!(b.session.stats.start_penalty_charges - s0, 50);
+    assert_eq!(b.session.stats.end_penalty_charges - e0, 50);
+}
+
+#[test]
+fn retire_driver_counts_the_working_set() {
+    let mut b = setup_fib(EngineConfig::raw());
+    let compiled = b.compile(CompileOptions::iterate()).unwrap();
+    let calls = batch_fib_calls(64);
+    b.session.stats.batch = Default::default();
+    compiled.run_batch(&mut b.session, &calls).unwrap();
+    let counters = b.session.stats.batch;
+    // Every activation is seeded before the first transition, so the
+    // high-water mark is the full batch; every activation must retire.
+    assert_eq!(counters.batch_rows_in_flight, 64);
+    assert_eq!(counters.batch_rows_retired, 64);
+}

@@ -200,3 +200,129 @@ fn ssa_invariants_hold() {
             .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
     }
 }
+
+// ------------------------------------------------------------------ batch
+
+/// The batch trampoline on generated programs: one fixpoint driving K
+/// copies of a generated call must return the scalar result exactly K
+/// times, in both CTE modes (plain `WITH RECURSIVE` seeding and the
+/// `WITH RETIRE` trampoline).
+#[test]
+fn batch_equals_scalar_on_generated_programs() {
+    for seed in case_seeds(0xBA7C, 24) {
+        let mut session = Session::default();
+        genprog::install_fixture(&mut session).unwrap();
+        let prog = genprog::generate(seed, GenConfig::default());
+        session.run(&prog.source).unwrap();
+        for options in [CompileOptions::default(), CompileOptions::iterate()] {
+            let compiled = compile_sql(&session.catalog, &prog.source, options).unwrap();
+            let reference = compiled
+                .run(&mut session, &prog.args)
+                .unwrap_or_else(|e| panic!("seed {seed}: scalar failed: {e}\n{}", prog.source));
+            let calls: Vec<Vec<Value>> = (0..7).map(|_| prog.args.clone()).collect();
+            let got = compiled
+                .run_batch(&mut session, &calls)
+                .unwrap_or_else(|e| {
+                    panic!(
+                        "seed {seed} mode {options:?}: batch failed: {e}\n--- source ---\n{}\n--- sql ---\n{}",
+                        prog.source, compiled.batch_sql
+                    )
+                });
+            assert_eq!(
+                got,
+                vec![reference; 7],
+                "seed {seed} mode {options:?}\n{}",
+                prog.source
+            );
+        }
+    }
+}
+
+/// One batched fixpoint equals N independent scalar executions with
+/// per-row argument variation, on every batchable paper kernel and in
+/// both CTE modes.
+fn assert_batch_matches_scalar(b: &mut plaway_bench::BenchSetup, calls: &[Vec<Value>]) {
+    for options in [CompileOptions::default(), CompileOptions::iterate()] {
+        let compiled = b.compile(options).unwrap();
+        let reference: Vec<Value> = calls
+            .iter()
+            .map(|args| compiled.run(&mut b.session, args).unwrap())
+            .collect();
+        let got = compiled.run_batch(&mut b.session, calls).unwrap();
+        assert_eq!(got, reference, "{} mode {options:?}", b.fn_name);
+    }
+}
+
+/// The batch trampoline across all six paper kernels. Rows vary their
+/// arguments (different retirement times, so the rid scatter is really
+/// exercised); `checked` interleaves clean rows with rows whose RAISE +
+/// EXCEPTION arms fire, pinning mid-batch error isolation; `walk`'s world
+/// is first made deterministic (every surviving action certain) so its
+/// result does not depend on how many `random()` draws preceded a call.
+#[test]
+fn batch_equals_scalar_on_all_kernels() {
+    use plaway_bench::{
+        setup_checked, setup_fib, setup_parse, setup_settle, setup_traverse, setup_walk,
+    };
+    use plsql_away::workloads::{checked, fsa};
+
+    // walk: keep each (here, action)'s dominant outcome (the prescribed
+    // move ends up with merged prob >= 0.5, uniquely) and make it certain.
+    let mut b = setup_walk(EngineConfig::raw());
+    b.session
+        .run("DELETE FROM actions WHERE prob < 0.5")
+        .unwrap();
+    b.session.run("UPDATE actions SET prob = 1.0").unwrap();
+    let calls: Vec<Vec<Value>> = (0..10)
+        .map(|i| {
+            vec![
+                Value::coord(i % 5, (i / 2) % 5),
+                Value::Int(1_000_000),
+                Value::Int(-1_000_000),
+                Value::Int((i * 7) % 23),
+            ]
+        })
+        .collect();
+    assert_batch_matches_scalar(&mut b, &calls);
+
+    let mut b = setup_fib(EngineConfig::raw());
+    let calls: Vec<Vec<Value>> = (0..12).map(|i| vec![Value::Int(i % 17)]).collect();
+    assert_batch_matches_scalar(&mut b, &calls);
+
+    let mut b = setup_traverse(EngineConfig::raw());
+    let calls: Vec<Vec<Value>> = (0..10)
+        .map(|i| vec![Value::Int(i % 20 + 1), Value::Int(i % 9)])
+        .collect();
+    assert_batch_matches_scalar(&mut b, &calls);
+
+    let mut b = setup_parse(EngineConfig::raw());
+    let calls: Vec<Vec<Value>> = (0..10)
+        .map(|i| vec![Value::text(fsa::generate_input((i * 5) % 26, i as u64))])
+        .collect();
+    assert_batch_matches_scalar(&mut b, &calls);
+
+    // checked: row 3k+1 RAISEs on a non-digit (OTHERS arm), row 3k+2
+    // overflows its cap (overflow arm); their neighbors must come out as
+    // if each call had run alone.
+    let mut b = setup_checked(EngineConfig::raw());
+    let calls: Vec<Vec<Value>> = (0..12)
+        .map(|i| match i % 3 {
+            0 => vec![
+                Value::text(checked::generate_input(6, i as u64)),
+                Value::Int(200),
+            ],
+            1 => vec![Value::text("12x45"), Value::Int(200)],
+            _ => vec![
+                Value::text(checked::generate_input(8, i as u64)),
+                Value::Int(3),
+            ],
+        })
+        .collect();
+    assert_batch_matches_scalar(&mut b, &calls);
+
+    let mut b = setup_settle(EngineConfig::raw());
+    let calls: Vec<Vec<Value>> = (0..8)
+        .map(|i| vec![Value::Int((i * 137) % 900 - 100)])
+        .collect();
+    assert_batch_matches_scalar(&mut b, &calls);
+}
