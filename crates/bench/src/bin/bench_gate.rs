@@ -57,6 +57,7 @@ fn parse_bench_json(text: &str) -> Result<BTreeMap<String, u128>, String> {
 fn scale_factor(baseline: &BTreeMap<String, u128>, fresh: &BTreeMap<String, u128>) -> f64 {
     let mut ratios: Vec<f64> = baseline
         .iter()
+        .filter(|(k, _)| !k.starts_with("serve."))
         .filter_map(|(k, &b)| fresh.get(k).map(|&f| f as f64 / b as f64))
         .collect();
     if ratios.is_empty() {
@@ -75,6 +76,12 @@ fn check(
     let mut failures = Vec::new();
     let scale = scale_factor(baseline, fresh);
     for (key, &base) in baseline {
+        // `serve.*` keys are throughput/ratio numbers (higher is better)
+        // with machine-dependent thread counts; the dedicated serve checks
+        // below gate them, not the lower-is-better ns comparison.
+        if key.starts_with("serve.") {
+            continue;
+        }
         match fresh.get(key) {
             None => failures.push(format!("key {key:?} missing from fresh results")),
             Some(&now) => {
@@ -147,6 +154,73 @@ fn check(
                 "batch throughput keys {compiled_key:?} / {interp_key:?} \
                  missing from fresh results"
             )),
+        }
+    }
+    failures.extend(check_serve(fresh));
+    failures
+}
+
+/// Concurrent-serving acceptance. Read scaling must be ≥ 2.5× at 4 reader
+/// threads — but only on runners that actually have ≥ 4 hardware threads
+/// (`serve.threads_available`, recorded by `serve_bench` itself). On
+/// smaller machines the threads time-slice one core and the honest bar is
+/// a no-collapse floor: 4 contending threads must still reach ≥ 0.5× of
+/// single-thread throughput, i.e. the shared catalog/plan-cache locks must
+/// not serialize readers into losing most of their standalone speed.
+const SERVE_SCALING_MIN_X100: u128 = 250;
+const SERVE_NO_COLLAPSE_MIN_X100: u128 = 50;
+
+fn check_serve(fresh: &BTreeMap<String, u128>) -> Vec<String> {
+    let mut failures = Vec::new();
+    let required = [
+        "serve.threads_available",
+        "serve.read.rps_1t",
+        "serve.read.rps_4t",
+        "serve.read.scaling_x100",
+        "serve.read.p50_ns",
+        "serve.read.p95_ns",
+        "serve.read.p99_ns",
+        "serve.mixed.rps_4t",
+        "serve.mixed.p50_ns",
+        "serve.mixed.p95_ns",
+        "serve.mixed.p99_ns",
+    ];
+    let missing: Vec<&str> = required
+        .iter()
+        .filter(|k| !fresh.contains_key(**k))
+        .copied()
+        .collect();
+    if !missing.is_empty() {
+        failures.push(format!(
+            "serve keys missing from fresh results: {missing:?} — \
+             run serve_bench before gating"
+        ));
+        return failures;
+    }
+    let threads = fresh["serve.threads_available"];
+    let scaling = fresh["serve.read.scaling_x100"];
+    let min = if threads >= 4 {
+        SERVE_SCALING_MIN_X100
+    } else {
+        SERVE_NO_COLLAPSE_MIN_X100
+    };
+    if scaling < min {
+        failures.push(format!(
+            "serve.read.scaling_x100 = {scaling} (rps {} -> {} at 4 threads, \
+             {threads} hw threads): need >= {min} — concurrent readers \
+             {}",
+            fresh["serve.read.rps_1t"],
+            fresh["serve.read.rps_4t"],
+            if threads >= 4 {
+                "must scale >= 2.5x on a >= 4-core runner"
+            } else {
+                "collapsed under contention on a small machine"
+            }
+        ));
+    }
+    for key in ["serve.read.p99_ns", "serve.mixed.p99_ns"] {
+        if fresh[key] == 0 {
+            failures.push(format!("{key} is 0 — latency sampling is broken"));
         }
     }
     failures
@@ -229,6 +303,27 @@ mod tests {
             ("batch.checked.interp_ns_per_call", 9500),
         ] {
             m.insert(k.to_string(), v);
+        }
+        serve_ok(m)
+    }
+
+    /// A fresh map with serve keys that satisfy the concurrency gate
+    /// (8 hardware threads, 3.0× read scaling, nonzero tails).
+    fn serve_ok(mut m: BTreeMap<String, u128>) -> BTreeMap<String, u128> {
+        for (k, v) in [
+            ("serve.threads_available", 8u128),
+            ("serve.read.rps_1t", 1000),
+            ("serve.read.rps_4t", 3000),
+            ("serve.read.scaling_x100", 300),
+            ("serve.read.p50_ns", 200_000),
+            ("serve.read.p95_ns", 400_000),
+            ("serve.read.p99_ns", 900_000),
+            ("serve.mixed.rps_4t", 800),
+            ("serve.mixed.p50_ns", 300_000),
+            ("serve.mixed.p95_ns", 2_000_000),
+            ("serve.mixed.p99_ns", 9_000_000),
+        ] {
+            m.entry(k.to_string()).or_insert(v);
         }
         m
     }
@@ -328,7 +423,7 @@ mod tests {
         // A bench refactor that silently drops the batch section must not
         // pass the gate, even with an empty baseline.
         let base = map(&[]);
-        let fresh = map(&[("fibonacci.interpreter", 1000)]);
+        let fresh = serve_ok(map(&[("fibonacci.interpreter", 1000)]));
         let failures = check(&base, &fresh, 25);
         assert_eq!(failures.len(), 2, "{failures:?}");
         assert!(failures[0].contains("batch.fibonacci"));
@@ -346,23 +441,23 @@ mod tests {
     fn batch_amortization_factors_enforced() {
         let base = map(&[]);
         // fibonacci at 4.5x (needs 5x) fails; checked at 2.4x passes.
-        let fresh = map(&[
+        let fresh = serve_ok(map(&[
             ("batch.fibonacci.compiled_ns_per_call", 1000),
             ("batch.fibonacci.interp_ns_per_call", 4500),
             ("batch.checked.compiled_ns_per_call", 4000),
             ("batch.checked.interp_ns_per_call", 9600),
-        ]);
+        ]));
         let failures = check(&base, &fresh, 25);
         assert_eq!(failures.len(), 1, "{failures:?}");
         assert!(failures[0].contains("batch.fibonacci"));
         assert!(failures[0].contains("4.50x"));
         // checked below its own 1.5x bar fails too.
-        let fresh = map(&[
+        let fresh = serve_ok(map(&[
             ("batch.fibonacci.compiled_ns_per_call", 700),
             ("batch.fibonacci.interp_ns_per_call", 4500),
             ("batch.checked.compiled_ns_per_call", 4000),
             ("batch.checked.interp_ns_per_call", 5000),
-        ]);
+        ]));
         let failures = check(&base, &fresh, 25);
         assert_eq!(failures.len(), 1, "{failures:?}");
         assert!(failures[0].contains("batch.checked"));
@@ -389,5 +484,76 @@ mod tests {
             ("settle.with_iterate", 900),
         ]));
         assert!(check(&base, &fresh, 25).is_empty());
+    }
+
+    #[test]
+    fn missing_serve_keys_fail() {
+        // A run that skipped serve_bench must not pass the gate.
+        let mut fresh = batch_ok(map(&[]));
+        fresh.retain(|k, _| !k.starts_with("serve."));
+        let failures = check(&map(&[]), &fresh, 25);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("run serve_bench before gating"));
+    }
+
+    #[test]
+    fn read_scaling_enforced_on_multicore_runners() {
+        // 4 hardware threads and only 1.8x scaling: readers are contending
+        // on shared state — fail.
+        let mut fresh = batch_ok(map(&[]));
+        fresh.insert("serve.threads_available".into(), 4);
+        fresh.insert("serve.read.scaling_x100".into(), 180);
+        let failures = check(&map(&[]), &fresh, 25);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("serve.read.scaling_x100 = 180"));
+        // Exactly at the bar passes.
+        fresh.insert("serve.read.scaling_x100".into(), 250);
+        assert!(check(&map(&[]), &fresh, 25).is_empty());
+    }
+
+    #[test]
+    fn small_machines_get_the_no_collapse_floor() {
+        // 1 hardware thread: 1.09x "scaling" is expected time-slicing, not
+        // a contention bug — pass.
+        let mut fresh = batch_ok(map(&[]));
+        fresh.insert("serve.threads_available".into(), 1);
+        fresh.insert("serve.read.scaling_x100".into(), 109);
+        assert!(check(&map(&[]), &fresh, 25).is_empty());
+        // But collapsing to 0.3x of single-thread throughput means the
+        // locks serialize everything — fail even on one core.
+        fresh.insert("serve.read.scaling_x100".into(), 30);
+        let failures = check(&map(&[]), &fresh, 25);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("collapsed under contention"));
+    }
+
+    #[test]
+    fn zero_p99_is_a_broken_bench() {
+        let mut fresh = batch_ok(map(&[]));
+        fresh.insert("serve.mixed.p99_ns".into(), 0);
+        let failures = check(&map(&[]), &fresh, 25);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("serve.mixed.p99_ns"));
+    }
+
+    #[test]
+    fn serve_keys_stay_out_of_the_ns_regression_loop() {
+        // serve.* numbers are higher-is-better and machine-dependent: a
+        // baseline with a higher rps than fresh must NOT trip the generic
+        // lower-is-better comparison, and serve ratios must not skew the
+        // machine-scale median.
+        let base = map(&[
+            ("k.a", 1000),
+            ("serve.read.rps_4t", 50_000),
+            ("serve.read.scaling_x100", 390),
+        ]);
+        let mut fresh = batch_ok(map(&[("k.a", 1000)]));
+        fresh.insert("serve.read.rps_4t".into(), 3000);
+        fresh.insert("serve.read.scaling_x100".into(), 300);
+        assert!(check(&base, &fresh, 25).is_empty());
+        assert!(
+            (scale_factor(&base, &fresh) - 1.0).abs() < 1e-9,
+            "serve ratios must not move the machine-scale median"
+        );
     }
 }

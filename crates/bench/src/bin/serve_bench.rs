@@ -1,0 +1,266 @@
+//! Multi-session serving benchmark: M threads hammer one shared
+//! [`Database`] with the mixed kernel load (`fibonacci`, `checked_sum`,
+//! `settle`, `walk`), each thread owning a private `Session` over the
+//! shared catalog snapshots and plan cache.
+//!
+//! Two phases:
+//!
+//! * **read scaling** — scalar-only requests at 1 and 4 threads over an
+//!   unchanging catalog (every prepared plan stays valid, the shared plan
+//!   cache serves all sessions). The headline number is
+//!   `serve.read.scaling_x100` = 100 × rps(4t) / rps(1t); the bench gate
+//!   enforces ≥ 2.5× on runners with ≥ 4 hardware threads.
+//! * **mixed** — 4 reader threads (scalar calls, every 8th request a
+//!   batch-mode `fibonacci` over a worker-private staging table) racing
+//!   one writer that churns the catalog with `CREATE OR REPLACE` and
+//!   DML. Every commit bumps the catalog version and invalidates the
+//!   shared plan cache, so this phase measures serving under constant
+//!   re-planning — correctness (results still verified per request) and
+//!   tail latency, not peak throughput.
+//!
+//! Results are merged into `BENCH_smoke.json` as integer `serve.*` keys
+//! (latencies in ns, rps as integer requests/second, the scaling ratio
+//! ×100), preserving the kernel keys `bench_smoke` wrote.
+//!
+//! Usage: `cargo run --release -p plaway-bench --bin serve_bench [--smoke]`
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use plaway_bench::{batch_fib_calls, serve_batch_fib, setup_serve, ServeKernel};
+use plaway_engine::{Database, EngineConfig};
+use plaway_workloads::fib;
+
+/// Requests per reader thread per phase.
+const READS_FULL: usize = 400;
+const READS_SMOKE: usize = 100;
+/// Rows per batch-mode call in the mixed phase.
+const BATCH_ROWS: usize = 64;
+/// Reader threads in the scaled phases.
+const THREADS: usize = 4;
+
+/// One reader's measurement: per-request latencies plus its wall time.
+struct ThreadRun {
+    latencies_ns: Vec<u128>,
+    elapsed: Duration,
+}
+
+/// Run `requests` scalar calls round-robin over the kernels, verifying
+/// every deterministic result. Panics (failing the bench) on any wrong
+/// answer — a serving engine that returns garbage fast is not fast.
+fn read_loop(db: &Arc<Database>, kernels: &[ServeKernel], requests: usize) -> ThreadRun {
+    let mut session = db.session();
+    let plans: Vec<_> = kernels
+        .iter()
+        .map(|k| k.compiled.prepare(&mut session).expect(k.name))
+        .collect();
+    let mut latencies_ns = Vec::with_capacity(requests);
+    let t0 = Instant::now();
+    for r in 0..requests {
+        let k = &kernels[r % kernels.len()];
+        let q0 = Instant::now();
+        let got = session
+            .execute_prepared(&plans[r % kernels.len()], k.args.clone())
+            .expect(k.name);
+        latencies_ns.push(q0.elapsed().as_nanos());
+        if let Some(want) = &k.expected {
+            assert_eq!(&got.rows[0][0], want, "{} returned a wrong answer", k.name);
+        }
+    }
+    ThreadRun {
+        latencies_ns,
+        elapsed: t0.elapsed(),
+    }
+}
+
+/// A mixed-phase reader: scalar calls via `Compiled::run` (re-preparing
+/// through the shared plan cache, so writer commits force re-plans mid
+/// stream), with every 8th request a batch-mode fibonacci staged through
+/// this worker's private `batch#fib_w<id>` table.
+fn mixed_loop(
+    db: &Arc<Database>,
+    kernels: &[ServeKernel],
+    worker: usize,
+    requests: usize,
+) -> ThreadRun {
+    let mut session = db.session();
+    let batch = serve_batch_fib(db, worker);
+    let calls = batch_fib_calls(BATCH_ROWS);
+    let batch_expected: Vec<_> = calls
+        .iter()
+        .map(|args| plaway_common::Value::Int(fib::fib_reference(args[0].as_int().unwrap())))
+        .collect();
+    let mut latencies_ns = Vec::with_capacity(requests);
+    let t0 = Instant::now();
+    for r in 0..requests {
+        let q0 = Instant::now();
+        if r % 8 == 7 {
+            let got = batch.run_batch(&mut session, &calls).expect("batch fib");
+            latencies_ns.push(q0.elapsed().as_nanos());
+            assert_eq!(got, batch_expected, "batch fib returned wrong answers");
+        } else {
+            let k = &kernels[r % kernels.len()];
+            let got = k.compiled.run(&mut session, &k.args).expect(k.name);
+            latencies_ns.push(q0.elapsed().as_nanos());
+            if let Some(want) = &k.expected {
+                assert_eq!(&got, want, "{} returned a wrong answer", k.name);
+            }
+        }
+    }
+    ThreadRun {
+        latencies_ns,
+        elapsed: t0.elapsed(),
+    }
+}
+
+/// The churn writer: redefines a noise function and rewrites the `churn`
+/// table until told to stop. Every commit invalidates the shared plan
+/// cache, so the readers constantly re-plan.
+fn churn_writer(db: &Arc<Database>, stop: &AtomicBool) -> u64 {
+    let mut session = db.session();
+    let mut commits = 0u64;
+    let mut i = 0i64;
+    while !stop.load(Ordering::Relaxed) {
+        i += 1;
+        session
+            .run(&format!(
+                "CREATE OR REPLACE FUNCTION churn_noise(x int) RETURNS int \
+                 AS $$ SELECT x + {i} $$ LANGUAGE SQL"
+            ))
+            .expect("churn DDL");
+        session
+            .run(&format!("INSERT INTO churn VALUES ({i}, {i})"))
+            .expect("churn insert");
+        if i % 16 == 0 {
+            session
+                .run(&format!("DELETE FROM churn WHERE k <= {}", i - 16))
+                .expect("churn delete");
+            commits += 1;
+        }
+        commits += 2;
+        // Yield so the readers make progress even on a single core.
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    commits
+}
+
+/// Fan `THREADS` copies of `f` out, synchronized on a barrier, and merge
+/// their runs. Aggregate rps divides total requests by the *slowest*
+/// thread's wall time — the honest number for "all threads done".
+fn fan_out(threads: usize, f: impl Fn(usize) -> ThreadRun + Sync) -> (u128, Vec<u128>) {
+    let barrier = Barrier::new(threads);
+    let runs: Vec<ThreadRun> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                let barrier = &barrier;
+                let f = &f;
+                scope.spawn(move || {
+                    barrier.wait();
+                    f(w)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let total: usize = runs.iter().map(|r| r.latencies_ns.len()).sum();
+    let slowest = runs.iter().map(|r| r.elapsed).max().unwrap();
+    let rps = (total as f64 / slowest.as_secs_f64()) as u128;
+    let mut latencies: Vec<u128> = runs.into_iter().flat_map(|r| r.latencies_ns).collect();
+    latencies.sort_unstable();
+    (rps, latencies)
+}
+
+/// Nearest-rank percentile over a sorted sample.
+fn percentile(sorted: &[u128], pct: usize) -> u128 {
+    sorted[(sorted.len() - 1) * pct / 100]
+}
+
+/// Parse the flat `{"key": int}` JSON `bench_smoke` writes (same
+/// hand-rolled format as `bench_gate`; the container has no serde).
+fn parse_bench_json(text: &str) -> BTreeMap<String, u128> {
+    let mut out = BTreeMap::new();
+    let Some(body) = text
+        .trim()
+        .strip_prefix('{')
+        .and_then(|b| b.strip_suffix('}'))
+    else {
+        return out;
+    };
+    for line in body.split(',') {
+        if let Some((key, value)) = line.trim().split_once(':') {
+            let key = key.trim().trim_matches('"');
+            if let Ok(v) = value.trim().parse::<u128>() {
+                out.insert(key.to_string(), v);
+            }
+        }
+    }
+    out
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let requests = if smoke { READS_SMOKE } else { READS_FULL };
+    let threads_available = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    eprintln!(
+        "serve_bench: {requests} requests/thread, {threads_available} hardware threads{}",
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    let (db, kernels) = setup_serve(EngineConfig::postgres_like());
+    let mut results: BTreeMap<String, u128> = BTreeMap::new();
+    results.insert("serve.threads_available".into(), threads_available as u128);
+
+    // Phase 1: read scaling, scalar-only, catalog untouched.
+    let (rps_1t, _) = fan_out(1, |_| read_loop(&db, &kernels, requests));
+    let (rps_4t, lat_4t) = fan_out(THREADS, |_| read_loop(&db, &kernels, requests));
+    eprintln!("read: {rps_1t} req/s at 1 thread, {rps_4t} req/s at {THREADS} threads");
+    results.insert("serve.read.rps_1t".into(), rps_1t);
+    results.insert("serve.read.rps_4t".into(), rps_4t);
+    results.insert(
+        "serve.read.scaling_x100".into(),
+        rps_4t * 100 / rps_1t.max(1),
+    );
+    results.insert("serve.read.p50_ns".into(), percentile(&lat_4t, 50));
+    results.insert("serve.read.p95_ns".into(), percentile(&lat_4t, 95));
+    results.insert("serve.read.p99_ns".into(), percentile(&lat_4t, 99));
+
+    // Phase 2: mixed load under catalog churn.
+    let stop = AtomicBool::new(false);
+    let (rps_mixed, lat_mixed, commits) = std::thread::scope(|scope| {
+        let writer = scope.spawn(|| churn_writer(&db, &stop));
+        let out = fan_out(THREADS, |w| mixed_loop(&db, &kernels, w, requests));
+        stop.store(true, Ordering::Relaxed);
+        let commits = writer.join().unwrap();
+        (out.0, out.1, commits)
+    });
+    eprintln!("mixed: {rps_mixed} req/s at {THREADS} threads, {commits} writer commits");
+    results.insert("serve.mixed.rps_4t".into(), rps_mixed);
+    results.insert("serve.mixed.p50_ns".into(), percentile(&lat_mixed, 50));
+    results.insert("serve.mixed.p95_ns".into(), percentile(&lat_mixed, 95));
+    results.insert("serve.mixed.p99_ns".into(), percentile(&lat_mixed, 99));
+    results.insert("serve.mixed.writer_commits".into(), commits as u128);
+
+    // Merge into BENCH_smoke.json: keep bench_smoke's kernel keys, replace
+    // any previous serve.* section.
+    let mut merged = std::fs::read_to_string("BENCH_smoke.json")
+        .map(|t| parse_bench_json(&t))
+        .unwrap_or_default();
+    merged.retain(|k, _| !k.starts_with("serve."));
+    merged.extend(results);
+
+    let mut json = String::from("{\n");
+    for (i, (key, v)) in merged.iter().enumerate() {
+        let comma = if i + 1 < merged.len() { "," } else { "" };
+        json.push_str(&format!("  \"{key}\": {v}{comma}\n"));
+    }
+    json.push_str("}\n");
+    std::fs::write("BENCH_smoke.json", &json).expect("write BENCH_smoke.json");
+    print!("{json}");
+    eprintln!(
+        "merged serve.* into BENCH_smoke.json ({} entries)",
+        merged.len()
+    );
+}

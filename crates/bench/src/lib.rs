@@ -18,7 +18,7 @@ use std::time::{Duration, Instant};
 
 use plaway_common::{Result, Value};
 use plaway_core::{compile_sql, CompileOptions, Compiled};
-use plaway_engine::{EngineConfig, Session};
+use plaway_engine::{Database, EngineConfig, Session};
 use plaway_interp::Interpreter;
 use plaway_workloads::{checked, fib, fsa, graph, grid, rowagg};
 
@@ -246,6 +246,84 @@ pub fn settle_args() -> Vec<Value> {
     vec![Value::Int(1_000_000)]
 }
 
+/// One request kind of the serve driver's mixed kernel load: a compiled
+/// artifact (self-contained — scalar plans carry the inlined body, so no
+/// per-session function registration is needed), its argument vector, and
+/// the expected result where the kernel is deterministic (`walk` consults
+/// the session RNG, so it is sanity-checked only).
+pub struct ServeKernel {
+    pub name: &'static str,
+    pub compiled: Compiled,
+    pub args: Vec<Value>,
+    pub expected: Option<Value>,
+}
+
+/// Build the shared database the multi-threaded serve driver hammers: all
+/// four kernel workloads (`fibonacci`, `checked_sum`, `settle`, `walk`)
+/// installed into ONE `Database`, plus a `churn` table for the DDL/DML
+/// writer thread. The workloads use disjoint table/function names, so they
+/// coexist in a single catalog.
+pub fn setup_serve(config: EngineConfig) -> (std::sync::Arc<Database>, Vec<ServeKernel>) {
+    let db = Database::new(config);
+    let mut s = db.session();
+
+    let fib_w = fib::fib_workload();
+    fib_w.install(&mut s).expect("fib install");
+    let checked_w = checked::checked_workload();
+    checked_w.install(&mut s).expect("checked install");
+    rowagg::Ledger::generate(480, 7)
+        .install(&mut s)
+        .expect("ledger install");
+    let settle_w = rowagg::settle_workload();
+    settle_w.install(&mut s).expect("settle install");
+    grid::GridWorld::generate(5, 5, 42)
+        .install(&mut s)
+        .expect("grid install");
+    let walk_w = grid::walk_workload();
+    walk_w.install(&mut s).expect("walk install");
+    s.run("CREATE TABLE churn (k int, v int)")
+        .expect("churn table");
+
+    // Sized so one request is real work (recursion, handler unwinding, a
+    // row loop) but short enough that a smoke run finishes in seconds.
+    let specs: [(&'static str, &String, Vec<Value>); 4] = [
+        ("fibonacci", &fib_w.source, fib_args(15)),
+        ("checked_sum", &checked_w.source, checked_args(24)),
+        ("settle", &settle_w.source, settle_args()),
+        ("walk", &walk_w.source, walk_args(40)),
+    ];
+    let kernels = specs
+        .into_iter()
+        .map(|(name, source, args)| {
+            let compiled = compile_sql(&s.catalog, source, CompileOptions::default())
+                .unwrap_or_else(|e| panic!("{name} compile: {e}"));
+            let expected = if name == "walk" {
+                None
+            } else {
+                Some(compiled.run(&mut s, &args).expect(name))
+            };
+            ServeKernel {
+                name,
+                compiled,
+                args,
+                expected,
+            }
+        })
+        .collect();
+    (db, kernels)
+}
+
+/// A thread-private batch-mode `fibonacci` kernel for the mixed serve
+/// phase: batch execution stages its input through a `batch#<fn>` table,
+/// so each worker gets the function renamed to `fib_w<worker>` — distinct
+/// staging tables, no cross-thread clobbering.
+pub fn serve_batch_fib(db: &std::sync::Arc<Database>, worker: usize) -> Compiled {
+    let source = fib::fib_workload()
+        .source
+        .replace("fibonacci", &format!("fib_w{worker}"));
+    compile_sql(&db.snapshot(), &source, CompileOptions::default()).expect("batch fib compile")
+}
+
 /// Mean / min / max of a duration sample, in milliseconds.
 pub fn stats_ms(samples: &[Duration]) -> (f64, f64, f64) {
     let ms: Vec<f64> = samples.iter().map(|d| d.as_secs_f64() * 1e3).collect();
@@ -345,6 +423,39 @@ mod tests {
         let i = b.run_interp(&args).unwrap();
         let c = compiled.run(&mut b.session, &args).unwrap();
         assert_eq!(i, c);
+    }
+
+    #[test]
+    fn serve_setup_kernels_verify_from_a_second_session() {
+        let (db, kernels) = setup_serve(EngineConfig::raw());
+        // A *fresh* session (not the one that installed the workloads) must
+        // be able to run every kernel — that is the whole point of the
+        // shared-database split.
+        let mut s = db.session();
+        for k in &kernels {
+            let got = k.compiled.run(&mut s, &k.args).unwrap();
+            match &k.expected {
+                Some(want) => assert_eq!(&got, want, "{}", k.name),
+                None => assert!(got.as_int().is_ok(), "{}", k.name),
+            }
+        }
+        assert_eq!(
+            kernels.iter().map(|k| k.name).collect::<Vec<_>>(),
+            ["fibonacci", "checked_sum", "settle", "walk"]
+        );
+
+        // The per-worker batch kernel stages into a worker-private table
+        // and agrees with the scalar reference.
+        let batch = serve_batch_fib(&db, 7);
+        let calls = batch_fib_calls(8);
+        let results = batch.run_batch(&mut s, &calls).unwrap();
+        for (args, got) in calls.iter().zip(&results) {
+            assert_eq!(
+                *got,
+                Value::Int(fib::fib_reference(args[0].as_int().unwrap()))
+            );
+        }
+        assert!(s.catalog.table("batch#fib_w7").is_ok());
     }
 
     #[test]

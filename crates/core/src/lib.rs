@@ -27,3 +27,11 @@ pub mod udf;
 
 pub use cte::{ArgsLayout, CteMode};
 pub use pipeline::{compile, compile_sql, CompileOptions, Compiled};
+
+// A compiled artifact is the unit shared across serving threads (compile
+// once, prepare per session, execute everywhere) — keep it `Send + Sync`
+// by construction.
+const _: () = {
+    const fn shared<T: Send + Sync>() {}
+    shared::<Compiled>();
+};

@@ -259,11 +259,13 @@ impl Compiled {
             rows.push(row);
         }
         self.ensure_batch_table(session)?;
-        session.catalog.replace_rows(&self.batch_table, rows)?;
+        session.replace_rows(&self.batch_table, rows)?;
         session.prepare(&self.batch_sql, &ParamScope::new(Vec::new()))
     }
 
-    /// Create [`Compiled::batch_table`] if this session does not have it yet.
+    /// Create [`Compiled::batch_table`] if the database does not have it
+    /// yet (`ensure_table` makes the check-and-create atomic, so sessions
+    /// racing to stage their first batch cannot fail each other).
     fn ensure_batch_table(&self, session: &mut Session) -> Result<()> {
         if !session.catalog.has_table(&self.batch_table) {
             let mut cols = vec![plaway_engine::Column {
@@ -276,7 +278,7 @@ impl Compiled {
                     ty: ty.clone(),
                 });
             }
-            session.catalog.create_table(&self.batch_table, cols)?;
+            session.ensure_table(&self.batch_table, cols)?;
         }
         Ok(())
     }

@@ -430,7 +430,7 @@ mod tests {
         s.run("CREATE TABLE policy (loc int, action text)").unwrap();
         s.run("CREATE TABLE actions (here int, action text, there int, prob float8)")
             .unwrap();
-        s.catalog
+        (*s.catalog).clone()
     }
 
     fn m(pairs: &[(&str, &str)]) -> Subst {

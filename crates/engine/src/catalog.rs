@@ -47,12 +47,17 @@ impl HashIndex {
 }
 
 /// A heap table with schema, rows and optional hash indexes.
+///
+/// Rows and indexes sit behind `Arc` so cloning a [`Catalog`] (the
+/// copy-on-write commit path of [`crate::Database`]) is O(#tables), not
+/// O(#rows): a snapshot shares the row storage of the committed catalog,
+/// and a writer's `Arc::make_mut` only copies the tables it touches.
 #[derive(Debug, Clone, Default)]
 pub struct Table {
     pub name: String,
     pub columns: Vec<Column>,
-    pub rows: Vec<Row>,
-    pub indexes: Vec<HashIndex>,
+    pub rows: Arc<Vec<Row>>,
+    pub indexes: Arc<Vec<HashIndex>>,
 }
 
 impl Table {
@@ -91,22 +96,25 @@ impl Table {
         for row in &rows {
             self.check_row(row)?;
         }
+        let store = Arc::make_mut(&mut self.rows);
+        let indexes = Arc::make_mut(&mut self.indexes);
         for (off, row) in rows.into_iter().enumerate() {
-            for idx in &mut self.indexes {
+            for idx in indexes.iter_mut() {
                 idx.map
                     .entry(row[idx.column].clone())
                     .or_default()
                     .push(base + off);
             }
-            self.rows.push(row);
+            store.push(row);
         }
-        Ok(self.rows.len() - base)
+        Ok(store.len() - base)
     }
 
     /// Rebuild all indexes (after UPDATE / DELETE).
     fn reindex(&mut self) {
-        for idx in &mut self.indexes {
-            *idx = HashIndex::build(idx.name.clone(), idx.column, &self.rows);
+        let rows = Arc::clone(&self.rows);
+        for idx in Arc::make_mut(&mut self.indexes).iter_mut() {
+            *idx = HashIndex::build(idx.name.clone(), idx.column, &rows);
         }
     }
 }
@@ -164,8 +172,8 @@ impl Catalog {
             Table {
                 name: name.to_string(),
                 columns,
-                rows: Vec::new(),
-                indexes: Vec::new(),
+                rows: Arc::new(Vec::new()),
+                indexes: Arc::new(Vec::new()),
             },
         );
         Ok(())
@@ -192,7 +200,7 @@ impl Catalog {
             return Err(Error::plan(format!("index {index_name:?} already exists")));
         }
         let idx = HashIndex::build(index_name.to_string(), col, &t.rows);
-        t.indexes.push(idx);
+        Arc::make_mut(&mut t.indexes).push(idx);
         Ok(())
     }
 
@@ -213,7 +221,7 @@ impl Catalog {
             .tables
             .get_mut(table)
             .ok_or_else(|| Error::plan(format!("relation {table:?} does not exist")))?;
-        t.rows = rows;
+        t.rows = Arc::new(rows);
         t.reindex();
         Ok(())
     }

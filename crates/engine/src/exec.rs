@@ -610,7 +610,7 @@ pub fn exec(plan: &PlanNode, env: &EvalEnv<'_>, rt: &mut Runtime<'_>) -> Result<
         PlanNode::SeqScan { table } => {
             let t = rt.catalog.table(table)?;
             rt.stats.rows_scanned += t.rows.len() as u64;
-            Ok(t.rows.clone())
+            Ok(t.rows.as_ref().clone())
         }
         PlanNode::IndexLookup { table, column, key } => {
             let k = eval(key, env, rt)?;
@@ -740,7 +740,7 @@ pub fn exec(plan: &PlanNode, env: &EvalEnv<'_>, rt: &mut Runtime<'_>) -> Result<
                 let t = rt.catalog.table(table)?;
                 rt.stats.rows_scanned += t.rows.len() as u64;
                 let mut out = Vec::with_capacity(t.rows.len());
-                for row in &t.rows {
+                for row in t.rows.iter() {
                     let scopes = Scopes {
                         row,
                         parent: env.scopes,

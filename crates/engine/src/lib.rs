@@ -20,6 +20,7 @@
 
 pub mod catalog;
 pub mod config;
+pub mod database;
 pub mod exec;
 pub mod functions;
 pub mod ir;
@@ -33,9 +34,25 @@ pub mod window;
 
 pub use catalog::{query_output_columns, Catalog, Column, FunctionDef, Row, Table};
 pub use config::EngineConfig;
+pub use database::Database;
 pub use exec::RuntimeStats;
 pub use ir::{ExprIr, PlanNode};
 pub use planner::{ParamScope, PreparedPlan};
 pub use profile::{BatchCounters, Phase, Profiler};
 pub use session::{QueryResult, Session};
 pub use tuplestore::{BufferStats, PAGE_SIZE, TUPLE_HEADER_BYTES};
+
+// Compile-time concurrency contracts: a `Database` (and everything a
+// session shares through it — catalog snapshots, cached plans) must be
+// freely shareable across threads, and a `Session` must be movable onto a
+// worker thread. A `RefCell`/`Rc` sneaking into the plan tree or catalog
+// turns these into build errors instead of runtime races.
+const _: () = {
+    const fn shared<T: Send + Sync>() {}
+    const fn sendable<T: Send>() {}
+    shared::<Database>();
+    shared::<Catalog>();
+    shared::<PreparedPlan>();
+    shared::<std::sync::Arc<PreparedPlan>>();
+    sendable::<Session>();
+};

@@ -55,6 +55,22 @@ pub struct PreparedPlan {
     pub cte_count: usize,
 }
 
+impl PreparedPlan {
+    /// Minimal plan for cache-mechanics tests: a zero-row values scan
+    /// tagged with the given text and catalog version.
+    #[cfg(test)]
+    pub(crate) fn test_stub(sql: &str, catalog_version: u64) -> PreparedPlan {
+        PreparedPlan {
+            sql: sql.to_string(),
+            plan: PlanNode::Values { rows: Vec::new() },
+            columns: Vec::new(),
+            param_names: Vec::new(),
+            catalog_version,
+            cte_count: 0,
+        }
+    }
+}
+
 /// One column visible in a scope.
 #[derive(Debug, Clone)]
 struct ColMeta {

@@ -25,6 +25,7 @@ use plaway_sql::ast::{InsertSource, Language, Stmt};
 
 use crate::catalog::{Catalog, Column, FunctionDef, Row};
 use crate::config::EngineConfig;
+use crate::database::Database;
 use crate::exec::{eval, exec, EvalEnv, FnPlanCache, Runtime, RuntimeStats, Scopes};
 use crate::ir::ExprIr;
 use crate::planner::{plan_expr, plan_query, plan_udf_body, ParamScope, PreparedPlan};
@@ -137,17 +138,31 @@ impl QueryPhaseStats {
     }
 }
 
-/// A database session: catalog + caches + instrumentation.
+/// A database session: private execution state over a shared [`Database`].
+///
+/// The catalog itself lives in the `Database`; the session holds an
+/// `Arc` *snapshot* of it, refreshed at statement boundaries (prepare,
+/// commit), so every read call site keeps working off `&self.catalog`
+/// while concurrent sessions commit freely. Everything else — RNG,
+/// profiler, buffer/runtime stats, UDF plan cache — is session-private,
+/// which is what makes `Session: Send` and lets N sessions run on N
+/// threads against one `Database`.
 pub struct Session {
-    pub catalog: Catalog,
+    db: Arc<Database>,
+    /// Snapshot of the committed catalog this session's statements read.
+    /// Refreshed by [`Session::refresh`] (called from `prepare` and after
+    /// every commit); immutable in between — a concurrent writer swaps the
+    /// committed pointer but can never mutate rows this snapshot holds.
+    pub catalog: Arc<Catalog>,
     pub config: EngineConfig,
     pub rng: SessionRng,
     pub profiler: Profiler,
     pub buffers: BufferStats,
     pub stats: RuntimeStats,
     fn_plans: FnPlanCache,
-    plan_cache: HashMap<String, Arc<PreparedPlan>>,
-    /// Plan-cache statistics (hits vs misses).
+    /// Session-local plan-cache statistics (this session's hits vs misses
+    /// against the shared cache; `Database::plan_cache_stats` has the
+    /// cross-session totals).
     pub plan_cache_hits: u64,
     pub plan_cache_misses: u64,
     /// When set, `execute_prepared` also attributes phase times per query
@@ -163,16 +178,24 @@ impl Default for Session {
 }
 
 impl Session {
+    /// A session over its own private database (the single-threaded
+    /// embedded use). For concurrent serving, create one [`Database`] and
+    /// attach N sessions via [`Database::session`].
     pub fn new(config: EngineConfig) -> Self {
+        Database::new(config).session()
+    }
+
+    /// Attach a new session to a shared database.
+    pub fn attach(db: &Arc<Database>) -> Session {
         Session {
-            catalog: Catalog::new(),
-            config,
+            catalog: db.snapshot(),
+            config: db.config.clone(),
+            db: Arc::clone(db),
             rng: SessionRng::default(),
             profiler: Profiler::default(),
             buffers: BufferStats::default(),
             stats: RuntimeStats::default(),
             fn_plans: FnPlanCache::default(),
-            plan_cache: HashMap::new(),
             plan_cache_hits: 0,
             plan_cache_misses: 0,
             track_queries: false,
@@ -180,10 +203,40 @@ impl Session {
         }
     }
 
+    /// The shared database this session is attached to.
+    pub fn database(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// Re-snapshot the committed catalog. Statement entry points call this
+    /// themselves; it is public for drivers that read `self.catalog`
+    /// directly and want to observe other sessions' commits.
+    pub fn refresh(&mut self) {
+        self.catalog = self.db.snapshot();
+    }
+
+    /// Run a copy-on-write commit against the shared database (see
+    /// [`Database::commit`]) and refresh this session's snapshot to the
+    /// newly committed state. On error nothing is committed and the
+    /// snapshot is left untouched.
+    pub fn commit<R>(&mut self, f: impl FnOnce(&mut Catalog) -> Result<R>) -> Result<R> {
+        let db = Arc::clone(&self.db);
+        let out = db.commit(f)?;
+        self.refresh();
+        Ok(out)
+    }
+
     pub fn set_seed(&mut self, seed: u64) {
         self.rng = SessionRng::new(seed);
     }
 
+    /// Zero every session-local counter: all four profiler phase buckets
+    /// and their lifecycle counts, buffer-page accounting, the full
+    /// [`RuntimeStats`] set (scan/subplan/UDF/snapshot/penalty/batch
+    /// counters), plan-cache hit/miss counts and the per-query phase
+    /// attribution. `tests::reset_instrumentation_zeroes_every_counter`
+    /// pins this against the field lists, so a counter added to any of
+    /// these structs cannot silently survive a reset again.
     pub fn reset_instrumentation(&mut self) {
         self.profiler.reset();
         self.buffers.reset();
@@ -228,9 +281,6 @@ impl Session {
                 columns,
                 if_not_exists,
             } => {
-                if *if_not_exists && self.catalog.has_table(name) {
-                    return Ok(QueryResult::empty());
-                }
                 let cols = columns
                     .iter()
                     .map(|(n, t)| {
@@ -240,7 +290,13 @@ impl Session {
                         })
                     })
                     .collect::<Result<Vec<_>>>()?;
-                self.catalog.create_table(name, cols)?;
+                let if_not_exists = *if_not_exists;
+                self.commit(|cat| {
+                    if if_not_exists && cat.has_table(name) {
+                        return Ok(());
+                    }
+                    cat.create_table(name, cols)
+                })?;
                 Ok(QueryResult::empty())
             }
             Stmt::CreateIndex {
@@ -248,7 +304,7 @@ impl Session {
                 table,
                 column,
             } => {
-                self.catalog.create_index(name, table, column)?;
+                self.commit(|cat| cat.create_index(name, table, column))?;
                 Ok(QueryResult::empty())
             }
             Stmt::CreateFunction(cf) => {
@@ -263,29 +319,27 @@ impl Session {
                     language: cf.language,
                     body: cf.body.clone(),
                 };
-                if def.language == Language::Sql {
-                    // Validate eagerly; recursive bodies may legitimately
-                    // reference the function being created, so register a
-                    // provisional definition first.
-                    let existed = self.catalog.function(&def.name).cloned();
-                    self.catalog.create_function(def.clone(), true)?;
-                    if let Err(e) = plan_udf_body(&self.catalog, &def) {
-                        // Roll back on a body that does not plan.
-                        match existed {
-                            Some(old) => self.catalog.create_function((*old).clone(), true)?,
-                            None => self.catalog.drop_function(&def.name, true)?,
+                let or_replace = cf.or_replace;
+                self.commit(move |cat| {
+                    if def.language == Language::Sql {
+                        if !or_replace && cat.function(&def.name).is_some() {
+                            return Err(Error::plan(format!(
+                                "function {:?} already exists",
+                                def.name
+                            )));
                         }
-                        return Err(e);
+                        // Validate eagerly; recursive bodies may
+                        // legitimately reference the function being
+                        // created, so register it first — a body that
+                        // does not plan fails the commit and the
+                        // registration is discarded with it.
+                        cat.create_function(def.clone(), true)?;
+                        plan_udf_body(cat, &def)?;
+                        Ok(())
+                    } else {
+                        cat.create_function(def, or_replace)
                     }
-                    if !cf.or_replace && existed.is_some() {
-                        return Err(Error::plan(format!(
-                            "function {:?} already exists",
-                            def.name
-                        )));
-                    }
-                } else {
-                    self.catalog.create_function(def, cf.or_replace)?;
-                }
+                })?;
                 Ok(QueryResult::empty())
             }
             Stmt::Insert {
@@ -300,11 +354,11 @@ impl Session {
             } => self.run_update(table, sets, where_.as_ref()),
             Stmt::Delete { table, where_ } => self.run_delete(table, where_.as_ref()),
             Stmt::DropTable { name, if_exists } => {
-                self.catalog.drop_table(name, *if_exists)?;
+                self.commit(|cat| cat.drop_table(name, *if_exists))?;
                 Ok(QueryResult::empty())
             }
             Stmt::DropFunction { name, if_exists } => {
-                self.catalog.drop_function(name, *if_exists)?;
+                self.commit(|cat| cat.drop_function(name, *if_exists))?;
                 Ok(QueryResult::empty())
             }
         }
@@ -333,52 +387,59 @@ impl Session {
                 offset: None,
             },
         };
-        let prepared = plan_query(&self.catalog, &query, None)?;
-        let rows = {
-            let mut rt = self.runtime();
-            exec(&prepared.plan, &EvalEnv::EMPTY, &mut rt)?
-        };
+        // The whole read-compute-write runs inside one commit, so the
+        // source query sees the same catalog state the insert lands in and
+        // a failing row leaves the table untouched.
+        let db = Arc::clone(&self.db);
+        let n = db.commit(|cat| {
+            let prepared = plan_query(cat, &query, None)?;
+            let rows = {
+                let mut rt = self.runtime_for(cat);
+                exec(&prepared.plan, &EvalEnv::EMPTY, &mut rt)?
+            };
 
-        let t = self.catalog.table(table)?;
-        let schema: Vec<(String, Type)> = t
-            .columns
-            .iter()
-            .map(|c| (c.name.clone(), c.ty.clone()))
-            .collect();
-        // Map provided columns to positions.
-        let positions: Vec<usize> = if columns.is_empty() {
-            (0..schema.len()).collect()
-        } else {
-            columns
+            let t = cat.table(table)?;
+            let schema: Vec<(String, Type)> = t
+                .columns
                 .iter()
-                .map(|c| {
-                    schema.iter().position(|(n, _)| n == c).ok_or_else(|| {
-                        Error::plan(format!("column {c:?} of {table:?} does not exist"))
+                .map(|c| (c.name.clone(), c.ty.clone()))
+                .collect();
+            // Map provided columns to positions.
+            let positions: Vec<usize> = if columns.is_empty() {
+                (0..schema.len()).collect()
+            } else {
+                columns
+                    .iter()
+                    .map(|c| {
+                        schema.iter().position(|(n, _)| n == c).ok_or_else(|| {
+                            Error::plan(format!("column {c:?} of {table:?} does not exist"))
+                        })
                     })
-                })
-                .collect::<Result<Vec<_>>>()?
-        };
-        let mut shaped = Vec::with_capacity(rows.len());
-        for row in rows {
-            if row.len() != positions.len() {
-                return Err(Error::exec(format!(
-                    "INSERT has {} expressions but {} target columns",
-                    row.len(),
-                    positions.len()
-                )));
+                    .collect::<Result<Vec<_>>>()?
+            };
+            let mut shaped = Vec::with_capacity(rows.len());
+            for row in rows {
+                if row.len() != positions.len() {
+                    return Err(Error::exec(format!(
+                        "INSERT has {} expressions but {} target columns",
+                        row.len(),
+                        positions.len()
+                    )));
+                }
+                let mut full: Row = vec![Value::Null; schema.len()];
+                for (value, &pos) in row.into_iter().zip(&positions) {
+                    let ty = &schema[pos].1;
+                    full[pos] = if ty.admits(&value) {
+                        value
+                    } else {
+                        value.cast(ty)?
+                    };
+                }
+                shaped.push(full);
             }
-            let mut full: Row = vec![Value::Null; schema.len()];
-            for (value, &pos) in row.into_iter().zip(&positions) {
-                let ty = &schema[pos].1;
-                full[pos] = if ty.admits(&value) {
-                    value
-                } else {
-                    value.cast(ty)?
-                };
-            }
-            shaped.push(full);
-        }
-        let n = self.catalog.bulk_insert(table, shaped)?;
+            cat.bulk_insert(table, shaped)
+        })?;
+        self.refresh();
         Ok(QueryResult {
             columns: vec!["inserted".into()],
             rows: vec![vec![Value::Int(n as i64)]],
@@ -393,16 +454,6 @@ impl Session {
     ) -> Result<QueryResult> {
         // Compile SET expressions and the predicate against the table scope
         // by planning a synthetic `SELECT <set-exprs>, <pred> FROM table`.
-        let t = self.catalog.table(table)?;
-        let set_positions: Vec<usize> = sets
-            .iter()
-            .map(|(c, _)| {
-                t.column_index(c)
-                    .ok_or_else(|| Error::plan(format!("column {c:?} of {table:?} does not exist")))
-            })
-            .collect::<Result<Vec<_>>>()?;
-        let types: Vec<Type> = t.columns.iter().map(|c| c.ty.clone()).collect();
-
         let mut sel = plaway_sql::ast::Select {
             items: sets
                 .iter()
@@ -424,30 +475,49 @@ impl Session {
             });
         }
         let query = plaway_sql::ast::Query::simple(sel);
-        let prepared = plan_query(&self.catalog, &query, None)?;
-        let computed = {
-            let mut rt = self.runtime();
-            exec(&prepared.plan, &EvalEnv::EMPTY, &mut rt)?
-        };
+        // Read-modify-write under one commit: the rows the predicate was
+        // evaluated against are exactly the rows being replaced, even with
+        // concurrent writers.
+        let db = Arc::clone(&self.db);
+        let updated = db.commit(|cat| {
+            let t = cat.table(table)?;
+            let set_positions: Vec<usize> = sets
+                .iter()
+                .map(|(c, _)| {
+                    t.column_index(c).ok_or_else(|| {
+                        Error::plan(format!("column {c:?} of {table:?} does not exist"))
+                    })
+                })
+                .collect::<Result<Vec<_>>>()?;
+            let types: Vec<Type> = t.columns.iter().map(|c| c.ty.clone()).collect();
 
-        let old_rows = self.catalog.table(table)?.rows.clone();
-        let mut updated = 0usize;
-        let mut new_rows = Vec::with_capacity(old_rows.len());
-        for (mut row, mut vals) in old_rows.into_iter().zip(computed) {
-            let hit = match where_ {
-                None => true,
-                Some(_) => vals.pop().map(|v| v.is_true()).unwrap_or(false),
+            let prepared = plan_query(cat, &query, None)?;
+            let computed = {
+                let mut rt = self.runtime_for(cat);
+                exec(&prepared.plan, &EvalEnv::EMPTY, &mut rt)?
             };
-            if hit {
-                updated += 1;
-                for (&pos, val) in set_positions.iter().zip(vals.drain(..)) {
-                    let ty = &types[pos];
-                    row[pos] = if ty.admits(&val) { val } else { val.cast(ty)? };
+
+            let old_rows: Vec<Row> = cat.table(table)?.rows.as_ref().clone();
+            let mut updated = 0usize;
+            let mut new_rows = Vec::with_capacity(old_rows.len());
+            for (mut row, mut vals) in old_rows.into_iter().zip(computed) {
+                let hit = match where_ {
+                    None => true,
+                    Some(_) => vals.pop().map(|v| v.is_true()).unwrap_or(false),
+                };
+                if hit {
+                    updated += 1;
+                    for (&pos, val) in set_positions.iter().zip(vals.drain(..)) {
+                        let ty = &types[pos];
+                        row[pos] = if ty.admits(&val) { val } else { val.cast(ty)? };
+                    }
                 }
+                new_rows.push(row);
             }
-            new_rows.push(row);
-        }
-        self.catalog.replace_rows(table, new_rows)?;
+            cat.replace_rows(table, new_rows)?;
+            Ok(updated)
+        })?;
+        self.refresh();
         Ok(QueryResult {
             columns: vec!["updated".into()],
             rows: vec![vec![Value::Int(updated as i64)]],
@@ -459,38 +529,43 @@ impl Session {
         table: &str,
         where_: Option<&plaway_sql::ast::Expr>,
     ) -> Result<QueryResult> {
-        let keep: Vec<bool> = match where_ {
-            None => vec![false; self.catalog.table(table)?.rows.len()],
-            Some(w) => {
-                let sel = plaway_sql::ast::Select {
-                    items: vec![plaway_sql::ast::SelectItem::Expr {
-                        expr: w.clone(),
-                        alias: None,
-                    }],
-                    from: vec![plaway_sql::ast::TableRef::Table {
-                        name: table.to_string(),
-                        alias: None,
-                    }],
-                    ..Default::default()
-                };
-                let query = plaway_sql::ast::Query::simple(sel);
-                let prepared = plan_query(&self.catalog, &query, None)?;
-                let rows = {
-                    let mut rt = self.runtime();
-                    exec(&prepared.plan, &EvalEnv::EMPTY, &mut rt)?
-                };
-                rows.into_iter().map(|r| !r[0].is_true()).collect()
-            }
-        };
-        let old_rows = self.catalog.table(table)?.rows.clone();
-        let total = old_rows.len();
-        let new_rows: Vec<Row> = old_rows
-            .into_iter()
-            .zip(&keep)
-            .filter_map(|(r, &k)| k.then_some(r))
-            .collect();
-        let deleted = total - new_rows.len();
-        self.catalog.replace_rows(table, new_rows)?;
+        let db = Arc::clone(&self.db);
+        let deleted = db.commit(|cat| {
+            let keep: Vec<bool> = match where_ {
+                None => vec![false; cat.table(table)?.rows.len()],
+                Some(w) => {
+                    let sel = plaway_sql::ast::Select {
+                        items: vec![plaway_sql::ast::SelectItem::Expr {
+                            expr: w.clone(),
+                            alias: None,
+                        }],
+                        from: vec![plaway_sql::ast::TableRef::Table {
+                            name: table.to_string(),
+                            alias: None,
+                        }],
+                        ..Default::default()
+                    };
+                    let query = plaway_sql::ast::Query::simple(sel);
+                    let prepared = plan_query(cat, &query, None)?;
+                    let rows = {
+                        let mut rt = self.runtime_for(cat);
+                        exec(&prepared.plan, &EvalEnv::EMPTY, &mut rt)?
+                    };
+                    rows.into_iter().map(|r| !r[0].is_true()).collect()
+                }
+            };
+            let old_rows: Vec<Row> = cat.table(table)?.rows.as_ref().clone();
+            let total = old_rows.len();
+            let new_rows: Vec<Row> = old_rows
+                .into_iter()
+                .zip(&keep)
+                .filter_map(|(r, &k)| k.then_some(r))
+                .collect();
+            let deleted = total - new_rows.len();
+            cat.replace_rows(table, new_rows)?;
+            Ok(deleted)
+        })?;
+        self.refresh();
         Ok(QueryResult {
             columns: vec!["deleted".into()],
             rows: vec![vec![Value::Int(deleted as i64)]],
@@ -499,21 +574,23 @@ impl Session {
 
     // ----------------------------------------------- prepared statements
 
-    /// Prepare (or fetch from cache) a query with a parameter scope.
-    /// This is the interpreter's entry point for embedded queries: the first
-    /// evaluation plans and caches; subsequent evaluations re-use the plan.
+    /// Prepare (or fetch from the shared cache) a query with a parameter
+    /// scope. This is the interpreter's entry point for embedded queries:
+    /// the first evaluation — by *any* session attached to this database —
+    /// plans and caches; subsequent evaluations re-use the plan. Preparing
+    /// refreshes the catalog snapshot, so a plan another session
+    /// invalidated with DDL is re-planned here rather than served stale.
     pub fn prepare(&mut self, sql: &str, params: &ParamScope) -> Result<Arc<PreparedPlan>> {
+        self.refresh();
         let key = cache_key(sql, params);
-        if let Some(p) = self.plan_cache.get(&key) {
-            if p.catalog_version == self.catalog.version {
-                self.plan_cache_hits += 1;
-                return Ok(Arc::clone(p));
-            }
+        if let Some(p) = self.db.cached_plan(&key, self.catalog.version) {
+            self.plan_cache_hits += 1;
+            return Ok(p);
         }
         self.plan_cache_misses += 1;
         let query = plaway_sql::parse_query(sql)?;
         let prepared = Arc::new(plan_query(&self.catalog, &query, Some(params))?);
-        self.plan_cache.insert(key, Arc::clone(&prepared));
+        self.db.store_plan(key, Arc::clone(&prepared));
         Ok(prepared)
     }
 
@@ -523,16 +600,15 @@ impl Session {
         query: &plaway_sql::ast::Query,
         params: &ParamScope,
     ) -> Result<Arc<PreparedPlan>> {
+        self.refresh();
         let key = cache_key(key, params);
-        if let Some(p) = self.plan_cache.get(&key) {
-            if p.catalog_version == self.catalog.version {
-                self.plan_cache_hits += 1;
-                return Ok(Arc::clone(p));
-            }
+        if let Some(p) = self.db.cached_plan(&key, self.catalog.version) {
+            self.plan_cache_hits += 1;
+            return Ok(p);
         }
         self.plan_cache_misses += 1;
         let prepared = Arc::new(plan_query(&self.catalog, query, Some(params))?);
-        self.plan_cache.insert(key, Arc::clone(&prepared));
+        self.db.store_plan(key, Arc::clone(&prepared));
         Ok(prepared)
     }
 
@@ -581,9 +657,38 @@ impl Session {
         rows: Vec<Row>,
         sql: &str,
     ) -> Result<QueryResult> {
-        self.catalog.replace_rows(input_table, rows)?;
+        self.commit(|cat| cat.replace_rows(input_table, rows))?;
         let plan = self.prepare(sql, &ParamScope::new(Vec::new()))?;
         self.execute_prepared(&plan, Vec::new())
+    }
+
+    // ------------------------------------------------- catalog mutation
+
+    /// Bulk insert used by workload generators (skips SQL parsing).
+    pub fn bulk_insert(&mut self, table: &str, rows: Vec<Row>) -> Result<usize> {
+        self.commit(|cat| cat.bulk_insert(table, rows))
+    }
+
+    /// Replace a table's rows wholesale (batch-input staging).
+    pub fn replace_rows(&mut self, table: &str, rows: Vec<Row>) -> Result<()> {
+        self.commit(|cat| cat.replace_rows(table, rows))
+    }
+
+    /// Create a table, erroring if it exists.
+    pub fn create_table(&mut self, name: &str, columns: Vec<Column>) -> Result<()> {
+        self.commit(|cat| cat.create_table(name, columns))
+    }
+
+    /// Create a table unless a concurrent session already has — the
+    /// check and the create run inside one commit, so racing sessions
+    /// cannot fail each other.
+    pub fn ensure_table(&mut self, name: &str, columns: Vec<Column>) -> Result<()> {
+        self.commit(|cat| {
+            if cat.has_table(name) {
+                return Ok(());
+            }
+            cat.create_table(name, columns)
+        })
     }
 
     /// `ExecutorStart`: instantiate executor state from the cached plan.
@@ -670,6 +775,26 @@ impl Session {
     fn runtime(&mut self) -> Runtime<'_> {
         Runtime {
             catalog: &self.catalog,
+            rng: &mut self.rng,
+            buffers: &mut self.buffers,
+            stats: &mut self.stats,
+            fn_plans: &mut self.fn_plans,
+            config: &self.config,
+            ctes: HashMap::new(),
+            working: HashMap::new(),
+            udf_depth: 0,
+            vm_stack: Vec::new(),
+            subplan_cache: HashMap::new(),
+            snapshots: crate::tuplestore::SnapshotStore::default(),
+        }
+    }
+
+    /// Like [`Session::runtime`] but reading an explicit catalog — the
+    /// in-flight clone inside a [`Database::commit`] closure, so DML
+    /// source queries see their own commit's state.
+    fn runtime_for<'a>(&'a mut self, catalog: &'a Catalog) -> Runtime<'a> {
+        Runtime {
+            catalog,
             rng: &mut self.rng,
             buffers: &mut self.buffers,
             stats: &mut self.stats,
@@ -1253,7 +1378,7 @@ mod tests {
         let rows: Vec<Row> = (0..1000)
             .map(|i| vec![Value::Int(i), Value::Int(i * i)])
             .collect();
-        s.catalog.bulk_insert("big", rows).unwrap();
+        s.bulk_insert("big", rows).unwrap();
         s.run("CREATE INDEX big_k ON big (k)").unwrap();
         let ps = ParamScope::new(vec!["needle".into()]);
         let plan = s
@@ -1281,7 +1406,7 @@ mod tests {
         let rows: Vec<Vec<Value>> = (0..500)
             .map(|k| vec![Value::Int(k), Value::Int(k * 10)])
             .collect();
-        s.catalog.bulk_insert("big", rows).unwrap();
+        s.bulk_insert("big", rows).unwrap();
         s.stats.reset();
         let r = s
             .run("SELECT q.v FROM (SELECT big.v AS v FROM big) AS q LIMIT 1 OFFSET 3")
@@ -1397,6 +1522,120 @@ mod tests {
         let text = r.to_table_string();
         assert!(text.contains('a') && text.contains("one"), "{text}");
         assert!(text.contains("(1 row)"), "{text}");
+    }
+
+    #[test]
+    fn reset_instrumentation_zeroes_every_counter() {
+        let mut s = session();
+        s.track_queries = true;
+        s.config.work_mem_bytes = 1024; // force buffer spills
+        s.run("CREATE FUNCTION dbl(x int) RETURNS int AS $$ SELECT x * 2 $$ LANGUAGE SQL")
+            .unwrap();
+        // Recursive CTE with a fat pad: recursive_iterations + spills.
+        s.run(
+            "WITH RECURSIVE c(x, pad) AS (SELECT 1, repeat('x', 100) \
+             UNION ALL SELECT x + 1, pad FROM c WHERE x < 50) \
+             SELECT count(*) FROM c",
+        )
+        .unwrap();
+        // UDF call, correlated subplan, base-table scan; run twice for a
+        // plan-cache hit on top of the misses.
+        s.run("SELECT dbl(a), (SELECT t.a) FROM t").unwrap();
+        s.run("SELECT dbl(a), (SELECT t.a) FROM t").unwrap();
+        // Counters only the PL/pgSQL layers drive (compiled row-loop
+        // snapshots, the retire trampoline, interpreter time) are poked
+        // directly — this test is about the reset, not the sources.
+        s.profiler
+            .add(Phase::Interp, std::time::Duration::from_nanos(5));
+        s.stats.snapshots_materialized += 1;
+        s.stats.snapshots_released += 1;
+        s.stats.batch.batch_rows_in_flight += 1;
+        s.stats.batch.batch_rows_retired += 1;
+
+        // Sanity: every counter group is hot before the reset.
+        assert!(s.profiler.exec_start_ns > 0 && s.profiler.start_count > 0);
+        assert!(s.profiler.exec_run_ns > 0 && s.profiler.interp_ns > 0);
+        assert!(s.buffers.page_writes > 0 && s.buffers.peak_bytes > 0);
+        assert!(s.stats.recursive_iterations > 0 && s.stats.rows_scanned > 0);
+        assert!(s.stats.udf_calls > 0 && s.stats.subplan_evals > 0);
+        assert!(s.stats.max_udf_depth > 0);
+        assert!(s.stats.start_penalty_charges > 0 && s.stats.end_penalty_charges > 0);
+        assert!(s.plan_cache_hits > 0 && s.plan_cache_misses > 0);
+        assert!(!s.query_stats.is_empty());
+
+        s.reset_instrumentation();
+
+        // Exhaustive `..`-free destructuring: adding a counter to any of
+        // these structs refuses to compile until this test (and with it
+        // the reset audit) is updated.
+        let Profiler {
+            exec_start_ns,
+            exec_run_ns,
+            exec_end_ns,
+            interp_ns,
+            start_count,
+            run_count,
+            end_count,
+        } = s.profiler;
+        assert_eq!(
+            (exec_start_ns, exec_run_ns, exec_end_ns, interp_ns),
+            (0, 0, 0, 0)
+        );
+        assert_eq!((start_count, run_count, end_count), (0, 0, 0));
+        let BufferStats {
+            page_writes,
+            spilled_bytes,
+            peak_bytes,
+        } = s.buffers;
+        assert_eq!((page_writes, spilled_bytes, peak_bytes), (0, 0, 0));
+        let RuntimeStats {
+            recursive_iterations,
+            subplan_evals,
+            udf_calls,
+            rows_scanned,
+            max_udf_depth,
+            snapshots_materialized,
+            snapshots_released,
+            start_penalty_charges,
+            end_penalty_charges,
+            batch,
+        } = s.stats;
+        assert_eq!(
+            (recursive_iterations, subplan_evals, udf_calls, rows_scanned),
+            (0, 0, 0, 0)
+        );
+        assert_eq!(max_udf_depth, 0);
+        assert_eq!((snapshots_materialized, snapshots_released), (0, 0));
+        assert_eq!((start_penalty_charges, end_penalty_charges), (0, 0));
+        let crate::profile::BatchCounters {
+            batch_rows_in_flight,
+            batch_rows_retired,
+        } = batch;
+        assert_eq!((batch_rows_in_flight, batch_rows_retired), (0, 0));
+        assert_eq!((s.plan_cache_hits, s.plan_cache_misses), (0, 0));
+        assert!(s.query_stats.is_empty());
+    }
+
+    #[test]
+    fn sessions_share_plans_and_see_commits() {
+        // Two sessions over one database: B reuses A's plan via the shared
+        // cache and reads rows A committed.
+        let db = Database::new(EngineConfig::raw());
+        let mut a = db.session();
+        let mut b = db.session();
+        a.run("CREATE TABLE t (x int)").unwrap();
+        a.run("INSERT INTO t VALUES (1), (2)").unwrap();
+        let ps = ParamScope::default();
+        a.prepare("SELECT count(*) FROM t", &ps).unwrap();
+        let (hits0, _) = db.plan_cache_stats();
+        b.prepare("SELECT count(*) FROM t", &ps).unwrap();
+        assert_eq!(b.plan_cache_hits, 1, "B must reuse A's cached plan");
+        assert!(db.plan_cache_stats().0 > hits0);
+        assert_eq!(
+            b.query_scalar("SELECT count(*) FROM t").unwrap(),
+            Value::Int(2),
+            "B sees A's committed rows"
+        );
     }
 
     #[test]

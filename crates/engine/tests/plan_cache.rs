@@ -5,7 +5,7 @@
 //! redesign (ExecutorStart no longer deep-copies the plan tree).
 
 use plaway_common::Value;
-use plaway_engine::{ParamScope, QueryResult, Session};
+use plaway_engine::{Database, EngineConfig, ParamScope, QueryResult, Session};
 
 fn seeded_session() -> Session {
     let mut s = Session::default();
@@ -113,6 +113,69 @@ fn catalog_mutation_invalidates_and_replans() {
         .execute_prepared(&index_plan, vec![Value::Int(3)])
         .unwrap();
     assert_eq!(scan_result, index_result);
+}
+
+#[test]
+fn create_or_replace_in_one_session_invalidates_the_other() {
+    // The plan cache is shared across sessions, so DDL in session A must
+    // invalidate — not corrupt — a plan session B cached. The hit/miss
+    // counters are pinned across the invalidation on both sessions and on
+    // the shared database totals.
+    let db = Database::new(EngineConfig::raw());
+    let mut a = db.session();
+    let mut b = db.session();
+    a.run("CREATE FUNCTION f(x int) RETURNS int AS $$ SELECT x + 1 $$ LANGUAGE SQL")
+        .unwrap();
+
+    let ps = ParamScope::new(vec!["n".into()]);
+    let sql = "SELECT f(n)";
+    let plan_b = b.prepare(sql, &ps).unwrap();
+    assert_eq!(
+        b.execute_prepared(&plan_b, vec![Value::Int(41)])
+            .unwrap()
+            .rows[0][0],
+        Value::Int(42)
+    );
+    assert_eq!((b.plan_cache_hits, b.plan_cache_misses), (0, 1));
+
+    // B re-prepares before any DDL: a pure hit, same plan.
+    b.prepare(sql, &ps).unwrap();
+    assert_eq!((b.plan_cache_hits, b.plan_cache_misses), (1, 1));
+
+    // Session A redefines f. Session B's next prepare must miss (the
+    // cached plan was built against the old catalog version) and the
+    // re-planned query must see the new body.
+    a.run("CREATE OR REPLACE FUNCTION f(x int) RETURNS int AS $$ SELECT x * 10 $$ LANGUAGE SQL")
+        .unwrap();
+    let (hits_before, misses_before) = db.plan_cache_stats();
+    let plan_b2 = b.prepare(sql, &ps).unwrap();
+    assert_eq!(
+        (b.plan_cache_hits, b.plan_cache_misses),
+        (1, 2),
+        "A's CREATE OR REPLACE must invalidate B's cached plan"
+    );
+    let (hits_after, misses_after) = db.plan_cache_stats();
+    assert_eq!(hits_after, hits_before, "no shared hit across the DDL");
+    assert_eq!(misses_after, misses_before + 1);
+    assert_eq!(
+        b.execute_prepared(&plan_b2, vec![Value::Int(41)])
+            .unwrap()
+            .rows[0][0],
+        Value::Int(410),
+        "B's re-planned query must run the replaced body"
+    );
+
+    // The *old* Arc'd plan handle stays safely executable — invalidation
+    // must never corrupt a plan already handed out. UDF bodies bind by
+    // name at execution time against the session's current snapshot, so
+    // the stale handle also runs the replaced body.
+    assert_eq!(
+        b.execute_prepared(&plan_b, vec![Value::Int(41)])
+            .unwrap()
+            .rows[0][0],
+        Value::Int(410),
+        "a stale plan handle must execute cleanly against the new catalog"
+    );
 }
 
 #[test]

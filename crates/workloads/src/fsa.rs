@@ -51,7 +51,7 @@ pub fn install_fsa(session: &mut Session) -> Result<()> {
     for s in 0..=2 {
         add(s, ' ', 0); // whitespace ends any token
     }
-    session.catalog.bulk_insert("fsa", rows)?;
+    session.bulk_insert("fsa", rows)?;
     session.run("CREATE INDEX fsa_c ON fsa (c)")?;
     Ok(())
 }

@@ -49,7 +49,7 @@ pub fn install_fixture(session: &mut Session) -> Result<()> {
     let rows: Vec<Vec<Value>> = (0..10)
         .map(|k| vec![Value::Int(k), Value::Int((k * k * 7 + 3) % 100)])
         .collect();
-    session.catalog.bulk_insert("kv", rows)?;
+    session.bulk_insert("kv", rows)?;
     session.run("CREATE INDEX kv_k ON kv (k)")?;
     Ok(())
 }

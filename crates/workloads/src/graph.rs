@@ -47,7 +47,7 @@ impl Digraph {
             .iter()
             .map(|&(s, d, w)| vec![Value::Int(s), Value::Int(d), Value::Float(w)])
             .collect();
-        session.catalog.bulk_insert("edges", rows)?;
+        session.bulk_insert("edges", rows)?;
         session.run("CREATE INDEX edges_src ON edges (src)")?;
         Ok(())
     }

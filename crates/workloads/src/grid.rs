@@ -150,9 +150,9 @@ impl GridWorld {
                 }
             }
         }
-        session.catalog.bulk_insert("cells", cells)?;
-        session.catalog.bulk_insert("policy", policy)?;
-        session.catalog.bulk_insert("actions", actions)?;
+        session.bulk_insert("cells", cells)?;
+        session.bulk_insert("policy", policy)?;
+        session.bulk_insert("actions", actions)?;
         session.run("CREATE INDEX cells_loc ON cells (loc)")?;
         session.run("CREATE INDEX policy_loc ON policy (loc)")?;
         session.run("CREATE INDEX actions_here ON actions (here)")?;

@@ -45,7 +45,7 @@ impl Ledger {
             .iter()
             .map(|(a, k)| vec![Value::Int(*a), Value::Int(*k)])
             .collect();
-        session.catalog.bulk_insert("ledger", rows)?;
+        session.bulk_insert("ledger", rows)?;
         Ok(())
     }
 

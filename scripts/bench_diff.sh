@@ -7,7 +7,9 @@
 # fresh ns | delta %), sorted by key, with keys present on only one side
 # marked. The `batch.*_ns_per_call` throughput keys additionally get a
 # calls/sec table (1e9 / ns-per-call) — the unit the batch trampoline's
-# story is told in. CI's bench-gate job pipes this into
+# story is told in — and the `serve.*` keys a concurrent-serving table
+# (req/s + p99 per phase; higher req/s is better, so they are excluded
+# from the ns table). CI's bench-gate job pipes this into
 # $GITHUB_STEP_SUMMARY so the perf trajectory is visible per PR without
 # downloading artifacts.
 #
@@ -57,6 +59,7 @@ BEGIN {
     print "|---|---:|---:|---:|"
     for (i = 1; i <= n; i++) {
         k = sorted[i]
+        if (k ~ /^serve\./) continue  # higher-is-better: own table below
         if (!(k in b))      printf "| %s | — | %d | _new_ |\n", k, f[k]
         else if (!(k in f)) printf "| %s | %d | — | _missing_ |\n", k, b[k]
         else                printf "| %s | %d | %d | %+.1f%% |\n", k, b[k], f[k], (f[k] / b[k] - 1) * 100
@@ -77,4 +80,24 @@ BEGIN {
         else if (!(k in f)) printf "| %s | %d | — | _missing_ |\n", k, 1e9 / b[k]
         else                printf "| %s | %d | %d | %+.1f%% |\n", k, 1e9 / b[k], 1e9 / f[k], (b[k] / f[k] - 1) * 100
     }
+    # Concurrent serving (serve_bench): req/s per phase with the 4-thread
+    # p99 tail. Higher req/s is better — deltas here are intentionally not
+    # percent-flagged like the ns table; the gate enforces the scaling
+    # floor, this table just shows the trajectory.
+    if (("serve.read.rps_1t" in b) || ("serve.read.rps_1t" in f)) {
+        print ""
+        print "| serving phase | baseline req/s | fresh req/s | baseline p99 ns | fresh p99 ns |"
+        print "|---|---:|---:|---:|---:|"
+        srow("read, 1 thread",        "serve.read.rps_1t",  "", b, f)
+        srow("read, 4 threads",       "serve.read.rps_4t",  "serve.read.p99_ns", b, f)
+        srow("mixed + churn, 4 threads", "serve.mixed.rps_4t", "serve.mixed.p99_ns", b, f)
+        printf "\nread scaling at 4 threads (×100): %s → %s on %s → %s hardware threads\n", \
+            cell(b, "serve.read.scaling_x100"), cell(f, "serve.read.scaling_x100"), \
+            cell(b, "serve.threads_available"), cell(f, "serve.threads_available")
+    }
+}
+function cell(m, k) { return (k in m) ? m[k] : "—" }
+function srow(label, rk, pk, b, f) {
+    printf "| %s | %s | %s | %s | %s |\n", label, cell(b, rk), cell(f, rk), \
+        (pk == "") ? "—" : cell(b, pk), (pk == "") ? "—" : cell(f, pk)
 }'

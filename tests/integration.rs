@@ -279,7 +279,7 @@ fn install_rows(s: &mut Session, table: &str, n: i64) {
     let rows: Vec<Vec<Value>> = (1..=n)
         .map(|i| vec![Value::Int(i), Value::Int(10 * i)])
         .collect();
-    s.catalog.bulk_insert(table, rows).unwrap();
+    s.bulk_insert(table, rows).unwrap();
 }
 
 /// The loop source is executed exactly once per loop entry: O(n) row
