@@ -18,9 +18,14 @@
 //!   re-planning — correctness (results still verified per request) and
 //!   tail latency, not peak throughput.
 //!
+//! A third, ungated phase re-runs a short read burst on a trace-enabled
+//! database and attributes tail latency per session from the structured
+//! `run` events (stderr report only).
+//!
 //! Results are merged into `BENCH_smoke.json` as integer `serve.*` keys
 //! (latencies in ns, rps as integer requests/second, the scaling ratio
-//! ×100), preserving the kernel keys `bench_smoke` wrote.
+//! ×100, plan-cache counters as `serve.cache.*`), preserving the kernel
+//! keys `bench_smoke` wrote.
 //!
 //! Usage: `cargo run --release -p plaway-bench --bin serve_bench [--smoke]`
 
@@ -177,6 +182,51 @@ fn percentile(sorted: &[u128], pct: usize) -> u128 {
     sorted[(sorted.len() - 1) * pct / 100]
 }
 
+/// Extract one unsigned integer field from a JSON-lines trace event
+/// (hand-rolled; the trace writer emits flat one-line objects).
+fn trace_u64(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Re-run a short read phase on a trace-enabled database and attribute
+/// tail latency per session from the structured `run` events. This is the
+/// consumption side of the engine's trace mode: the report (stderr only —
+/// wall times are machine-dependent, so nothing here is gated) shows which
+/// session/thread paid the p99, which aggregate percentiles cannot.
+fn trace_attribution(requests: usize) {
+    let config = EngineConfig {
+        trace: true,
+        ..EngineConfig::postgres_like()
+    };
+    let (db, kernels) = setup_serve(config);
+    fan_out(THREADS, |_| read_loop(&db, &kernels, requests));
+    let lines = db.take_trace();
+    let mut per_session: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+    for line in &lines {
+        if line.contains("\"event\":\"run\"") {
+            if let (Some(sid), Some(ns)) = (trace_u64(line, "session"), trace_u64(line, "ns")) {
+                per_session.entry(sid).or_default().push(ns);
+            }
+        }
+    }
+    eprintln!("trace attribution ({} events):", lines.len());
+    for (sid, mut ns) in per_session {
+        ns.sort_unstable();
+        eprintln!(
+            "  session {sid}: {} runs, p50 {} ns, p99 {} ns",
+            ns.len(),
+            ns[(ns.len() - 1) * 50 / 100],
+            ns[(ns.len() - 1) * 99 / 100],
+        );
+    }
+}
+
 /// Parse the flat `{"key": int}` JSON `bench_smoke` writes (same
 /// hand-rolled format as `bench_gate`; the container has no serde).
 fn parse_bench_json(text: &str) -> BTreeMap<String, u128> {
@@ -242,6 +292,25 @@ fn main() {
     results.insert("serve.mixed.p95_ns".into(), percentile(&lat_mixed, 95));
     results.insert("serve.mixed.p99_ns".into(), percentile(&lat_mixed, 99));
     results.insert("serve.mixed.writer_commits".into(), commits as u128);
+
+    // Engine-wide metrics after both phases: the plan-cache counters feed
+    // the hit-rate column of `scripts/bench_diff.sh`. The full snapshot
+    // JSON goes to stderr for inspection; only the cache keys are merged
+    // (the other registry fields are machine-load-dependent).
+    let metrics = db.metrics();
+    eprintln!("metrics: {}", metrics.to_json());
+    results.insert("serve.cache.hits".into(), metrics.plan_cache.hits as u128);
+    results.insert(
+        "serve.cache.misses".into(),
+        metrics.plan_cache.misses as u128,
+    );
+    results.insert(
+        "serve.cache.evictions".into(),
+        metrics.plan_cache.evictions as u128,
+    );
+
+    // Phase 3: trace-mode tail-latency attribution (stderr report only).
+    trace_attribution(requests.min(50));
 
     // Merge into BENCH_smoke.json: keep bench_smoke's kernel keys, replace
     // any previous serve.* section.

@@ -28,6 +28,11 @@ pub struct EngineConfig {
     /// Oracle's coarse timer made its lower-left heat-map cells unusable).
     /// Zero = full resolution. Only harnesses round; the engine never does.
     pub timer_resolution_ms: u64,
+    /// Emit one structured JSON-lines trace event per statement phase
+    /// (prepare / start / run / end, cache hit or miss, commit, raise
+    /// unwind) into the database's trace buffer. Off by default: the hot
+    /// path then never formats a string or touches the buffer lock.
+    pub trace: bool,
 }
 
 impl EngineConfig {
@@ -53,6 +58,7 @@ impl EngineConfig {
             start_penalty_ns: 2_500,
             end_penalty_ns: 350,
             timer_resolution_ms: 0,
+            trace: false,
         }
     }
 

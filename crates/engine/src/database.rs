@@ -24,6 +24,7 @@ use plaway_common::Result;
 
 use crate::catalog::Catalog;
 use crate::config::EngineConfig;
+use crate::metrics::{MetricsRegistry, MetricsSnapshot, PlanCacheStats};
 use crate::planner::PreparedPlan;
 use crate::session::Session;
 
@@ -47,6 +48,15 @@ pub struct Database {
     plans: RwLock<HashMap<String, Arc<PreparedPlan>>>,
     plan_cache_hits: AtomicU64,
     plan_cache_misses: AtomicU64,
+    plan_cache_evictions: AtomicU64,
+    /// Cross-session execution counters, folded in at statement boundaries
+    /// (see [`crate::metrics`]).
+    metrics: MetricsRegistry,
+    /// Monotonic session-id source; ids tag trace events.
+    next_session_id: AtomicU64,
+    /// Buffered structured trace events (JSON lines), only written to when
+    /// [`EngineConfig::trace`] is on.
+    trace: Mutex<Vec<String>>,
     /// Engine cost model every attached session inherits.
     pub config: EngineConfig,
 }
@@ -59,6 +69,10 @@ impl Database {
             plans: RwLock::new(HashMap::new()),
             plan_cache_hits: AtomicU64::new(0),
             plan_cache_misses: AtomicU64::new(0),
+            plan_cache_evictions: AtomicU64::new(0),
+            metrics: MetricsRegistry::default(),
+            next_session_id: AtomicU64::new(1),
+            trace: Mutex::new(Vec::new()),
             config,
         })
     }
@@ -85,6 +99,7 @@ impl Database {
         let mut next: Catalog = (*self.snapshot()).clone();
         let out = f(&mut next)?;
         *write_lock(&self.state) = Arc::new(next);
+        self.metrics.record_commit();
         Ok(out)
     }
 
@@ -112,26 +127,62 @@ impl Database {
     pub fn store_plan(&self, key: String, plan: Arc<PreparedPlan>) {
         let mut plans = write_lock(&self.plans);
         if plans.len() >= PLAN_CACHE_CAP && !plans.contains_key(&key) {
+            let before = plans.len();
             let live = plan.catalog_version;
             plans.retain(|_, p| p.catalog_version == live);
             if plans.len() >= PLAN_CACHE_CAP {
                 plans.clear();
             }
+            self.plan_cache_evictions
+                .fetch_add((before - plans.len()) as u64, Ordering::Relaxed);
         }
         plans.insert(key, plan);
     }
 
-    /// Cumulative shared plan-cache `(hits, misses)` across all sessions.
-    pub fn plan_cache_stats(&self) -> (u64, u64) {
-        (
-            self.plan_cache_hits.load(Ordering::Relaxed),
-            self.plan_cache_misses.load(Ordering::Relaxed),
-        )
+    /// Cumulative shared plan-cache counters across all sessions.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.plan_cache_hits.load(Ordering::Relaxed),
+            misses: self.plan_cache_misses.load(Ordering::Relaxed),
+            evictions: self.plan_cache_evictions.load(Ordering::Relaxed),
+        }
     }
 
     /// Number of live entries in the shared plan cache.
     pub fn plan_cache_len(&self) -> usize {
         read_lock(&self.plans).len()
+    }
+
+    /// Point-in-time view of the engine-wide metrics: the registry's
+    /// statement totals, the plan-cache counters, and the committed catalog
+    /// version. See [`MetricsSnapshot::to_json`] for the JSON form.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics
+            .snapshot(self.plan_cache_stats(), self.snapshot().version)
+    }
+
+    /// Fold one finished statement into the shared registry (called by
+    /// sessions at statement boundaries).
+    pub(crate) fn record_statement(&self, ns: u64, delta: &crate::exec::RuntimeStats) {
+        self.metrics.record_statement(ns, delta);
+    }
+
+    /// Next session id (trace events are tagged with it).
+    pub(crate) fn allocate_session_id(&self) -> u64 {
+        self.next_session_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Append one structured trace event. Callers must gate on
+    /// [`EngineConfig::trace`]; the buffer itself is always present so the
+    /// accessor works (and returns nothing) with tracing off.
+    pub(crate) fn trace_event(&self, line: String) {
+        lock(&self.trace).push(line);
+    }
+
+    /// Drain and return the buffered trace events (JSON lines, in arrival
+    /// order across all sessions).
+    pub fn take_trace(&self) -> Vec<String> {
+        std::mem::take(&mut *lock(&self.trace))
     }
 }
 
@@ -202,7 +253,14 @@ mod tests {
         assert!(db.cached_plan("SELECT 1", 1).is_some());
         assert!(db.cached_plan("SELECT 1", 2).is_none());
         assert!(db.cached_plan("SELECT 2", 1).is_none());
-        assert_eq!(db.plan_cache_stats(), (1, 2));
+        assert_eq!(
+            db.plan_cache_stats(),
+            PlanCacheStats {
+                hits: 1,
+                misses: 2,
+                evictions: 0
+            }
+        );
     }
 
     #[test]
@@ -222,5 +280,10 @@ mod tests {
             Arc::new(PreparedPlan::test_stub("fresh", 2)),
         );
         assert_eq!(db.plan_cache_len(), 1);
+        assert_eq!(
+            db.plan_cache_stats().evictions,
+            PLAN_CACHE_CAP as u64,
+            "the capacity sweep must count every discarded entry"
+        );
     }
 }

@@ -84,6 +84,13 @@ pub struct RuntimeStats {
     pub start_penalty_charges: u64,
     /// `ExecutorEnd` penalties charged.
     pub end_penalty_charges: u64,
+    /// Compiled expression-VM opcodes dispatched ([`crate::vm`]). Counted
+    /// on both success and error paths, so EXPLAIN ANALYZE deltas are
+    /// meaningful even when an expression raises.
+    pub vm_ops_executed: u64,
+    /// Rows driven through the fused fixpoint transition (the splat-program
+    /// fast path that bypasses the per-node executor).
+    pub fused_transition_rows: u64,
     /// Batch-trampoline working-set counters (the `WITH RETIRE` driver).
     pub batch: crate::profile::BatchCounters,
 }
@@ -91,6 +98,45 @@ pub struct RuntimeStats {
 impl RuntimeStats {
     pub fn reset(&mut self) {
         *self = RuntimeStats::default();
+    }
+
+    /// Field-wise difference since a `before` copy (statement-boundary
+    /// metrics). Monotonic counters subtract saturating (a mid-interval
+    /// `reset` yields zeros, not wrap-around garbage); the gauges
+    /// (`max_udf_depth`, `batch_rows_in_flight`) carry the later value.
+    pub fn delta_since(&self, before: &RuntimeStats) -> RuntimeStats {
+        RuntimeStats {
+            recursive_iterations: self
+                .recursive_iterations
+                .saturating_sub(before.recursive_iterations),
+            subplan_evals: self.subplan_evals.saturating_sub(before.subplan_evals),
+            udf_calls: self.udf_calls.saturating_sub(before.udf_calls),
+            rows_scanned: self.rows_scanned.saturating_sub(before.rows_scanned),
+            max_udf_depth: self.max_udf_depth,
+            snapshots_materialized: self
+                .snapshots_materialized
+                .saturating_sub(before.snapshots_materialized),
+            snapshots_released: self
+                .snapshots_released
+                .saturating_sub(before.snapshots_released),
+            start_penalty_charges: self
+                .start_penalty_charges
+                .saturating_sub(before.start_penalty_charges),
+            end_penalty_charges: self
+                .end_penalty_charges
+                .saturating_sub(before.end_penalty_charges),
+            vm_ops_executed: self.vm_ops_executed.saturating_sub(before.vm_ops_executed),
+            fused_transition_rows: self
+                .fused_transition_rows
+                .saturating_sub(before.fused_transition_rows),
+            batch: crate::profile::BatchCounters {
+                batch_rows_in_flight: self.batch.batch_rows_in_flight,
+                batch_rows_retired: self
+                    .batch
+                    .batch_rows_retired
+                    .saturating_sub(before.batch.batch_rows_retired),
+            },
+        }
     }
 }
 
@@ -132,6 +178,10 @@ pub struct Runtime<'s> {
     /// to this execution: handles die with the runtime, which is what makes
     /// snapshot expressions safe to exclude from `subplan_cache` hoisting.
     pub snapshots: SnapshotStore,
+    /// Per-node observation sink for EXPLAIN ANALYZE. `None` (the default)
+    /// keeps the hot path free of instrumentation; `Some` makes [`exec`]
+    /// wrap every node it dispatches with row/loop/ns accounting.
+    pub analyze: Option<&'s mut crate::explain::AnalyzeState>,
 }
 
 impl<'s> Runtime<'s> {
@@ -606,6 +656,27 @@ fn call_sql_udf(name: &str, args: Vec<Value>, rt: &mut Runtime<'_>) -> Result<Va
 // Plan execution
 
 pub fn exec(plan: &PlanNode, env: &EvalEnv<'_>, rt: &mut Runtime<'_>) -> Result<Vec<Row>> {
+    if rt.analyze.is_none() {
+        return exec_node(plan, env, rt);
+    }
+    // ANALYZE path: bracket the node with wall-clock and counter deltas.
+    // The map is keyed by plan-node address, which is stable for the whole
+    // execution (the plan sits behind an `Arc` and is never mutated).
+    let vm_ops_before = rt.stats.vm_ops_executed;
+    let fused_before = rt.stats.fused_transition_rows;
+    let started = std::time::Instant::now();
+    let result = exec_node(plan, env, rt);
+    let ns = started.elapsed().as_nanos() as u64;
+    let rows_out = result.as_ref().map(Vec::len).unwrap_or(0) as u64;
+    let vm_ops = rt.stats.vm_ops_executed - vm_ops_before;
+    let fused_rows = rt.stats.fused_transition_rows - fused_before;
+    if let Some(state) = rt.analyze.as_deref_mut() {
+        state.record_node(plan, rows_out, ns, vm_ops, fused_rows);
+    }
+    result
+}
+
+fn exec_node(plan: &PlanNode, env: &EvalEnv<'_>, rt: &mut Runtime<'_>) -> Result<Vec<Row>> {
     match plan {
         PlanNode::SeqScan { table } => {
             let t = rt.catalog.table(table)?;
@@ -1883,6 +1954,7 @@ fn run_transition_row(
         row.clear();
         row.extend(rec.iter().take(t.width).cloned());
     }
+    rt.stats.fused_transition_rows += 1;
     Ok(true)
 }
 
@@ -1965,6 +2037,9 @@ fn exec_recursive_cte(
     let limit = rt.config.max_recursive_iterations;
     let steps = pipeline_steps(recursive, index);
     let mut iters: u64 = 0;
+    // Working-set high-water mark across every driver shape, reported by
+    // EXPLAIN ANALYZE (and folded into the batch counters for Retire).
+    let mut peak: usize = working.len();
 
     let result = match (mode, steps) {
         (RecursionMode::Accumulate, Some(steps)) => {
@@ -1979,6 +2054,7 @@ fn exec_recursive_cte(
                 if iters > limit {
                     return Err(iteration_limit_error(mode, limit));
                 }
+                peak = peak.max(working.len());
                 for mut row in working.drain(..) {
                     match &trans {
                         Some(t) if row.len() == t.src => {
@@ -2011,6 +2087,7 @@ fn exec_recursive_cte(
                 if iters > limit {
                     return Err(iteration_limit_error(mode, limit));
                 }
+                peak = peak.max(working.len());
                 let mut next = Vec::with_capacity(working.len());
                 for row in &working {
                     let mut row = row.clone();
@@ -2044,7 +2121,6 @@ fn exec_recursive_cte(
             let trans = try_transition(&steps);
             let mut retired: Vec<Row> = Vec::new();
             let mut next: Vec<Row> = Vec::new();
-            let mut peak: usize = 0;
             while !working.is_empty() {
                 iters += 1;
                 if iters > limit {
@@ -2121,6 +2197,7 @@ fn exec_recursive_cte(
                 if iters > limit {
                     return Err(iteration_limit_error(mode, limit));
                 }
+                peak = peak.max(working.len());
                 match Arc::get_mut(&mut slot) {
                     Some(buf) => {
                         buf.clear();
@@ -2147,6 +2224,7 @@ fn exec_recursive_cte(
                 if iters > limit {
                     return Err(iteration_limit_error(mode, limit));
                 }
+                peak = peak.max(working.len());
                 let cur = Arc::new(std::mem::take(&mut working));
                 rt.working.insert(index, Arc::clone(&cur));
                 let exec_result = exec(recursive, env, rt);
@@ -2162,5 +2240,20 @@ fn exec_recursive_cte(
         }
     };
     rt.stats.recursive_iterations += iters;
+    if let Some(state) = rt.analyze.as_deref_mut() {
+        let retired = match mode {
+            RecursionMode::Retire => result.len() as u64,
+            _ => 0,
+        };
+        state.record_fixpoint(index, mode_label(mode), iters, peak as u64, retired);
+    }
     Ok(result)
+}
+
+fn mode_label(mode: RecursionMode) -> &'static str {
+    match mode {
+        RecursionMode::Accumulate => "recursive",
+        RecursionMode::IterateOnly => "iterate",
+        RecursionMode::Retire => "retire",
+    }
 }

@@ -705,23 +705,21 @@ impl PlanNode {
         out
     }
 
-    fn explain_into(&self, out: &mut String, depth: usize) {
-        use std::fmt::Write;
-        let pad = "  ".repeat(depth);
+    /// One-line per-node EXPLAIN header (no indentation, no newline).
+    /// Shared between the plain [`PlanNode::explain`] rendering and the
+    /// EXPLAIN ANALYZE renderer, so the two stay byte-identical per node.
+    pub fn explain_line(&self) -> String {
         match self {
-            PlanNode::SeqScan { table } => {
-                let _ = writeln!(out, "{pad}SeqScan on {table}");
-            }
+            PlanNode::SeqScan { table } => format!("SeqScan on {table}"),
             PlanNode::IndexLookup { table, column, .. } => {
-                let _ = writeln!(out, "{pad}IndexLookup on {table} (col #{column})");
+                format!("IndexLookup on {table} (col #{column})")
             }
             PlanNode::NestLoop { kind, lateral, .. } => {
-                let _ = writeln!(
-                    out,
-                    "{pad}NestLoop {:?}{}",
+                format!(
+                    "NestLoop {:?}{}",
                     kind,
                     if *lateral { " LATERAL" } else { "" }
-                );
+                )
             }
             PlanNode::With { ctes, .. } => {
                 let kinds: Vec<&str> = ctes
@@ -742,12 +740,16 @@ impl PlanNode {
                         } => "retire",
                     })
                     .collect();
-                let _ = writeln!(out, "{pad}With [{}]", kinds.join(", "));
+                format!("With [{}]", kinds.join(", "))
             }
-            other => {
-                let _ = writeln!(out, "{pad}{}", other.op_name());
-            }
+            other => other.op_name().to_string(),
         }
+    }
+
+    fn explain_into(&self, out: &mut String, depth: usize) {
+        use std::fmt::Write;
+        let pad = "  ".repeat(depth);
+        let _ = writeln!(out, "{pad}{}", self.explain_line());
         self.for_each_child(&mut |c| c.explain_into(out, depth + 1));
     }
 }

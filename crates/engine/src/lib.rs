@@ -22,8 +22,10 @@ pub mod catalog;
 pub mod config;
 pub mod database;
 pub mod exec;
+pub mod explain;
 pub mod functions;
 pub mod ir;
+pub mod metrics;
 pub(crate) mod penalty;
 pub mod planner;
 pub mod profile;
@@ -36,7 +38,9 @@ pub use catalog::{query_output_columns, Catalog, Column, FunctionDef, Row, Table
 pub use config::EngineConfig;
 pub use database::Database;
 pub use exec::RuntimeStats;
+pub use explain::AnalyzeState;
 pub use ir::{ExprIr, PlanNode};
+pub use metrics::{LatencyHistogram, MetricsSnapshot, PlanCacheStats, SessionMetrics};
 pub use planner::{ParamScope, PreparedPlan};
 pub use profile::{BatchCounters, Phase, Profiler};
 pub use session::{QueryResult, Session};

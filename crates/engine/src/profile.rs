@@ -120,6 +120,22 @@ mod tests {
     }
 
     #[test]
+    fn freshly_reset_profiler_reports_zeros_not_nan() {
+        // A zero total must never divide: a used-then-reset profiler has to
+        // report exact zeros (not NaN) from every percentage accessor.
+        let mut p = Profiler::default();
+        p.add(Phase::ExecStart, Duration::from_nanos(300));
+        p.add(Phase::ExecRun, Duration::from_nanos(500));
+        p.reset();
+        assert_eq!(p.total_ns(), 0);
+        let (s, r, e, i) = p.percentages();
+        assert!(s.is_finite() && r.is_finite() && e.is_finite() && i.is_finite());
+        assert_eq!((s, r, e, i), (0.0, 0.0, 0.0, 0.0));
+        assert!(p.switch_overhead_pct().is_finite());
+        assert_eq!(p.switch_overhead_pct(), 0.0);
+    }
+
+    #[test]
     fn counts_track_lifecycle_calls() {
         let mut p = Profiler::default();
         for _ in 0..3 {

@@ -27,7 +27,9 @@ use crate::catalog::{Catalog, Column, FunctionDef, Row};
 use crate::config::EngineConfig;
 use crate::database::Database;
 use crate::exec::{eval, exec, EvalEnv, FnPlanCache, Runtime, RuntimeStats, Scopes};
+use crate::explain::AnalyzeState;
 use crate::ir::ExprIr;
+use crate::metrics::SessionMetrics;
 use crate::planner::{plan_expr, plan_query, plan_udf_body, ParamScope, PreparedPlan};
 use crate::profile::{Phase, Profiler};
 use crate::tuplestore::BufferStats;
@@ -149,6 +151,8 @@ impl QueryPhaseStats {
 /// threads against one `Database`.
 pub struct Session {
     db: Arc<Database>,
+    /// Database-unique session id; trace events are tagged with it.
+    pub id: u64,
     /// Snapshot of the committed catalog this session's statements read.
     /// Refreshed by [`Session::refresh`] (called from `prepare` and after
     /// every commit); immutable in between — a concurrent writer swaps the
@@ -169,6 +173,15 @@ pub struct Session {
     /// text (used by the Figure 3 profile harness).
     pub track_queries: bool,
     pub query_stats: HashMap<String, QueryPhaseStats>,
+    /// Plain mirror of everything this session folded into the shared
+    /// [`crate::metrics::MetricsRegistry`]. Cumulative for the session's
+    /// lifetime — deliberately *not* cleared by
+    /// [`Session::reset_instrumentation`], so summing mirrors across
+    /// sessions always reconciles with `Database::metrics()`.
+    pub metrics: SessionMetrics,
+    /// In-flight EXPLAIN ANALYZE observation sink; set for the duration of
+    /// one instrumented execution and threaded into the runtime.
+    analyze: Option<AnalyzeState>,
 }
 
 impl Default for Session {
@@ -190,6 +203,7 @@ impl Session {
         Session {
             catalog: db.snapshot(),
             config: db.config.clone(),
+            id: db.allocate_session_id(),
             db: Arc::clone(db),
             rng: SessionRng::default(),
             profiler: Profiler::default(),
@@ -200,6 +214,8 @@ impl Session {
             plan_cache_misses: 0,
             track_queries: false,
             query_stats: HashMap::new(),
+            metrics: SessionMetrics::default(),
+            analyze: None,
         }
     }
 
@@ -223,6 +239,9 @@ impl Session {
         let db = Arc::clone(&self.db);
         let out = db.commit(f)?;
         self.refresh();
+        if self.config.trace {
+            self.emit_trace("commit", "");
+        }
         Ok(out)
     }
 
@@ -270,12 +289,21 @@ impl Session {
     }
 
     fn run_stmt(&mut self, stmt: &Stmt, sql: &str) -> Result<QueryResult> {
-        match stmt {
+        // Statement-boundary metrics: queries (and the execution inside
+        // EXPLAIN ANALYZE) are recorded by `execute_prepared`; everything
+        // else — DDL, DML, plain EXPLAIN — is recorded here, so each
+        // statement lands in the registry exactly once.
+        let records_inside =
+            matches!(stmt, Stmt::Query(_)) || matches!(stmt, Stmt::Explain { analyze: true, .. });
+        let t0 = Instant::now();
+        let before = self.stats;
+        let result = match stmt {
             Stmt::Query(q) => {
                 let key = q.to_string();
                 let prepared = self.prepare_query_text(&key, q, &ParamScope::default())?;
                 self.execute_prepared(&prepared, Vec::new())
             }
+            Stmt::Explain { analyze, stmt } => self.run_explain(*analyze, stmt),
             Stmt::CreateTable {
                 name,
                 columns,
@@ -368,7 +396,64 @@ impl Session {
                 Error::Plan(format!("{msg} in statement {sql:?}"))
             }
             other => other,
+        });
+        if !records_inside {
+            self.record_statement(t0.elapsed().as_nanos() as u64, &before);
+        }
+        result
+    }
+
+    /// `EXPLAIN [ANALYZE] <query>`: render the plan tree as one text row
+    /// per line. Under ANALYZE the query is *executed* with per-node
+    /// instrumentation and the tree is annotated with loops / rows /
+    /// cumulative and self time, plus one summary line per recursive
+    /// fixpoint. Only queries can be explained; DDL/DML plans are built
+    /// inside their commit closures and have no stable tree to render.
+    fn run_explain(&mut self, analyze: bool, inner: &Stmt) -> Result<QueryResult> {
+        let q = match inner {
+            Stmt::Query(q) => q,
+            other => {
+                return Err(Error::unsupported(format!(
+                    "EXPLAIN supports queries only (SELECT / VALUES / WITH), got {}",
+                    other.to_string().split_whitespace().next().unwrap_or("?")
+                )))
+            }
+        };
+        let key = q.to_string();
+        let prepared = self.prepare_query_text(&key, q, &ParamScope::default())?;
+        let lines: Vec<String> = if analyze {
+            self.explain_analyze_prepared(&prepared, Vec::new())?
+                .render(&prepared.plan)
+        } else {
+            prepared
+                .plan
+                .explain()
+                .lines()
+                .map(str::to_string)
+                .collect()
+        };
+        Ok(QueryResult {
+            columns: vec!["QUERY PLAN".into()],
+            rows: lines.into_iter().map(|l| vec![Value::text(l)]).collect(),
         })
+    }
+
+    /// Execute a prepared plan under EXPLAIN ANALYZE instrumentation and
+    /// return the raw observations (render with
+    /// [`AnalyzeState::render`]). This is the programmatic face of
+    /// `EXPLAIN ANALYZE`: parameterized artifacts — the compiled kernels —
+    /// can be analyzed with bound arguments, which the SQL surface (no
+    /// parameter binding in `EXPLAIN`) cannot express.
+    pub fn explain_analyze_prepared(
+        &mut self,
+        prepared: &Arc<PreparedPlan>,
+        params: Vec<Value>,
+    ) -> Result<AnalyzeState> {
+        self.analyze = Some(AnalyzeState::default());
+        let run = self.execute_prepared(prepared, params);
+        let state = self.analyze.take().unwrap_or_default();
+        run?; // take the sink first so an execution error cannot leak it
+        Ok(state)
     }
 
     fn run_insert(
@@ -440,6 +525,9 @@ impl Session {
             cat.bulk_insert(table, shaped)
         })?;
         self.refresh();
+        if self.config.trace {
+            self.emit_trace("commit", "");
+        }
         Ok(QueryResult {
             columns: vec!["inserted".into()],
             rows: vec![vec![Value::Int(n as i64)]],
@@ -518,6 +606,9 @@ impl Session {
             Ok(updated)
         })?;
         self.refresh();
+        if self.config.trace {
+            self.emit_trace("commit", "");
+        }
         Ok(QueryResult {
             columns: vec!["updated".into()],
             rows: vec![vec![Value::Int(updated as i64)]],
@@ -566,6 +657,9 @@ impl Session {
             Ok(deleted)
         })?;
         self.refresh();
+        if self.config.trace {
+            self.emit_trace("commit", "");
+        }
         Ok(QueryResult {
             columns: vec!["deleted".into()],
             rows: vec![vec![Value::Int(deleted as i64)]],
@@ -585,12 +679,18 @@ impl Session {
         let key = cache_key(sql, params);
         if let Some(p) = self.db.cached_plan(&key, self.catalog.version) {
             self.plan_cache_hits += 1;
+            if self.config.trace {
+                self.emit_trace("prepare", "\"cache\":\"hit\"");
+            }
             return Ok(p);
         }
         self.plan_cache_misses += 1;
         let query = plaway_sql::parse_query(sql)?;
         let prepared = Arc::new(plan_query(&self.catalog, &query, Some(params))?);
         self.db.store_plan(key, Arc::clone(&prepared));
+        if self.config.trace {
+            self.emit_trace("prepare", "\"cache\":\"miss\"");
+        }
         Ok(prepared)
     }
 
@@ -604,16 +704,37 @@ impl Session {
         let key = cache_key(key, params);
         if let Some(p) = self.db.cached_plan(&key, self.catalog.version) {
             self.plan_cache_hits += 1;
+            if self.config.trace {
+                self.emit_trace("prepare", "\"cache\":\"hit\"");
+            }
             return Ok(p);
         }
         self.plan_cache_misses += 1;
         let prepared = Arc::new(plan_query(&self.catalog, query, Some(params))?);
         self.db.store_plan(key, Arc::clone(&prepared));
+        if self.config.trace {
+            self.emit_trace("prepare", "\"cache\":\"miss\"");
+        }
         Ok(prepared)
     }
 
-    /// Full instrumented lifecycle: Start → Run → End.
+    /// Full instrumented lifecycle: Start → Run → End. Each call is one
+    /// statement execution for the metrics registry: wall time and the
+    /// [`RuntimeStats`] delta are folded into the shared totals (and this
+    /// session's [`SessionMetrics`] mirror) on both success and error.
     pub fn execute_prepared(
+        &mut self,
+        prepared: &Arc<PreparedPlan>,
+        params: Vec<Value>,
+    ) -> Result<QueryResult> {
+        let t0 = Instant::now();
+        let before = self.stats;
+        let result = self.execute_prepared_inner(prepared, params);
+        self.record_statement(t0.elapsed().as_nanos() as u64, &before);
+        result
+    }
+
+    fn execute_prepared_inner(
         &mut self,
         prepared: &Arc<PreparedPlan>,
         params: Vec<Value>,
@@ -705,6 +826,9 @@ impl Session {
         let plan = Arc::clone(prepared);
         crate::penalty::charge_start_penalty(&self.config, &mut self.stats);
         self.profiler.add(Phase::ExecStart, t0.elapsed());
+        if self.config.trace {
+            self.emit_trace("start", "");
+        }
         ExecHandle { plan, params }
     }
 
@@ -719,7 +843,21 @@ impl Session {
             };
             exec(&handle.plan.plan, &env, &mut rt)
         };
-        self.profiler.add(Phase::ExecRun, t0.elapsed());
+        let elapsed = t0.elapsed();
+        self.profiler.add(Phase::ExecRun, elapsed);
+        if self.config.trace {
+            match &result {
+                Ok(rows) => self.emit_trace(
+                    "run",
+                    &format!("\"ns\":{},\"rows\":{}", elapsed.as_nanos(), rows.len()),
+                ),
+                Err(Error::Raised { condition, .. }) => self.emit_trace(
+                    "raise_unwind",
+                    &format!("\"condition\":{}", json_string(condition)),
+                ),
+                Err(_) => self.emit_trace("run", "\"error\":true"),
+            }
+        }
         result
     }
 
@@ -729,6 +867,39 @@ impl Session {
         drop(handle);
         crate::penalty::charge_end_penalty(&self.config, &mut self.stats);
         self.profiler.add(Phase::ExecEnd, t0.elapsed());
+        if self.config.trace {
+            self.emit_trace("end", "");
+        }
+    }
+
+    // ------------------------------------------------------ observability
+
+    /// Fold one finished statement into the shared metrics registry and
+    /// this session's mirror. `before` is the [`RuntimeStats`] copy taken
+    /// at statement entry.
+    fn record_statement(&mut self, ns: u64, before: &RuntimeStats) {
+        let delta = self.stats.delta_since(before);
+        self.metrics.record_statement(ns, &delta);
+        self.db.record_statement(ns, &delta);
+    }
+
+    /// Append one structured trace event (callers gate on `config.trace`).
+    /// Every event carries the session id and the catalog version the
+    /// session currently reads; `extra` is pre-rendered `"key":value`
+    /// JSON, comma-joined into the object.
+    fn emit_trace(&self, event: &str, extra: &str) {
+        let mut line = format!(
+            "{{\"event\":{},\"session\":{},\"catalog_version\":{}",
+            json_string(event),
+            self.id,
+            self.catalog.version
+        );
+        if !extra.is_empty() {
+            line.push(',');
+            line.push_str(extra);
+        }
+        line.push('}');
+        self.db.trace_event(line);
     }
 
     // ---------------------------------------------- expression fast path
@@ -786,6 +957,7 @@ impl Session {
             vm_stack: Vec::new(),
             subplan_cache: HashMap::new(),
             snapshots: crate::tuplestore::SnapshotStore::default(),
+            analyze: self.analyze.as_mut(),
         }
     }
 
@@ -806,6 +978,9 @@ impl Session {
             vm_stack: Vec::new(),
             subplan_cache: HashMap::new(),
             snapshots: crate::tuplestore::SnapshotStore::default(),
+            // DML source queries run inside commit closures; EXPLAIN
+            // ANALYZE rejects DML, so there is never a sink to thread here.
+            analyze: None,
         }
     }
 }
@@ -816,6 +991,25 @@ fn cache_key(sql: &str, params: &ParamScope) -> String {
     } else {
         format!("{sql}\u{1}{}", params.names.join("\u{1}"))
     }
+}
+
+/// Minimal JSON string encoder for trace events (no serde in the tree).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 #[cfg(test)]
@@ -1598,6 +1792,8 @@ mod tests {
             snapshots_released,
             start_penalty_charges,
             end_penalty_charges,
+            vm_ops_executed,
+            fused_transition_rows,
             batch,
         } = s.stats;
         assert_eq!(
@@ -1607,6 +1803,7 @@ mod tests {
         assert_eq!(max_udf_depth, 0);
         assert_eq!((snapshots_materialized, snapshots_released), (0, 0));
         assert_eq!((start_penalty_charges, end_penalty_charges), (0, 0));
+        assert_eq!((vm_ops_executed, fused_transition_rows), (0, 0));
         let crate::profile::BatchCounters {
             batch_rows_in_flight,
             batch_rows_retired,
@@ -1627,10 +1824,10 @@ mod tests {
         a.run("INSERT INTO t VALUES (1), (2)").unwrap();
         let ps = ParamScope::default();
         a.prepare("SELECT count(*) FROM t", &ps).unwrap();
-        let (hits0, _) = db.plan_cache_stats();
+        let hits0 = db.plan_cache_stats().hits;
         b.prepare("SELECT count(*) FROM t", &ps).unwrap();
         assert_eq!(b.plan_cache_hits, 1, "B must reuse A's cached plan");
-        assert!(db.plan_cache_stats().0 > hits0);
+        assert!(db.plan_cache_stats().hits > hits0);
         assert_eq!(
             b.query_scalar("SELECT count(*) FROM t").unwrap(),
             Value::Int(2),
@@ -1643,5 +1840,167 @@ mod tests {
         let mut s = Session::default();
         let err = s.run("SELECT nope FROM nowhere").unwrap_err();
         assert!(err.to_string().contains("nowhere"), "{err}");
+    }
+
+    fn plan_text(r: &QueryResult) -> String {
+        assert_eq!(r.columns, vec!["QUERY PLAN"]);
+        r.rows
+            .iter()
+            .map(|row| match &row[0] {
+                Value::Text(t) => t.to_string(),
+                other => panic!("plan rows must be text, got {other:?}"),
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    #[test]
+    fn explain_renders_the_plan_tree() {
+        let mut s = session();
+        let r = s.run("EXPLAIN SELECT a FROM t WHERE a = 2").unwrap();
+        let text = plan_text(&r);
+        assert!(text.contains("SeqScan on t"), "{text}");
+        // Byte-identical to the plan's own rendering.
+        let plan = s
+            .prepare("SELECT a FROM t WHERE a = 2", &ParamScope::default())
+            .unwrap();
+        assert_eq!(text, plan.plan.explain().trim_end());
+    }
+
+    #[test]
+    fn explain_analyze_reports_per_node_stats() {
+        let mut s = session();
+        let r = s
+            .run("EXPLAIN ANALYZE SELECT a FROM t WHERE a >= 2")
+            .unwrap();
+        let text = plan_text(&r);
+        // Executed: every dispatched node carries loops/rows/time/self.
+        assert!(text.contains("rows=2"), "filter output rows:\n{text}");
+        assert!(text.contains("loops=1"), "{text}");
+        assert!(text.contains("time="), "{text}");
+        assert!(text.contains("self="), "{text}");
+        // The sink must not leak into the next (plain) execution.
+        assert!(s.run("SELECT a FROM t").is_ok());
+        assert!(s.analyze.is_none());
+    }
+
+    #[test]
+    fn explain_analyze_surfaces_fixpoint_internals() {
+        let mut s = Session::default();
+        let r = s
+            .run(
+                "EXPLAIN ANALYZE WITH RECURSIVE c(x) AS (SELECT 1 UNION ALL \
+                 SELECT x + 1 FROM c WHERE x < 10) SELECT count(*) FROM c",
+            )
+            .unwrap();
+        let text = plan_text(&r);
+        assert!(text.contains("Fixpoint cte#0 [recursive]"), "{text}");
+        assert!(text.contains("iterations=10"), "{text}");
+        assert!(text.contains("working-set peak="), "{text}");
+    }
+
+    #[test]
+    fn explain_analyze_execution_errors_propagate() {
+        let mut s = session();
+        let err = s.run("EXPLAIN ANALYZE SELECT 1 / (a - a) FROM t");
+        assert!(err.is_err());
+        assert!(s.analyze.is_none(), "sink must be cleared on error");
+    }
+
+    #[test]
+    fn explain_rejects_non_queries() {
+        let mut s = session();
+        let err = s
+            .run("EXPLAIN INSERT INTO t VALUES (9, 'x', 0.0)")
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("EXPLAIN supports queries only"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn statement_metrics_mirror_matches_registry_single_session() {
+        let db = Database::new(EngineConfig::raw());
+        let mut s = db.session();
+        s.run("CREATE TABLE m (v int)").unwrap();
+        s.run("INSERT INTO m VALUES (1), (2), (3)").unwrap();
+        s.run("SELECT sum(v) FROM m").unwrap();
+        s.run("SELECT count(*) FROM m WHERE v > 1").unwrap();
+        let snap = db.metrics();
+        assert_eq!(snap.statements, s.metrics.statements);
+        assert_eq!(snap.statement_ns_total, s.metrics.statement_ns_total);
+        assert_eq!(snap.rows_scanned, s.metrics.rows_scanned);
+        assert_eq!(snap.vm_ops_executed, s.metrics.vm_ops_executed);
+        assert_eq!(snap.latency.count(), s.metrics.latency.count());
+        assert!(snap.statements >= 4, "DDL, DML and queries all count");
+        assert_eq!(snap.commits, 2, "CREATE TABLE and INSERT each commit once");
+        assert_eq!(snap.catalog_version, db.snapshot().version);
+        // JSON round-trip straight off the live registry.
+        let json = snap.to_json();
+        assert_eq!(
+            crate::metrics::MetricsSnapshot::from_json(&json),
+            Some(snap)
+        );
+    }
+
+    #[test]
+    fn trace_mode_emits_structured_events() {
+        let mut config = EngineConfig::raw();
+        config.trace = true;
+        let db = Database::new(config);
+        let mut s = db.session();
+        s.run("CREATE TABLE tr (v int)").unwrap();
+        s.run("INSERT INTO tr VALUES (1)").unwrap();
+        s.run("SELECT v FROM tr").unwrap();
+        s.run("SELECT v FROM tr").unwrap(); // cache hit
+        let events = db.take_trace();
+        assert!(!events.is_empty());
+        let all = events.join("\n");
+        for needle in [
+            "\"event\":\"prepare\"",
+            "\"cache\":\"miss\"",
+            "\"cache\":\"hit\"",
+            "\"event\":\"start\"",
+            "\"event\":\"run\"",
+            "\"event\":\"end\"",
+            "\"event\":\"commit\"",
+        ] {
+            assert!(all.contains(needle), "missing {needle} in:\n{all}");
+        }
+        for line in &events {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert!(line.contains(&format!("\"session\":{}", s.id)), "{line}");
+            assert!(line.contains("\"catalog_version\":"), "{line}");
+        }
+        // Drained: a second take returns nothing.
+        assert!(db.take_trace().is_empty());
+    }
+
+    #[test]
+    fn trace_off_buffers_nothing() {
+        let db = Database::new(EngineConfig::raw());
+        let mut s = db.session();
+        s.run("CREATE TABLE q (v int)").unwrap();
+        s.run("SELECT count(*) FROM q").unwrap();
+        assert!(db.take_trace().is_empty());
+    }
+
+    #[test]
+    fn trace_records_raise_unwind() {
+        let mut config = EngineConfig::raw();
+        config.trace = true;
+        let db = Database::new(config);
+        let mut s = db.session();
+        s.run("CREATE TABLE e (v int)").unwrap();
+        s.run("INSERT INTO e VALUES (0)").unwrap();
+        let _ = s.run("SELECT raise_error('division by zero', 'boom') FROM e");
+        let all = db.take_trace().join("\n");
+        // Whichever way the engine surfaces the raise, the run must not be
+        // reported as a clean success.
+        assert!(
+            all.contains("\"event\":\"raise_unwind\"") || all.contains("\"error\":true"),
+            "{all}"
+        );
     }
 }

@@ -1259,9 +1259,26 @@ fn exec_ops(
     env: &EvalEnv<'_>,
     rt: &mut Runtime<'_>,
 ) -> Result<()> {
+    // Count dispatched opcodes in a local and flush once, so the hot loop
+    // pays one add per op and error paths (`?` inside the arms) still
+    // record the work done before the failure.
+    let mut steps: u64 = 0;
+    let result = exec_ops_loop(prog, base, env, rt, &mut steps);
+    rt.stats.vm_ops_executed += steps;
+    result
+}
+
+fn exec_ops_loop(
+    prog: &ExprProgram,
+    base: usize,
+    env: &EvalEnv<'_>,
+    rt: &mut Runtime<'_>,
+    steps: &mut u64,
+) -> Result<()> {
     let ops = &prog.ops;
     let mut pc = 0usize;
     while pc < ops.len() {
+        *steps += 1;
         match &ops[pc] {
             Op::Push(o) => {
                 let v = operand_value(o, base, env, rt)?;

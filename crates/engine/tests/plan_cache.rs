@@ -147,16 +147,16 @@ fn create_or_replace_in_one_session_invalidates_the_other() {
     // re-planned query must see the new body.
     a.run("CREATE OR REPLACE FUNCTION f(x int) RETURNS int AS $$ SELECT x * 10 $$ LANGUAGE SQL")
         .unwrap();
-    let (hits_before, misses_before) = db.plan_cache_stats();
+    let before = db.plan_cache_stats();
     let plan_b2 = b.prepare(sql, &ps).unwrap();
     assert_eq!(
         (b.plan_cache_hits, b.plan_cache_misses),
         (1, 2),
         "A's CREATE OR REPLACE must invalidate B's cached plan"
     );
-    let (hits_after, misses_after) = db.plan_cache_stats();
-    assert_eq!(hits_after, hits_before, "no shared hit across the DDL");
-    assert_eq!(misses_after, misses_before + 1);
+    let after = db.plan_cache_stats();
+    assert_eq!(after.hits, before.hits, "no shared hit across the DDL");
+    assert_eq!(after.misses, before.misses + 1);
     assert_eq!(
         b.execute_prepared(&plan_b2, vec![Value::Int(41)])
             .unwrap()

@@ -421,6 +421,12 @@ pub enum JoinKind {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Stmt {
     Query(Query),
+    /// `EXPLAIN [ANALYZE] <statement>`: render (and under ANALYZE, execute
+    /// and instrument) the inner statement's plan.
+    Explain {
+        analyze: bool,
+        stmt: Box<Stmt>,
+    },
     CreateTable {
         name: String,
         /// (column name, type name as written).

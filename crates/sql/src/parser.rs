@@ -239,6 +239,7 @@ impl Parser {
                 Ok(Stmt::Query(self.parse_query()?))
             }
             TokenKind::Sym(Sym::LParen) => Ok(Stmt::Query(self.parse_query()?)),
+            k if k.is_kw("explain") => self.parse_explain(),
             k if k.is_kw("create") => self.parse_create(),
             k if k.is_kw("insert") => self.parse_insert(),
             k if k.is_kw("update") => self.parse_update(),
@@ -246,6 +247,19 @@ impl Parser {
             k if k.is_kw("drop") => self.parse_drop(),
             _ => Err(self.err_here("expected a statement")),
         }
+    }
+
+    fn parse_explain(&mut self) -> Result<Stmt> {
+        self.expect_kw("explain")?;
+        let analyze = self.eat_kw("analyze");
+        if self.peek().is_kw("explain") {
+            return Err(self.err_here("EXPLAIN cannot be nested"));
+        }
+        let stmt = self.parse_statement()?;
+        Ok(Stmt::Explain {
+            analyze,
+            stmt: Box::new(stmt),
+        })
     }
 
     fn parse_create(&mut self) -> Result<Stmt> {

@@ -577,6 +577,12 @@ impl std::fmt::Display for Stmt {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Stmt::Query(q) => write!(f, "{q}"),
+            Stmt::Explain { analyze, stmt } => write!(
+                f,
+                "EXPLAIN {}{}",
+                if *analyze { "ANALYZE " } else { "" },
+                stmt
+            ),
             Stmt::CreateTable {
                 name,
                 columns,
@@ -805,6 +811,9 @@ mod tests {
             "DELETE FROM t WHERE a = 1",
             "DROP TABLE IF EXISTS t",
             "CREATE INDEX i ON t (a)",
+            "EXPLAIN SELECT a FROM t WHERE a = 1",
+            "EXPLAIN ANALYZE SELECT count(*) FROM t",
+            "EXPLAIN ANALYZE INSERT INTO t (a, b) VALUES (1, 'x')",
         ] {
             let ast = parse_statement(sql).unwrap();
             let printed = ast.to_string();

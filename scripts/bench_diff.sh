@@ -95,6 +95,25 @@ BEGIN {
             cell(b, "serve.read.scaling_x100"), cell(f, "serve.read.scaling_x100"), \
             cell(b, "serve.threads_available"), cell(f, "serve.threads_available")
     }
+    # Shared plan-cache counters over the whole serve run (from the
+    # engine metrics registry, Database::metrics). The hit rate is the
+    # column to watch: a planner or cache change that silently turns hits
+    # into re-plans shows up here before it shows up in the latency table.
+    if (("serve.cache.hits" in b) || ("serve.cache.hits" in f)) {
+        print ""
+        print "| plan cache (serve) | baseline | fresh |"
+        print "|---|---:|---:|"
+        printf "| hits | %s | %s |\n", cell(b, "serve.cache.hits"), cell(f, "serve.cache.hits")
+        printf "| misses | %s | %s |\n", cell(b, "serve.cache.misses"), cell(f, "serve.cache.misses")
+        printf "| evictions | %s | %s |\n", cell(b, "serve.cache.evictions"), cell(f, "serve.cache.evictions")
+        printf "| hit rate | %s | %s |\n", hit_rate(b), hit_rate(f)
+    }
+}
+function hit_rate(m,    h, mi) {
+    if (!("serve.cache.hits" in m) || !("serve.cache.misses" in m)) return "—"
+    h = m["serve.cache.hits"]; mi = m["serve.cache.misses"]
+    if (h + mi == 0) return "—"
+    return sprintf("%.1f%%", h * 100 / (h + mi))
 }
 function cell(m, k) { return (k in m) ? m[k] : "—" }
 function srow(label, rk, pk, b, f) {

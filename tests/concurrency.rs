@@ -234,6 +234,129 @@ fn failed_insert_commits_nothing_across_sessions() {
     }
 }
 
+/// The lock-free metrics registry loses nothing under contention: M racing
+/// sessions each keep a plain-u64 mirror of what they contributed, and
+/// after the race the registry's merged counters must EXACTLY equal the
+/// sum of the per-session mirrors — field by field, latency histogram
+/// bucket by bucket. Not "approximately": relaxed atomic adds are still
+/// adds, so a single lost update is a bug. (`commits` is excluded: it is
+/// counted at the database commit point, not attributed to sessions.)
+#[test]
+fn racing_sessions_metrics_merge_exactly() {
+    use plsql_away::engine::metrics::LATENCY_BUCKETS;
+    use plsql_away::engine::SessionMetrics;
+
+    let (db, compiled) = fib_database();
+    let base = db.metrics();
+    let mirrors: Vec<SessionMetrics> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..READER_THREADS)
+            .map(|t| {
+                let db = &db;
+                let compiled = &compiled;
+                scope.spawn(move || {
+                    let mut s = db.session();
+                    let mut stream = Stream::new(7, t);
+                    for _ in 0..STRESS_ITERS {
+                        // A compiled fixpoint run (vm ops, iterations,
+                        // snapshots) plus a plain recursive SELECT, so
+                        // every registry field the statement path feeds
+                        // is exercised with non-trivial values.
+                        let n = (stream.next() % 25) as i64;
+                        compiled.run(&mut s, &[Value::Int(n)]).unwrap();
+                        let k = 1 + (stream.next() % 16);
+                        s.run(&format!(
+                            "WITH RECURSIVE c(x) AS (SELECT 1 UNION ALL \
+                             SELECT x + 1 FROM c WHERE x < {k}) \
+                             SELECT count(*) FROM c"
+                        ))
+                        .unwrap();
+                    }
+                    s.metrics
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let after = db.metrics();
+
+    let mut sum = SessionMetrics::default();
+    for m in &mirrors {
+        sum.statements += m.statements;
+        sum.statement_ns_total += m.statement_ns_total;
+        sum.snapshots_materialized += m.snapshots_materialized;
+        sum.snapshots_released += m.snapshots_released;
+        sum.batch_rows_retired += m.batch_rows_retired;
+        sum.udf_calls += m.udf_calls;
+        sum.rows_scanned += m.rows_scanned;
+        sum.recursive_iterations += m.recursive_iterations;
+        sum.vm_ops_executed += m.vm_ops_executed;
+        sum.latency.merge(&m.latency);
+    }
+    assert_eq!(
+        sum.statements,
+        (READER_THREADS * STRESS_ITERS * 2) as u64,
+        "sanity: every thread ran 2 statements per iteration"
+    );
+    assert!(sum.vm_ops_executed > 0 && sum.recursive_iterations > 0);
+
+    let merged = [
+        (
+            "statements",
+            after.statements - base.statements,
+            sum.statements,
+        ),
+        (
+            "statement_ns_total",
+            after.statement_ns_total - base.statement_ns_total,
+            sum.statement_ns_total,
+        ),
+        (
+            "snapshots_materialized",
+            after.snapshots_materialized - base.snapshots_materialized,
+            sum.snapshots_materialized,
+        ),
+        (
+            "snapshots_released",
+            after.snapshots_released - base.snapshots_released,
+            sum.snapshots_released,
+        ),
+        (
+            "batch_rows_retired",
+            after.batch_rows_retired - base.batch_rows_retired,
+            sum.batch_rows_retired,
+        ),
+        ("udf_calls", after.udf_calls - base.udf_calls, sum.udf_calls),
+        (
+            "rows_scanned",
+            after.rows_scanned - base.rows_scanned,
+            sum.rows_scanned,
+        ),
+        (
+            "recursive_iterations",
+            after.recursive_iterations - base.recursive_iterations,
+            sum.recursive_iterations,
+        ),
+        (
+            "vm_ops_executed",
+            after.vm_ops_executed - base.vm_ops_executed,
+            sum.vm_ops_executed,
+        ),
+    ];
+    for (field, registry, mirror) in merged {
+        assert_eq!(
+            registry, mirror,
+            "registry {field} diverged from the summed session mirrors"
+        );
+    }
+    for i in 0..LATENCY_BUCKETS {
+        assert_eq!(
+            after.latency.buckets[i] - base.latency.buckets[i],
+            sum.latency.buckets[i],
+            "latency bucket {i} diverged"
+        );
+    }
+}
+
 /// Concurrent writers serialize through the commit mutex without losing
 /// updates: 4 threads × 25 single-row inserts into one table, every row
 /// present afterwards.

@@ -1,0 +1,112 @@
+//! EXPLAIN ANALYZE acceptance over the six compiled kernels.
+//!
+//! Each kernel is compiled to its `WITH RECURSIVE` form, prepared, and run
+//! once under `Session::explain_analyze_prepared` (the programmatic face of
+//! `EXPLAIN ANALYZE`, which also lets us bind kernel arguments). Two claims
+//! are pinned:
+//!
+//! 1. the rendered output is a per-node stats tree (loops / rows /
+//!    cumulative / self time on every executed node, fixpoint summary
+//!    lines for the recursive core), and
+//! 2. the root node's cumulative wall time agrees with the session
+//!    profiler's `ExecutorRun` phase to within 10% — i.e. the
+//!    instrumentation measures the same execution the Table 1 profiler
+//!    does, not some detached shadow.
+//!
+//! Wall-clock agreement is only asserted in release builds (debug timing is
+//! dominated by unoptimized dispatch overhead and parallel test noise); the
+//! structural claims hold everywhere.
+
+use plaway_bench::{
+    checked_args, fib_args, parse_args, settle_args, setup_checked, setup_fib, setup_parse,
+    setup_settle, setup_traverse, setup_walk, traverse_args, walk_args, BenchSetup,
+};
+use plsql_away::prelude::*;
+
+/// Run one kernel under EXPLAIN ANALYZE and check structure + timing.
+fn analyze_kernel(mut b: BenchSetup, args: Vec<Value>) {
+    let name = b.fn_name;
+    let compiled = b.compile(CompileOptions::default()).unwrap();
+    let plan = compiled.prepare(&mut b.session).unwrap();
+
+    // Warm up (first execution pays one-time costs: lazy indexes, page
+    // allocation) so the measured run is steady-state.
+    b.session.set_seed(1);
+    b.session.execute_prepared(&plan, args.clone()).unwrap();
+
+    b.session.set_seed(1);
+    let run_before = b.session.profiler.exec_run_ns;
+    let state = b.session.explain_analyze_prepared(&plan, args).unwrap();
+    let run_ns = (b.session.profiler.exec_run_ns - run_before) as u64;
+
+    // Structure: a tree whose executed nodes carry the full stats tuple,
+    // with the recursive core summarized by at least one fixpoint line.
+    let lines = state.render(&plan.plan);
+    assert!(
+        lines.len() > 1,
+        "{name}: expected a multi-node stats tree, got {lines:?}"
+    );
+    for needle in ["loops=", "rows=", "time=", "self="] {
+        assert!(
+            lines[0].contains(needle),
+            "{name}: root line missing {needle}: {}",
+            lines[0]
+        );
+    }
+    assert!(
+        lines.iter().any(|l| l.starts_with("Fixpoint cte#")),
+        "{name}: compiled kernels run through a fixpoint, none reported:\n{}",
+        lines.join("\n")
+    );
+
+    // Timing: the root's cumulative time is measured just inside the
+    // ExecutorRun bracket, so it must account for ≥ 90% of the Run phase
+    // (and can never exceed it).
+    let root_ns = state.root_ns(&plan.plan);
+    assert!(root_ns > 0, "{name}: root node never recorded");
+    assert!(
+        root_ns <= run_ns,
+        "{name}: root time {root_ns}ns exceeds the Run phase {run_ns}ns"
+    );
+    if cfg!(debug_assertions) {
+        eprintln!("debug build: skipping {name} timing bound (root {root_ns}ns / run {run_ns}ns)");
+        return;
+    }
+    let share = root_ns as f64 / run_ns as f64;
+    assert!(
+        share >= 0.9,
+        "{name}: root cumulative time {root_ns}ns is only {:.1}% of the \
+         profiler Run phase {run_ns}ns (must be within 10%)",
+        share * 100.0
+    );
+}
+
+#[test]
+fn explain_analyze_fibonacci() {
+    analyze_kernel(setup_fib(EngineConfig::raw()), fib_args(90));
+}
+
+#[test]
+fn explain_analyze_parse() {
+    analyze_kernel(setup_parse(EngineConfig::raw()), parse_args(600));
+}
+
+#[test]
+fn explain_analyze_traverse() {
+    analyze_kernel(setup_traverse(EngineConfig::raw()), traverse_args(400));
+}
+
+#[test]
+fn explain_analyze_walk() {
+    analyze_kernel(setup_walk(EngineConfig::raw()), walk_args(2_000));
+}
+
+#[test]
+fn explain_analyze_checked_sum() {
+    analyze_kernel(setup_checked(EngineConfig::raw()), checked_args(200));
+}
+
+#[test]
+fn explain_analyze_settle() {
+    analyze_kernel(setup_settle(EngineConfig::raw()), settle_args());
+}

@@ -1,0 +1,151 @@
+//! Golden-file snapshots of EXPLAIN rendering.
+//!
+//! Plain `EXPLAIN` output is fully deterministic (plan shape only) and is
+//! compared byte-for-byte. `EXPLAIN ANALYZE` output is deterministic in
+//! everything except wall time, so the nanosecond fields (`time=`, `self=`)
+//! are masked to `N` before comparison — loops, row counts, VM-op counts
+//! and fixpoint internals stay pinned exactly.
+//!
+//! To regenerate after an intentional plan or renderer change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test explain_golden
+//! ```
+
+use std::path::PathBuf;
+
+use plsql_away::prelude::*;
+
+/// A seeded session with a small, fixed schema: an indexed key/value table
+/// and enough rows that plans have non-trivial row counts.
+fn seeded_session() -> Session {
+    let mut s = Session::new(EngineConfig::raw());
+    s.run("CREATE TABLE kv (k int, v int)").unwrap();
+    s.run("INSERT INTO kv VALUES (1, 10), (2, 20), (3, 30), (4, 40), (5, 50)")
+        .unwrap();
+    s.run("CREATE INDEX kv_k ON kv (k)").unwrap();
+    s
+}
+
+/// Run an EXPLAIN statement and join the QUERY PLAN rows into one string.
+fn run_explain(s: &mut Session, sql: &str) -> String {
+    let r = s.run(sql).unwrap();
+    assert_eq!(r.columns, vec!["QUERY PLAN".to_string()]);
+    r.rows
+        .iter()
+        .map(|row| match &row[0] {
+            Value::Text(t) => t.to_string(),
+            other => panic!("QUERY PLAN row is not text: {other:?}"),
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Replace the digit run after every `time=` / `self=` with `N`: wall time
+/// is the only nondeterministic part of EXPLAIN ANALYZE output.
+fn mask_times(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut rest = text;
+    loop {
+        let hit = ["time=", "self="]
+            .iter()
+            .filter_map(|p| rest.find(p).map(|i| (i, p.len())))
+            .min();
+        match hit {
+            Some((i, plen)) => {
+                out.push_str(&rest[..i + plen]);
+                rest = &rest[i + plen..];
+                let digits = rest
+                    .find(|c: char| !c.is_ascii_digit())
+                    .unwrap_or(rest.len());
+                assert!(digits > 0, "no digits after time=/self= in {rest:?}");
+                out.push('N');
+                rest = &rest[digits..];
+            }
+            None => {
+                out.push_str(rest);
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Compare against (or with `UPDATE_GOLDEN=1`, rewrite) the committed
+/// snapshot in `tests/golden/`.
+fn assert_golden(name: &str, actual: &str) {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    let actual = format!("{}\n", actual.trim_end());
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &actual).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden file {path:?} ({e}); run with UPDATE_GOLDEN=1 to create it")
+    });
+    assert_eq!(
+        want, actual,
+        "EXPLAIN output diverged from {name}; if the plan or renderer \
+         change is intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn golden_explain_index_point_lookup() {
+    let mut s = seeded_session();
+    let out = run_explain(&mut s, "EXPLAIN SELECT v FROM kv WHERE k = 3");
+    assert_golden("explain_index_point_lookup.snap", &out);
+}
+
+#[test]
+fn golden_explain_filtered_aggregate() {
+    let mut s = seeded_session();
+    let out = run_explain(
+        &mut s,
+        "EXPLAIN SELECT count(*), sum(v) FROM kv WHERE v >= 20",
+    );
+    assert_golden("explain_filtered_aggregate.snap", &out);
+}
+
+#[test]
+fn golden_explain_recursive_cte() {
+    let mut s = seeded_session();
+    let out = run_explain(
+        &mut s,
+        "EXPLAIN WITH RECURSIVE c(x, acc) AS (SELECT 1, 0 UNION ALL \
+         SELECT x + 1, acc + x FROM c WHERE x <= 10) SELECT max(acc) FROM c",
+    );
+    assert_golden("explain_recursive_cte.snap", &out);
+}
+
+#[test]
+fn golden_explain_analyze_filtered_aggregate() {
+    let mut s = seeded_session();
+    let out = run_explain(
+        &mut s,
+        "EXPLAIN ANALYZE SELECT count(*), sum(v) FROM kv WHERE v >= 20",
+    );
+    assert_golden("explain_analyze_filtered_aggregate.snap", &mask_times(&out));
+}
+
+#[test]
+fn golden_explain_analyze_recursive_cte() {
+    let mut s = seeded_session();
+    let out = run_explain(
+        &mut s,
+        "EXPLAIN ANALYZE WITH RECURSIVE c(x, acc) AS (SELECT 1, 0 UNION ALL \
+         SELECT x + 1, acc + x FROM c WHERE x <= 10) SELECT max(acc) FROM c",
+    );
+    assert_golden("explain_analyze_recursive_cte.snap", &mask_times(&out));
+}
+
+#[test]
+fn mask_replaces_only_time_digits() {
+    assert_eq!(
+        mask_times("Filter (loops=1 rows=4 time=1234ns self=56ns vm_ops=9)"),
+        "Filter (loops=1 rows=4 time=Nns self=Nns vm_ops=9)"
+    );
+    assert_eq!(mask_times("SeqScan on kv"), "SeqScan on kv");
+}
