@@ -156,6 +156,33 @@ fn check(
             )),
         }
     }
+    // The cost-based access-path acceptance bar: on the 10⁵-row indexed
+    // ledger, the Auto planner's probe must beat the ForceOff sequential
+    // scan by ≥ 5× on both the point and the range predicate. Both keys of
+    // each pair must exist — a bench refactor silently dropping the index
+    // section must not pass. (`index.settle_top.*` is trajectory-only: the
+    // kernel's fixpoint fold dominates the scan, so no ratio is enforced.)
+    let index_gates: &[(&str, f64)] = &[("point", 5.0), ("range", 5.0)];
+    for (probe, factor) in index_gates {
+        let indexed_key = format!("index.{probe}.indexed_ns");
+        let seq_key = format!("index.{probe}.seq_ns");
+        match (fresh.get(&indexed_key), fresh.get(&seq_key)) {
+            (Some(&indexed), Some(&seq)) => {
+                let ratio = seq as f64 / indexed as f64;
+                if ratio < *factor {
+                    failures.push(format!(
+                        "index.{probe}: indexed {indexed} ns vs seq scan {seq} ns is \
+                         only {ratio:.2}x, need >= {factor}x — the index access path \
+                         lost its win"
+                    ));
+                }
+            }
+            _ => failures.push(format!(
+                "index access-path keys {indexed_key:?} / {seq_key:?} \
+                 missing from fresh results"
+            )),
+        }
+    }
     failures.extend(check_serve(fresh));
     failures
 }
@@ -304,7 +331,23 @@ mod tests {
         ] {
             m.insert(k.to_string(), v);
         }
-        serve_ok(m)
+        index_ok(serve_ok(m))
+    }
+
+    /// A fresh map with index access-path keys that satisfy the ≥ 5× gate
+    /// (point at 50×, range at ~20×, settle_top trajectory-only).
+    fn index_ok(mut m: BTreeMap<String, u128>) -> BTreeMap<String, u128> {
+        for (k, v) in [
+            ("index.point.indexed_ns", 60_000u128),
+            ("index.point.seq_ns", 3_000_000),
+            ("index.range.indexed_ns", 150_000),
+            ("index.range.seq_ns", 3_100_000),
+            ("index.settle_top.indexed_ns", 8_000_000),
+            ("index.settle_top.seq_ns", 9_000_000),
+        ] {
+            m.entry(k.to_string()).or_insert(v);
+        }
+        m
     }
 
     /// A fresh map with serve keys that satisfy the concurrency gate
@@ -423,7 +466,7 @@ mod tests {
         // A bench refactor that silently drops the batch section must not
         // pass the gate, even with an empty baseline.
         let base = map(&[]);
-        let fresh = serve_ok(map(&[("fibonacci.interpreter", 1000)]));
+        let fresh = index_ok(serve_ok(map(&[("fibonacci.interpreter", 1000)])));
         let failures = check(&base, &fresh, 25);
         assert_eq!(failures.len(), 2, "{failures:?}");
         assert!(failures[0].contains("batch.fibonacci"));
@@ -441,23 +484,23 @@ mod tests {
     fn batch_amortization_factors_enforced() {
         let base = map(&[]);
         // fibonacci at 4.5x (needs 5x) fails; checked at 2.4x passes.
-        let fresh = serve_ok(map(&[
+        let fresh = index_ok(serve_ok(map(&[
             ("batch.fibonacci.compiled_ns_per_call", 1000),
             ("batch.fibonacci.interp_ns_per_call", 4500),
             ("batch.checked.compiled_ns_per_call", 4000),
             ("batch.checked.interp_ns_per_call", 9600),
-        ]));
+        ])));
         let failures = check(&base, &fresh, 25);
         assert_eq!(failures.len(), 1, "{failures:?}");
         assert!(failures[0].contains("batch.fibonacci"));
         assert!(failures[0].contains("4.50x"));
         // checked below its own 1.5x bar fails too.
-        let fresh = serve_ok(map(&[
+        let fresh = index_ok(serve_ok(map(&[
             ("batch.fibonacci.compiled_ns_per_call", 700),
             ("batch.fibonacci.interp_ns_per_call", 4500),
             ("batch.checked.compiled_ns_per_call", 4000),
             ("batch.checked.interp_ns_per_call", 5000),
-        ]));
+        ])));
         let failures = check(&base, &fresh, 25);
         assert_eq!(failures.len(), 1, "{failures:?}");
         assert!(failures[0].contains("batch.checked"));
@@ -484,6 +527,32 @@ mod tests {
             ("settle.with_iterate", 900),
         ]));
         assert!(check(&base, &fresh, 25).is_empty());
+    }
+
+    #[test]
+    fn index_access_path_speedup_enforced() {
+        let base = map(&[]);
+        // point at 4x (needs 5x) fails; range stays at its 20x margin.
+        let mut fresh = batch_ok(map(&[]));
+        fresh.insert("index.point.indexed_ns".into(), 200_000);
+        fresh.insert("index.point.seq_ns".into(), 800_000);
+        let failures = check(&base, &fresh, 25);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("index.point"));
+        assert!(failures[0].contains("4.00x"));
+        // Half a pair missing is a failure — the index section must not be
+        // droppable by a silent bench refactor.
+        let mut fresh = batch_ok(map(&[]));
+        fresh.remove("index.range.seq_ns");
+        let failures = check(&base, &fresh, 25);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("index.range"));
+        // settle_top is trajectory-only: a near-1x ratio there passes.
+        let mut fresh = batch_ok(map(&[]));
+        fresh.insert("index.settle_top.indexed_ns".into(), 8_900_000);
+        assert!(check(&base, &fresh, 25).is_empty());
+        // All pairs at their measured margins pass.
+        assert!(check(&base, &batch_ok(map(&[])), 25).is_empty());
     }
 
     #[test]

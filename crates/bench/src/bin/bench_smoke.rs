@@ -13,7 +13,10 @@
 //! plus the batch-invocation throughput pairs
 //! `batch.{fibonacci,checked}.{compiled,interp}_ns_per_call` — one
 //! `WITH RETIRE` fixpoint over 10⁵ invocations vs a loop of independent
-//! interpreted calls (each paying the modeled executor lifecycle).
+//! interpreted calls (each paying the modeled executor lifecycle) —
+//! and the access-path pairs `index.{point,range,settle_top}.{indexed,seq}_ns`
+//! — the same statement over a 10⁵-row indexed ledger in an `Auto` session
+//! (index scans on) vs a `ForceOff` twin (always seq scan).
 //!
 //! Writes `BENCH_smoke.json` ({kernel.mode → median ns}, keys sorted so
 //! baseline diffs are stable) to the current directory; CI's `bench-gate`
@@ -25,12 +28,12 @@ use std::time::Instant;
 
 use plaway_bench::{
     batch_checked_calls, batch_fib_calls, checked_args, fib_args, parse_args, settle_args,
-    setup_checked, setup_fib, setup_parse, setup_settle, setup_traverse, setup_walk, traverse_args,
-    walk_args, BenchSetup,
+    setup_checked, setup_fib, setup_index_sessions, setup_parse, setup_settle, setup_settle_top,
+    setup_traverse, setup_walk, traverse_args, walk_args, BenchSetup,
 };
 use plaway_common::Value;
 use plaway_core::CompileOptions;
-use plaway_engine::EngineConfig;
+use plaway_engine::{EngineConfig, IndexMode, ParamScope};
 
 const WARMUP_RUNS: usize = 3;
 const MEASURED_RUNS: usize = 15;
@@ -123,6 +126,55 @@ fn smoke_batch(
     ));
 }
 
+/// Cost-based access paths: the same prepared aggregate over the 10⁵-row
+/// indexed ledger, planned in an `Auto` session (index access paths on)
+/// and a `ForceOff` twin sharing the same database (always seq scan).
+/// Both modes must return identical rows — a wrong-but-fast probe would
+/// poison the trajectory. `bench_gate` enforces the ≥ 5× win on the
+/// point and range pairs; the `settle_top` kernel pair is trajectory-only
+/// (its fixpoint fold dominates the scan, so the ratio is modest).
+fn smoke_index(results: &mut Vec<(String, u128)>) {
+    let (mut indexed, mut seq) = setup_index_sessions(EngineConfig::postgres_like());
+    for (probe, sql) in [
+        (
+            "point",
+            "SELECT count(*), sum(l.kind) FROM ledger AS l WHERE l.amount = 37",
+        ),
+        (
+            "range",
+            "SELECT count(*), sum(l.kind) FROM ledger AS l \
+             WHERE l.amount >= 90 AND l.amount < 96",
+        ),
+    ] {
+        let mut reference = None;
+        for (mode, s) in [("indexed", &mut indexed), ("seq", &mut seq)] {
+            let plan = s.prepare(sql, &ParamScope::new(Vec::new())).unwrap();
+            let got = s.execute_prepared(&plan, Vec::new()).unwrap().rows;
+            match &reference {
+                None => reference = Some(got),
+                Some(want) => assert_eq!(&got, want, "index.{probe}: access paths disagree"),
+            }
+            let ns = time_runs(|| {
+                s.execute_prepared(&plan, Vec::new()).unwrap();
+            });
+            results.push((format!("index.{probe}.{mode}_ns"), ns));
+        }
+    }
+
+    // The selective settle kernel at the same scale, compiled, both modes.
+    for (mode, index_mode) in [("indexed", IndexMode::Auto), ("seq", IndexMode::ForceOff)] {
+        let mut b = setup_settle_top(EngineConfig::postgres_like());
+        b.session.config.index_mode = index_mode;
+        let compiled = b.compile(CompileOptions::default()).unwrap();
+        let plan = compiled.prepare(&mut b.session).unwrap();
+        let args = settle_args();
+        let ns = time_runs(|| {
+            b.session.execute_prepared(&plan, args.clone()).unwrap();
+        });
+        results.push((format!("index.settle_top.{mode}_ns"), ns));
+    }
+}
+
 fn main() {
     let mut results: Vec<(String, u128)> = Vec::new();
 
@@ -157,6 +209,9 @@ fn main() {
         &batch_checked_calls(BATCH_ROWS),
         &mut results,
     );
+
+    // Index access paths (the seq-vs-index story): 10⁵-row indexed ledger.
+    smoke_index(&mut results);
 
     // Deterministic key order so baseline diffs (and the CI gate) are stable.
     results.sort_by(|(a, _), (b, _)| a.cmp(b));

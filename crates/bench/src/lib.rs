@@ -18,7 +18,7 @@ use std::time::{Duration, Instant};
 
 use plaway_common::{Result, Value};
 use plaway_core::{compile_sql, CompileOptions, Compiled};
-use plaway_engine::{Database, EngineConfig, Session};
+use plaway_engine::{Database, EngineConfig, IndexMode, Session};
 use plaway_interp::Interpreter;
 use plaway_workloads::{checked, fib, fsa, graph, grid, rowagg};
 
@@ -246,6 +246,53 @@ pub fn settle_args() -> Vec<Value> {
     vec![Value::Int(1_000_000)]
 }
 
+/// How many ledger rows the scaled index fixtures generate (seed 7): big
+/// enough that a full scan visibly loses to a probe, small enough that the
+/// smoke bench stays in seconds.
+pub const INDEX_LEDGER_ROWS: usize = 100_000;
+
+/// The selective `settle_top` kernel at scale: a 10⁵-row ledger with a
+/// btree on `amount` and a loop source that folds only the ~10% largest
+/// entries. The access path the planner picks for the loop source — probe
+/// or full scan — now decides how many rows the snapshot materialization
+/// touches.
+pub fn setup_settle_top(config: EngineConfig) -> BenchSetup {
+    let mut session = Session::new(config);
+    rowagg::Ledger::generate(INDEX_LEDGER_ROWS, 7)
+        .install(&mut session)
+        .expect("ledger install");
+    session
+        .run("CREATE INDEX ledger_amount ON ledger (amount)")
+        .expect("ledger index");
+    let w = rowagg::settle_top_workload();
+    w.install(&mut session).expect("settle_top install");
+    BenchSetup {
+        session,
+        interp: Interpreter::new(),
+        fn_name: "settle_top",
+        source: w.source,
+    }
+}
+
+/// The same 10⁵-row indexed ledger attached twice to ONE database: an
+/// `Auto` session whose planner may pick index access paths and a
+/// `ForceOff` twin that always sequential-scans. Timing one prepared
+/// query on both pins the index win end to end (`BENCH_smoke.json`'s
+/// `index.*` keys, enforced ≥ 5× by `bench_gate`).
+pub fn setup_index_sessions(config: EngineConfig) -> (Session, Session) {
+    let db = Database::new(config);
+    let mut indexed = db.session();
+    rowagg::Ledger::generate(INDEX_LEDGER_ROWS, 7)
+        .install(&mut indexed)
+        .expect("ledger install");
+    indexed
+        .run("CREATE INDEX ledger_amount ON ledger (amount)")
+        .expect("ledger index");
+    let mut seq = db.session();
+    seq.config.index_mode = IndexMode::ForceOff;
+    (indexed, seq)
+}
+
 /// One request kind of the serve driver's mixed kernel load: a compiled
 /// artifact (self-contained — scalar plans carry the inlined body, so no
 /// per-session function registration is needed), its argument vector, and
@@ -456,6 +503,21 @@ mod tests {
             );
         }
         assert!(s.catalog.table("batch#fib_w7").is_ok());
+    }
+
+    #[test]
+    fn index_sessions_agree_and_only_auto_probes() {
+        let (mut indexed, mut seq) = setup_index_sessions(EngineConfig::raw());
+        for sql in [
+            "SELECT count(*), sum(l.kind) FROM ledger AS l WHERE l.amount = 37",
+            "SELECT count(*), sum(l.kind) FROM ledger AS l WHERE l.amount >= 90 AND l.amount < 96",
+        ] {
+            let a = indexed.run(sql).unwrap();
+            let b = seq.run(sql).unwrap();
+            assert_eq!(a.rows, b.rows, "{sql}");
+        }
+        assert!(indexed.metrics.index_probes > 0, "Auto session must probe");
+        assert_eq!(seq.metrics.index_probes, 0, "ForceOff twin must scan");
     }
 
     #[test]

@@ -1,5 +1,23 @@
 //! Engine configuration and the DBMS cost profiles used by Figure 11b.
 
+/// Access-path policy for the planner's index extraction.
+///
+/// `Auto` is the production setting: the planner costs index point/range
+/// scans against a sequential scan and picks the cheaper. The two force
+/// modes exist for the differential test harness — the same workload run
+/// under `ForceOn` and `ForceOff` must produce bit-identical results, which
+/// is what proves index plans are pure access-path changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IndexMode {
+    /// Cost-based choice between seq scan and index scans (default).
+    #[default]
+    Auto,
+    /// Always take an index access path when one is extractable.
+    ForceOn,
+    /// Never use indexes; every scan is sequential.
+    ForceOff,
+}
+
 /// Tunables of the engine. Defaults mirror PostgreSQL where a counterpart
 /// exists (`work_mem`, stack depth limits).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -33,6 +51,9 @@ pub struct EngineConfig {
     /// unwind) into the database's trace buffer. Off by default: the hot
     /// path then never formats a string or touches the buffer lock.
     pub trace: bool,
+    /// Access-path policy: cost-based (`Auto`) or forced on/off for the
+    /// index-vs-seq differential harness.
+    pub index_mode: IndexMode,
 }
 
 impl EngineConfig {
@@ -59,6 +80,7 @@ impl EngineConfig {
             end_penalty_ns: 350,
             timer_resolution_ms: 0,
             trace: false,
+            index_mode: IndexMode::Auto,
         }
     }
 
@@ -118,5 +140,10 @@ mod tests {
         assert!(ora.start_penalty_ns > pg.start_penalty_ns);
         assert!(ora.timer_resolution_ms > pg.timer_resolution_ms);
         assert_eq!(pg.work_mem_bytes, 4 * 1024 * 1024);
+        // Every preset plans with the cost-based access-path choice; the
+        // force modes are reserved for the differential harness.
+        for cfg in [pg, ora, EngineConfig::raw(), EngineConfig::sqlite_like()] {
+            assert_eq!(cfg.index_mode, IndexMode::Auto);
+        }
     }
 }

@@ -71,6 +71,11 @@ pub struct RuntimeStats {
     pub subplan_evals: u64,
     pub udf_calls: u64,
     pub rows_scanned: u64,
+    /// Index access-path probes (point lookups and range scans). Together
+    /// with `rows_scanned` this attributes the index win: a selective query
+    /// that probes shows `index_probes` up and `rows_scanned` bounded by
+    /// the matching rows instead of the table size.
+    pub index_probes: u64,
     pub max_udf_depth: usize,
     /// Row-loop snapshots materialized (one per compiled loop *entry* —
     /// the counter the materialize-once tests assert on).
@@ -112,6 +117,7 @@ impl RuntimeStats {
             subplan_evals: self.subplan_evals.saturating_sub(before.subplan_evals),
             udf_calls: self.udf_calls.saturating_sub(before.udf_calls),
             rows_scanned: self.rows_scanned.saturating_sub(before.rows_scanned),
+            index_probes: self.index_probes.saturating_sub(before.index_probes),
             max_udf_depth: self.max_udf_depth,
             snapshots_materialized: self
                 .snapshots_materialized
@@ -204,7 +210,7 @@ impl<'s> Runtime<'s> {
                  away (the engine executes SQL-language functions only)"
             )));
         }
-        let plan = Arc::new(plan_udf_body(self.catalog, &def)?);
+        let plan = Arc::new(plan_udf_body(self.catalog, &def, self.config.index_mode)?);
         self.fn_plans
             .plans
             .insert(name.to_string(), Arc::clone(&plan));
@@ -695,6 +701,73 @@ fn exec_node(plan: &PlanNode, env: &EvalEnv<'_>, rt: &mut Runtime<'_>) -> Result
                 ))
             })?;
             let positions = idx.lookup(&k);
+            rt.stats.index_probes += 1;
+            rt.stats.rows_scanned += positions.len() as u64;
+            Ok(positions.iter().map(|&i| t.rows[i].clone()).collect())
+        }
+        PlanNode::IndexRange {
+            table,
+            column,
+            lo,
+            hi,
+        } => {
+            // Evaluate bounds first: a NULL bound makes the comparison
+            // three-valued-false for every row, exactly like the Filter
+            // this node replaced.
+            let bound = |b: &Option<(ExprIr, bool)>,
+                         env: &EvalEnv<'_>,
+                         rt: &mut Runtime<'_>|
+             -> Result<Option<Option<(Value, bool)>>> {
+                match b {
+                    None => Ok(Some(None)),
+                    Some((e, incl)) => {
+                        let v = eval(e, env, rt)?;
+                        if v.is_null() {
+                            return Ok(None); // empty result
+                        }
+                        Ok(Some(Some((v, *incl))))
+                    }
+                }
+            };
+            let Some(lo_v) = bound(lo, env, rt)? else {
+                return Ok(Vec::new());
+            };
+            let Some(hi_v) = bound(hi, env, rt)? else {
+                return Ok(Vec::new());
+            };
+            let t = rt.catalog.table(table)?;
+            // Reject bound types the replaced Filter's `sql_cmp` would have
+            // errored on, so both access paths fail identically instead of
+            // the index silently returning no rows.
+            let col_ty = &t.columns[*column].ty;
+            for (v, _) in lo_v.iter().chain(hi_v.iter()) {
+                let comparable = matches!(
+                    (col_ty, v),
+                    (
+                        plaway_common::Type::Int | plaway_common::Type::Float,
+                        Value::Int(_) | Value::Float(_)
+                    ) | (plaway_common::Type::Text, Value::Text(_))
+                        | (plaway_common::Type::Bool, Value::Bool(_))
+                        | (plaway_common::Type::Unknown, _)
+                );
+                if !comparable {
+                    return Err(Error::exec(format!(
+                        "cannot compare {col_ty} column {table}.{column} with {v}"
+                    )));
+                }
+            }
+            let idx = t.btree_index_on(*column).ok_or_else(|| {
+                Error::exec(format!(
+                    "ordered index on {table}.{column} vanished (plan is stale)"
+                ))
+            })?;
+            let positions = idx
+                .range(
+                    lo_v.as_ref().map(|(v, i)| (v, *i)),
+                    hi_v.as_ref().map(|(v, i)| (v, *i)),
+                )
+                .expect("btree_index_on returned an ordered index");
+            rt.stats.index_probes += 1;
             rt.stats.rows_scanned += positions.len() as u64;
             Ok(positions.iter().map(|&i| t.rows[i].clone()).collect())
         }

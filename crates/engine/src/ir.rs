@@ -443,11 +443,23 @@ pub enum PlanNode {
     SeqScan {
         table: String,
     },
-    /// Hash-index point lookup: rows of `table` where `column = key`.
+    /// Index point lookup: rows of `table` where `column = key`. Served by
+    /// either index kind; rows come back in heap order, matching the
+    /// filtered seq scan it replaces byte-for-byte.
     IndexLookup {
         table: String,
         column: usize,
         key: ExprIr,
+    },
+    /// Ordered-index range scan: rows of `table` where `column` lies between
+    /// the bounds (`bool` = inclusive). At least one bound is present; rows
+    /// come back in heap order (bitmap-scan style), matching the filtered
+    /// seq scan it replaces byte-for-byte.
+    IndexRange {
+        table: String,
+        column: usize,
+        lo: Option<(ExprIr, bool)>,
+        hi: Option<(ExprIr, bool)>,
     },
     /// Literal rows.
     Values {
@@ -559,6 +571,7 @@ impl PlanNode {
         match self {
             PlanNode::SeqScan { .. }
             | PlanNode::IndexLookup { .. }
+            | PlanNode::IndexRange { .. }
             | PlanNode::Values { .. }
             | PlanNode::Result { .. }
             | PlanNode::CteScan { .. }
@@ -613,6 +626,11 @@ impl PlanNode {
             | PlanNode::CteScan { .. }
             | PlanNode::WorkingScan { .. } => {}
             PlanNode::IndexLookup { key, .. } => f(key),
+            PlanNode::IndexRange { lo, hi, .. } => {
+                for (e, _) in lo.iter().chain(hi.iter()) {
+                    f(e);
+                }
+            }
             PlanNode::Values { rows } => {
                 for row in rows {
                     for e in row {
@@ -678,6 +696,7 @@ impl PlanNode {
         match self {
             PlanNode::SeqScan { .. } => "SeqScan",
             PlanNode::IndexLookup { .. } => "IndexLookup",
+            PlanNode::IndexRange { .. } => "IndexRange",
             PlanNode::Values { .. } => "Values",
             PlanNode::Result { .. } => "Result",
             PlanNode::Filter { .. } => "Filter",
@@ -713,6 +732,24 @@ impl PlanNode {
             PlanNode::SeqScan { table } => format!("SeqScan on {table}"),
             PlanNode::IndexLookup { table, column, .. } => {
                 format!("IndexLookup on {table} (col #{column})")
+            }
+            PlanNode::IndexRange {
+                table,
+                column,
+                lo,
+                hi,
+            } => {
+                let mut bounds = Vec::new();
+                if let Some((_, incl)) = lo {
+                    bounds.push(if *incl { ">= ?" } else { "> ?" });
+                }
+                if let Some((_, incl)) = hi {
+                    bounds.push(if *incl { "<= ?" } else { "< ?" });
+                }
+                format!(
+                    "IndexRange on {table} (col #{column} {})",
+                    bounds.join(" AND ")
+                )
             }
             PlanNode::NestLoop { kind, lateral, .. } => {
                 format!(

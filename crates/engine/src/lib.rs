@@ -34,8 +34,10 @@ pub mod tuplestore;
 pub mod vm;
 pub mod window;
 
-pub use catalog::{query_output_columns, Catalog, Column, FunctionDef, Row, Table};
-pub use config::EngineConfig;
+pub use catalog::{
+    query_output_columns, Catalog, Column, FunctionDef, Index, IndexKind, Row, Table,
+};
+pub use config::{EngineConfig, IndexMode};
 pub use database::Database;
 pub use exec::RuntimeStats;
 pub use explain::AnalyzeState;

@@ -106,6 +106,7 @@ pub struct SessionMetrics {
     pub batch_rows_retired: u64,
     pub udf_calls: u64,
     pub rows_scanned: u64,
+    pub index_probes: u64,
     pub recursive_iterations: u64,
     pub vm_ops_executed: u64,
     pub latency: LatencyHistogram,
@@ -120,6 +121,7 @@ impl SessionMetrics {
         self.batch_rows_retired += delta.batch.batch_rows_retired;
         self.udf_calls += delta.udf_calls;
         self.rows_scanned += delta.rows_scanned;
+        self.index_probes += delta.index_probes;
         self.recursive_iterations += delta.recursive_iterations;
         self.vm_ops_executed += delta.vm_ops_executed;
         self.latency.record(ns);
@@ -139,6 +141,7 @@ pub struct MetricsRegistry {
     batch_rows_retired: AtomicU64,
     udf_calls: AtomicU64,
     rows_scanned: AtomicU64,
+    index_probes: AtomicU64,
     recursive_iterations: AtomicU64,
     vm_ops_executed: AtomicU64,
     latency: [AtomicU64; LATENCY_BUCKETS],
@@ -155,6 +158,7 @@ impl Default for MetricsRegistry {
             batch_rows_retired: AtomicU64::new(0),
             udf_calls: AtomicU64::new(0),
             rows_scanned: AtomicU64::new(0),
+            index_probes: AtomicU64::new(0),
             recursive_iterations: AtomicU64::new(0),
             vm_ops_executed: AtomicU64::new(0),
             latency: std::array::from_fn(|_| AtomicU64::new(0)),
@@ -176,6 +180,7 @@ impl MetricsRegistry {
             .fetch_add(delta.batch.batch_rows_retired, r);
         self.udf_calls.fetch_add(delta.udf_calls, r);
         self.rows_scanned.fetch_add(delta.rows_scanned, r);
+        self.index_probes.fetch_add(delta.index_probes, r);
         self.recursive_iterations
             .fetch_add(delta.recursive_iterations, r);
         self.vm_ops_executed.fetch_add(delta.vm_ops_executed, r);
@@ -200,6 +205,7 @@ impl MetricsRegistry {
             batch_rows_retired: self.batch_rows_retired.load(r),
             catalog_version,
             commits: self.commits.load(r),
+            index_probes: self.index_probes.load(r),
             latency,
             plan_cache,
             recursive_iterations: self.recursive_iterations.load(r),
@@ -222,6 +228,7 @@ pub struct MetricsSnapshot {
     pub batch_rows_retired: u64,
     pub catalog_version: u64,
     pub commits: u64,
+    pub index_probes: u64,
     pub latency: LatencyHistogram,
     pub plan_cache: PlanCacheStats,
     pub recursive_iterations: u64,
@@ -245,6 +252,7 @@ impl MetricsSnapshot {
         let _ = write!(out, "\"batch_rows_retired\":{}", self.batch_rows_retired);
         let _ = write!(out, ",\"catalog_version\":{}", self.catalog_version);
         let _ = write!(out, ",\"commits\":{}", self.commits);
+        let _ = write!(out, ",\"index_probes\":{}", self.index_probes);
         out.push_str(",\"latency_buckets\":[");
         for (i, b) in self.latency.buckets.iter().enumerate() {
             if i > 0 {
@@ -336,6 +344,7 @@ impl MetricsSnapshot {
             batch_rows_retired: get("batch_rows_retired")?,
             catalog_version: get("catalog_version")?,
             commits: get("commits")?,
+            index_probes: get("index_probes")?,
             latency: LatencyHistogram { buckets: buckets? },
             plan_cache: PlanCacheStats {
                 hits: get("plan_cache_hits")?,
@@ -395,6 +404,7 @@ mod tests {
             batch_rows_retired: 1,
             catalog_version: 2,
             commits: 3,
+            index_probes: 15,
             latency,
             plan_cache: PlanCacheStats {
                 hits: 4,
@@ -419,6 +429,7 @@ mod tests {
             "batch_rows_retired",
             "catalog_version",
             "commits",
+            "index_probes",
             "latency_buckets",
             "plan_cache_evictions",
             "plan_cache_hits",

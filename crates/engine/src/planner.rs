@@ -1,8 +1,13 @@
 //! AST → physical plan translation.
 //!
-//! The planner is rule-based (no cost model): scans become `SeqScan` or — when
-//! a hash index matches an equality conjunct — `IndexLookup`; joins become
+//! The planner is rule-based with one cost-based decision: access-path
+//! choice. Scans become `SeqScan`, or — when an index matches an extractable
+//! equality / range conjunct and the cost rule favors it — `IndexLookup` /
+//! `IndexRange`; inner joins with an equi-join conjunct over an indexed
+//! right side become indexed-inner nested loops; other joins become plain
 //! nested loops; `WITH RECURSIVE` / `WITH ITERATE` become fixpoint plans.
+//! The [`IndexMode`] force modes exist for the index-vs-seq differential
+//! harness and bypass (or disable) the cost rule.
 //!
 //! Name resolution uses a *scope chain* (innermost scope last). Column
 //! references compile to `(depth, index)` slots; identifiers that resolve in
@@ -19,6 +24,7 @@ use plaway_sql::ast::{
 };
 
 use crate::catalog::{Catalog, FunctionDef};
+use crate::config::IndexMode;
 use crate::ir::{
     AggFn, AggSpec, CtePlan, ExprIr, FrameIr, PlanNode, RecursionMode, ScalarFn, SortKey, WinFn,
     WindowExprIr,
@@ -146,19 +152,23 @@ pub struct Planner<'a> {
     params: Option<&'a ParamScope>,
     ctes: Vec<CteBinding>,
     next_cte_index: usize,
+    index_mode: IndexMode,
 }
 
-/// Plan a full query with an optional parameter scope.
+/// Plan a full query with an optional parameter scope, using the session's
+/// access-path policy.
 pub fn plan_query(
     catalog: &Catalog,
     query: &Query,
     params: Option<&ParamScope>,
+    index_mode: IndexMode,
 ) -> Result<PreparedPlan> {
     let mut p = Planner {
         catalog,
         params,
         ctes: Vec::new(),
         next_cte_index: 0,
+        index_mode,
     };
     let mut chain = Vec::new();
     let (mut plan, scope) = p.plan_query(query, &mut chain)?;
@@ -176,12 +186,18 @@ pub fn plan_query(
 }
 
 /// Plan a bare scalar expression (PL/pgSQL expression evaluation).
-pub fn plan_expr(catalog: &Catalog, expr: &Expr, params: Option<&ParamScope>) -> Result<ExprIr> {
+pub fn plan_expr(
+    catalog: &Catalog,
+    expr: &Expr,
+    params: Option<&ParamScope>,
+    index_mode: IndexMode,
+) -> Result<ExprIr> {
     let mut p = Planner {
         catalog,
         params,
         ctes: Vec::new(),
         next_cte_index: 0,
+        index_mode,
     };
     let chain: Vec<Scope> = Vec::new();
     let cx = ExprCx {
@@ -193,11 +209,15 @@ pub fn plan_expr(catalog: &Catalog, expr: &Expr, params: Option<&ParamScope>) ->
 
 /// Plan the body of a SQL-language UDF: a single query over the function's
 /// parameters, returning one column.
-pub fn plan_udf_body(catalog: &Catalog, def: &FunctionDef) -> Result<PreparedPlan> {
+pub fn plan_udf_body(
+    catalog: &Catalog,
+    def: &FunctionDef,
+    index_mode: IndexMode,
+) -> Result<PreparedPlan> {
     let query = plaway_sql::parse_query(&def.body)
         .map_err(|e| Error::plan(format!("in body of function {:?}: {e}", def.name)))?;
     let ps = ParamScope::new(def.params.iter().map(|(n, _)| n.clone()).collect());
-    let plan = plan_query(catalog, &query, Some(&ps))?;
+    let plan = plan_query(catalog, &query, Some(&ps), index_mode)?;
     if plan.columns.len() != 1 {
         return Err(Error::plan(format!(
             "function {:?} body must return exactly one column, returns {}",
@@ -860,7 +880,7 @@ impl<'a> Planner<'a> {
                 on,
             } => {
                 let (lp, ls) = self.plan_table_ref(left, chain)?;
-                let (rp, rs) = if *lateral {
+                let (mut rp, rs) = if *lateral {
                     chain.push(ls.clone());
                     let r = self.plan_table_ref(right, chain);
                     chain.pop();
@@ -869,23 +889,118 @@ impl<'a> Planner<'a> {
                     self.plan_table_ref(right, chain)?
                 };
                 let right_width = rs.cols.len();
-                let combined = ls.concat(rs);
-                let on_ir = match on {
-                    Some(e) => {
-                        chain.push(combined.clone());
-                        let cx = ExprCx::bare(chain);
-                        let ir = self.compile_expr(e, &cx);
-                        chain.pop();
-                        Some(ir?)
+                let mut lateral = *lateral;
+                let mut residual: Vec<&Expr> = Vec::new();
+                if let Some(e) = on {
+                    split_conjuncts(e, &mut residual);
+                }
+
+                // Indexed-inner nested loop: an inner join whose right side
+                // is a bare scan of an indexed base table and whose ON has
+                // an equi-join conjunct `right.col = <left expr>` probes the
+                // index per left row (the lateral machinery) instead of
+                // evaluating the conjunct over every pair — O(left ×
+                // matching), never worse than the pairwise evaluation.
+                let scan_table = match (&rp, kind, lateral, self.index_mode) {
+                    (PlanNode::SeqScan { table }, JoinKind::Inner, false, mode)
+                        if mode != IndexMode::ForceOff =>
+                    {
+                        Some(table.clone())
                     }
-                    None => None,
+                    _ => None,
+                };
+                if let Some(table_name) = scan_table {
+                    let mut hit: Option<(usize, usize, ExprIr)> = None;
+                    if let Ok(t) = self.catalog.table(&table_name) {
+                        'probe: for (ci, c) in residual.iter().enumerate() {
+                            let Expr::Binary {
+                                op: plaway_sql::ast::BinOp::Eq,
+                                left: a,
+                                right: b,
+                            } = c
+                            else {
+                                continue;
+                            };
+                            for (col_side, other) in [(a, b), (b, a)] {
+                                let Expr::Column { qualifier, name } = col_side.as_ref() else {
+                                    continue;
+                                };
+                                // Must resolve on the right side alone, and
+                                // not at all on the left — a reference the
+                                // combined scope would call ambiguous must
+                                // keep erroring below, not silently bind.
+                                if !matches!(ls.find(qualifier.as_deref(), name), Ok(None)) {
+                                    continue;
+                                }
+                                let Ok(Some(col)) = rs.find(qualifier.as_deref(), name) else {
+                                    continue;
+                                };
+                                if t.index_on(col).is_none() {
+                                    continue;
+                                }
+                                // The key runs before the right row exists:
+                                // compile against the outer chain plus the
+                                // left row only.
+                                chain.push(ls.clone());
+                                let key = {
+                                    let cx = ExprCx::bare(chain);
+                                    self.compile_expr(other, &cx)
+                                };
+                                chain.pop();
+                                if let Ok(key) = key {
+                                    hit = Some((ci, col, key));
+                                    break 'probe;
+                                }
+                            }
+                        }
+                    }
+                    if let Some((ci, col, key)) = hit {
+                        rp = PlanNode::IndexLookup {
+                            table: table_name,
+                            column: col,
+                            key,
+                        };
+                        lateral = true;
+                        residual.remove(ci);
+                    }
+                }
+
+                let combined = ls.concat(rs);
+                let on_ir = if residual.is_empty() {
+                    None
+                } else {
+                    chain.push(combined.clone());
+                    let mut pred: Result<Option<ExprIr>> = Ok(None);
+                    for c in &residual {
+                        let cx = ExprCx::bare(chain);
+                        match self.compile_expr(c, &cx) {
+                            Ok(ir) => {
+                                pred = pred.map(|p| {
+                                    Some(match p {
+                                        None => ir,
+                                        Some(q) => ExprIr::Binary {
+                                            op: plaway_sql::ast::BinOp::And,
+                                            left: Box::new(q),
+                                            right: Box::new(ir),
+                                        },
+                                    })
+                                });
+                            }
+                            Err(e) => {
+                                pred = Err(e);
+                                break;
+                            }
+                        }
+                    }
+                    chain.pop();
+                    pred?
                 };
                 Ok((
                     PlanNode::NestLoop {
                         left: Box::new(lp),
                         right: Box::new(rp),
                         kind: *kind,
-                        lateral: *lateral,
+                        lateral,
                         on: on_ir,
                         right_width,
                     },
@@ -895,9 +1010,17 @@ impl<'a> Planner<'a> {
         }
     }
 
-    /// Plan WHERE, converting one equality conjunct into an index lookup when
-    /// the FROM is a single indexed base table (the shape of the paper's
-    /// embedded point queries).
+    /// Plan WHERE, converting indexable conjuncts into an index access path
+    /// when the FROM is a single indexed base table (the shape of the
+    /// paper's embedded queries and of the compiled row-loop cursors).
+    ///
+    /// The cost rule (DESIGN.md §6): a point lookup reads only its posting
+    /// list and is never worse than the seq scan, so it wins whenever
+    /// extractable; a range scan is taken when its estimated row count —
+    /// exact when the bounds are literals (read off the ordered index at
+    /// plan time), 1/3 (one bound) or 1/4 (two bounds) of the table
+    /// otherwise — stays at or under half the table. `ForceOn` skips the
+    /// estimate, `ForceOff` disables extraction entirely.
     fn plan_where(
         &mut self,
         plan: PlanNode,
@@ -909,46 +1032,20 @@ impl<'a> Planner<'a> {
         split_conjuncts(where_, &mut conjuncts);
 
         let mut plan = plan;
-        let mut used: Option<usize> = None;
-        if let PlanNode::SeqScan { table } = &plan {
-            let table_name = table.clone();
-            if let Ok(t) = self.catalog.table(&table_name) {
-                'outer: for (ci, c) in conjuncts.iter().enumerate() {
-                    if let Expr::Binary {
-                        op: plaway_sql::ast::BinOp::Eq,
-                        left,
-                        right,
-                    } = c
-                    {
-                        for (col_side, other) in [(left, right), (right, left)] {
-                            let Expr::Column { qualifier, name } = col_side.as_ref() else {
-                                continue;
-                            };
-                            // Resolve against the scan's scope only.
-                            let Ok(Some(col)) = from_scope.find(qualifier.as_deref(), name) else {
-                                continue;
-                            };
-                            if t.index_on(col).is_none() {
-                                continue;
-                            }
-                            // The key must be computable without the scanned
-                            // row: compile against the *outer* chain only.
-                            let cx = ExprCx::bare(chain);
-                            if let Ok(key) = self.compile_expr(other, &cx) {
-                                plan = PlanNode::IndexLookup {
-                                    table: table_name,
-                                    column: col,
-                                    key,
-                                };
-                                used = Some(ci);
-                                break 'outer;
-                            }
-                        }
-                    }
+        let mut used: Vec<usize> = Vec::new();
+        if self.index_mode != IndexMode::ForceOff {
+            if let PlanNode::SeqScan { table } = &plan {
+                let table_name = table.clone();
+                if let Some((node, absorbed)) =
+                    self.extract_index_access(&table_name, &conjuncts, from_scope, chain)
+                {
+                    plan = node;
+                    used = absorbed;
                 }
             }
         }
-        if let Some(ci) = used {
+        used.sort_unstable_by(|a, b| b.cmp(a));
+        for ci in used {
             conjuncts.remove(ci);
         }
         if conjuncts.is_empty() {
@@ -973,6 +1070,198 @@ impl<'a> Planner<'a> {
             input: Box::new(plan),
             pred: pred.unwrap(),
         })
+    }
+
+    /// Try to replace a bare seq scan over `table_name` with an index access
+    /// path driven by the WHERE conjuncts. Returns the replacement node and
+    /// the positions of the conjuncts it absorbed (everything else stays in
+    /// the Filter above, so partially-absorbed predicates remain correct).
+    fn extract_index_access(
+        &mut self,
+        table_name: &str,
+        conjuncts: &[&Expr],
+        from_scope: &Scope,
+        chain: &[Scope],
+    ) -> Option<(PlanNode, Vec<usize>)> {
+        use plaway_sql::ast::BinOp;
+        let t = self.catalog.table(table_name).ok()?;
+
+        // Point lookup: first `col = expr` conjunct over an indexed column
+        // whose key compiles without the scanned row (outer chain only).
+        // Reads exactly the matching posting list — never worse than the
+        // seq scan — so it is taken whenever extractable.
+        for (ci, c) in conjuncts.iter().enumerate() {
+            let Expr::Binary {
+                op: BinOp::Eq,
+                left,
+                right,
+            } = c
+            else {
+                continue;
+            };
+            for (col_side, other) in [(left, right), (right, left)] {
+                let Expr::Column { qualifier, name } = col_side.as_ref() else {
+                    continue;
+                };
+                // Resolve against the scan's scope only.
+                let Ok(Some(col)) = from_scope.find(qualifier.as_deref(), name) else {
+                    continue;
+                };
+                if t.index_on(col).is_none() {
+                    continue;
+                }
+                let cx = ExprCx::bare(chain);
+                if let Ok(key) = self.compile_expr(other, &cx) {
+                    return Some((
+                        PlanNode::IndexLookup {
+                            table: table_name.to_string(),
+                            column: col,
+                            key,
+                        },
+                        vec![ci],
+                    ));
+                }
+            }
+        }
+
+        // Range scan: bounds on the first btree-indexed column that has a
+        // usable comparison conjunct. `col < e`, `e < col` (and friends) in
+        // either orientation, plus `col BETWEEN lo AND hi`; the first lo and
+        // first hi win, extra bounds stay in the residual filter.
+        struct BoundSel {
+            ci: usize,
+            ir: ExprIr,
+            incl: bool,
+        }
+        let mut range_col: Option<usize> = None;
+        let mut lo_sel: Option<BoundSel> = None;
+        let mut hi_sel: Option<BoundSel> = None;
+        for (ci, c) in conjuncts.iter().enumerate() {
+            match c {
+                Expr::Binary { op, left, right }
+                    if matches!(op, BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq) =>
+                {
+                    for (col_side, other, flipped) in [(left, right, false), (right, left, true)] {
+                        let Expr::Column { qualifier, name } = col_side.as_ref() else {
+                            continue;
+                        };
+                        let Ok(Some(col)) = from_scope.find(qualifier.as_deref(), name) else {
+                            continue;
+                        };
+                        if t.btree_index_on(col).is_none() {
+                            continue;
+                        }
+                        if *range_col.get_or_insert(col) != col {
+                            continue;
+                        }
+                        // `col > e` / `e < col` bound the key from below.
+                        let is_lo = matches!(
+                            (op, flipped),
+                            (BinOp::Gt | BinOp::GtEq, false) | (BinOp::Lt | BinOp::LtEq, true)
+                        );
+                        let incl = matches!(op, BinOp::LtEq | BinOp::GtEq);
+                        let slot = if is_lo { &mut lo_sel } else { &mut hi_sel };
+                        if slot.is_some() {
+                            break;
+                        }
+                        let cx = ExprCx::bare(chain);
+                        if let Ok(ir) = self.compile_expr(other, &cx) {
+                            *slot = Some(BoundSel { ci, ir, incl });
+                        }
+                        break;
+                    }
+                }
+                Expr::Between {
+                    expr,
+                    low,
+                    high,
+                    negated: false,
+                } => {
+                    // A BETWEEN is absorbed whole or not at all: using only
+                    // one of its bounds while removing the conjunct would
+                    // drop the other.
+                    let Expr::Column { qualifier, name } = expr.as_ref() else {
+                        continue;
+                    };
+                    let Ok(Some(col)) = from_scope.find(qualifier.as_deref(), name) else {
+                        continue;
+                    };
+                    if t.btree_index_on(col).is_none() {
+                        continue;
+                    }
+                    if *range_col.get_or_insert(col) != col {
+                        continue;
+                    }
+                    if lo_sel.is_some() || hi_sel.is_some() {
+                        continue;
+                    }
+                    let cx = ExprCx::bare(chain);
+                    let lo_ir = self.compile_expr(low, &cx);
+                    let cx = ExprCx::bare(chain);
+                    let hi_ir = self.compile_expr(high, &cx);
+                    if let (Ok(lo_ir), Ok(hi_ir)) = (lo_ir, hi_ir) {
+                        lo_sel = Some(BoundSel {
+                            ci,
+                            ir: lo_ir,
+                            incl: true,
+                        });
+                        hi_sel = Some(BoundSel {
+                            ci,
+                            ir: hi_ir,
+                            incl: true,
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+        if lo_sel.is_none() && hi_sel.is_none() {
+            return None;
+        }
+        let col = range_col.expect("a selected bound implies a range column");
+        let take = match self.index_mode {
+            IndexMode::ForceOn => true,
+            IndexMode::ForceOff => false,
+            IndexMode::Auto => {
+                let idx = t.btree_index_on(col).expect("bound selected over it");
+                let n = t.rows.len();
+                let lit = |b: &Option<BoundSel>| match b {
+                    Some(BoundSel {
+                        ir: ExprIr::Const(v),
+                        incl,
+                        ..
+                    }) => Some(Some((v.clone(), *incl))),
+                    Some(_) => None,
+                    None => Some(None),
+                };
+                let est = match (lit(&lo_sel), lit(&hi_sel)) {
+                    // All present bounds are literals: exact row count.
+                    (Some(l), Some(h)) => idx.estimate_range(
+                        l.as_ref().map(|(v, i)| (v, *i)),
+                        h.as_ref().map(|(v, i)| (v, *i)),
+                    ),
+                    // Default selectivities: 1/4 with both bounds, 1/3
+                    // with one.
+                    _ if lo_sel.is_some() && hi_sel.is_some() => n / 4,
+                    _ => n / 3,
+                };
+                est * 2 <= n
+            }
+        };
+        if !take {
+            return None;
+        }
+        let mut absorbed: Vec<usize> = lo_sel.iter().chain(hi_sel.iter()).map(|b| b.ci).collect();
+        absorbed.dedup(); // BETWEEN contributes both bounds from one conjunct
+        Some((
+            PlanNode::IndexRange {
+                table: table_name.to_string(),
+                column: col,
+                lo: lo_sel.map(|b| (b.ir, b.incl)),
+                hi: hi_sel.map(|b| (b.ir, b.incl)),
+            },
+            absorbed,
+        ))
     }
 
     // -------------------------------------------------------- expressions

@@ -23,8 +23,8 @@ use std::time::Instant;
 use plaway_common::{Error, Result, SessionRng, Type, Value};
 use plaway_sql::ast::{InsertSource, Language, Stmt};
 
-use crate::catalog::{Catalog, Column, FunctionDef, Row};
-use crate::config::EngineConfig;
+use crate::catalog::{Catalog, Column, FunctionDef, IndexKind, Row};
+use crate::config::{EngineConfig, IndexMode};
 use crate::database::Database;
 use crate::exec::{eval, exec, EvalEnv, FnPlanCache, Runtime, RuntimeStats, Scopes};
 use crate::explain::AnalyzeState;
@@ -331,8 +331,15 @@ impl Session {
                 name,
                 table,
                 column,
+                using,
             } => {
-                self.commit(|cat| cat.create_index(name, table, column))?;
+                // Default to btree: it serves both point and range
+                // predicates. `USING hash` opts into equality-only.
+                let kind = match using {
+                    Some(plaway_sql::ast::IndexMethod::Hash) => IndexKind::Hash,
+                    Some(plaway_sql::ast::IndexMethod::Btree) | None => IndexKind::Btree,
+                };
+                self.commit(|cat| cat.create_index(name, table, column, kind))?;
                 Ok(QueryResult::empty())
             }
             Stmt::CreateFunction(cf) => {
@@ -348,6 +355,7 @@ impl Session {
                     body: cf.body.clone(),
                 };
                 let or_replace = cf.or_replace;
+                let index_mode = self.config.index_mode;
                 self.commit(move |cat| {
                     if def.language == Language::Sql {
                         if !or_replace && cat.function(&def.name).is_some() {
@@ -362,7 +370,7 @@ impl Session {
                         // does not plan fails the commit and the
                         // registration is discarded with it.
                         cat.create_function(def.clone(), true)?;
-                        plan_udf_body(cat, &def)?;
+                        plan_udf_body(cat, &def, index_mode)?;
                         Ok(())
                     } else {
                         cat.create_function(def, or_replace)
@@ -477,7 +485,7 @@ impl Session {
         // a failing row leaves the table untouched.
         let db = Arc::clone(&self.db);
         let n = db.commit(|cat| {
-            let prepared = plan_query(cat, &query, None)?;
+            let prepared = plan_query(cat, &query, None, self.config.index_mode)?;
             let rows = {
                 let mut rt = self.runtime_for(cat);
                 exec(&prepared.plan, &EvalEnv::EMPTY, &mut rt)?
@@ -579,7 +587,7 @@ impl Session {
                 .collect::<Result<Vec<_>>>()?;
             let types: Vec<Type> = t.columns.iter().map(|c| c.ty.clone()).collect();
 
-            let prepared = plan_query(cat, &query, None)?;
+            let prepared = plan_query(cat, &query, None, self.config.index_mode)?;
             let computed = {
                 let mut rt = self.runtime_for(cat);
                 exec(&prepared.plan, &EvalEnv::EMPTY, &mut rt)?
@@ -637,7 +645,7 @@ impl Session {
                         ..Default::default()
                     };
                     let query = plaway_sql::ast::Query::simple(sel);
-                    let prepared = plan_query(cat, &query, None)?;
+                    let prepared = plan_query(cat, &query, None, self.config.index_mode)?;
                     let rows = {
                         let mut rt = self.runtime_for(cat);
                         exec(&prepared.plan, &EvalEnv::EMPTY, &mut rt)?
@@ -676,7 +684,7 @@ impl Session {
     /// invalidated with DDL is re-planned here rather than served stale.
     pub fn prepare(&mut self, sql: &str, params: &ParamScope) -> Result<Arc<PreparedPlan>> {
         self.refresh();
-        let key = cache_key(sql, params);
+        let key = cache_key(sql, params, self.config.index_mode);
         if let Some(p) = self.db.cached_plan(&key, self.catalog.version) {
             self.plan_cache_hits += 1;
             if self.config.trace {
@@ -686,7 +694,12 @@ impl Session {
         }
         self.plan_cache_misses += 1;
         let query = plaway_sql::parse_query(sql)?;
-        let prepared = Arc::new(plan_query(&self.catalog, &query, Some(params))?);
+        let prepared = Arc::new(plan_query(
+            &self.catalog,
+            &query,
+            Some(params),
+            self.config.index_mode,
+        )?);
         self.db.store_plan(key, Arc::clone(&prepared));
         if self.config.trace {
             self.emit_trace("prepare", "\"cache\":\"miss\"");
@@ -701,7 +714,7 @@ impl Session {
         params: &ParamScope,
     ) -> Result<Arc<PreparedPlan>> {
         self.refresh();
-        let key = cache_key(key, params);
+        let key = cache_key(key, params, self.config.index_mode);
         if let Some(p) = self.db.cached_plan(&key, self.catalog.version) {
             self.plan_cache_hits += 1;
             if self.config.trace {
@@ -710,7 +723,12 @@ impl Session {
             return Ok(p);
         }
         self.plan_cache_misses += 1;
-        let prepared = Arc::new(plan_query(&self.catalog, query, Some(params))?);
+        let prepared = Arc::new(plan_query(
+            &self.catalog,
+            query,
+            Some(params),
+            self.config.index_mode,
+        )?);
         self.db.store_plan(key, Arc::clone(&prepared));
         if self.config.trace {
             self.emit_trace("prepare", "\"cache\":\"miss\"");
@@ -911,7 +929,7 @@ impl Session {
         expr: &plaway_sql::ast::Expr,
         params: &ParamScope,
     ) -> Result<ExprIr> {
-        plan_expr(&self.catalog, expr, Some(params))
+        plan_expr(&self.catalog, expr, Some(params), self.config.index_mode)
     }
 
     /// Evaluate a compiled expression with bound parameters. Timing is the
@@ -985,11 +1003,19 @@ impl Session {
     }
 }
 
-fn cache_key(sql: &str, params: &ParamScope) -> String {
+fn cache_key(sql: &str, params: &ParamScope, index_mode: IndexMode) -> String {
+    // Plans depend on the access-path policy; sessions running a force mode
+    // (the differential harness) must not share cache entries with Auto
+    // sessions attached to the same database. Auto keys stay unchanged.
+    let mode_tag = match index_mode {
+        IndexMode::Auto => "",
+        IndexMode::ForceOn => "\u{2}idx+",
+        IndexMode::ForceOff => "\u{2}idx-",
+    };
     if params.names.is_empty() {
-        sql.to_string()
+        format!("{sql}{mode_tag}")
     } else {
-        format!("{sql}\u{1}{}", params.names.join("\u{1}"))
+        format!("{sql}\u{1}{}{mode_tag}", params.names.join("\u{1}"))
     }
 }
 
@@ -1743,6 +1769,7 @@ mod tests {
             .add(Phase::Interp, std::time::Duration::from_nanos(5));
         s.stats.snapshots_materialized += 1;
         s.stats.snapshots_released += 1;
+        s.stats.index_probes += 1;
         s.stats.batch.batch_rows_in_flight += 1;
         s.stats.batch.batch_rows_retired += 1;
 
@@ -1787,6 +1814,7 @@ mod tests {
             subplan_evals,
             udf_calls,
             rows_scanned,
+            index_probes,
             max_udf_depth,
             snapshots_materialized,
             snapshots_released,
@@ -1802,6 +1830,7 @@ mod tests {
         );
         assert_eq!(max_udf_depth, 0);
         assert_eq!((snapshots_materialized, snapshots_released), (0, 0));
+        assert_eq!(index_probes, 0);
         assert_eq!((start_penalty_charges, end_penalty_charges), (0, 0));
         assert_eq!((vm_ops_executed, fused_transition_rows), (0, 0));
         let crate::profile::BatchCounters {

@@ -719,6 +719,11 @@ pub fn precompile_plan(plan: &mut PlanNode) {
     match plan {
         PlanNode::SeqScan { .. } | PlanNode::CteScan { .. } | PlanNode::WorkingScan { .. } => {}
         PlanNode::IndexLookup { key, .. } => precompile_expr(key),
+        PlanNode::IndexRange { lo, hi, .. } => {
+            for (e, _) in lo.iter_mut().chain(hi.iter_mut()) {
+                precompile_expr(e);
+            }
+        }
         PlanNode::Values { rows } => {
             for row in rows {
                 for e in row {
@@ -1018,6 +1023,13 @@ fn plan_free_scopes(p: &PlanNode) -> Option<usize> {
         PlanNode::SeqScan { .. } => Some(0),
         PlanNode::CteScan { .. } | PlanNode::WorkingScan { .. } => None,
         PlanNode::IndexLookup { key, .. } => expr_free_scopes(key),
+        PlanNode::IndexRange { lo, hi, .. } => {
+            let mut m = Some(0);
+            for (e, _) in lo.iter().chain(hi.iter()) {
+                m = max2(m, expr_free_scopes(e));
+            }
+            m
+        }
         PlanNode::Values { rows } => {
             let mut m = Some(0);
             for row in rows {
@@ -1538,7 +1550,13 @@ mod tests {
         let ast = plaway_sql::parse_expr(sql).unwrap();
         let names: Vec<String> = (0..params.len()).map(|i| format!("p{i}")).collect();
         let scope = ParamScope::new(names);
-        let ir = plan_expr(&session.catalog, &ast, Some(&scope)).unwrap();
+        let ir = plan_expr(
+            &session.catalog,
+            &ast,
+            Some(&scope),
+            crate::config::IndexMode::Auto,
+        )
+        .unwrap();
         let tree = session.eval_expr(&ir, params);
         let prog = ExprIr::Vm(Arc::new(compile(&ir)));
         let vm = session.eval_expr(&prog, params);
@@ -1638,7 +1656,13 @@ mod tests {
         let ast = plaway_sql::parse_expr("(a + 1) * (a - 1) + a % 7").unwrap();
         let s = Session::default();
         let scope = ParamScope::new(vec!["a".into()]);
-        let ir = plan_expr(&s.catalog, &ast, Some(&scope)).unwrap();
+        let ir = plan_expr(
+            &s.catalog,
+            &ast,
+            Some(&scope),
+            crate::config::IndexMode::Auto,
+        )
+        .unwrap();
         assert!(worth_swapping(&compile(&ir)));
     }
 
@@ -1649,13 +1673,19 @@ mod tests {
         s.run("INSERT INTO t VALUES (1), (2)").unwrap();
         // Closed: depends only on the catalog.
         let ast = plaway_sql::parse_expr("(SELECT count(*) FROM t)").unwrap();
-        let ir = plan_expr(&s.catalog, &ast, None).unwrap();
+        let ir = plan_expr(&s.catalog, &ast, None, crate::config::IndexMode::Auto).unwrap();
         let ExprIr::Subplan(p) = &ir else { panic!() };
         assert_eq!(plan_free_scopes(p), Some(0));
         // Parameterized: not hoistable.
         let ast = plaway_sql::parse_expr("(SELECT count(*) FROM t WHERE a = x)").unwrap();
         let scope = ParamScope::new(vec!["x".into()]);
-        let ir = plan_expr(&s.catalog, &ast, Some(&scope)).unwrap();
+        let ir = plan_expr(
+            &s.catalog,
+            &ast,
+            Some(&scope),
+            crate::config::IndexMode::Auto,
+        )
+        .unwrap();
         let ExprIr::Subplan(p) = &ir else { panic!() };
         assert_eq!(plan_free_scopes(p), None);
     }

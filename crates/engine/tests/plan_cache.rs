@@ -225,3 +225,75 @@ fn invariant_subplans_are_hoisted_out_of_the_fixpoint() {
         s.stats.subplan_evals
     );
 }
+
+#[test]
+fn create_index_invalidates_shared_cache_and_modes_key_separately() {
+    use plaway_engine::IndexMode;
+
+    let db = Database::new(EngineConfig::raw());
+    let mut a = db.session();
+    a.run("CREATE TABLE t (k int, v int)").unwrap();
+    a.run("INSERT INTO t VALUES (1, 10), (2, 20), (3, 30)")
+        .unwrap();
+
+    let ps = ParamScope::default();
+    let sql = "SELECT v FROM t WHERE k = 2";
+    let scan = a.prepare(sql, &ps).unwrap();
+    assert!(
+        scan.plan.explain().contains("SeqScan"),
+        "no index yet:\n{}",
+        scan.plan.explain()
+    );
+    let want = a.execute_prepared(&scan, vec![]).unwrap();
+    let warm = db.plan_cache_stats();
+    a.prepare(sql, &ps).unwrap();
+    assert_eq!(
+        db.plan_cache_stats().misses,
+        warm.misses,
+        "re-prepare before DDL must be a pure hit"
+    );
+
+    // CREATE INDEX commits a new catalog version: the cached plan is stale,
+    // so the next prepare must MISS and re-plan into an index probe — with
+    // identical results.
+    a.run("CREATE INDEX t_k ON t (k)").unwrap();
+    let before = db.plan_cache_stats();
+    let probe = a.prepare(sql, &ps).unwrap();
+    let after = db.plan_cache_stats();
+    assert_eq!(
+        after.misses,
+        before.misses + 1,
+        "CREATE INDEX must invalidate the cached plan"
+    );
+    assert_eq!(after.hits, before.hits, "no stale hit across CREATE INDEX");
+    assert!(
+        probe.plan.explain().contains("IndexLookup"),
+        "re-plan after CREATE INDEX must probe the index:\n{}",
+        probe.plan.explain()
+    );
+    assert_eq!(a.execute_prepared(&probe, vec![]).unwrap(), want);
+
+    // The planner mode is part of the cache key: a ForceOff session asking
+    // for the same SQL must not be served the indexed plan.
+    let mut off = db.session();
+    off.config.index_mode = IndexMode::ForceOff;
+    let b1 = db.plan_cache_stats();
+    let off_plan = off.prepare(sql, &ps).unwrap();
+    let b2 = db.plan_cache_stats();
+    assert_eq!(
+        b2.misses,
+        b1.misses + 1,
+        "a different index mode must miss, not share the Auto plan"
+    );
+    assert!(
+        off_plan.plan.explain().contains("SeqScan"),
+        "ForceOff must plan a sequential scan:\n{}",
+        off_plan.plan.explain()
+    );
+    assert_eq!(off.execute_prepared(&off_plan, vec![]).unwrap(), want);
+
+    // Same mode, same SQL: a pure hit against the mode-tagged entry.
+    off.prepare(sql, &ps).unwrap();
+    let b3 = db.plan_cache_stats();
+    assert_eq!((b3.hits, b3.misses), (b2.hits + 1, b2.misses));
+}

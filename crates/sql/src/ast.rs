@@ -417,6 +417,24 @@ pub enum JoinKind {
     Cross,
 }
 
+/// Index access method named in `CREATE INDEX ... USING <method>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexMethod {
+    /// Ordered index: point and range predicates.
+    Btree,
+    /// Hash index: equality predicates only.
+    Hash,
+}
+
+impl IndexMethod {
+    pub fn sql(&self) -> &'static str {
+        match self {
+            IndexMethod::Btree => "btree",
+            IndexMethod::Hash => "hash",
+        }
+    }
+}
+
 /// Top-level statements.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Stmt {
@@ -433,10 +451,13 @@ pub enum Stmt {
         columns: Vec<(String, String)>,
         if_not_exists: bool,
     },
+    /// `CREATE INDEX name ON table [USING btree|hash] (column)`. Without a
+    /// USING clause the engine picks its default method (btree).
     CreateIndex {
         name: String,
         table: String,
         column: String,
+        using: Option<IndexMethod>,
     },
     CreateFunction(CreateFunction),
     Insert {

@@ -319,6 +319,20 @@ impl Parser {
         let name = self.expect_ident()?;
         self.expect_kw("on")?;
         let table = self.expect_ident()?;
+        let using = if self.eat_kw("using") {
+            let method = self.expect_ident()?;
+            Some(match method.to_ascii_lowercase().as_str() {
+                "btree" => crate::ast::IndexMethod::Btree,
+                "hash" => crate::ast::IndexMethod::Hash,
+                other => {
+                    return Err(self.err_here(format!(
+                        "unknown index method {other:?} (expected btree or hash)"
+                    )))
+                }
+            })
+        } else {
+            None
+        };
         self.expect_sym(Sym::LParen)?;
         let column = self.expect_ident()?;
         self.expect_sym(Sym::RParen)?;
@@ -326,6 +340,7 @@ impl Parser {
             name,
             table,
             column,
+            using,
         })
     }
 

@@ -604,11 +604,15 @@ impl std::fmt::Display for Stmt {
                 name,
                 table,
                 column,
+                using,
             } => write!(
                 f,
-                "CREATE INDEX {} ON {} ({})",
+                "CREATE INDEX {} ON {}{} ({})",
                 quote_ident(name),
                 quote_ident(table),
+                using
+                    .map(|m| format!(" USING {}", m.sql()))
+                    .unwrap_or_default(),
                 quote_ident(column)
             ),
             Stmt::CreateFunction(cf) => {
@@ -811,6 +815,8 @@ mod tests {
             "DELETE FROM t WHERE a = 1",
             "DROP TABLE IF EXISTS t",
             "CREATE INDEX i ON t (a)",
+            "CREATE INDEX i ON t USING btree (a)",
+            "CREATE INDEX i ON t USING hash (a)",
             "EXPLAIN SELECT a FROM t WHERE a = 1",
             "EXPLAIN ANALYZE SELECT count(*) FROM t",
             "EXPLAIN ANALYZE INSERT INTO t (a, b) VALUES (1, 'x')",

@@ -64,7 +64,32 @@ impl Ledger {
         }
         total
     }
+
+    /// Reference implementation of `settle_top(lim)`: the same fold over
+    /// only the entries with `amount >= SETTLE_TOP_THRESHOLD`.
+    pub fn settle_top_reference(&self, lim: i64) -> i64 {
+        let mut total = 0i64;
+        for &(amount, kind) in &self.rows {
+            if amount < SETTLE_TOP_THRESHOLD {
+                continue;
+            }
+            if kind == 1 {
+                total += amount;
+            } else {
+                total -= amount;
+            }
+            if total > lim {
+                break;
+            }
+        }
+        total
+    }
 }
+
+/// The inclusive threshold `settle_top` folds above (~10% of a uniform
+/// 1..=99 ledger) — selective enough that access-path choice, not loop
+/// mechanics, decides how many rows the snapshot materialization touches.
+pub const SETTLE_TOP_THRESHOLD: i64 = 90;
 
 pub fn settle_workload() -> Workload {
     Workload {
@@ -75,6 +100,37 @@ DECLARE
   total int := 0;
 BEGIN
   FOR entry IN SELECT l.amount AS amount, l.kind AS kind FROM ledger AS l LOOP
+    IF entry.kind = 1 THEN
+      total := total + entry.amount;
+    ELSE
+      total := total - entry.amount;
+    END IF;
+    EXIT WHEN total > lim;
+  END LOOP;
+  RETURN total;
+END;
+$$ LANGUAGE PLPGSQL;
+"#
+        .to_string(),
+    }
+}
+
+/// The selective variant of `settle`: the loop source carries a range
+/// predicate on `amount`, so with a btree index on the column the
+/// compiled form's `materialize(<query>)` runs through an `IndexRange`
+/// access path instead of scanning the full ledger (the interpreter's
+/// cursor gains exactly the same path — both regimes plan through the
+/// same planner).
+pub fn settle_top_workload() -> Workload {
+    Workload {
+        name: "settle_top",
+        source: r#"
+CREATE OR REPLACE FUNCTION settle_top(lim int) RETURNS int AS $$
+DECLARE
+  total int := 0;
+BEGIN
+  FOR entry IN SELECT l.amount AS amount, l.kind AS kind FROM ledger AS l
+               WHERE l.amount >= 90 LOOP
     IF entry.kind = 1 THEN
       total := total + entry.amount;
     ELSE
@@ -118,6 +174,40 @@ mod tests {
                     compiled.run(&mut s, &args).unwrap(),
                     expect,
                     "compiled lim {lim} {options:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn selective_settle_matches_reference_with_and_without_index() {
+        // The predicate must produce identical folds whether `amount` is
+        // indexed (IndexRange materialization) or not (filtered seq scan).
+        for create_index in [false, true] {
+            let mut s = Session::default();
+            let ledger = Ledger::generate(300, 5);
+            ledger.install(&mut s).unwrap();
+            if create_index {
+                s.run("CREATE INDEX ledger_amount ON ledger (amount)")
+                    .unwrap();
+            }
+            let w = settle_top_workload();
+            w.install(&mut s).unwrap();
+            let mut interp = Interpreter::new();
+            for lim in [1_000_000i64, 200, 0, -1_000] {
+                let expect = Value::Int(ledger.settle_top_reference(lim));
+                let args = vec![Value::Int(lim)];
+                assert_eq!(
+                    interp.call(&mut s, w.name, &args).unwrap(),
+                    expect,
+                    "interp lim {lim} indexed {create_index}"
+                );
+                let compiled =
+                    compile_sql(&s.catalog, &w.source, CompileOptions::default()).unwrap();
+                assert_eq!(
+                    compiled.run(&mut s, &args).unwrap(),
+                    expect,
+                    "compiled lim {lim} indexed {create_index}"
                 );
             }
         }

@@ -7,7 +7,9 @@
 # fresh ns | delta %), sorted by key, with keys present on only one side
 # marked. The `batch.*_ns_per_call` throughput keys additionally get a
 # calls/sec table (1e9 / ns-per-call) — the unit the batch trampoline's
-# story is told in — and the `serve.*` keys a concurrent-serving table
+# story is told in — the `index.*` pairs a speedup table (seq ns /
+# indexed ns per probe, the ratio bench_gate enforces ≥ 5× on point and
+# range) and the `serve.*` keys a concurrent-serving table
 # (req/s + p99 per phase; higher req/s is better, so they are excluded
 # from the ns table). CI's bench-gate job pipes this into
 # $GITHUB_STEP_SUMMARY so the perf trajectory is visible per PR without
@@ -80,6 +82,25 @@ BEGIN {
         else if (!(k in f)) printf "| %s | %d | — | _missing_ |\n", k, 1e9 / b[k]
         else                printf "| %s | %d | %d | %+.1f%% |\n", k, 1e9 / b[k], 1e9 / f[k], (b[k] / f[k] - 1) * 100
     }
+    # Index access paths: seq-scan ns vs indexed ns per probe, with the
+    # speedup factor on each side. The gate enforces >= 5x for the point
+    # and range probes; settle_top is trajectory-only (its fixpoint fold
+    # dominates the scan).
+    hdr = 0
+    for (i = 1; i <= n; i++) {
+        k = sorted[i]
+        if (k !~ /^index\./ || k !~ /\.indexed_ns$/) continue
+        probe = k
+        sub(/^index\./, "", probe); sub(/\.indexed_ns$/, "", probe)
+        sk = "index." probe ".seq_ns"
+        if (!hdr) {
+            print ""
+            print "| index probe | baseline speedup | fresh speedup |"
+            print "|---|---:|---:|"
+            hdr = 1
+        }
+        printf "| %s | %s | %s |\n", probe, speedup(b, k, sk), speedup(f, k, sk)
+    }
     # Concurrent serving (serve_bench): req/s per phase with the 4-thread
     # p99 tail. Higher req/s is better — deltas here are intentionally not
     # percent-flagged like the ns table; the gate enforces the scaling
@@ -116,6 +137,10 @@ function hit_rate(m,    h, mi) {
     return sprintf("%.1f%%", h * 100 / (h + mi))
 }
 function cell(m, k) { return (k in m) ? m[k] : "—" }
+function speedup(m, ik, sk) {
+    if (!(ik in m) || !(sk in m) || m[ik] == 0) return "—"
+    return sprintf("%.1fx", m[sk] / m[ik])
+}
 function srow(label, rk, pk, b, f) {
     printf "| %s | %s | %s | %s | %s |\n", label, cell(b, rk), cell(f, rk), \
         (pk == "") ? "—" : cell(b, pk), (pk == "") ? "—" : cell(f, pk)

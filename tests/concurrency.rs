@@ -288,6 +288,7 @@ fn racing_sessions_metrics_merge_exactly() {
         sum.batch_rows_retired += m.batch_rows_retired;
         sum.udf_calls += m.udf_calls;
         sum.rows_scanned += m.rows_scanned;
+        sum.index_probes += m.index_probes;
         sum.recursive_iterations += m.recursive_iterations;
         sum.vm_ops_executed += m.vm_ops_executed;
         sum.latency.merge(&m.latency);
@@ -330,6 +331,11 @@ fn racing_sessions_metrics_merge_exactly() {
             "rows_scanned",
             after.rows_scanned - base.rows_scanned,
             sum.rows_scanned,
+        ),
+        (
+            "index_probes",
+            after.index_probes - base.index_probes,
+            sum.index_probes,
         ),
         (
             "recursive_iterations",
@@ -385,4 +391,83 @@ fn concurrent_writers_lose_no_commits() {
             .unwrap();
         assert_eq!(r.rows[0], vec![Value::Int(25), Value::Int(300)]);
     }
+}
+
+/// Index maintenance is transactional with the heap: a committed INSERT
+/// becomes visible to the index access path and the sequential path
+/// *atomically*, and a failed INSERT surfaces in neither. Readers race a
+/// writer and evaluate both paths inside ONE statement — one catalog
+/// snapshot — where `t.k = 5` plans through the btree probe while
+/// `t.k + 0 = 5` defeats predicate extraction and seq-scans. Their
+/// difference must be 0 in every snapshot any reader ever observes.
+#[test]
+fn index_and_seq_scan_visibility_is_atomic() {
+    let db = Database::new(EngineConfig::raw());
+    let mut s = db.session();
+    s.run("CREATE TABLE t (k int, v int)").unwrap();
+    s.run("CREATE INDEX t_k ON t (k)").unwrap();
+    for i in 0..64i64 {
+        s.run(&format!("INSERT INTO t VALUES ({}, {i})", i % 16))
+            .unwrap();
+    }
+
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let writer = scope.spawn(|| {
+            let mut s = db.session();
+            let mut committed = 0i64;
+            while !stop.load(Ordering::Relaxed) {
+                committed += 1;
+                s.run(&format!("INSERT INTO t VALUES (5, {committed})"))
+                    .unwrap();
+                // A statement that fails on its second row: statement-level
+                // atomicity means no heap row AND no index posting may land.
+                let err = s.run("INSERT INTO t VALUES (5, 77), (5, 1 / 0)");
+                assert!(err.is_err(), "division by zero must fail the INSERT");
+                std::thread::yield_now();
+            }
+            committed
+        });
+        let readers: Vec<_> = (0..READER_THREADS)
+            .map(|_| {
+                let db = &db;
+                scope.spawn(move || {
+                    let mut s = db.session();
+                    for _ in 0..STRESS_ITERS * 4 {
+                        let r = s
+                            .run(
+                                "SELECT (SELECT count(*) FROM t WHERE t.k = 5) - \
+                                 (SELECT count(*) FROM t WHERE t.k + 0 = 5)",
+                            )
+                            .unwrap();
+                        assert_eq!(
+                            r.rows[0][0],
+                            Value::Int(0),
+                            "index and seq scan disagreed within one snapshot"
+                        );
+                        std::thread::yield_now();
+                    }
+                    assert!(
+                        s.metrics.index_probes > 0,
+                        "the reader's point predicate never took the index path"
+                    );
+                })
+            })
+            .collect();
+        for h in readers {
+            h.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        let committed = writer.join().unwrap();
+        assert!(committed > 0, "the writer never committed");
+
+        // Post-race ground truth: the seed planted 4 rows with k = 5 and
+        // each committed INSERT added one; the failed statements added none
+        // — on both access paths.
+        let mut s = db.session();
+        let via_index = s.run("SELECT count(*) FROM t WHERE t.k = 5").unwrap();
+        let via_seq = s.run("SELECT count(*) FROM t WHERE t.k + 0 = 5").unwrap();
+        assert_eq!(via_index.rows[0][0], Value::Int(4 + committed));
+        assert_eq!(via_index.rows[0], via_seq.rows[0]);
+    });
 }

@@ -326,3 +326,148 @@ fn batch_equals_scalar_on_all_kernels() {
         .collect();
     assert_batch_matches_scalar(&mut b, &calls);
 }
+
+// ------------------------------------------------------------------ index
+
+/// A session whose planner runs in the given index mode, over its own
+/// private database.
+fn session_with_index_mode(mode: IndexMode) -> Session {
+    let mut config = EngineConfig::postgres_like();
+    config.index_mode = mode;
+    Session::new(config)
+}
+
+/// Index access paths vs forced sequential scans on every generated
+/// program: planning the embedded `kv.k = …` / `kv.k <= …` queries through
+/// btree probes (ForceOn), through plain filtered scans (ForceOff), and
+/// through the cost model (Auto) must be *bit-identical* — same `Value`,
+/// same `Debug` rendering (which distinguishes float bit patterns the
+/// `PartialEq` on `Value` may conflate). The heap-order invariant on index
+/// paths is what makes this hold row-for-row, not just set-wise.
+#[test]
+fn index_modes_are_bit_identical_on_generated_programs() {
+    let mut force_on_probes = 0u64;
+    for seed in case_seeds(0x1DE5, 32) {
+        let mut reference: Option<Value> = None;
+        for mode in [IndexMode::ForceOff, IndexMode::Auto, IndexMode::ForceOn] {
+            let mut session = session_with_index_mode(mode);
+            genprog::install_fixture(&mut session).unwrap();
+            let prog = genprog::generate(seed, GenConfig::default());
+            session
+                .run(&prog.source)
+                .unwrap_or_else(|e| panic!("seed {seed}: install: {e}\n{}", prog.source));
+
+            let mut interp = Interpreter::new();
+            interp.max_statements = 5_000_000;
+            let interp_val = interp
+                .call(&mut session, &prog.name, &prog.args)
+                .unwrap_or_else(|e| {
+                    panic!("seed {seed} mode {mode:?}: interp: {e}\n{}", prog.source)
+                });
+            let compiled =
+                compile_sql(&session.catalog, &prog.source, CompileOptions::default()).unwrap();
+            let compiled_val = compiled.run(&mut session, &prog.args).unwrap_or_else(|e| {
+                panic!("seed {seed} mode {mode:?}: compiled: {e}\n{}", prog.source)
+            });
+            assert_eq!(
+                compiled_val, interp_val,
+                "seed {seed} mode {mode:?}: compiled vs interp\n{}",
+                prog.source
+            );
+
+            match &reference {
+                None => reference = Some(interp_val),
+                Some(want) => {
+                    assert_eq!(
+                        &interp_val, want,
+                        "seed {seed}: {mode:?} diverged from ForceOff\n{}",
+                        prog.source
+                    );
+                    assert_eq!(
+                        format!("{interp_val:?}"),
+                        format!("{want:?}"),
+                        "seed {seed}: {mode:?} bit-level divergence\n{}",
+                        prog.source
+                    );
+                }
+            }
+            match mode {
+                IndexMode::ForceOff => assert_eq!(
+                    session.metrics.index_probes, 0,
+                    "seed {seed}: ForceOff must never touch an index"
+                ),
+                IndexMode::ForceOn => force_on_probes += session.metrics.index_probes,
+                IndexMode::Auto => {}
+            }
+        }
+    }
+    // The sweep is only evidence if the forced path actually ran probes.
+    assert!(
+        force_on_probes > 0,
+        "ForceOn sweep never exercised an index access path"
+    );
+}
+
+/// Direct SQL-level sweep: random point, range, BETWEEN and indexed-inner
+/// join predicates over a table with duplicate and NULL keys. Every mode
+/// must return the same rows *in the same order* (heap order), pinned by
+/// comparing the full `Debug` rendering of the result rows.
+#[test]
+fn index_sql_sweep_is_order_identical() {
+    let mut rng = SessionRng::new(0x5CA9);
+    let mut sessions: Vec<(IndexMode, Session)> =
+        [IndexMode::ForceOff, IndexMode::Auto, IndexMode::ForceOn]
+            .into_iter()
+            .map(|m| (m, session_with_index_mode(m)))
+            .collect();
+    for (_, s) in sessions.iter_mut() {
+        s.run("CREATE TABLE t (k int, v int)").unwrap();
+        s.run("CREATE INDEX t_k ON t (k)").unwrap();
+        s.run("CREATE INDEX t_v ON t USING hash (v)").unwrap();
+    }
+    // 64 rows: duplicated small keys plus a sprinkle of NULLs.
+    for i in 0..64i64 {
+        let k = if i % 13 == 7 {
+            "NULL".to_string()
+        } else {
+            ((i * 37) % 16).to_string()
+        };
+        let stmt = format!("INSERT INTO t VALUES ({k}, {})", (i * 7) % 24);
+        for (_, s) in sessions.iter_mut() {
+            s.run(&stmt).unwrap();
+        }
+    }
+
+    for case in 0..48 {
+        let a = rng.next_range(-2, 18);
+        let b = rng.next_range(-2, 18);
+        let sql = match case % 6 {
+            0 => format!("SELECT t.k, t.v FROM t WHERE t.k = {a}"),
+            1 => format!("SELECT t.k, t.v FROM t WHERE t.k >= {a} AND t.k < {b}"),
+            2 => format!("SELECT t.k, t.v FROM t WHERE t.k BETWEEN {a} AND {b}"),
+            3 => format!("SELECT t.k, t.v FROM t WHERE t.k > {a}"),
+            4 => format!("SELECT t.v, t.k FROM t WHERE t.v = {a}"),
+            _ => format!(
+                "SELECT a.k, b.v FROM t AS a JOIN t AS b ON b.k = a.v % 16 \
+                 AND b.v > {a} WHERE a.k <= {b}"
+            ),
+        };
+        let mut want: Option<String> = None;
+        for (mode, s) in sessions.iter_mut() {
+            let got = s
+                .run(&sql)
+                .unwrap_or_else(|e| panic!("case {case} mode {mode:?}: {e}\n{sql}"));
+            let rendering = format!("{:?}", got.rows);
+            match &want {
+                None => want = Some(rendering),
+                Some(w) => assert_eq!(
+                    &rendering, w,
+                    "case {case}: {mode:?} diverged from ForceOff\n{sql}"
+                ),
+            }
+        }
+    }
+    // ForceOn must have probed; ForceOff must not have.
+    assert_eq!(sessions[0].1.metrics.index_probes, 0);
+    assert!(sessions[2].1.metrics.index_probes > 0);
+}

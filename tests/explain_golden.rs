@@ -149,3 +149,56 @@ fn mask_replaces_only_time_digits() {
     );
     assert_eq!(mask_times("SeqScan on kv"), "SeqScan on kv");
 }
+
+#[test]
+fn golden_explain_index_range_scan() {
+    // `k >= 2 AND k < 4` selects 2 of 5 rows: the exact plan-time estimate
+    // (both bounds are constants) satisfies `est * 2 <= n`, so the cost
+    // model picks the btree range scan without any forcing.
+    let mut s = seeded_session();
+    let out = run_explain(&mut s, "EXPLAIN SELECT v FROM kv WHERE k >= 2 AND k < 4");
+    assert_golden("explain_index_range_scan.snap", &out);
+}
+
+#[test]
+fn golden_explain_indexed_inner_join() {
+    // Inner join whose right side is a base-table scan with a btree on the
+    // join column: the planner turns the right side into a per-left-row
+    // index probe (a lateral IndexLookup) and keeps the residual ON
+    // conjunct as the join predicate.
+    let mut s = seeded_session();
+    let out = run_explain(
+        &mut s,
+        "EXPLAIN SELECT a.k, b.v FROM kv AS a JOIN kv AS b \
+         ON b.k = a.v / 10 AND b.v > 15",
+    );
+    assert_golden("explain_indexed_inner_join.snap", &out);
+}
+
+#[test]
+fn golden_explain_analyze_index_point_lookup() {
+    let mut s = seeded_session();
+    let out = run_explain(&mut s, "EXPLAIN ANALYZE SELECT v FROM kv WHERE k = 3");
+    assert_golden("explain_analyze_index_point_lookup.snap", &mask_times(&out));
+}
+
+#[test]
+fn golden_explain_analyze_index_range_scan() {
+    let mut s = seeded_session();
+    let out = run_explain(
+        &mut s,
+        "EXPLAIN ANALYZE SELECT v FROM kv WHERE k >= 2 AND k < 4",
+    );
+    assert_golden("explain_analyze_index_range_scan.snap", &mask_times(&out));
+}
+
+#[test]
+fn golden_explain_analyze_indexed_inner_join() {
+    let mut s = seeded_session();
+    let out = run_explain(
+        &mut s,
+        "EXPLAIN ANALYZE SELECT a.k, b.v FROM kv AS a JOIN kv AS b \
+         ON b.k = a.v / 10 AND b.v > 15",
+    );
+    assert_golden("explain_analyze_indexed_inner_join.snap", &mask_times(&out));
+}
