@@ -11,8 +11,9 @@
 use std::time::Instant;
 
 use plaway_bench::*;
+use plaway_common::Value;
 use plaway_core::{ArgsLayout, CompileOptions, CteMode};
-use plaway_engine::EngineConfig;
+use plaway_engine::{EngineConfig, TierMode};
 
 fn time_ms(f: impl FnMut()) -> f64 {
     let mut f = f;
@@ -157,4 +158,48 @@ fn main() {
         "  batch_rows_retired           {:>9}",
         counters.batch_rows_retired
     );
+
+    // ---- execution tier per-iteration cost -------------------------------
+    // The fused fixpoint transition in the `Value`-domain VM vs the typed
+    // mono pipeline, on the two shape-recognized kernels. Total wall time
+    // over the `recursive_iterations` delta gives ns per iteration — both
+    // tiers run the same iterations on the same inputs, so the ratio is
+    // exactly the dispatch + boxing the mono tier removes.
+    println!("\ntiered execution: ns per fixpoint iteration, VM vs mono:");
+    type TierCase = (&'static str, fn(EngineConfig) -> BenchSetup, Vec<Value>);
+    let tier_cases: [TierCase; 2] = [
+        ("fibonacci(500)", setup_fib, fib_args(500)),
+        ("parse(150)", setup_parse, parse_args(150)),
+    ];
+    for (name, setup, args) in tier_cases {
+        let mut per_iter = [0u128; 2];
+        for (t, mode) in [TierMode::ForceOff, TierMode::ForceOn]
+            .into_iter()
+            .enumerate()
+        {
+            let mut config = EngineConfig::postgres_like();
+            config.tier_mode = mode;
+            let mut b = setup(config);
+            let compiled = b.compile(CompileOptions::iterate()).unwrap();
+            let plan = compiled.prepare(&mut b.session).unwrap();
+            b.session.set_seed(1);
+            let before = b.session.stats.recursive_iterations;
+            b.session.execute_prepared(&plan, args.clone()).unwrap();
+            let iters = ((b.session.stats.recursive_iterations - before) as u128).max(1);
+            let mut best = u128::MAX;
+            for _ in 0..5 {
+                b.session.set_seed(1);
+                let t0 = Instant::now();
+                b.session.execute_prepared(&plan, args.clone()).unwrap();
+                best = best.min(t0.elapsed().as_nanos());
+            }
+            per_iter[t] = best / iters;
+        }
+        println!(
+            "  {name:<28} vm {:>6} ns/iter   mono {:>6} ns/iter   ({:.1}x)",
+            per_iter[0],
+            per_iter[1],
+            per_iter[0] as f64 / per_iter[1] as f64
+        );
+    }
 }

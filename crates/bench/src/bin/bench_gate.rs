@@ -183,9 +183,39 @@ fn check(
             )),
         }
     }
+    // The tiered-execution acceptance bar: on both shape-recognized
+    // kernels the typed mono pipeline must run each fixpoint iteration
+    // ≥ 1.5× faster than the `Value`-domain VM. Both keys of each pair
+    // must exist — a bench refactor silently dropping the tier section
+    // must not pass. Per-iteration ns makes the ratio machine-portable:
+    // both tiers run the same iterations on the same inputs, so dispatch
+    // and boxing overhead is the only thing the quotient can measure.
+    for kernel in ["fibonacci", "fsa"] {
+        let vm_key = format!("tier.{kernel}.vm_ns_per_iter");
+        let mono_key = format!("tier.{kernel}.mono_ns_per_iter");
+        match (fresh.get(&vm_key), fresh.get(&mono_key)) {
+            (Some(&vm), Some(&mono)) => {
+                let ratio = vm as f64 / mono as f64;
+                if ratio < TIER_SPEEDUP_MIN {
+                    failures.push(format!(
+                        "tier.{kernel}: mono {mono} ns/iter vs vm {vm} ns/iter is \
+                         only {ratio:.2}x, need >= {TIER_SPEEDUP_MIN}x — the mono \
+                         tier lost its win"
+                    ));
+                }
+            }
+            _ => failures.push(format!(
+                "tier keys {vm_key:?} / {mono_key:?} missing from fresh results"
+            )),
+        }
+    }
     failures.extend(check_serve(fresh));
     failures
 }
+
+/// The mono tier's per-iteration win over the VM, on both recognized
+/// kernels.
+const TIER_SPEEDUP_MIN: f64 = 1.5;
 
 /// Concurrent-serving acceptance. Read scaling must be ≥ 2.5× at 4 reader
 /// threads — but only on runners that actually have ≥ 4 hardware threads
@@ -196,6 +226,12 @@ fn check(
 /// not serialize readers into losing most of their standalone speed.
 const SERVE_SCALING_MIN_X100: u128 = 250;
 const SERVE_NO_COLLAPSE_MIN_X100: u128 = 50;
+/// Warm plan-cache hit rate over the mixed workload's steady state. The
+/// serve loop prepares each statement once and replays it, so after the
+/// warmup pass nearly every execution must be a cache hit; a rate below
+/// 90% means the shared plan cache is thrashing (bad keying, eviction
+/// churn) and sessions are silently re-planning.
+const SERVE_WARM_HIT_RATE_MIN_X100: u128 = 90;
 
 fn check_serve(fresh: &BTreeMap<String, u128>) -> Vec<String> {
     let mut failures = Vec::new();
@@ -211,6 +247,7 @@ fn check_serve(fresh: &BTreeMap<String, u128>) -> Vec<String> {
         "serve.mixed.p50_ns",
         "serve.mixed.p95_ns",
         "serve.mixed.p99_ns",
+        "serve.cache.warm_hit_rate_x100",
     ];
     let missing: Vec<&str> = required
         .iter()
@@ -249,6 +286,14 @@ fn check_serve(fresh: &BTreeMap<String, u128>) -> Vec<String> {
         if fresh[key] == 0 {
             failures.push(format!("{key} is 0 — latency sampling is broken"));
         }
+    }
+    let hit_rate = fresh["serve.cache.warm_hit_rate_x100"];
+    if hit_rate < SERVE_WARM_HIT_RATE_MIN_X100 {
+        failures.push(format!(
+            "serve.cache.warm_hit_rate_x100 = {hit_rate}: need >= \
+             {SERVE_WARM_HIT_RATE_MIN_X100} — the shared plan cache is \
+             re-planning prepared statements in steady state"
+        ));
     }
     failures
 }
@@ -331,7 +376,21 @@ mod tests {
         ] {
             m.insert(k.to_string(), v);
         }
-        index_ok(serve_ok(m))
+        tier_ok(index_ok(serve_ok(m)))
+    }
+
+    /// A fresh map with tier keys that satisfy the ≥ 1.5× mono gate
+    /// (fibonacci at ~2.3×, fsa at ~1.7× — the measured margins).
+    fn tier_ok(mut m: BTreeMap<String, u128>) -> BTreeMap<String, u128> {
+        for (k, v) in [
+            ("tier.fibonacci.vm_ns_per_iter", 280u128),
+            ("tier.fibonacci.mono_ns_per_iter", 120),
+            ("tier.fsa.vm_ns_per_iter", 1800),
+            ("tier.fsa.mono_ns_per_iter", 1080),
+        ] {
+            m.entry(k.to_string()).or_insert(v);
+        }
+        m
     }
 
     /// A fresh map with index access-path keys that satisfy the ≥ 5× gate
@@ -365,6 +424,7 @@ mod tests {
             ("serve.mixed.p50_ns", 300_000),
             ("serve.mixed.p95_ns", 2_000_000),
             ("serve.mixed.p99_ns", 9_000_000),
+            ("serve.cache.warm_hit_rate_x100", 99),
         ] {
             m.entry(k.to_string()).or_insert(v);
         }
@@ -466,7 +526,7 @@ mod tests {
         // A bench refactor that silently drops the batch section must not
         // pass the gate, even with an empty baseline.
         let base = map(&[]);
-        let fresh = index_ok(serve_ok(map(&[("fibonacci.interpreter", 1000)])));
+        let fresh = tier_ok(index_ok(serve_ok(map(&[("fibonacci.interpreter", 1000)]))));
         let failures = check(&base, &fresh, 25);
         assert_eq!(failures.len(), 2, "{failures:?}");
         assert!(failures[0].contains("batch.fibonacci"));
@@ -484,23 +544,23 @@ mod tests {
     fn batch_amortization_factors_enforced() {
         let base = map(&[]);
         // fibonacci at 4.5x (needs 5x) fails; checked at 2.4x passes.
-        let fresh = index_ok(serve_ok(map(&[
+        let fresh = tier_ok(index_ok(serve_ok(map(&[
             ("batch.fibonacci.compiled_ns_per_call", 1000),
             ("batch.fibonacci.interp_ns_per_call", 4500),
             ("batch.checked.compiled_ns_per_call", 4000),
             ("batch.checked.interp_ns_per_call", 9600),
-        ])));
+        ]))));
         let failures = check(&base, &fresh, 25);
         assert_eq!(failures.len(), 1, "{failures:?}");
         assert!(failures[0].contains("batch.fibonacci"));
         assert!(failures[0].contains("4.50x"));
         // checked below its own 1.5x bar fails too.
-        let fresh = index_ok(serve_ok(map(&[
+        let fresh = tier_ok(index_ok(serve_ok(map(&[
             ("batch.fibonacci.compiled_ns_per_call", 700),
             ("batch.fibonacci.interp_ns_per_call", 4500),
             ("batch.checked.compiled_ns_per_call", 4000),
             ("batch.checked.interp_ns_per_call", 5000),
-        ])));
+        ]))));
         let failures = check(&base, &fresh, 25);
         assert_eq!(failures.len(), 1, "{failures:?}");
         assert!(failures[0].contains("batch.checked"));
@@ -594,6 +654,42 @@ mod tests {
         let failures = check(&map(&[]), &fresh, 25);
         assert_eq!(failures.len(), 1, "{failures:?}");
         assert!(failures[0].contains("collapsed under contention"));
+    }
+
+    #[test]
+    fn tier_speedup_enforced() {
+        let base = map(&[]);
+        // fibonacci at 1.4x (needs 1.5x) fails; fsa stays at its margin.
+        let mut fresh = batch_ok(map(&[]));
+        fresh.insert("tier.fibonacci.vm_ns_per_iter".into(), 280);
+        fresh.insert("tier.fibonacci.mono_ns_per_iter".into(), 200);
+        let failures = check(&base, &fresh, 25);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("tier.fibonacci"));
+        assert!(failures[0].contains("1.40x"));
+        // Half a pair missing is a failure — the tier section must not be
+        // droppable by a silent bench refactor.
+        let mut fresh = batch_ok(map(&[]));
+        fresh.remove("tier.fsa.mono_ns_per_iter");
+        let failures = check(&base, &fresh, 25);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("tier.fsa"));
+        // Both pairs at their measured margins pass.
+        assert!(check(&base, &batch_ok(map(&[])), 25).is_empty());
+    }
+
+    #[test]
+    fn warm_cache_hit_rate_floor_enforced() {
+        // A thrashing plan cache (hit rate below 90% in steady state)
+        // fails even when throughput and latency look fine.
+        let mut fresh = batch_ok(map(&[]));
+        fresh.insert("serve.cache.warm_hit_rate_x100".into(), 62);
+        let failures = check(&map(&[]), &fresh, 25);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("serve.cache.warm_hit_rate_x100 = 62"));
+        // Exactly at the floor passes.
+        fresh.insert("serve.cache.warm_hit_rate_x100".into(), 90);
+        assert!(check(&map(&[]), &fresh, 25).is_empty());
     }
 
     #[test]

@@ -16,7 +16,10 @@
 //! interpreted calls (each paying the modeled executor lifecycle) —
 //! and the access-path pairs `index.{point,range,settle_top}.{indexed,seq}_ns`
 //! — the same statement over a 10⁵-row indexed ledger in an `Auto` session
-//! (index scans on) vs a `ForceOff` twin (always seq scan).
+//! (index scans on) vs a `ForceOff` twin (always seq scan) — and the
+//! tiered-execution pairs `tier.{fibonacci,fsa}.{vm,mono}_ns_per_iter`:
+//! the two shape-recognized fixpoints per iteration, in the `Value` VM
+//! (`TierMode::ForceOff`) vs the typed mono pipeline (`ForceOn`).
 //!
 //! Writes `BENCH_smoke.json` ({kernel.mode → median ns}, keys sorted so
 //! baseline diffs are stable) to the current directory; CI's `bench-gate`
@@ -33,7 +36,7 @@ use plaway_bench::{
 };
 use plaway_common::Value;
 use plaway_core::CompileOptions;
-use plaway_engine::{EngineConfig, IndexMode, ParamScope};
+use plaway_engine::{EngineConfig, IndexMode, ParamScope, TierMode};
 
 const WARMUP_RUNS: usize = 3;
 const MEASURED_RUNS: usize = 15;
@@ -175,6 +178,52 @@ fn smoke_index(results: &mut Vec<(String, u128)>) {
     }
 }
 
+/// Tiered execution: the two shape-recognized kernels per iteration, with
+/// the tier pinned both ways. `ForceOff` keeps every fixpoint in the
+/// `Value`-domain VM; `ForceOn` promotes the transition to the typed mono
+/// pipeline before the first iteration. Per-iteration ns (total wall time
+/// over the fixpoint's `recursive_iterations` delta) is the honest unit —
+/// both tiers run the same number of iterations on the same inputs, so
+/// the ratio isolates exactly the dispatch + boxing the mono tier
+/// removes. Both tiers must return identical rows, and `ForceOn` must
+/// actually promote — an unpromoted "mono" number would gate nothing.
+fn smoke_tier(results: &mut Vec<(String, u128)>) {
+    type TierCase = (&'static str, fn(EngineConfig) -> BenchSetup, Vec<Value>);
+    let cases: [TierCase; 2] = [
+        ("fibonacci", setup_fib, fib_args(500)),
+        ("fsa", setup_parse, parse_args(150)),
+    ];
+    for (name, setup, args) in cases {
+        let mut reference = None;
+        for (tier, mode) in [("vm", TierMode::ForceOff), ("mono", TierMode::ForceOn)] {
+            let mut config = EngineConfig::postgres_like();
+            config.tier_mode = mode;
+            let mut b = setup(config);
+            let compiled = b.compile(CompileOptions::iterate()).unwrap();
+            let plan = compiled.prepare(&mut b.session).unwrap();
+            b.session.set_seed(1);
+            let before = b.session.stats.recursive_iterations;
+            let got = b.session.execute_prepared(&plan, args.clone()).unwrap();
+            let iters = ((b.session.stats.recursive_iterations - before) as u128).max(1);
+            match &reference {
+                None => reference = Some(got.rows),
+                Some(want) => assert_eq!(&got.rows, want, "tier.{name}: tiers disagree"),
+            }
+            if tier == "mono" {
+                assert!(
+                    b.session.metrics.tier_promotions > 0,
+                    "tier.{name}: ForceOn never promoted — the mono number would be a lie"
+                );
+            }
+            let ns = time_runs(|| {
+                b.session.set_seed(1);
+                b.session.execute_prepared(&plan, args.clone()).unwrap();
+            });
+            results.push((format!("tier.{name}.{tier}_ns_per_iter"), ns / iters));
+        }
+    }
+}
+
 fn main() {
     let mut results: Vec<(String, u128)> = Vec::new();
 
@@ -212,6 +261,9 @@ fn main() {
 
     // Index access paths (the seq-vs-index story): 10⁵-row indexed ledger.
     smoke_index(&mut results);
+
+    // Tiered execution (the VM-vs-mono story): per-iteration ns, both tiers.
+    smoke_tier(&mut results);
 
     // Deterministic key order so baseline diffs (and the CI gate) are stable.
     results.sort_by(|(a, _), (b, _)| a.cmp(b));

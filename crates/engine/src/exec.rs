@@ -98,6 +98,8 @@ pub struct RuntimeStats {
     pub fused_transition_rows: u64,
     /// Batch-trampoline working-set counters (the `WITH RETIRE` driver).
     pub batch: crate::profile::BatchCounters,
+    /// Tiered-execution counters (the `crate::tier` mono tier).
+    pub tier: crate::profile::TierCounters,
 }
 
 impl RuntimeStats {
@@ -141,6 +143,16 @@ impl RuntimeStats {
                     .batch
                     .batch_rows_retired
                     .saturating_sub(before.batch.batch_rows_retired),
+            },
+            tier: crate::profile::TierCounters {
+                tier_promotions: self
+                    .tier
+                    .tier_promotions
+                    .saturating_sub(before.tier.tier_promotions),
+                tier_mono_rows: self
+                    .tier
+                    .tier_mono_rows
+                    .saturating_sub(before.tier.tier_mono_rows),
             },
         }
     }
@@ -1559,10 +1571,19 @@ fn exec_with(
                     recursive,
                     mode,
                     union_all,
+                    tier,
                     ..
                 } => {
-                    let rows =
-                        exec_recursive_cte(index, base, recursive, *mode, *union_all, env, rt)?;
+                    let rows = exec_recursive_cte(
+                        index,
+                        base,
+                        recursive,
+                        *mode,
+                        *union_all,
+                        tier.as_deref(),
+                        env,
+                        rt,
+                    )?;
                     rt.ctes.insert(index, Arc::new(rows));
                 }
             }
@@ -1779,7 +1800,7 @@ fn expr_scans_cte(e: &ExprIr, index: usize) -> bool {
 
 /// Does the expression (or any plan nested inside it) read the working table
 /// of the given CTE index?
-fn expr_uses_working(e: &ExprIr, index: usize) -> bool {
+pub(crate) fn expr_uses_working(e: &ExprIr, index: usize) -> bool {
     let mut found = false;
     walk_expr_plans(e, &mut |p| {
         if plan_uses_working(p, index) {
@@ -1929,7 +1950,7 @@ fn try_transition<'p>(steps: &[Step<'p>]) -> Option<Transition<'p>> {
 /// Does the predicate only read row columns below `limit` (plus outer
 /// scopes and parameters)? Sub-plans and UDFs are rejected — they could
 /// reach the appended column indirectly.
-fn pred_reads_below(e: &ExprIr, limit: usize) -> bool {
+pub(crate) fn pred_reads_below(e: &ExprIr, limit: usize) -> bool {
     match e {
         ExprIr::Const(_) | ExprIr::Param(_) => true,
         ExprIr::Slot { depth, index } => *depth > 0 || *index < limit,
@@ -2081,7 +2102,7 @@ fn run_pipeline_row(
     Ok(Some(row))
 }
 
-fn iteration_limit_error(mode: RecursionMode, limit: u64) -> Error {
+pub(crate) fn iteration_limit_error(mode: RecursionMode, limit: u64) -> Error {
     Error::exec(format!(
         "{} CTE exceeded {} iterations (possible infinite recursion)",
         match mode {
@@ -2093,12 +2114,14 @@ fn iteration_limit_error(mode: RecursionMode, limit: u64) -> Error {
     ))
 }
 
+#[allow(clippy::too_many_arguments)]
 fn exec_recursive_cte(
     index: usize,
     base: &PlanNode,
     recursive: &PlanNode,
     mode: RecursionMode,
     union_all: bool,
+    tier: Option<&crate::tier::TierProgram>,
     env: &EvalEnv<'_>,
     rt: &mut Runtime<'_>,
 ) -> Result<Vec<Row>> {
@@ -2113,6 +2136,11 @@ fn exec_recursive_cte(
     // Working-set high-water mark across every driver shape, reported by
     // EXPLAIN ANALYZE (and folded into the batch counters for Retire).
     let mut peak: usize = working.len();
+    // Tier gate: owns the VM→mono promotion decision for this execution.
+    // The catalog reference is copied out so the gate's borrows stay
+    // disjoint from the runtime's mutable state.
+    let catalog = rt.catalog;
+    let mut gate = crate::tier::TierGate::new(tier, rt.config, catalog);
 
     let result = match (mode, steps) {
         (RecursionMode::Accumulate, Some(steps)) => {
@@ -2122,7 +2150,37 @@ fn exec_recursive_cte(
             let mut store = Tuplestore::new(rt.config.work_mem_bytes);
             store.extend(working.iter().cloned());
             let mut next: Vec<Row> = Vec::new();
-            while !working.is_empty() {
+            loop {
+                // The fixpoint may already be drained (the threshold can be
+                // crossed on the very pass the VM emptied the set); promoting
+                // then would run mono over nothing and, for ITERATE, clobber
+                // the surviving iteration.
+                if working.is_empty() {
+                    break;
+                }
+                gate.try_promote(env, iters, rt.stats);
+                if let Some((prog, bound)) = gate.mono() {
+                    let mut cx = crate::tier::MonoCx {
+                        iters: &mut iters,
+                        peak: &mut peak,
+                        limit,
+                        mode,
+                        stats: rt.stats,
+                    };
+                    match crate::tier::run_mono_accumulate(
+                        prog,
+                        bound,
+                        &mut cx,
+                        &mut working,
+                        &mut store,
+                    )? {
+                        crate::tier::MonoOutcome::Finished => {}
+                        crate::tier::MonoOutcome::Demoted => gate.demote(),
+                    }
+                }
+                if working.is_empty() {
+                    break;
+                }
                 iters += 1;
                 if iters > limit {
                     return Err(iteration_limit_error(mode, limit));
@@ -2147,6 +2205,7 @@ fn exec_recursive_cte(
                 }
                 store.extend(next.iter().cloned());
                 std::mem::swap(&mut working, &mut next);
+                gate.tick();
             }
             store.finish(rt.buffers)
         }
@@ -2155,7 +2214,37 @@ fn exec_recursive_cte(
             // working table is kept by swap, not by cloning it wholesale.
             let trans = try_transition(&steps);
             let mut prev: Vec<Row> = Vec::new();
-            while !working.is_empty() {
+            loop {
+                // The fixpoint may already be drained (the threshold can be
+                // crossed on the very pass the VM emptied the set); promoting
+                // then would run mono over nothing and, for ITERATE, clobber
+                // the surviving iteration.
+                if working.is_empty() {
+                    break;
+                }
+                gate.try_promote(env, iters, rt.stats);
+                if let Some((prog, bound)) = gate.mono() {
+                    let mut cx = crate::tier::MonoCx {
+                        iters: &mut iters,
+                        peak: &mut peak,
+                        limit,
+                        mode,
+                        stats: rt.stats,
+                    };
+                    match crate::tier::run_mono_iterate(
+                        prog,
+                        bound,
+                        &mut cx,
+                        &mut working,
+                        &mut prev,
+                    )? {
+                        crate::tier::MonoOutcome::Finished => {}
+                        crate::tier::MonoOutcome::Demoted => gate.demote(),
+                    }
+                }
+                if working.is_empty() {
+                    break;
+                }
                 iters += 1;
                 if iters > limit {
                     return Err(iteration_limit_error(mode, limit));
@@ -2181,6 +2270,7 @@ fn exec_recursive_cte(
                     next.retain(|r| seen.insert(r.clone()));
                 }
                 prev = std::mem::replace(&mut working, next);
+                gate.tick();
             }
             prev
         }
@@ -2194,7 +2284,37 @@ fn exec_recursive_cte(
             let trans = try_transition(&steps);
             let mut retired: Vec<Row> = Vec::new();
             let mut next: Vec<Row> = Vec::new();
-            while !working.is_empty() {
+            loop {
+                // The fixpoint may already be drained (the threshold can be
+                // crossed on the very pass the VM emptied the set); promoting
+                // then would run mono over nothing and, for ITERATE, clobber
+                // the surviving iteration.
+                if working.is_empty() {
+                    break;
+                }
+                gate.try_promote(env, iters, rt.stats);
+                if let Some((prog, bound)) = gate.mono() {
+                    let mut cx = crate::tier::MonoCx {
+                        iters: &mut iters,
+                        peak: &mut peak,
+                        limit,
+                        mode,
+                        stats: rt.stats,
+                    };
+                    match crate::tier::run_mono_retire(
+                        prog,
+                        bound,
+                        &mut cx,
+                        &mut working,
+                        &mut retired,
+                    )? {
+                        crate::tier::MonoOutcome::Finished => {}
+                        crate::tier::MonoOutcome::Demoted => gate.demote(),
+                    }
+                }
+                if working.is_empty() {
+                    break;
+                }
                 iters += 1;
                 if iters > limit {
                     return Err(iteration_limit_error(mode, limit));
@@ -2245,6 +2365,7 @@ fn exec_recursive_cte(
                     next.retain(|r| seen.insert(r.clone()));
                 }
                 std::mem::swap(&mut working, &mut next);
+                gate.tick();
             }
             let batch = &mut rt.stats.batch;
             batch.batch_rows_in_flight = batch.batch_rows_in_flight.max(peak as u64);
@@ -2318,7 +2439,15 @@ fn exec_recursive_cte(
             RecursionMode::Retire => result.len() as u64,
             _ => 0,
         };
-        state.record_fixpoint(index, mode_label(mode), iters, peak as u64, retired);
+        state.record_fixpoint(
+            index,
+            mode_label(mode),
+            iters,
+            peak as u64,
+            retired,
+            gate.label(),
+            gate.promoted_at(),
+        );
     }
     Ok(result)
 }

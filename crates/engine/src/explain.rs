@@ -46,6 +46,10 @@ pub struct FixpointObs {
     pub peak: u64,
     /// Rows retired into the result (`WITH RETIRE` only; zero otherwise).
     pub retired: u64,
+    /// Did any merged execution finish in the monomorphized tier?
+    pub mono: bool,
+    /// Driver iteration at which the first promotion happened, if any.
+    pub promoted_at: Option<u64>,
 }
 
 /// Sink for one EXPLAIN ANALYZE execution.
@@ -77,6 +81,7 @@ impl AnalyzeState {
         obs.fused_rows += fused_rows;
     }
 
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn record_fixpoint(
         &mut self,
         index: usize,
@@ -84,6 +89,8 @@ impl AnalyzeState {
         iterations: u64,
         peak: u64,
         retired: u64,
+        tier: &'static str,
+        promoted_at: Option<u64>,
     ) {
         let (_, fx) = self
             .fixpoints
@@ -93,6 +100,10 @@ impl AnalyzeState {
         fx.iterations += iterations;
         fx.peak = fx.peak.max(peak);
         fx.retired += retired;
+        fx.mono |= tier == "mono";
+        if fx.promoted_at.is_none() {
+            fx.promoted_at = promoted_at;
+        }
     }
 
     /// Total wall time observed at the plan root — the cumulative ns of the
@@ -109,9 +120,14 @@ impl AnalyzeState {
         let mut out = Vec::new();
         self.render_node(plan, 0, &mut out);
         for (index, (mode, fx)) in &self.fixpoints {
+            let tier = if fx.mono { "mono" } else { "vm" };
+            let promoted = match fx.promoted_at {
+                Some(at) => format!(" promoted_at={at}"),
+                None => String::new(),
+            };
             out.push(format!(
                 "Fixpoint cte#{index} [{mode}]: executions={} iterations={} \
-                 working-set peak={} retired={}",
+                 working-set peak={} retired={} tier={tier}{promoted}",
                 fx.executions, fx.iterations, fx.peak, fx.retired
             ));
         }

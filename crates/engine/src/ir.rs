@@ -423,6 +423,11 @@ pub enum CtePlan {
         mode: RecursionMode,
         /// `UNION ALL` (true) vs deduplicating `UNION` (false).
         union_all: bool,
+        /// Monomorphized transition compiled by [`crate::tier::recognize`]
+        /// during plan pre-compilation (`None` when the shape is outside
+        /// the tier grammar or `tier_mode` is `ForceOff`). `Arc`-shared so
+        /// plan-cache clones accumulate hotness in one counter.
+        tier: Option<Arc<crate::tier::TierProgram>>,
     },
 }
 

@@ -30,6 +30,7 @@ pub(crate) mod penalty;
 pub mod planner;
 pub mod profile;
 pub mod session;
+pub mod tier;
 pub mod tuplestore;
 pub mod vm;
 pub mod window;
@@ -37,14 +38,14 @@ pub mod window;
 pub use catalog::{
     query_output_columns, Catalog, Column, FunctionDef, Index, IndexKind, Row, Table,
 };
-pub use config::{EngineConfig, IndexMode};
+pub use config::{EngineConfig, IndexMode, TierMode};
 pub use database::Database;
 pub use exec::RuntimeStats;
 pub use explain::AnalyzeState;
 pub use ir::{ExprIr, PlanNode};
 pub use metrics::{LatencyHistogram, MetricsSnapshot, PlanCacheStats, SessionMetrics};
 pub use planner::{ParamScope, PreparedPlan};
-pub use profile::{BatchCounters, Phase, Profiler};
+pub use profile::{BatchCounters, Phase, Profiler, TierCounters};
 pub use session::{QueryResult, Session};
 pub use tuplestore::{BufferStats, PAGE_SIZE, TUPLE_HEADER_BYTES};
 

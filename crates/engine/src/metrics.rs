@@ -109,6 +109,7 @@ pub struct SessionMetrics {
     pub index_probes: u64,
     pub recursive_iterations: u64,
     pub vm_ops_executed: u64,
+    pub tier_promotions: u64,
     pub latency: LatencyHistogram,
 }
 
@@ -124,6 +125,7 @@ impl SessionMetrics {
         self.index_probes += delta.index_probes;
         self.recursive_iterations += delta.recursive_iterations;
         self.vm_ops_executed += delta.vm_ops_executed;
+        self.tier_promotions += delta.tier.tier_promotions;
         self.latency.record(ns);
     }
 }
@@ -144,6 +146,7 @@ pub struct MetricsRegistry {
     index_probes: AtomicU64,
     recursive_iterations: AtomicU64,
     vm_ops_executed: AtomicU64,
+    tier_promotions: AtomicU64,
     latency: [AtomicU64; LATENCY_BUCKETS],
 }
 
@@ -161,6 +164,7 @@ impl Default for MetricsRegistry {
             index_probes: AtomicU64::new(0),
             recursive_iterations: AtomicU64::new(0),
             vm_ops_executed: AtomicU64::new(0),
+            tier_promotions: AtomicU64::new(0),
             latency: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
@@ -184,6 +188,8 @@ impl MetricsRegistry {
         self.recursive_iterations
             .fetch_add(delta.recursive_iterations, r);
         self.vm_ops_executed.fetch_add(delta.vm_ops_executed, r);
+        self.tier_promotions
+            .fetch_add(delta.tier.tier_promotions, r);
         self.latency[latency_bucket(ns)].fetch_add(1, r);
     }
 
@@ -214,6 +220,7 @@ impl MetricsRegistry {
             snapshots_released: self.snapshots_released.load(r),
             statement_ns_total: self.statement_ns_total.load(r),
             statements: self.statements.load(r),
+            tier_promotions: self.tier_promotions.load(r),
             udf_calls: self.udf_calls.load(r),
             vm_ops_executed: self.vm_ops_executed.load(r),
         }
@@ -237,6 +244,7 @@ pub struct MetricsSnapshot {
     pub snapshots_released: u64,
     pub statement_ns_total: u64,
     pub statements: u64,
+    pub tier_promotions: u64,
     pub udf_calls: u64,
     pub vm_ops_executed: u64,
 }
@@ -282,6 +290,7 @@ impl MetricsSnapshot {
         let _ = write!(out, ",\"snapshots_released\":{}", self.snapshots_released);
         let _ = write!(out, ",\"statement_ns_total\":{}", self.statement_ns_total);
         let _ = write!(out, ",\"statements\":{}", self.statements);
+        let _ = write!(out, ",\"tier_promotions\":{}", self.tier_promotions);
         let _ = write!(out, ",\"udf_calls\":{}", self.udf_calls);
         let _ = write!(out, ",\"vm_ops_executed\":{}", self.vm_ops_executed);
         out.push('}');
@@ -357,6 +366,7 @@ impl MetricsSnapshot {
             snapshots_released: get("snapshots_released")?,
             statement_ns_total: get("statement_ns_total")?,
             statements: get("statements")?,
+            tier_promotions: get("tier_promotions")?,
             udf_calls: get("udf_calls")?,
             vm_ops_executed: get("vm_ops_executed")?,
         })
@@ -417,6 +427,7 @@ mod tests {
             snapshots_released: 10,
             statement_ns_total: 11,
             statements: 12,
+            tier_promotions: 16,
             udf_calls: 13,
             vm_ops_executed: 14,
         };

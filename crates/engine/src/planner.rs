@@ -382,6 +382,7 @@ impl<'a> Planner<'a> {
                 recursive: rec_plan,
                 mode,
                 union_all: *all,
+                tier: None,
             })
         } else {
             if self_ref {
@@ -1821,12 +1822,14 @@ fn map_children(plan: PlanNode, f: fn(PlanNode) -> PlanNode) -> PlanNode {
                         recursive,
                         mode,
                         union_all,
+                        tier,
                     } => CtePlan::Recursive {
                         index,
                         base: f(base),
                         recursive: f(recursive),
                         mode,
                         union_all,
+                        tier,
                     },
                 })
                 .collect(),

@@ -24,7 +24,7 @@ use plaway_common::{Error, Result, SessionRng, Type, Value};
 use plaway_sql::ast::{InsertSource, Language, Stmt};
 
 use crate::catalog::{Catalog, Column, FunctionDef, IndexKind, Row};
-use crate::config::{EngineConfig, IndexMode};
+use crate::config::{EngineConfig, IndexMode, TierMode};
 use crate::database::Database;
 use crate::exec::{eval, exec, EvalEnv, FnPlanCache, Runtime, RuntimeStats, Scopes};
 use crate::explain::AnalyzeState;
@@ -684,7 +684,7 @@ impl Session {
     /// invalidated with DDL is re-planned here rather than served stale.
     pub fn prepare(&mut self, sql: &str, params: &ParamScope) -> Result<Arc<PreparedPlan>> {
         self.refresh();
-        let key = cache_key(sql, params, self.config.index_mode);
+        let key = cache_key(sql, params, self.config.index_mode, self.config.tier_mode);
         if let Some(p) = self.db.cached_plan(&key, self.catalog.version) {
             self.plan_cache_hits += 1;
             if self.config.trace {
@@ -714,7 +714,7 @@ impl Session {
         params: &ParamScope,
     ) -> Result<Arc<PreparedPlan>> {
         self.refresh();
-        let key = cache_key(key, params, self.config.index_mode);
+        let key = cache_key(key, params, self.config.index_mode, self.config.tier_mode);
         if let Some(p) = self.db.cached_plan(&key, self.catalog.version) {
             self.plan_cache_hits += 1;
             if self.config.trace {
@@ -1003,7 +1003,7 @@ impl Session {
     }
 }
 
-fn cache_key(sql: &str, params: &ParamScope, index_mode: IndexMode) -> String {
+fn cache_key(sql: &str, params: &ParamScope, index_mode: IndexMode, tier_mode: TierMode) -> String {
     // Plans depend on the access-path policy; sessions running a force mode
     // (the differential harness) must not share cache entries with Auto
     // sessions attached to the same database. Auto keys stay unchanged.
@@ -1012,10 +1012,21 @@ fn cache_key(sql: &str, params: &ParamScope, index_mode: IndexMode) -> String {
         IndexMode::ForceOn => "\u{2}idx+",
         IndexMode::ForceOff => "\u{2}idx-",
     };
+    // Same policy for the execution tier: a shared plan carries its tier
+    // program and hotness counter, so force-mode sessions must not feed
+    // (or consume) an Auto session's promotion state.
+    let tier_tag = match tier_mode {
+        TierMode::Auto => "",
+        TierMode::ForceOn => "\u{2}tier+",
+        TierMode::ForceOff => "\u{2}tier-",
+    };
     if params.names.is_empty() {
-        format!("{sql}{mode_tag}")
+        format!("{sql}{mode_tag}{tier_tag}")
     } else {
-        format!("{sql}\u{1}{}{mode_tag}", params.names.join("\u{1}"))
+        format!(
+            "{sql}\u{1}{}{mode_tag}{tier_tag}",
+            params.names.join("\u{1}")
+        )
     }
 }
 
@@ -1772,6 +1783,8 @@ mod tests {
         s.stats.index_probes += 1;
         s.stats.batch.batch_rows_in_flight += 1;
         s.stats.batch.batch_rows_retired += 1;
+        s.stats.tier.tier_promotions += 1;
+        s.stats.tier.tier_mono_rows += 1;
 
         // Sanity: every counter group is hot before the reset.
         assert!(s.profiler.exec_start_ns > 0 && s.profiler.start_count > 0);
@@ -1823,6 +1836,7 @@ mod tests {
             vm_ops_executed,
             fused_transition_rows,
             batch,
+            tier,
         } = s.stats;
         assert_eq!(
             (recursive_iterations, subplan_evals, udf_calls, rows_scanned),
@@ -1838,6 +1852,11 @@ mod tests {
             batch_rows_retired,
         } = batch;
         assert_eq!((batch_rows_in_flight, batch_rows_retired), (0, 0));
+        let crate::profile::TierCounters {
+            tier_promotions,
+            tier_mono_rows,
+        } = tier;
+        assert_eq!((tier_promotions, tier_mono_rows), (0, 0));
         assert_eq!((s.plan_cache_hits, s.plan_cache_misses), (0, 0));
         assert!(s.query_stats.is_empty());
     }

@@ -817,9 +817,19 @@ pub fn precompile_plan(plan: &mut PlanNode) {
                 match c {
                     CtePlan::Plain { plan, .. } => precompile_plan(plan),
                     CtePlan::Recursive {
-                        base, recursive, ..
+                        index,
+                        base,
+                        recursive,
+                        union_all,
+                        tier,
+                        ..
                     } => {
                         precompile_plan(base);
+                        // Recognize for the mono tier BEFORE pre-compilation
+                        // rewrites the transition's expression trees into VM
+                        // programs — the tier compiler reads the trees. The
+                        // execution-time gate decides whether it ever runs.
+                        *tier = crate::tier::recognize(*index, recursive, *union_all).map(Arc::new);
                         precompile_plan(recursive);
                     }
                 }
@@ -1011,7 +1021,7 @@ fn expr_free_scopes(e: &ExprIr) -> Option<usize> {
 /// environment it can reference. `Some(0)` means the plan is closed — its
 /// result depends only on catalog contents, which cannot change within one
 /// statement execution.
-fn plan_free_scopes(p: &PlanNode) -> Option<usize> {
+pub(crate) fn plan_free_scopes(p: &PlanNode) -> Option<usize> {
     fn max2(a: Option<usize>, b: Option<usize>) -> Option<usize> {
         Some(a?.max(b?))
     }

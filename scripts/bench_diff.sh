@@ -101,6 +101,28 @@ BEGIN {
         }
         printf "| %s | %s | %s |\n", probe, speedup(b, k, sk), speedup(f, k, sk)
     }
+    # Tiered execution: per-iteration ns of the fused fixpoint transition
+    # in the Value VM vs the typed mono pipeline, per recognized kernel.
+    # The speedup column is the ratio bench_gate enforces >= 1.5x on both
+    # kernels (vm ns / mono ns; per-iteration so the unit is machine- and
+    # input-size-portable).
+    hdr = 0
+    for (i = 1; i <= n; i++) {
+        k = sorted[i]
+        if (k !~ /^tier\./ || k !~ /\.vm_ns_per_iter$/) continue
+        kernel = k
+        sub(/^tier\./, "", kernel); sub(/\.vm_ns_per_iter$/, "", kernel)
+        mk = "tier." kernel ".mono_ns_per_iter"
+        if (!hdr) {
+            print ""
+            print "| tier kernel | baseline vm ns/iter | fresh vm ns/iter | baseline mono ns/iter | fresh mono ns/iter | baseline speedup | fresh speedup |"
+            print "|---|---:|---:|---:|---:|---:|---:|"
+            hdr = 1
+        }
+        printf "| %s | %s | %s | %s | %s | %s | %s |\n", kernel, \
+            cell(b, k), cell(f, k), cell(b, mk), cell(f, mk), \
+            speedup(b, mk, k), speedup(f, mk, k)
+    }
     # Concurrent serving (serve_bench): req/s per phase with the 4-thread
     # p99 tail. Higher req/s is better — deltas here are intentionally not
     # percent-flagged like the ns table; the gate enforces the scaling
@@ -128,7 +150,17 @@ BEGIN {
         printf "| misses | %s | %s |\n", cell(b, "serve.cache.misses"), cell(f, "serve.cache.misses")
         printf "| evictions | %s | %s |\n", cell(b, "serve.cache.evictions"), cell(f, "serve.cache.evictions")
         printf "| hit rate | %s | %s |\n", hit_rate(b), hit_rate(f)
+        printf "| warm hit rate | %s | %s |\n", warm_rate(b), warm_rate(f)
+        print ""
+        print "hit rate counts the whole run including the one-time per-session"
+        print "prepares; warm hit rate is the steady-state mixed phase only"
+        print "(prepare-once sessions replaying cached plans — the gate enforces"
+        print ">= 90%)."
     }
+}
+function warm_rate(m) {
+    if (!("serve.cache.warm_hit_rate_x100" in m)) return "—"
+    return sprintf("%d%%", m["serve.cache.warm_hit_rate_x100"])
 }
 function hit_rate(m,    h, mi) {
     if (!("serve.cache.hits" in m) || !("serve.cache.misses" in m)) return "—"

@@ -61,7 +61,7 @@ pub use plaway_workloads as workloads;
 pub mod prelude {
     pub use plaway_common::{Error, Result, SessionRng, Type, Value};
     pub use plaway_core::{compile, compile_sql, ArgsLayout, CompileOptions, Compiled, CteMode};
-    pub use plaway_engine::{EngineConfig, IndexMode, ParamScope, QueryResult, Session};
+    pub use plaway_engine::{EngineConfig, IndexMode, ParamScope, QueryResult, Session, TierMode};
     pub use plaway_interp::Interpreter;
     pub use plaway_plsql::parse_create_function;
 }
